@@ -1,0 +1,207 @@
+// FLDC design ablations (DESIGN.md §5, items 5-6).
+//
+//  A. Refresh copy order: the paper copies SMALLEST files first so small
+//     files take the early i-numbers and large files (whose blocks spread
+//     out) cannot break the i-number/layout correlation for everyone else.
+//     Compare against copying in directory (creation) order.
+//  B. Composition classifier: 2-means clustering of probe times needs no
+//     calibration; compare its in-cache/on-disk split quality against a
+//     fixed threshold that was calibrated for different hardware.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gray/compose/compose.h"
+#include "src/gray/fccd/fccd.h"
+#include "src/gray/fldc/fldc.h"
+#include "src/gray/sim_sys.h"
+#include "src/gray/toolbox/stats.h"
+#include "src/sim/rng.h"
+#include "src/workloads/filegen.h"
+
+using graysim::MachineConfig;
+using graysim::Nanos;
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+namespace {
+
+double ColdReadSeconds(Os& os, Pid pid, const std::vector<std::string>& order) {
+  os.FlushFileCache();
+  const Nanos t0 = os.Now();
+  for (const std::string& path : order) {
+    graysim::InodeAttr attr;
+    if (os.Stat(pid, path, &attr) < 0) {
+      continue;
+    }
+    const int fd = os.Open(pid, path);
+    (void)os.Pread(pid, fd, {}, attr.size, 0);
+    (void)os.Close(pid, fd);
+  }
+  return gbench::ToSec(os.Now() - t0);
+}
+
+// Builds the test directory: 80 small files with 10 large (16 MB) files
+// interleaved among them, as real directories mix sizes.
+std::vector<std::string> BuildDir(Os& os, Pid pid) {
+  (void)os.Mkdir(pid, "/d0/mix");
+  std::vector<std::string> small;
+  for (int i = 0; i < 80; ++i) {
+    const std::string path = "/d0/mix/s" + std::to_string(i);
+    (void)graywork::MakeFile(os, pid, path, 8192);
+    small.push_back(path);
+    if (i % 8 == 4) {
+      (void)graywork::MakeFile(os, pid, "/d0/mix/big" + std::to_string(i),
+                               16 * gbench::kMb);
+    }
+  }
+  return small;
+}
+
+void AblationRefreshOrder() {
+  gbench::PrintHeader("A. directory refresh: smallest-first vs creation-order copy");
+  for (const bool smallest_first : {true, false}) {
+    Os os(PlatformProfile::Linux22());
+    const Pid pid = os.default_pid();
+    std::vector<std::string> small = BuildDir(os, pid);
+
+    gray::SimSys sys(&os, pid);
+    gray::Fldc fldc(&sys);
+    if (smallest_first) {
+      (void)fldc.RefreshDirectory("/d0/mix");
+    } else {
+      // Manual refresh that copies in creation order: the big file is
+      // copied first, taking the early i-number AND the early blocks.
+      (void)os.Mkdir(pid, "/d0/mix.tmp");
+      std::vector<graysim::DirEntryInfo> entries;
+      (void)os.ReadDir(pid, "/d0/mix", &entries);
+      for (const auto& e : entries) {
+        graysim::InodeAttr attr;
+        (void)os.Stat(pid, "/d0/mix/" + e.name, &attr);
+        const int src = os.Open(pid, "/d0/mix/" + e.name);
+        const int dst = os.Creat(pid, "/d0/mix.tmp/" + e.name);
+        for (std::uint64_t off = 0; off < attr.size; off += gbench::kMb) {
+          const std::uint64_t n = std::min(gbench::kMb, attr.size - off);
+          (void)os.Pread(pid, src, {}, n, off);
+          (void)os.Pwrite(pid, dst, n, off);
+        }
+        (void)os.Close(pid, src);
+        (void)os.Close(pid, dst);
+        (void)os.Unlink(pid, "/d0/mix/" + e.name);
+      }
+      (void)os.Rmdir(pid, "/d0/mix");
+      (void)os.Rename(pid, "/d0/mix.tmp", "/d0/mix");
+    }
+
+    // Read the small files in i-number order.
+    std::vector<std::string> order;
+    for (const auto& e : fldc.OrderByInode(small)) {
+      order.push_back(e.path);
+    }
+    const double seconds = ColdReadSeconds(os, pid, order);
+    std::printf("  %-24s small-file inum-order read: %6.3fs\n",
+                smallest_first ? "smallest-first (paper)" : "creation-order",
+                seconds);
+  }
+  std::printf("  -> the creation-order copy wedges 16 MB of large-file data between\n"
+              "     every few small files, so the inum-order read seeks over each\n"
+              "     wedge; smallest-first packs all small files into one tight run.\n");
+}
+
+void AblationClusterVsThreshold() {
+  gbench::PrintHeader("B. composition classifier: 2-means clustering vs fixed threshold");
+  // Slow down the memory system 40x (e.g. a loaded machine or slower copy
+  // path): a threshold calibrated for fast hits now misclassifies.
+  for (const double copy_slowdown : {1.0, 40.0}) {
+    MachineConfig cfg;
+    cfg.costs.copy_mb_per_s /= copy_slowdown;
+    cfg.costs.syscall_overhead =
+        static_cast<Nanos>(static_cast<double>(cfg.costs.syscall_overhead) * copy_slowdown);
+    Os os(PlatformProfile::Linux22(), cfg);
+    const Pid pid = os.default_pid();
+    const std::vector<std::string> paths =
+        graywork::MakeFileSet(os, pid, "/d0/set", 12, 10 * gbench::kMb);
+    os.FlushFileCache();
+    for (const int i : {1, 4, 9}) {  // warm three files
+      const int fd = os.Open(pid, paths[static_cast<std::size_t>(i)]);
+      (void)os.Pread(pid, fd, {}, 10 * gbench::kMb, 0);
+      (void)os.Close(pid, fd);
+    }
+    gray::SimSys sys(&os, pid);
+    gray::Fccd fccd(&sys);
+    const auto ranked = fccd.OrderFiles(paths);
+    std::vector<double> times;
+    for (const auto& rf : ranked) {
+      times.push_back(static_cast<double>(rf.avg_probe_time));
+    }
+    const gray::Clusters clusters = gray::TwoMeans(times);
+    std::size_t cluster_cached = 0;
+    std::size_t threshold_cached = 0;
+    for (const double t : times) {
+      if (clusters.separated && t < clusters.threshold) {
+        ++cluster_cached;
+      }
+      if (t < 10'000.0) {  // threshold calibrated on the FAST machine (10 us)
+        ++threshold_cached;
+      }
+    }
+    std::printf("  copy %4.0fx slower: clustering says %zu cached (truth: 3); fixed\n"
+                "                    10us threshold says %zu cached\n",
+                copy_slowdown, cluster_cached, threshold_cached);
+  }
+  std::printf("  -> the fixed threshold stops seeing cache hits once hits get\n"
+              "     slower than its calibration; clustering adapts by construction.\n");
+}
+
+// §4.2.5: porting the detector to LFS means swapping the heuristic — on a
+// log-structured fs, write-TIME order predicts layout; i-number order does
+// not survive rewrites.
+void AblationLfsPort() {
+  gbench::PrintHeader("C. the LFS port: random vs i-number vs mtime order after rewrites");
+  Os os(PlatformProfile::LfsVariant());
+  const Pid pid = os.default_pid();
+  const std::vector<std::string> paths =
+      graywork::MakeFileSet(os, pid, "/d0/dir", 100, 8192);
+  // Rewrite everything in a scrambled order: data moves to the log head.
+  graysim::Rng rng(33);
+  std::vector<std::string> rewrite = paths;
+  for (std::size_t i = rewrite.size(); i > 1; --i) {
+    std::swap(rewrite[i - 1], rewrite[rng.Below(i)]);
+  }
+  for (const std::string& path : rewrite) {
+    (void)graywork::MakeFile(os, pid, path, 8192);
+  }
+  gray::SimSys sys(&os, pid);
+  gray::Fldc fldc(&sys);
+  std::vector<std::string> shuffled = paths;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.Below(i)]);
+  }
+  std::vector<std::string> by_inum;
+  for (const auto& e : fldc.OrderByInode(paths)) {
+    by_inum.push_back(e.path);
+  }
+  std::vector<std::string> by_mtime;
+  for (const auto& e : fldc.OrderByMtime(paths)) {
+    by_mtime.push_back(e.path);
+  }
+  std::printf("  random:   %6.3fs\n", ColdReadSeconds(os, pid, shuffled));
+  std::printf("  i-number: %6.3fs   (the FFS heuristic, now wrong)\n",
+              ColdReadSeconds(os, pid, by_inum));
+  std::printf("  mtime:    %6.3fs   (writes near in time are near in space)\n",
+              ColdReadSeconds(os, pid, by_mtime));
+  std::printf("  -> same ICL, one swapped heuristic: the port the paper predicts\n"
+              "     'may not prove difficult' (§4.2.5).\n");
+}
+
+}  // namespace
+
+int main() {
+  AblationRefreshOrder();
+  AblationClusterVsThreshold();
+  AblationLfsPort();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper:
+// it prints the same rows/series the paper reports, plus the context needed
+// to compare shapes (who wins, by what factor, where crossovers fall).
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/gray/toolbox/stats.h"
+#include "src/os/os.h"
+
+namespace gbench {
+
+// Parses "--key=value" style flags; returns fallback when absent.
+inline int FlagInt(int argc, char** argv, const char* name, int fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline bool FlagBool(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Mean and standard deviation of a set of timing samples (seconds).
+struct Sample {
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  static Sample Of(const std::vector<double>& xs) {
+    gray::RunningStats stats;
+    for (const double x : xs) {
+      stats.Add(x);
+    }
+    return Sample{stats.mean(), stats.stddev()};
+  }
+};
+
+inline double ToSec(graysim::Nanos t) { return static_cast<double>(t) / 1e9; }
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+// Prints a header line followed by a separator of the same width.
+inline void PrintHeader(const char* title) {
+  std::printf("\n%s\n", title);
+  for (const char* p = title; *p != '\0'; ++p) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace gbench
+
+#endif  // BENCH_BENCH_UTIL_H_

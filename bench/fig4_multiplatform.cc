@@ -1,0 +1,150 @@
+// Figure 4 — Multi-Platform Experiments.
+//
+// Large-file scans and multi-file searches on the three platform profiles,
+// each normalized to that platform's cold-cache time:
+//   - scan: 1 GB on Linux and Solaris; on NetBSD, whose fixed 64 MB buffer
+//     cache makes 1 GB warm scans run at disk rate regardless, the paper
+//     instead reports the best case — a scan the small cache can serve
+//     (56 MB here);
+//   - search: first match wins; the match lives in a cached file listed
+//     LAST on the command line (the paper's maximum-benefit configuration);
+//     100 x 10 MB files on Linux/Solaris, 65 x 1 MB on NetBSD.
+//
+// Expected shape: Linux warm==cold for the unmodified scan (LRU worst
+// case) with a large gray-box win; NetBSD best case gray-box win on the
+// small file; Solaris warm scans fast even unmodified (sticky cache).
+// Search: unmodified gets no benefit (scans in order); gray finds the
+// cached match immediately on every platform.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gray/fccd/fccd.h"
+#include "src/gray/sim_sys.h"
+#include "src/workloads/filegen.h"
+#include "src/workloads/grep.h"
+
+using graysim::Nanos;
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+namespace {
+
+struct ScanSetup {
+  PlatformProfile profile;
+  std::uint64_t file_mb;
+  int search_files;
+  std::uint64_t search_file_mb;
+};
+
+Nanos LinearScan(Os& os, Pid pid, const std::string& path, std::uint64_t bytes) {
+  const int fd = os.Open(pid, path);
+  const Nanos t0 = os.Now();
+  (void)os.Pread(pid, fd, {}, bytes, 0);
+  const Nanos elapsed = os.Now() - t0;
+  (void)os.Close(pid, fd);
+  return elapsed;
+}
+
+Nanos GrayScan(Os& os, Pid pid, const std::string& path) {
+  const Nanos t0 = os.Now();
+  gray::SimSys sys(&os, pid);
+  gray::Fccd fccd(&sys);
+  const auto plan = fccd.PlanFile(path);
+  const int fd = os.Open(pid, path);
+  for (const gray::UnitPlan& u : plan->units) {
+    (void)os.Pread(pid, fd, {}, u.extent.length, u.extent.offset);
+  }
+  (void)os.Close(pid, fd);
+  return os.Now() - t0;
+}
+
+void RunScan(const ScanSetup& setup, int runs) {
+  Os os(setup.profile);
+  const Pid pid = os.default_pid();
+  const std::uint64_t bytes = setup.file_mb * gbench::kMb;
+  if (!graywork::MakeFile(os, pid, "/d0/big", bytes)) {
+    return;
+  }
+  os.FlushFileCache();
+  const double cold = gbench::ToSec(LinearScan(os, pid, "/d0/big", bytes));
+  std::vector<double> warm;
+  for (int r = 0; r < runs; ++r) {
+    warm.push_back(gbench::ToSec(LinearScan(os, pid, "/d0/big", bytes)));
+  }
+  os.FlushFileCache();
+  (void)LinearScan(os, pid, "/d0/big", bytes);  // re-warm
+  (void)GrayScan(os, pid, "/d0/big");           // steady-state the gray order
+  std::vector<double> gray_times;
+  for (int r = 0; r < runs; ++r) {
+    gray_times.push_back(gbench::ToSec(GrayScan(os, pid, "/d0/big")));
+  }
+  const gbench::Sample w = gbench::Sample::Of(warm);
+  const gbench::Sample g = gbench::Sample::Of(gray_times);
+  std::printf("%-10s scan %5lluMB  cold=%6.2fs  warm=%5.2f  gray=%5.2f   (normalized to cold)\n",
+              setup.profile.name.c_str(), static_cast<unsigned long long>(setup.file_mb), cold, w.mean / cold,
+              g.mean / cold);
+}
+
+void RunSearch(const ScanSetup& setup, int runs) {
+  Os os(setup.profile);
+  const Pid pid = os.default_pid();
+  const std::vector<std::string> paths = graywork::MakeFileSet(
+      os, pid, "/d0/set", setup.search_files, setup.search_file_mb * gbench::kMb);
+  const std::string& match = paths.back();  // match in the LAST file
+  os.FlushFileCache();
+  graywork::Grep grep(&os, pid);
+
+  // Cold search (nothing cached).
+  const double cold = gbench::ToSec(grep.RunSearch(paths, match, false).elapsed);
+  // Warm the matching file only, as in the paper's setup.
+  auto warm_match = [&] {
+    const int fd = os.Open(pid, match);
+    (void)os.Pread(pid, fd, {}, setup.search_file_mb * gbench::kMb, 0);
+    (void)os.Close(pid, fd);
+  };
+  std::vector<double> warm;
+  std::vector<double> gray_times;
+  for (int r = 0; r < runs; ++r) {
+    os.FlushFileCache();
+    warm_match();
+    warm.push_back(gbench::ToSec(grep.RunSearch(paths, match, false).elapsed));
+    os.FlushFileCache();
+    warm_match();
+    gray_times.push_back(gbench::ToSec(grep.RunSearch(paths, match, true).elapsed));
+  }
+  const gbench::Sample w = gbench::Sample::Of(warm);
+  const gbench::Sample g = gbench::Sample::Of(gray_times);
+  std::printf("%-10s search %3dx%lluMB cold=%6.2fs  warm=%5.2f  gray=%5.2f   (normalized to cold)\n",
+              setup.profile.name.c_str(), setup.search_files, static_cast<unsigned long long>(setup.search_file_mb),
+              cold, w.mean / cold, g.mean / cold);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int runs = gbench::FlagInt(argc, argv, "runs", 5);
+  const std::vector<ScanSetup> setups = {
+      {PlatformProfile::Linux22(), 1024, 100, 10},
+      {PlatformProfile::NetBsd15(), 56, 65, 1},  // fits the fixed 64 MB cache (best case)
+      {PlatformProfile::Solaris7(), 1024, 100, 10},
+  };
+  gbench::PrintHeader("Figure 4: multi-platform scans and searches");
+  for (const ScanSetup& s : setups) {
+    RunScan(s, runs);
+  }
+  std::printf("\n");
+  for (const ScanSetup& s : setups) {
+    RunSearch(s, runs);
+  }
+  std::printf(
+      "\nExpected shape (paper): Linux unmodified warm scan ~= cold (LRU worst\n"
+      "case), gray much faster; NetBSD gray wins on a cache-sized file; Solaris\n"
+      "warm scans are fast even unmodified (sticky cache holds the first file).\n"
+      "Searches: unmodified finds the match last (no benefit); gray finds the\n"
+      "cached file immediately on all three platforms.\n");
+  return 0;
+}

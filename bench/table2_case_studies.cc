@@ -1,0 +1,79 @@
+// Table 2 — Gray-box techniques used in the three case studies.
+//
+// Instead of hard-coding the paper's matrix, this bench RUNS each ICL on a
+// live simulated system and prints the technique-usage registry the ICLs
+// record about themselves (with live counters), so the matrix is evidence,
+// not prose.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gray/fccd/fccd.h"
+#include "src/gray/fldc/fldc.h"
+#include "src/gray/mac/mac.h"
+#include "src/gray/sim_sys.h"
+#include "src/workloads/filegen.h"
+
+using gray::Technique;
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+namespace {
+
+void PrintUsage(const char* name, const gray::TechniqueUsage& usage) {
+  std::printf("\n%s\n", name);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Technique::kCount); ++i) {
+    const auto t = static_cast<Technique>(i);
+    if (usage.used(t) || !usage.note(t).empty()) {
+      std::printf("  %-12s %8llu uses  %s\n", std::string(TechniqueName(t)).c_str(),
+                  static_cast<unsigned long long>(usage.count(t)),
+                  usage.note(t).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  gbench::PrintHeader("Table 2: techniques used by the case-study ICLs (live counters)");
+
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  gray::SimSys sys(&os, pid);
+
+  // FCCD: plan a 200 MB file and order a small file set.
+  (void)graywork::MakeFile(os, pid, "/d0/big", 200 * gbench::kMb);
+  const std::vector<std::string> set =
+      graywork::MakeFileSet(os, pid, "/d0/set", 8, 10 * gbench::kMb);
+  os.FlushFileCache();
+  gray::ParamRepository repo;
+  repo.Set(gray::params::kFccdAccessUnitBytes, 20.0 * 1024 * 1024);
+  repo.Set(gray::params::kMemZeroFillNs, 3000.0);
+  gray::Fccd fccd(&sys, gray::FccdOptions{}, &repo);
+  (void)fccd.PlanFile("/d0/big");
+  (void)fccd.OrderFiles(set);
+  PrintUsage("FCCD (file-cache content detector)", fccd.usage());
+
+  // FLDC: order by i-number and refresh a directory.
+  gray::Fldc fldc(&sys);
+  (void)fldc.OrderByInode(set);
+  (void)fldc.RefreshDirectory("/d0/set");
+  PrintUsage("FLDC (file layout detector & controller)", fldc.usage());
+
+  // MAC: one admission-controlled allocation.
+  gray::Mac mac(&sys, gray::MacOptions{}, &repo);
+  auto alloc = mac.GbAlloc(64 * gbench::kMb, 256 * gbench::kMb, 4096);
+  PrintUsage("MAC (memory-based admission controller)", mac.usage());
+  if (alloc.has_value()) {
+    alloc->Release();
+  }
+
+  std::printf(
+      "\nAll three combine algorithmic knowledge with timed observations; FCCD\n"
+      "and MAC probe actively, FLDC and MAC use move-to-known-state control,\n"
+      "and FCCD exploits positive feedback (access-unit-sized rereads).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// gb-grep: the paper's flagship application study (§4.1.3), runnable.
+//
+// Creates a corpus of text files whose total size exceeds the file cache,
+// then repeatedly greps it three ways:
+//   1. unmodified grep      — command-line order; repeated runs hit the
+//                             LRU worst case and stream everything from disk;
+//   2. gb-grep              — the 10-lines-became-30 modification: reorder
+//                             the file list with the FCCD first;
+//   3. grep `gbp -mem *`    — the unmodified binary fed by the gbp tool.
+//
+// Usage: gb_grep [--files=N] [--file-mb=M] [--runs=R]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/os/os.h"
+#include "src/workloads/filegen.h"
+#include "src/workloads/grep.h"
+
+namespace {
+
+int Flag(int argc, char** argv, const char* name, int fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr std::uint64_t kMb = 1024 * 1024;
+  const int files = Flag(argc, argv, "files", 100);
+  const int file_mb = Flag(argc, argv, "file-mb", 10);
+  const int runs = Flag(argc, argv, "runs", 3);
+
+  graysim::Os os(graysim::PlatformProfile::Linux22());
+  const graysim::Pid pid = os.default_pid();
+  std::printf("creating %d x %d MB files (cache is %llu MB)...\n", files, file_mb,
+              static_cast<unsigned long long>(os.UsableMemBytes() / kMb));
+  const std::vector<std::string> corpus = graywork::MakeFileSet(
+      os, pid, "/d0/corpus", files, static_cast<std::uint64_t>(file_mb) * kMb);
+  os.FlushFileCache();
+
+  graywork::Grep grep(&os, pid);
+  std::printf("\n%-24s", "run");
+  for (int r = 0; r < runs; ++r) {
+    std::printf("   #%d(s)", r + 1);
+  }
+  std::printf("\n");
+
+  std::printf("%-24s", "grep (unmodified)");
+  for (int r = 0; r < runs; ++r) {
+    std::printf(" %7.2f", static_cast<double>(grep.Run(corpus).elapsed) / 1e9);
+  }
+  std::printf("   <- LRU worst case: no reuse across runs\n");
+
+  std::printf("%-24s", "gb-grep (FCCD order)");
+  for (int r = 0; r < runs; ++r) {
+    std::printf(" %7.2f", static_cast<double>(grep.RunGrayBox(corpus).elapsed) / 1e9);
+  }
+  std::printf("   <- cached files first; improves as feedback stabilizes\n");
+
+  std::printf("%-24s", "grep `gbp -mem *`");
+  for (int r = 0; r < runs; ++r) {
+    std::printf(" %7.2f",
+                static_cast<double>(grep.RunWithGbp(corpus, gray::GbpMode::kMem).elapsed) /
+                    1e9);
+  }
+  std::printf("   <- unmodified binary, same benefit minus fork/exec\n");
+  return 0;
+}

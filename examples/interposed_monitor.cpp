@@ -1,0 +1,92 @@
+// Interposition vs probing, live (paper §4.1.1 / §6).
+//
+// Runs a client whose file accesses flow through an interposition agent
+// feeding an LRU cache model, then compares three detectors on the same
+// question — "which half of this file is cached?":
+//
+//   * PassiveFccd  — answers from the interposed model, zero probes;
+//   * Fccd         — answers by timing probes against the real system;
+//   * SledOracle   — answers from the kernel's ground truth (the interface
+//                    Van Meter & Gao proposed; cheating, for reference).
+//
+// Then an "unobserved" process trashes the cache behind the interposer's
+// back, and the same three detectors answer again. Watch who survives.
+
+#include <cstdio>
+#include <string>
+
+#include "src/gray/fccd/fccd.h"
+#include "src/gray/fccd/sled_oracle.h"
+#include "src/gray/interpose/interposer.h"
+#include "src/gray/sim_sys.h"
+#include "src/os/os.h"
+#include "src/workloads/filegen.h"
+
+namespace {
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+void Report(const char* who, const gray::FilePlan& plan, const graysim::Os& os) {
+  // How many of the plan's first-half units are genuinely (mostly) cached?
+  const std::size_t half = plan.units.size() / 2;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < half; ++i) {
+    const std::uint64_t first_page = plan.units[i].extent.offset / 4096;
+    const std::uint64_t pages = plan.units[i].extent.length / 4096;
+    std::uint64_t resident = 0;
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      resident += os.PageResidentPath("/d0/data", first_page + p) ? 1 : 0;
+    }
+    correct += resident * 2 >= pages ? 1 : 0;
+  }
+  std::printf("  %-12s first-half precision: %zu/%zu\n", who, correct, half);
+}
+
+}  // namespace
+
+int main() {
+  graysim::Os os(graysim::PlatformProfile::Linux22());
+  const graysim::Pid pid = os.default_pid();
+  gray::SimSys sys(&os, pid);
+  gray::CacheModel model(os.UsableMemBytes(), os.page_size());
+  gray::Interposer agent(&sys, &model);
+
+  graywork::MakeFile(os, pid, "/d0/data", 200 * kMb);
+  os.FlushFileCache();
+
+  // The observed client reads the first half through the interposer.
+  std::printf("observed client reads the first 100 MB through the agent...\n");
+  {
+    const int fd = agent.Open("/d0/data");
+    (void)agent.Pread(fd, {}, 100 * kMb, 0);
+    (void)agent.Close(fd);
+  }
+
+  gray::PassiveFccd passive(&sys, &model);
+  gray::Fccd probing(&sys);
+  gray::SledOracle oracle(&os);
+  std::printf("\nwith every input observed, everyone agrees:\n");
+  Report("passive", *passive.PlanFile("/d0/data"), os);
+  Report("probing", *probing.PlanFile("/d0/data"), os);
+  Report("oracle", *oracle.PlanFile("/d0/data"), os);
+
+  // An unobserved process replaces the cache contents directly.
+  std::printf("\nan UNOBSERVED process flushes and reads the second half...\n");
+  os.FlushFileCache();
+  {
+    const int fd = os.Open(pid, "/d0/data");
+    (void)os.Pread(pid, fd, {}, 100 * kMb, 100 * kMb);
+    (void)os.Close(pid, fd);
+  }
+
+  std::printf("\nnow the simulation is stale; only observation survives:\n");
+  Report("passive", *passive.PlanFile("/d0/data"), os);
+  Report("probing", *probing.PlanFile("/d0/data"), os);
+  Report("oracle", *oracle.PlanFile("/d0/data"), os);
+
+  std::printf(
+      "\n\"if a single process does not obey the rules, our knowledge of what\n"
+      "has been accessed is incomplete and our simulation will be inaccurate\"\n"
+      "(paper, §4.1.1) — which is why the FCCD probes.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "src/cache/page_cache.h"
+
+#include <cassert>
+
+namespace graysim {
+
+bool PageCache::Access(Inum inum, std::uint64_t page) {
+  const auto it = pages_.find(Key(inum, page));
+  if (it == pages_.end()) {
+    return false;
+  }
+  mem_->Touch(it->second.ref);
+  return true;
+}
+
+bool PageCache::Insert(Inum inum, std::uint64_t page, bool dirty, Nanos* evict_cost) {
+  const std::uint64_t key = Key(inum, page);
+  if (const auto it = pages_.find(key); it != pages_.end()) {
+    mem_->Touch(it->second.ref);
+    if (dirty) {
+      MarkDirty(inum, page);
+    }
+    return true;
+  }
+  const auto ref =
+      mem_->Insert(Page{PageKind::kFile, inum, page, dirty}, evict_cost);
+  if (!ref.has_value()) {
+    return false;  // admission denied (sticky policy)
+  }
+  Entry entry{*ref, std::nullopt};
+  if (dirty) {
+    dirty_order_.push_back(key);
+    entry.dirty_it = std::prev(dirty_order_.end());
+  }
+  pages_.emplace(key, entry);
+  ++per_file_count_[inum];
+  return true;
+}
+
+void PageCache::MarkDirty(Inum inum, std::uint64_t page) {
+  const std::uint64_t key = Key(inum, page);
+  const auto it = pages_.find(key);
+  assert(it != pages_.end());
+  if (!it->second.dirty_it.has_value()) {
+    mem_->MarkDirty(it->second.ref);
+    dirty_order_.push_back(key);
+    it->second.dirty_it = std::prev(dirty_order_.end());
+  }
+}
+
+void PageCache::ClearDirty(std::uint64_t key, Entry& entry) {
+  (void)key;
+  if (entry.dirty_it.has_value()) {
+    dirty_order_.erase(*entry.dirty_it);
+    entry.dirty_it = std::nullopt;
+    mem_->MarkClean(entry.ref);
+  }
+}
+
+bool PageCache::OnEvicted(const Page& page) {
+  const std::uint64_t key = Key(static_cast<Inum>(page.key1), page.key2);
+  const auto it = pages_.find(key);
+  assert(it != pages_.end());
+  const bool was_dirty = it->second.dirty_it.has_value();
+  if (was_dirty) {
+    dirty_order_.erase(*it->second.dirty_it);
+  }
+  if (--per_file_count_[static_cast<Inum>(page.key1)] == 0) {
+    per_file_count_.erase(static_cast<Inum>(page.key1));
+  }
+  pages_.erase(it);
+  return was_dirty;
+}
+
+void PageCache::DropFile(Inum inum) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (KeyInum(it->first) == inum) {
+      ClearDirty(it->first, it->second);
+      mem_->Remove(it->second.ref);
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  per_file_count_.erase(inum);
+}
+
+void PageCache::DropFilePagesFrom(Inum inum, std::uint64_t first_page) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (KeyInum(it->first) == inum && KeyPage(it->first) >= first_page) {
+      ClearDirty(it->first, it->second);
+      mem_->Remove(it->second.ref);
+      it = pages_.erase(it);
+      if (--per_file_count_[inum] == 0) {
+        per_file_count_.erase(inum);
+      }
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::DropAll(std::vector<std::pair<Inum, std::uint64_t>>* dirty_dropped) {
+  for (auto& [key, entry] : pages_) {
+    if (entry.dirty_it.has_value() && dirty_dropped != nullptr) {
+      dirty_dropped->emplace_back(KeyInum(key), KeyPage(key));
+    }
+    mem_->Remove(entry.ref);
+  }
+  pages_.clear();
+  per_file_count_.clear();
+  dirty_order_.clear();
+}
+
+std::vector<std::pair<Inum, std::uint64_t>> PageCache::TakeOldestDirty(
+    std::uint64_t max_pages) {
+  std::vector<std::pair<Inum, std::uint64_t>> result;
+  while (!dirty_order_.empty() && result.size() < max_pages) {
+    const std::uint64_t key = dirty_order_.front();
+    auto it = pages_.find(key);
+    assert(it != pages_.end());
+    result.emplace_back(KeyInum(key), KeyPage(key));
+    ClearDirty(key, it->second);
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> PageCache::TakeDirtyOfFile(Inum inum) {
+  std::vector<std::uint64_t> result;
+  for (auto it = dirty_order_.begin(); it != dirty_order_.end();) {
+    if (KeyInum(*it) == inum) {
+      result.push_back(KeyPage(*it));
+      auto entry_it = pages_.find(*it);
+      assert(entry_it != pages_.end());
+      entry_it->second.dirty_it = std::nullopt;
+      mem_->MarkClean(entry_it->second.ref);
+      it = dirty_order_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return result;
+}
+
+std::uint64_t PageCache::CleanDirtyRunAfter(Inum inum, std::uint64_t page,
+                                            std::uint64_t max_pages) {
+  std::uint64_t n = 0;
+  while (n < max_pages) {
+    const std::uint64_t key = Key(inum, page + 1 + n);
+    const auto it = pages_.find(key);
+    if (it == pages_.end() || !it->second.dirty_it.has_value()) {
+      break;
+    }
+    ClearDirty(key, it->second);
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t PageCache::ResidentPagesOfFile(Inum inum) const {
+  const auto it = per_file_count_.find(inum);
+  return it == per_file_count_.end() ? 0 : it->second;
+}
+
+}  // namespace graysim

@@ -1,0 +1,103 @@
+// File page cache: maps (inode, page-index) to resident frames.
+//
+// Pure bookkeeping — frames come from MemSystem (which applies the platform
+// replacement policy) and all timing is charged by the Os layer. The cache
+// also tracks dirty pages in age order so the Os can model write-behind and
+// fsync.
+#ifndef SRC_CACHE_PAGE_CACHE_H_
+#define SRC_CACHE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "src/fs/ffs.h"
+#include "src/mem/mem_system.h"
+#include "src/sim/clock.h"
+
+namespace graysim {
+
+class PageCache {
+ public:
+  explicit PageCache(MemSystem* mem) : mem_(mem) {}
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // True (and LRU-refreshed) if the page is resident.
+  bool Access(Inum inum, std::uint64_t page);
+
+  [[nodiscard]] bool Resident(Inum inum, std::uint64_t page) const {
+    return pages_.contains(Key(inum, page));
+  }
+
+  // Inserts a page after a disk read (or for a write). Returns false when
+  // the policy refuses admission (Solaris-like sticky cache when full).
+  // Eviction I/O cost accumulates into *evict_cost.
+  bool Insert(Inum inum, std::uint64_t page, bool dirty, Nanos* evict_cost);
+
+  // Marks a resident page dirty (write path). The page must be resident.
+  void MarkDirty(Inum inum, std::uint64_t page);
+
+  // Called by the Os eviction handler when MemSystem evicts a file page:
+  // removes the mapping. Returns true if the page was dirty.
+  bool OnEvicted(const Page& page);
+
+  // Drops every page of a file (unlink/truncate); dirty contents are
+  // discarded (the file is going away).
+  void DropFile(Inum inum);
+
+  // Drops cached pages at or beyond `first_page` (shrinking truncate).
+  void DropFilePagesFrom(Inum inum, std::uint64_t first_page);
+
+  // Drops all file pages (experimental cache flush). Dirty pages are
+  // reported through *dirty_dropped so the caller can charge writeback.
+  void DropAll(std::vector<std::pair<Inum, std::uint64_t>>* dirty_dropped);
+
+  // Oldest dirty pages, up to `max_pages` (write-behind flushing). Marks
+  // them clean. Returned in dirtying order.
+  [[nodiscard]] std::vector<std::pair<Inum, std::uint64_t>> TakeOldestDirty(
+      std::uint64_t max_pages);
+
+  // All dirty pages of one file, marked clean (fsync).
+  [[nodiscard]] std::vector<std::uint64_t> TakeDirtyOfFile(Inum inum);
+
+  // Marks clean (and returns the count of) the resident dirty pages
+  // immediately following (inum, page) — i.e. pages page+1..page+n while
+  // consecutive, resident, and dirty, up to max_pages. Used to cluster
+  // writeback when reclaim hits a dirty page: the whole run is written in
+  // one request instead of page-at-a-time.
+  [[nodiscard]] std::uint64_t CleanDirtyRunAfter(Inum inum, std::uint64_t page,
+                                                 std::uint64_t max_pages);
+
+  [[nodiscard]] std::uint64_t resident_pages() const { return pages_.size(); }
+  [[nodiscard]] std::uint64_t dirty_pages() const { return dirty_order_.size(); }
+  [[nodiscard]] std::uint64_t ResidentPagesOfFile(Inum inum) const;
+
+ private:
+  struct Entry {
+    MemSystem::PageRef ref;
+    std::optional<std::list<std::uint64_t>::iterator> dirty_it;
+  };
+
+  // Key packing: the full 32-bit (disk-tagged) inum in the high bits and a
+  // 32-bit page index below it. Page indexes stay < 2^32 (that would be a
+  // 16 TB file at 4 KB pages; the modeled disks are 9 GB).
+  [[nodiscard]] static std::uint64_t Key(Inum inum, std::uint64_t page) {
+    return (static_cast<std::uint64_t>(inum) << 32) | page;
+  }
+  static Inum KeyInum(std::uint64_t key) { return static_cast<Inum>(key >> 32); }
+  static std::uint64_t KeyPage(std::uint64_t key) { return key & 0xFFFFFFFFULL; }
+
+  void ClearDirty(std::uint64_t key, Entry& entry);
+
+  MemSystem* mem_;
+  std::unordered_map<std::uint64_t, Entry> pages_;
+  std::unordered_map<Inum, std::uint64_t> per_file_count_;
+  std::list<std::uint64_t> dirty_order_;  // keys, oldest first
+};
+
+}  // namespace graysim
+
+#endif  // SRC_CACHE_PAGE_CACHE_H_

@@ -1,0 +1,230 @@
+#include "src/classic/cosched.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace grayclassic {
+
+namespace {
+
+enum class ProcState : std::uint8_t {
+  kComputing,
+  kSpinning,
+  kBlocked,
+  kDone,
+};
+
+struct ParallelProc {
+  ProcState state = ProcState::kComputing;
+  int compute_left = 0;
+  int iterations_done = 0;
+  int spin_elapsed = 0;
+  bool awaiting_response = false;
+  bool response_arrived = false;
+  int pending_requests = 0;  // partners waiting on us
+  std::uint64_t finish_tick = 0;
+};
+
+struct Node {
+  // Scheduler queue: index 0 is the parallel proc, 1..k are local jobs.
+  std::deque<int> run_queue;
+  int running = -1;
+  int quantum_left = 0;
+  int switch_left = 0;  // context-switch cost being paid
+  std::uint64_t local_work = 0;
+};
+
+struct Response {
+  int due_tick;
+  int node;  // destination node's parallel proc
+};
+
+}  // namespace
+
+CoschedResult RunCoschedSim(const CoschedConfig& config) {
+  const int n = config.nodes;
+  std::vector<ParallelProc> procs(static_cast<std::size_t>(n));
+  std::vector<Node> nodes(static_cast<std::size_t>(n));
+  std::deque<Response> responses;
+  CoschedResult result;
+
+  const int spin_limit = 2 * config.context_switch_ticks + config.rtt_ticks;
+
+  for (int i = 0; i < n; ++i) {
+    procs[static_cast<std::size_t>(i)].compute_left = config.compute_ticks;
+    for (int j = 0; j <= config.local_jobs_per_node; ++j) {
+      nodes[static_cast<std::size_t>(i)].run_queue.push_back(j);  // 0 = parallel proc
+    }
+  }
+
+  auto runnable = [&](int node, int job) {
+    if (job != 0) {
+      return true;  // local jobs are always runnable
+    }
+    const ParallelProc& p = procs[static_cast<std::size_t>(node)];
+    switch (p.state) {
+      case ProcState::kComputing:
+      case ProcState::kSpinning:
+        return true;
+      case ProcState::kBlocked:
+        // Message arrival makes a blocked process runnable (and, under
+        // implicit coscheduling, boosted — see the wake path below).
+        return p.response_arrived || p.pending_requests > 0;
+      case ProcState::kDone:
+        // Finished processes still serve ring partners that lag behind.
+        return p.pending_requests > 0;
+    }
+    return false;
+  };
+
+  std::uint64_t tick = 0;
+  int done_count = 0;
+  for (; tick < static_cast<std::uint64_t>(config.max_ticks) && done_count < n; ++tick) {
+    // Deliver due responses; boost the receiver to the front of its queue.
+    while (!responses.empty() && responses.front().due_tick <= static_cast<int>(tick)) {
+      const Response r = responses.front();
+      responses.pop_front();
+      ParallelProc& p = procs[static_cast<std::size_t>(r.node)];
+      p.response_arrived = true;
+      // Priority boost on message arrival: this is implicit coscheduling's
+      // lever. The plain local-scheduling baseline gets no boost — the
+      // woken process waits for its regular round-robin turn.
+      if (config.policy != WaitPolicy::kBlockImmediate) {
+        Node& node = nodes[static_cast<std::size_t>(r.node)];
+        auto it = std::find(node.run_queue.begin(), node.run_queue.end(), 0);
+        if (it != node.run_queue.end()) {
+          node.run_queue.erase(it);
+          node.run_queue.push_front(0);
+        }
+      }
+    }
+
+    for (int i = 0; i < n; ++i) {
+      Node& node = nodes[static_cast<std::size_t>(i)];
+      ParallelProc& p = procs[static_cast<std::size_t>(i)];
+
+      // Pick the next job if needed.
+      if (node.running == -1 || node.quantum_left == 0 ||
+          (node.running == 0 && !runnable(i, 0))) {
+        if (node.running != -1) {
+          node.run_queue.push_back(node.running);
+          node.running = -1;
+        }
+        for (std::size_t scan = 0; scan < node.run_queue.size(); ++scan) {
+          const int cand = node.run_queue.front();
+          node.run_queue.pop_front();
+          if (runnable(i, cand)) {
+            node.running = cand;
+            node.quantum_left = config.quantum_ticks;
+            node.switch_left = config.context_switch_ticks;
+            break;
+          }
+          node.run_queue.push_back(cand);
+        }
+        if (node.running == -1) {
+          continue;  // everyone blocked on this node
+        }
+      }
+
+      --node.quantum_left;
+      if (node.switch_left > 0) {
+        --node.switch_left;  // paying the context switch
+        continue;
+      }
+
+      if (node.running != 0) {
+        ++node.local_work;
+        continue;
+      }
+
+      // The parallel process is on the CPU: first serve pending requests
+      // (this is what makes "a response means the partner is scheduled"
+      // true), then make progress.
+      if (p.pending_requests > 0) {
+        while (p.pending_requests > 0) {
+          --p.pending_requests;
+          const int requester = (i + n - 1) % n;  // ring: predecessor asks us
+          responses.push_back(
+              Response{static_cast<int>(tick) + config.rtt_ticks, requester});
+        }
+        continue;  // serving took this tick
+      }
+
+      switch (p.state) {
+        case ProcState::kComputing:
+          if (--p.compute_left <= 0) {
+            // Send a request to the ring successor and start waiting.
+            const int partner = (i + 1) % n;
+            ++procs[static_cast<std::size_t>(partner)].pending_requests;
+            p.awaiting_response = true;
+            p.response_arrived = false;
+            p.spin_elapsed = 0;
+            p.state = config.policy == WaitPolicy::kBlockImmediate ? ProcState::kBlocked
+                                                                   : ProcState::kSpinning;
+            if (p.state == ProcState::kBlocked) {
+              ++result.blocks;
+            }
+          }
+          break;
+        case ProcState::kSpinning:
+          if (p.response_arrived) {
+            p.awaiting_response = false;
+            ++p.iterations_done;
+            if (p.iterations_done >= config.iterations) {
+              p.state = ProcState::kDone;
+              p.finish_tick = tick;
+              ++done_count;
+            } else {
+              p.state = ProcState::kComputing;
+              p.compute_left = config.compute_ticks;
+            }
+          } else {
+            ++result.spin_ticks;
+            ++p.spin_elapsed;
+            if (config.policy == WaitPolicy::kTwoPhase && p.spin_elapsed >= spin_limit) {
+              p.state = ProcState::kBlocked;
+              ++result.blocks;
+            }
+          }
+          break;
+        case ProcState::kBlocked:
+          if (p.response_arrived) {
+            p.awaiting_response = false;
+            ++p.iterations_done;
+            if (p.iterations_done >= config.iterations) {
+              p.state = ProcState::kDone;
+              p.finish_tick = tick;
+              ++done_count;
+            } else {
+              p.state = ProcState::kComputing;
+              p.compute_left = config.compute_ticks;
+            }
+          }
+          break;
+        case ProcState::kDone:
+          break;
+      }
+    }
+  }
+
+  result.job_ticks = 0;
+  for (const ParallelProc& p : procs) {
+    result.job_ticks = std::max(result.job_ticks, p.finish_tick);
+  }
+  if (done_count < n) {
+    result.job_ticks = tick;  // hit the safety cap
+  }
+  const double ideal = static_cast<double>(config.iterations) *
+                       static_cast<double>(config.compute_ticks + config.rtt_ticks + 1);
+  result.slowdown = static_cast<double>(result.job_ticks) / ideal;
+  std::uint64_t local_total = 0;
+  for (const Node& node : nodes) {
+    local_total += node.local_work;
+  }
+  result.local_throughput = static_cast<double>(local_total) /
+                            (static_cast<double>(n) * static_cast<double>(result.job_ticks));
+  return result;
+}
+
+}  // namespace grayclassic

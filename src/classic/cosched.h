@@ -1,0 +1,47 @@
+// Implicit coscheduling as a gray-box system (paper §3, Table 1).
+//
+// Fine-grain parallel processes on independently scheduled nodes infer the
+// remote scheduling state from message timing: a prompt response means the
+// partner is scheduled; a missing one means it probably is not. The control
+// action is the two-phase waiting policy — spin for about a context switch
+// plus round trip (staying scheduled and keeping the job coordinated), then
+// block and release the CPU.
+//
+// The simulation compares three waiting policies under multiprogramming:
+//   kBlockImmediate — pure local scheduling (loses coordination),
+//   kSpinForever    — stays coordinated, starves local jobs,
+//   kTwoPhase       — implicit coscheduling.
+#ifndef SRC_CLASSIC_COSCHED_H_
+#define SRC_CLASSIC_COSCHED_H_
+
+#include <cstdint>
+
+namespace grayclassic {
+
+enum class WaitPolicy : std::uint8_t { kBlockImmediate, kSpinForever, kTwoPhase };
+
+struct CoschedConfig {
+  int nodes = 8;
+  int local_jobs_per_node = 2;   // CPU-bound competitors
+  int iterations = 200;          // compute/communicate rounds per process
+  int compute_ticks = 50;        // per-iteration compute time
+  int rtt_ticks = 2;             // message round trip when both scheduled
+  int context_switch_ticks = 5;
+  int quantum_ticks = 100;       // local scheduler time slice
+  WaitPolicy policy = WaitPolicy::kTwoPhase;
+  int max_ticks = 5'000'000;     // safety cap
+};
+
+struct CoschedResult {
+  std::uint64_t job_ticks = 0;       // parallel job completion time
+  double slowdown = 0.0;             // vs dedicated coscheduled execution
+  double local_throughput = 0.0;     // local-job work per node per tick
+  std::uint64_t spin_ticks = 0;      // CPU burned spinning
+  std::uint64_t blocks = 0;          // times a process blocked
+};
+
+[[nodiscard]] CoschedResult RunCoschedSim(const CoschedConfig& config);
+
+}  // namespace grayclassic
+
+#endif  // SRC_CLASSIC_COSCHED_H_

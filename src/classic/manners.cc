@@ -1,0 +1,127 @@
+#include "src/classic/manners.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/gray/toolbox/stats.h"
+
+namespace grayclassic {
+
+namespace {
+
+// CPU model: in a window, if both processes run, each gets half the ticks
+// (symmetric degradation — the gray-box assumption); alone, a process gets
+// them all.
+struct WindowOutcome {
+  std::uint64_t bg = 0;
+  std::uint64_t fg = 0;
+};
+
+WindowOutcome RunWindow(const MannersConfig& config, int start_tick, bool bg_running) {
+  WindowOutcome out;
+  for (int t = start_tick; t < start_tick + config.window_ticks && t < config.ticks; ++t) {
+    const bool fg = config.foreground_active && config.foreground_active(t);
+    if (fg && bg_running) {
+      // Split the tick (model at half-progress each).
+      out.fg += 1;
+      out.bg += 1;
+    } else if (fg) {
+      out.fg += 2;
+    } else if (bg_running) {
+      out.bg += 2;
+    }
+  }
+  return out;
+}
+
+std::uint64_t CountForegroundDemand(const MannersConfig& config) {
+  std::uint64_t demand = 0;
+  for (int t = 0; t < config.ticks; ++t) {
+    if (config.foreground_active && config.foreground_active(t)) {
+      demand += 2;  // full-speed progress units it would achieve alone
+    }
+  }
+  return demand;
+}
+
+void Finalize(const MannersConfig& config, MannersResult* result) {
+  result->fg_demand = CountForegroundDemand(config);
+  result->fg_slowdown = result->fg_work > 0
+                            ? static_cast<double>(result->fg_demand) /
+                                  static_cast<double>(result->fg_work)
+                            : 1.0;
+  const std::uint64_t idle_units = 2ULL * static_cast<std::uint64_t>(config.ticks) -
+                                   result->fg_demand;
+  result->idle_utilization = idle_units > 0
+                                 ? static_cast<double>(result->bg_work) /
+                                       static_cast<double>(idle_units)
+                                 : 0.0;
+}
+
+}  // namespace
+
+MannersResult RunMannersSim(const MannersConfig& config) {
+  MannersResult result;
+  gray::ExponentialAverage progress_avg(config.ewma_alpha);
+  // Calibrated uncontended baseline: a full window of unshared progress.
+  const double baseline = 2.0 * config.window_ticks;
+  std::vector<double> recent;    // recent progress samples
+  std::vector<double> expected;  // paired baseline samples
+  int backoff_windows = config.initial_backoff_windows;
+  int suspended_until_window = -1;
+
+  const int windows = (config.ticks + config.window_ticks - 1) / config.window_ticks;
+  for (int w = 0; w < windows; ++w) {
+    const int start = w * config.window_ticks;
+    const bool bg_running = w >= suspended_until_window;
+    const WindowOutcome out = RunWindow(config, start, bg_running);
+    result.bg_work += out.bg;
+    result.fg_work += out.fg;
+    if (!bg_running) {
+      continue;  // suspended: measuring nothing
+    }
+
+    const double sample = static_cast<double>(out.bg);
+    progress_avg.Add(sample);
+    recent.push_back(sample);
+    expected.push_back(baseline * config.suspend_threshold);
+    if (recent.size() > 8) {
+      recent.erase(recent.begin());
+      expected.erase(expected.begin());
+    }
+
+    // Contention inference: smoothed progress below threshold, confirmed by
+    // a sign test over the recent samples (robust to one noisy window).
+    const bool below = progress_avg.value() < baseline * config.suspend_threshold;
+    const gray::SignTestResult sign = gray::SignTest(expected, recent);
+    const bool confirmed = sign.plus > sign.minus;
+    if (below && confirmed) {
+      result.sign_test_fired = result.sign_test_fired || sign.significant;
+      ++result.suspensions;
+      suspended_until_window = w + 1 + backoff_windows;
+      backoff_windows = std::min(backoff_windows * 2, config.max_backoff_windows);
+      progress_avg = gray::ExponentialAverage(config.ewma_alpha);
+      recent.clear();
+      expected.clear();
+    } else if (!below) {
+      backoff_windows = config.initial_backoff_windows;  // healthy again
+    }
+  }
+
+  Finalize(config, &result);
+  return result;
+}
+
+MannersResult RunGreedyBackgroundSim(const MannersConfig& config) {
+  MannersResult result;
+  const int windows = (config.ticks + config.window_ticks - 1) / config.window_ticks;
+  for (int w = 0; w < windows; ++w) {
+    const WindowOutcome out = RunWindow(config, w * config.window_ticks, true);
+    result.bg_work += out.bg;
+    result.fg_work += out.fg;
+  }
+  Finalize(config, &result);
+  return result;
+}
+
+}  // namespace grayclassic

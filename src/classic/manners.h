@@ -1,0 +1,52 @@
+// MS Manners as a gray-box system (paper §3, Table 1).
+//
+// A low-importance background process regulates itself so it only consumes
+// resources that are otherwise idle. Gray-box knowledge: "one process
+// competing with another usually degrades the progress of the other
+// symmetrically to its own" — so by measuring its OWN progress rate against
+// a calibrated uncontended baseline, the background process can infer that
+// someone important is running and suspend itself.
+//
+// Statistics from the original system (and Table 1): exponential averaging
+// of progress samples and a paired-sample sign test against the baseline.
+#ifndef SRC_CLASSIC_MANNERS_H_
+#define SRC_CLASSIC_MANNERS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace grayclassic {
+
+struct MannersConfig {
+  int ticks = 100'000;
+  int window_ticks = 200;        // progress-measurement window
+  double suspend_threshold = 0.8;  // suspend below this fraction of baseline
+  int initial_backoff_windows = 2;
+  int max_backoff_windows = 32;
+  double ewma_alpha = 0.3;
+  // Foreground activity schedule: returns true when the important process
+  // wants the CPU at the given tick.
+  std::function<bool(int)> foreground_active;
+};
+
+struct MannersResult {
+  std::uint64_t bg_work = 0;            // background progress units
+  std::uint64_t fg_work = 0;            // foreground progress units
+  std::uint64_t fg_demand = 0;          // ticks the foreground wanted the CPU
+  double fg_slowdown = 0.0;             // fg demand / fg work (1.0 = no impact)
+  double idle_utilization = 0.0;        // bg work / idle ticks available
+  std::uint64_t suspensions = 0;
+  bool sign_test_fired = false;         // statistics detected contention
+};
+
+// Runs the shared-CPU simulation with the background process governed by
+// the Manners controller.
+[[nodiscard]] MannersResult RunMannersSim(const MannersConfig& config);
+
+// Baseline for comparison: the background process runs greedily with no
+// regulation (what happens without gray-box techniques).
+[[nodiscard]] MannersResult RunGreedyBackgroundSim(const MannersConfig& config);
+
+}  // namespace grayclassic
+
+#endif  // SRC_CLASSIC_MANNERS_H_

@@ -1,0 +1,157 @@
+#include "src/classic/tcp.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace grayclassic {
+
+namespace {
+
+struct Packet {
+  int sender = 0;
+  std::uint64_t seq = 0;
+};
+
+struct Sender {
+  double cwnd = 1.0;
+  double ssthresh = 64.0;
+  std::uint64_t base_seq = 0;  // first unacknowledged sequence number
+  std::uint64_t next_seq = 0;  // next sequence number to inject
+  int oldest_unacked_tick = -1;
+  std::uint64_t delivered = 0;
+};
+
+}  // namespace
+
+TcpSimResult RunTcpSim(const TcpSimConfig& config) {
+  graysim::Rng rng(config.seed);
+  std::vector<Sender> senders(static_cast<std::size_t>(config.num_senders));
+  std::vector<std::uint64_t> expected(static_cast<std::size_t>(config.num_senders), 0);
+  std::deque<Packet> queue;  // router queue
+  struct Ack {
+    int tick;
+    int sender;
+    std::uint64_t cum_seq;  // cumulative: everything below is received
+  };
+  std::deque<Ack> acks;
+
+  TcpSimResult result;
+  std::uint64_t queue_sum = 0;
+
+  for (int tick = 0; tick < config.ticks; ++tick) {
+    // 1. Deliver due ACKs: cumulative acknowledgment advances the window.
+    while (!acks.empty() && acks.front().tick <= tick) {
+      const Ack ack = acks.front();
+      acks.pop_front();
+      Sender& s = senders[static_cast<std::size_t>(ack.sender)];
+      if (ack.cum_seq <= s.base_seq) {
+        continue;  // duplicate/stale ACK
+      }
+      const std::uint64_t newly_acked = ack.cum_seq - s.base_seq;
+      s.base_seq = ack.cum_seq;
+      s.oldest_unacked_tick = s.base_seq == s.next_seq ? -1 : tick;
+      for (std::uint64_t k = 0; k < newly_acked; ++k) {
+        ++s.delivered;
+        if (s.cwnd < s.ssthresh) {
+          s.cwnd += 1.0;  // slow start
+        } else {
+          s.cwnd += 1.0 / std::max(1.0, s.cwnd);  // congestion avoidance
+        }
+      }
+    }
+
+    // 2. Timeout detection: the gray-box inference — no ACK within RTO means
+    //    loss, and loss is read as congestion (go-back-N retransmit).
+    for (Sender& s : senders) {
+      if (s.oldest_unacked_tick >= 0 && tick - s.oldest_unacked_tick > config.rto_ticks) {
+        ++result.timeouts;
+        s.ssthresh = std::max(2.0, s.cwnd / 2.0);
+        s.cwnd = 1.0;
+        s.next_seq = s.base_seq;  // resend everything outstanding
+        s.oldest_unacked_tick = -1;
+      }
+    }
+
+    // 3. Senders inject up to their window. The injection order rotates
+    //    randomly each tick: real packet arrivals interleave, and without
+    //    this the deterministic tail-drop queue exhibits phase effects that
+    //    systematically favor one sender.
+    const int start = static_cast<int>(rng.Below(static_cast<std::uint64_t>(
+        config.num_senders)));
+    for (int k = 0; k < config.num_senders; ++k) {
+      const int i = (start + k) % config.num_senders;
+      Sender& s = senders[static_cast<std::size_t>(i)];
+      while (static_cast<double>(s.next_seq - s.base_seq) < s.cwnd) {
+        const std::uint64_t seq = s.next_seq++;
+        if (s.oldest_unacked_tick < 0) {
+          s.oldest_unacked_tick = tick;
+        }
+        if (config.random_loss > 0.0 && rng.Chance(config.random_loss)) {
+          ++result.random_losses;  // lost on the lossy medium: no ACK ever
+          continue;
+        }
+        if (static_cast<int>(queue.size()) >= config.queue_capacity) {
+          ++result.congestion_drops;  // router tail drop
+          continue;
+        }
+        if (config.red) {
+          // RED: drop with a probability that ramps up as the queue grows,
+          // signaling congestion to gray-box senders before it happens.
+          const double fill = static_cast<double>(queue.size()) /
+                              static_cast<double>(config.queue_capacity);
+          if (fill > config.red_min_fraction) {
+            const double ramp =
+                (fill - config.red_min_fraction) /
+                (config.red_max_fraction - config.red_min_fraction);
+            const double p = config.red_max_prob * std::min(1.0, ramp);
+            if (rng.Chance(p)) {
+              ++result.congestion_drops;  // early, deliberate drop
+              continue;
+            }
+          }
+        }
+        queue.push_back(Packet{i, seq});
+      }
+    }
+
+    // 4. Router drains; the receiver accepts in-order packets only and
+    //    returns cumulative ACKs one RTT later.
+    for (int d = 0; d < config.drain_per_tick && !queue.empty(); ++d) {
+      const Packet p = queue.front();
+      queue.pop_front();
+      std::uint64_t& exp = expected[static_cast<std::size_t>(p.sender)];
+      if (p.seq == exp) {
+        ++exp;
+        ++result.delivered;
+      }
+      // (Out-of-order packets are discarded; the duplicate ACK below still
+      // tells the sender how far the in-order stream got.)
+      acks.push_back(Ack{tick + config.rtt_ticks, p.sender, exp});
+    }
+    queue_sum += queue.size();
+  }
+
+  const double capacity =
+      static_cast<double>(config.drain_per_tick) * static_cast<double>(config.ticks);
+  result.goodput = static_cast<double>(result.delivered) / capacity;
+  result.avg_queue = static_cast<double>(queue_sum) / static_cast<double>(config.ticks);
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double cwnd_sum = 0.0;
+  for (const Sender& s : senders) {
+    const double x = static_cast<double>(s.delivered);
+    sum += x;
+    sum_sq += x * x;
+    cwnd_sum += s.cwnd;
+  }
+  const double n = static_cast<double>(config.num_senders);
+  result.fairness = sum_sq > 0.0 ? (sum * sum) / (n * sum_sq) : 0.0;
+  result.avg_cwnd = cwnd_sum / n;
+  return result;
+}
+
+}  // namespace grayclassic

@@ -1,0 +1,56 @@
+// TCP congestion control as a gray-box system (paper §3, Table 1).
+//
+// Clients combine algorithmic knowledge of the network ("the network drops
+// packets when there is congestion") with observations (time before an ACK
+// arrives) to infer hidden state (congestion) and control their send rate
+// (AIMD with slow start, Tahoe-style).
+//
+// The simulation also reproduces the paper's cautionary tale: in a
+// "wireless" network, losses happen without congestion, the gray-box
+// assumption is violated, and the very same algorithm collapses its window
+// for no reason — misidentified gray-box knowledge fails in new
+// environments.
+#ifndef SRC_CLASSIC_TCP_H_
+#define SRC_CLASSIC_TCP_H_
+
+#include <cstdint>
+
+namespace grayclassic {
+
+struct TcpSimConfig {
+  int num_senders = 4;
+  // Router: drains `drain_per_tick` packets per tick, queues up to
+  // `queue_capacity`, drops the rest (tail drop).
+  int queue_capacity = 128;  // > bandwidth-delay product
+  int drain_per_tick = 10;
+  int rtt_ticks = 10;         // propagation round trip (excluding queueing)
+  int rto_ticks = 60;         // retransmission timeout
+  int ticks = 20'000;
+  // Random non-congestion loss rate (the "wireless" medium); 0 = wired.
+  double random_loss = 0.0;
+  // Random Early Detection (the paper's [16]): the router drops packets
+  // probabilistically before the queue fills, signaling congestion early
+  // instead of tail-dropping bursts.
+  bool red = false;
+  double red_min_fraction = 0.25;  // start dropping above this queue fill
+  double red_max_fraction = 0.75;  // drop probability ramps to red_max_prob here
+  double red_max_prob = 0.1;
+  std::uint64_t seed = 1;
+};
+
+struct TcpSimResult {
+  std::uint64_t delivered = 0;        // packets that reached the receiver
+  std::uint64_t congestion_drops = 0; // router queue overflows
+  std::uint64_t random_losses = 0;    // wireless losses
+  std::uint64_t timeouts = 0;         // window collapses
+  double goodput = 0.0;               // delivered / link capacity
+  double avg_queue = 0.0;
+  double fairness = 0.0;              // Jain's index across senders
+  double avg_cwnd = 0.0;
+};
+
+[[nodiscard]] TcpSimResult RunTcpSim(const TcpSimConfig& config);
+
+}  // namespace grayclassic
+
+#endif  // SRC_CLASSIC_TCP_H_

@@ -1,0 +1,69 @@
+#include "src/disk/disk.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace graysim {
+
+Disk::Disk(DiskGeometry geometry, int disk_id) : geometry_(geometry), disk_id_(disk_id) {}
+
+Nanos Disk::SeekTime(std::uint64_t from, std::uint64_t to) const {
+  const std::uint64_t dist = from > to ? from - to : to - from;
+  if (dist == 0) {
+    return 0;
+  }
+  if (dist <= geometry_.cylinder_span_bytes) {
+    return 0;  // same cylinder: settle cost folded into rotation
+  }
+  // Classic sqrt seek curve between the minimum (settle-dominated) seek and
+  // the full stroke.
+  const double frac =
+      static_cast<double>(dist) / static_cast<double>(geometry_.capacity_bytes);
+  const double ms = geometry_.min_seek_ms +
+                    (geometry_.full_stroke_seek_ms - geometry_.min_seek_ms) *
+                        std::sqrt(frac);
+  return Millis(ms);
+}
+
+Nanos Disk::RotationalLatency() const {
+  // Average latency: half a revolution.
+  const double rev_ns = 60.0 * 1e9 / geometry_.rpm;
+  return static_cast<Nanos>(rev_ns / 2.0);
+}
+
+Nanos Disk::TransferTime(std::uint64_t bytes) const {
+  const double ns_per_byte = 1e9 / (geometry_.transfer_mb_per_s * 1024.0 * 1024.0);
+  return static_cast<Nanos>(static_cast<double>(bytes) * ns_per_byte);
+}
+
+Nanos Disk::Access(std::uint64_t offset, std::uint64_t bytes, bool is_write) {
+  assert(offset + bytes <= geometry_.capacity_bytes);
+  Nanos cost = Micros(geometry_.controller_overhead_us);
+  const bool sequential = head_valid_ && offset == head_pos_;
+  if (!sequential) {
+    const Nanos seek = head_valid_ ? SeekTime(head_pos_, offset) : SeekTime(0, offset);
+    if (seek > 0) {
+      ++stats_.seeks;
+    }
+    cost += seek + RotationalLatency();
+  } else {
+    // Contiguous with the previous request, but issued as a new command:
+    // the sector has partly rotated past by the time the command arrives.
+    cost += Millis(geometry_.inter_request_rotation_miss_ms);
+    ++stats_.sequential_requests;
+  }
+  cost += TransferTime(bytes);
+
+  head_pos_ = offset + bytes;
+  head_valid_ = true;
+  ++stats_.requests;
+  if (is_write) {
+    stats_.bytes_written += bytes;
+  } else {
+    stats_.bytes_read += bytes;
+  }
+  stats_.busy_time += cost;
+  return cost;
+}
+
+}  // namespace graysim

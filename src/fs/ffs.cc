@@ -1,0 +1,603 @@
+#include "src/fs/ffs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace graysim {
+
+std::string_view FsErrName(FsErr err) {
+  switch (err) {
+    case FsErr::kOk:
+      return "ok";
+    case FsErr::kNotFound:
+      return "not-found";
+    case FsErr::kExists:
+      return "exists";
+    case FsErr::kNotDir:
+      return "not-a-directory";
+    case FsErr::kIsDir:
+      return "is-a-directory";
+    case FsErr::kNoSpace:
+      return "no-space";
+    case FsErr::kNotEmpty:
+      return "not-empty";
+    case FsErr::kInvalid:
+      return "invalid";
+  }
+  return "unknown";
+}
+
+Ffs::Ffs(FsParams params, std::uint64_t disk_capacity_bytes) : params_(params) {
+  if (params_.total_blocks == 0) {
+    params_.total_blocks = disk_capacity_bytes / params_.block_size;
+  }
+  const std::uint64_t cg_count = params_.total_blocks / params_.blocks_per_cg;
+  assert(cg_count > 0);
+  const std::uint32_t inodes_per_block = params_.block_size / params_.inode_size;
+  const std::uint64_t inode_table_blocks =
+      (params_.inodes_per_cg + inodes_per_block - 1) / inodes_per_block;
+
+  groups_.resize(cg_count);
+  inodes_.resize(cg_count * params_.inodes_per_cg + 1);
+  for (std::uint64_t c = 0; c < cg_count; ++c) {
+    CylGroup& cg = groups_[c];
+    cg.first_block = c * params_.blocks_per_cg;
+    cg.data_start = cg.first_block + inode_table_blocks;
+    cg.data_end = cg.first_block + params_.blocks_per_cg;
+    cg.block_used.assign(cg.data_end - cg.data_start, false);
+    cg.inode_used.assign(params_.inodes_per_cg, false);
+    cg.free_blocks = cg.data_end - cg.data_start;
+    cg.free_inodes = params_.inodes_per_cg;
+    free_data_blocks_ += cg.free_blocks;
+  }
+
+  // Root directory lives in cylinder group 0.
+  root_ = AllocInode(0, /*is_dir=*/true);
+  assert(root_ != kInvalidInum);
+}
+
+// --- path helpers ---
+
+std::vector<std::string> Ffs::SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') {
+      ++j;
+    }
+    if (j > i) {
+      parts.emplace_back(path.substr(i, j - i));
+    }
+    i = j;
+  }
+  return parts;
+}
+
+FsErr Ffs::ResolveInum(std::string_view path, Inum* out) const {
+  const std::vector<std::string> parts = SplitPath(path);
+  Inum cur = root_;
+  for (const std::string& part : parts) {
+    const Inode* node = Get(cur);
+    if (node == nullptr) {
+      return FsErr::kNotFound;
+    }
+    if (!node->is_dir) {
+      return FsErr::kNotDir;
+    }
+    const auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      return FsErr::kNotFound;
+    }
+    cur = it->second;
+  }
+  *out = cur;
+  return FsErr::kOk;
+}
+
+FsErr Ffs::ResolveParent(std::string_view path, Inum* parent, std::string* leaf) const {
+  const std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    return FsErr::kInvalid;
+  }
+  Inum cur = root_;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    const Inode* node = Get(cur);
+    if (node == nullptr || !node->is_dir) {
+      return FsErr::kNotDir;
+    }
+    const auto it = node->children.find(parts[i]);
+    if (it == node->children.end()) {
+      return FsErr::kNotFound;
+    }
+    cur = it->second;
+  }
+  const Inode* pnode = Get(cur);
+  if (pnode == nullptr || !pnode->is_dir) {
+    return FsErr::kNotDir;
+  }
+  *parent = cur;
+  *leaf = parts.back();
+  return FsErr::kOk;
+}
+
+const Ffs::Inode* Ffs::Get(Inum inum) const {
+  if (inum == kInvalidInum || inum >= inodes_.size() || !inodes_[inum].in_use) {
+    return nullptr;
+  }
+  return &inodes_[inum];
+}
+
+Ffs::Inode* Ffs::Get(Inum inum) {
+  return const_cast<Inode*>(static_cast<const Ffs*>(this)->Get(inum));
+}
+
+// --- inode allocation ---
+
+Inum Ffs::AllocInode(std::uint32_t cg_hint, bool is_dir) {
+  for (std::uint32_t probe = 0; probe < groups_.size(); ++probe) {
+    const std::uint32_t c = (cg_hint + probe) % groups_.size();
+    CylGroup& cg = groups_[c];
+    if (cg.free_inodes == 0) {
+      continue;
+    }
+    // Lowest free slot first: freed i-numbers are reused immediately, which
+    // is what makes i-number order decay under aging (Fig 6).
+    for (std::uint32_t slot = 0; slot < params_.inodes_per_cg; ++slot) {
+      if (!cg.inode_used[slot]) {
+        cg.inode_used[slot] = true;
+        --cg.free_inodes;
+        const Inum inum = static_cast<Inum>(c * params_.inodes_per_cg + slot + 1);
+        Inode& node = inodes_[inum];
+        node = Inode{};
+        node.in_use = true;
+        node.is_dir = is_dir;
+        node.cg = c;
+        node.creation_seq = ++creation_counter_;
+        node.atime = node.mtime = node.ctime = now_hint_;
+        return inum;
+      }
+    }
+  }
+  return kInvalidInum;
+}
+
+void Ffs::FreeInode(Inum inum) {
+  Inode* node = Get(inum);
+  assert(node != nullptr);
+  const std::uint32_t c = (inum - 1) / params_.inodes_per_cg;
+  const std::uint32_t slot = (inum - 1) % params_.inodes_per_cg;
+  CylGroup& cg = groups_[c];
+  assert(cg.inode_used[slot]);
+  cg.inode_used[slot] = false;
+  ++cg.free_inodes;
+  for (const std::uint64_t b : node->blocks) {
+    FreeBlock(b);
+  }
+  *node = Inode{};
+}
+
+// --- block allocation ---
+
+std::uint32_t Ffs::CgOfBlock(std::uint64_t block) const {
+  return static_cast<std::uint32_t>(block / params_.blocks_per_cg);
+}
+
+bool Ffs::BlockIsFree(std::uint64_t block) const {
+  const CylGroup& cg = groups_[CgOfBlock(block)];
+  if (block < cg.data_start || block >= cg.data_end) {
+    return false;  // inode-table block
+  }
+  return !cg.block_used[block - cg.data_start];
+}
+
+void Ffs::MarkBlock(std::uint64_t block, bool used) {
+  CylGroup& cg = groups_[CgOfBlock(block)];
+  assert(block >= cg.data_start && block < cg.data_end);
+  const std::uint64_t idx = block - cg.data_start;
+  assert(cg.block_used[idx] != used);
+  cg.block_used[idx] = used;
+  if (used) {
+    --cg.free_blocks;
+    --free_data_blocks_;
+  } else {
+    ++cg.free_blocks;
+    ++free_data_blocks_;
+  }
+}
+
+std::uint64_t Ffs::AllocBlock(Inode& inode, std::uint64_t prev) {
+  if (params_.allocator == AllocatorKind::kLogStructured) {
+    // LFS: every allocation appends at the log head regardless of which
+    // file it belongs to. Holes from deletions are only reused when the log
+    // wraps (we model no cleaner). Consequence: files written together sit
+    // together, so mtime order — not i-number order — predicts layout.
+    for (std::uint64_t k = 0; k < params_.total_blocks; ++k) {
+      const std::uint64_t cand = (log_head_ + k) % params_.total_blocks;
+      if (BlockIsFree(cand)) {
+        MarkBlock(cand, true);
+        log_head_ = (cand + 1) % params_.total_blocks;
+        return cand;
+      }
+    }
+    return 0;
+  }
+  // Contiguity preference: the block right after the file's previous block,
+  // even across a cylinder-group boundary (skipping inode tables).
+  if (prev != 0) {
+    for (std::uint64_t cand = prev + 1; cand < params_.total_blocks; ++cand) {
+      const CylGroup& cg = groups_[CgOfBlock(cand)];
+      if (cand < cg.data_start) {
+        cand = cg.data_start - 1;  // skip the inode table, then ++
+        continue;
+      }
+      if (BlockIsFree(cand)) {
+        MarkBlock(cand, true);
+        return cand;
+      }
+      break;  // next block taken: fall through to a fresh scan
+    }
+  }
+
+  // First block of a file (or contiguity broken): scan the file's cylinder
+  // group, then spiral outward.
+  const std::uint32_t home = inode.cg;
+  for (std::uint32_t probe = 0; probe < groups_.size(); ++probe) {
+    const std::uint32_t c = (home + probe) % groups_.size();
+    CylGroup& cg = groups_[c];
+    if (cg.free_blocks == 0) {
+      continue;
+    }
+    const std::uint64_t span = cg.data_end - cg.data_start;
+    // Next-fit from the group rotor (FFS-style): new files land after the
+    // last allocation, so freed holes behind the rotor are only reused once
+    // the rotor wraps. This is what makes aging destroy the i-number/layout
+    // correlation (Fig 6) — freed i-numbers are reused low-first while data
+    // blocks march forward.
+    // kSparse additionally skips a gap after each file's first block, so
+    // consecutive files are separated on disk (Solaris-like).
+    const std::uint64_t scan_origin = prev == 0 ? cg.rotor : 0;
+    for (std::uint64_t k = 0; k < span; ++k) {
+      const std::uint64_t rel = (scan_origin + k) % span;
+      if (!cg.block_used[rel]) {
+        const std::uint64_t block = cg.data_start + rel;
+        MarkBlock(block, true);
+        if (prev == 0) {
+          const std::uint64_t gap = params_.allocator == AllocatorKind::kSparse
+                                        ? params_.sparse_file_gap_blocks
+                                        : 0;
+          cg.rotor = (rel + 1 + gap) % span;
+        }
+        return block;
+      }
+    }
+  }
+  return 0;  // no space
+}
+
+void Ffs::FreeBlock(std::uint64_t block) { MarkBlock(block, false); }
+
+std::uint32_t Ffs::PickDirCg() {
+  // FFS spreads directories across the disk (it picks the group with the
+  // most free space). We stride by ~a quarter of the disk so sibling
+  // directories land far apart — which is why random cross-directory access
+  // pays long seeks (Fig 5).
+  const auto n = static_cast<std::uint32_t>(groups_.size());
+  const std::uint32_t stride = std::max<std::uint32_t>(1, n / 4 + 1);
+  for (std::uint32_t probe = 0; probe < n; ++probe) {
+    const std::uint32_t c = (dir_cg_rotor_ + probe * stride) % n;
+    if (groups_[c].free_inodes > 0) {
+      dir_cg_rotor_ = (c + stride) % n;
+      return c;
+    }
+  }
+  return 0;
+}
+
+// --- namespace operations ---
+
+FsErr Ffs::Lookup(std::string_view path, Inum* out) const { return ResolveInum(path, out); }
+
+FsErr Ffs::Create(std::string_view path, Inum* out) {
+  Inum parent = kInvalidInum;
+  std::string leaf;
+  if (const FsErr err = ResolveParent(path, &parent, &leaf); err != FsErr::kOk) {
+    return err;
+  }
+  Inode* pnode = Get(parent);
+  if (pnode->children.contains(leaf)) {
+    return FsErr::kExists;
+  }
+  const Inum inum = AllocInode(pnode->cg, /*is_dir=*/false);
+  if (inum == kInvalidInum) {
+    return FsErr::kNoSpace;
+  }
+  pnode = Get(parent);  // AllocInode may not invalidate, but be safe
+  pnode->children.emplace(leaf, inum);
+  pnode->child_order.push_back(leaf);
+  pnode->size = pnode->children.size() * 64;
+  pnode->mtime = now_hint_;
+  if (out != nullptr) {
+    *out = inum;
+  }
+  return FsErr::kOk;
+}
+
+FsErr Ffs::Mkdir(std::string_view path, Inum* out) {
+  Inum parent = kInvalidInum;
+  std::string leaf;
+  if (const FsErr err = ResolveParent(path, &parent, &leaf); err != FsErr::kOk) {
+    return err;
+  }
+  Inode* pnode = Get(parent);
+  if (pnode->children.contains(leaf)) {
+    return FsErr::kExists;
+  }
+  const Inum inum = AllocInode(PickDirCg(), /*is_dir=*/true);
+  if (inum == kInvalidInum) {
+    return FsErr::kNoSpace;
+  }
+  pnode = Get(parent);
+  pnode->children.emplace(leaf, inum);
+  pnode->child_order.push_back(leaf);
+  pnode->size = pnode->children.size() * 64;
+  pnode->mtime = now_hint_;
+  if (out != nullptr) {
+    *out = inum;
+  }
+  return FsErr::kOk;
+}
+
+FsErr Ffs::Unlink(std::string_view path) {
+  Inum parent = kInvalidInum;
+  std::string leaf;
+  if (const FsErr err = ResolveParent(path, &parent, &leaf); err != FsErr::kOk) {
+    return err;
+  }
+  Inode* pnode = Get(parent);
+  const auto it = pnode->children.find(leaf);
+  if (it == pnode->children.end()) {
+    return FsErr::kNotFound;
+  }
+  const Inode* node = Get(it->second);
+  if (node->is_dir) {
+    return FsErr::kIsDir;
+  }
+  FreeInode(it->second);
+  pnode->children.erase(it);
+  std::erase(pnode->child_order, leaf);
+  pnode->size = pnode->children.size() * 64;
+  pnode->mtime = now_hint_;
+  return FsErr::kOk;
+}
+
+FsErr Ffs::Rmdir(std::string_view path) {
+  Inum parent = kInvalidInum;
+  std::string leaf;
+  if (const FsErr err = ResolveParent(path, &parent, &leaf); err != FsErr::kOk) {
+    return err;
+  }
+  Inode* pnode = Get(parent);
+  const auto it = pnode->children.find(leaf);
+  if (it == pnode->children.end()) {
+    return FsErr::kNotFound;
+  }
+  const Inode* node = Get(it->second);
+  if (!node->is_dir) {
+    return FsErr::kNotDir;
+  }
+  if (!node->children.empty()) {
+    return FsErr::kNotEmpty;
+  }
+  FreeInode(it->second);
+  pnode->children.erase(it);
+  std::erase(pnode->child_order, leaf);
+  pnode->size = pnode->children.size() * 64;
+  pnode->mtime = now_hint_;
+  return FsErr::kOk;
+}
+
+FsErr Ffs::Rename(std::string_view from, std::string_view to) {
+  Inum from_parent = kInvalidInum;
+  Inum to_parent = kInvalidInum;
+  std::string from_leaf;
+  std::string to_leaf;
+  if (const FsErr err = ResolveParent(from, &from_parent, &from_leaf); err != FsErr::kOk) {
+    return err;
+  }
+  if (const FsErr err = ResolveParent(to, &to_parent, &to_leaf); err != FsErr::kOk) {
+    return err;
+  }
+  Inode* fp = Get(from_parent);
+  const auto it = fp->children.find(from_leaf);
+  if (it == fp->children.end()) {
+    return FsErr::kNotFound;
+  }
+  const Inum moving = it->second;
+  Inode* tp = Get(to_parent);
+  if (const auto existing = tp->children.find(to_leaf); existing != tp->children.end()) {
+    // POSIX rename over an existing file replaces it (files only).
+    const Inode* target = Get(existing->second);
+    const Inode* source = Get(moving);
+    if (target->is_dir != source->is_dir) {
+      return target->is_dir ? FsErr::kIsDir : FsErr::kNotDir;
+    }
+    if (target->is_dir && !target->children.empty()) {
+      return FsErr::kNotEmpty;
+    }
+    FreeInode(existing->second);
+    tp->children.erase(existing);
+    std::erase(tp->child_order, to_leaf);
+  }
+  fp->children.erase(it);
+  std::erase(fp->child_order, from_leaf);
+  fp->size = fp->children.size() * 64;
+  fp->mtime = now_hint_;
+  tp->children.emplace(to_leaf, moving);
+  tp->child_order.push_back(to_leaf);
+  tp->size = tp->children.size() * 64;
+  tp->mtime = now_hint_;
+  return FsErr::kOk;
+}
+
+FsErr Ffs::ListDir(std::string_view path, std::vector<DirEntryInfo>* out) const {
+  Inum inum = kInvalidInum;
+  if (const FsErr err = ResolveInum(path, &inum); err != FsErr::kOk) {
+    return err;
+  }
+  const Inode* node = Get(inum);
+  if (!node->is_dir) {
+    return FsErr::kNotDir;
+  }
+  out->clear();
+  out->reserve(node->child_order.size());
+  for (const std::string& name : node->child_order) {
+    const Inum child = node->children.at(name);
+    out->push_back(DirEntryInfo{name, child, Get(child)->is_dir});
+  }
+  return FsErr::kOk;
+}
+
+// --- inode operations ---
+
+FsErr Ffs::GetAttr(Inum inum, InodeAttr* out) const {
+  const Inode* node = Get(inum);
+  if (node == nullptr) {
+    return FsErr::kNotFound;
+  }
+  out->inum = inum;
+  out->is_dir = node->is_dir;
+  out->size = node->size;
+  out->blocks = node->blocks.size();
+  out->atime = node->atime;
+  out->mtime = node->mtime;
+  out->ctime = node->ctime;
+  return FsErr::kOk;
+}
+
+FsErr Ffs::GetAttrPath(std::string_view path, InodeAttr* out) const {
+  Inum inum = kInvalidInum;
+  if (const FsErr err = ResolveInum(path, &inum); err != FsErr::kOk) {
+    return err;
+  }
+  return GetAttr(inum, out);
+}
+
+FsErr Ffs::SetTimes(Inum inum, Nanos atime, Nanos mtime) {
+  Inode* node = Get(inum);
+  if (node == nullptr) {
+    return FsErr::kNotFound;
+  }
+  node->atime = atime;
+  node->mtime = mtime;
+  return FsErr::kOk;
+}
+
+void Ffs::TouchAtime(Inum inum, Nanos now) {
+  if (Inode* node = Get(inum); node != nullptr) {
+    node->atime = now;
+  }
+}
+
+FsErr Ffs::Resize(Inum inum, std::uint64_t new_size, Nanos now) {
+  Inode* node = Get(inum);
+  if (node == nullptr) {
+    return FsErr::kNotFound;
+  }
+  if (node->is_dir) {
+    return FsErr::kIsDir;
+  }
+  const std::uint64_t bs = params_.block_size;
+  const std::uint64_t want_blocks = (new_size + bs - 1) / bs;
+  while (node->blocks.size() < want_blocks) {
+    const std::uint64_t prev = node->blocks.empty() ? 0 : node->blocks.back();
+    const std::uint64_t b = AllocBlock(*node, prev);
+    if (b == 0) {
+      return FsErr::kNoSpace;
+    }
+    node->blocks.push_back(b);
+  }
+  while (node->blocks.size() > want_blocks) {
+    FreeBlock(node->blocks.back());
+    node->blocks.pop_back();
+  }
+  node->size = new_size;
+  node->mtime = now;
+  return FsErr::kOk;
+}
+
+// --- geometry ---
+
+FsErr Ffs::BlockOf(Inum inum, std::uint64_t file_block, std::uint64_t* out) const {
+  const Inode* node = Get(inum);
+  if (node == nullptr) {
+    return FsErr::kNotFound;
+  }
+  if (file_block >= node->blocks.size()) {
+    return FsErr::kInvalid;
+  }
+  *out = node->blocks[file_block];
+  return FsErr::kOk;
+}
+
+std::uint64_t Ffs::InodeBlockOf(Inum inum) const {
+  const std::uint32_t c = (inum - 1) / params_.inodes_per_cg;
+  const std::uint32_t slot = (inum - 1) % params_.inodes_per_cg;
+  const std::uint32_t inodes_per_block = params_.block_size / params_.inode_size;
+  return groups_[c].first_block + slot / inodes_per_block;
+}
+
+FsErr Ffs::DirBlocks(Inum dir_inum, std::vector<std::uint64_t>* out) const {
+  const Inode* node = Get(dir_inum);
+  if (node == nullptr) {
+    return FsErr::kNotFound;
+  }
+  if (!node->is_dir) {
+    return FsErr::kNotDir;
+  }
+  // Directory entries are modeled as living in the group's inode-table
+  // region alongside the inode (one block per 64 entries).
+  out->clear();
+  const std::uint64_t entry_blocks =
+      std::max<std::uint64_t>(1, (node->children.size() * 64 + params_.block_size - 1) /
+                                     params_.block_size);
+  const std::uint64_t base = InodeBlockOf(dir_inum);
+  for (std::uint64_t i = 0; i < entry_blocks; ++i) {
+    out->push_back(base + i);
+  }
+  return FsErr::kOk;
+}
+
+// --- introspection ---
+
+double Ffs::ContiguityOf(Inum inum) const {
+  const Inode* node = Get(inum);
+  if (node == nullptr || node->blocks.size() < 2) {
+    return 1.0;
+  }
+  std::uint64_t contiguous = 0;
+  for (std::size_t i = 1; i < node->blocks.size(); ++i) {
+    if (node->blocks[i] == node->blocks[i - 1] + 1) {
+      ++contiguous;
+    }
+  }
+  return static_cast<double>(contiguous) / static_cast<double>(node->blocks.size() - 1);
+}
+
+std::uint64_t Ffs::FirstBlockOf(Inum inum) const {
+  const Inode* node = Get(inum);
+  if (node == nullptr || node->blocks.empty()) {
+    return 0;
+  }
+  return node->blocks.front();
+}
+
+std::uint64_t Ffs::creation_seq_of(Inum inum) const {
+  const Inode* node = Get(inum);
+  return node == nullptr ? 0 : node->creation_seq;
+}
+
+}  // namespace graysim

@@ -1,0 +1,190 @@
+// FFS-derived file system model: cylinder groups, inode tables, creation-order
+// i-numbers, first-fit block allocation.
+//
+// FLDC's gray-box inferences depend on precisely the allocator properties
+// modeled here:
+//  * files created in the same directory land in the same cylinder group;
+//  * within a clean directory, i-number order matches data-block layout;
+//  * deleted inodes are reused lowest-first, so aging gradually destroys the
+//    i-number/layout correlation;
+//  * a Solaris-like "sparse" allocator leaves inter-file gaps, so layout-order
+//    reads still pay rotational delay (paper §4.2.3).
+//
+// The class manages metadata only (the simulation never stores file bytes);
+// data timing flows through the page cache and disk model in src/os.
+#ifndef SRC_FS_FFS_H_
+#define SRC_FS_FFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace graysim {
+
+using Inum = std::uint32_t;
+constexpr Inum kInvalidInum = 0;
+
+enum class FsErr : int {
+  kOk = 0,
+  kNotFound,
+  kExists,
+  kNotDir,
+  kIsDir,
+  kNoSpace,
+  kNotEmpty,
+  kInvalid,
+};
+
+[[nodiscard]] std::string_view FsErrName(FsErr err);
+
+enum class AllocatorKind : std::uint8_t {
+  kPacked,         // Linux/NetBSD-like: files packed back to back
+  kSparse,         // Solaris-like: inter-file gaps
+  kLogStructured,  // LFS-like: all writes append at the log head, so
+                   // *temporal* write order == spatial order (paper §4.2.5)
+};
+
+struct FsParams {
+  std::uint32_t block_size = 4096;
+  std::uint64_t total_blocks = 0;    // derived from disk capacity when 0
+  std::uint64_t blocks_per_cg = 8192;  // 32 MB cylinder groups
+  std::uint32_t inodes_per_cg = 256;
+  std::uint32_t inode_size = 128;    // 32 inodes per 4 KB block
+  AllocatorKind allocator = AllocatorKind::kPacked;
+  std::uint32_t sparse_file_gap_blocks = 12;  // gap left between files (kSparse)
+};
+
+struct InodeAttr {
+  Inum inum = kInvalidInum;
+  bool is_dir = false;
+  std::uint64_t size = 0;
+  std::uint64_t blocks = 0;
+  Nanos atime = 0;
+  Nanos mtime = 0;
+  Nanos ctime = 0;
+};
+
+struct DirEntryInfo {
+  std::string name;
+  Inum inum = kInvalidInum;
+  bool is_dir = false;
+};
+
+// File system metadata manager for one disk.
+class Ffs {
+ public:
+  Ffs(FsParams params, std::uint64_t disk_capacity_bytes);
+
+  // --- namespace operations (paths are absolute, '/'-separated) ---
+  [[nodiscard]] FsErr Lookup(std::string_view path, Inum* out) const;
+  FsErr Create(std::string_view path, Inum* out);
+  FsErr Mkdir(std::string_view path, Inum* out);
+  FsErr Unlink(std::string_view path);
+  FsErr Rmdir(std::string_view path);
+  FsErr Rename(std::string_view from, std::string_view to);
+  [[nodiscard]] FsErr ListDir(std::string_view path, std::vector<DirEntryInfo>* out) const;
+
+  // --- inode operations ---
+  [[nodiscard]] FsErr GetAttr(Inum inum, InodeAttr* out) const;
+  [[nodiscard]] FsErr GetAttrPath(std::string_view path, InodeAttr* out) const;
+  FsErr SetTimes(Inum inum, Nanos atime, Nanos mtime);
+  void TouchAtime(Inum inum, Nanos now);
+  // Grows or shrinks the file, allocating/freeing blocks.
+  FsErr Resize(Inum inum, std::uint64_t new_size, Nanos now);
+
+  // --- block geometry (used by the Os layer to drive the disk model) ---
+  // Disk block number backing file block `file_block` of `inum`.
+  [[nodiscard]] FsErr BlockOf(Inum inum, std::uint64_t file_block, std::uint64_t* out) const;
+  // Byte offset on disk of an fs block.
+  [[nodiscard]] std::uint64_t DiskOffsetOfBlock(std::uint64_t fs_block) const {
+    return fs_block * params_.block_size;
+  }
+  // Disk block holding the on-disk inode for `inum` (for stat-cost modeling).
+  [[nodiscard]] std::uint64_t InodeBlockOf(Inum inum) const;
+  // Blocks holding directory entries of `dir_inum`.
+  [[nodiscard]] FsErr DirBlocks(Inum dir_inum, std::vector<std::uint64_t>* out) const;
+
+  [[nodiscard]] const FsParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t free_blocks() const { return free_data_blocks_; }
+  [[nodiscard]] Inum root() const { return root_; }
+
+  // --- introspection for tests/benches (not visible to gray-box layers) ---
+  // Fraction of adjacent file-block pairs that are contiguous on disk.
+  [[nodiscard]] double ContiguityOf(Inum inum) const;
+  // Disk block of the first data block, or 0 if empty.
+  [[nodiscard]] std::uint64_t FirstBlockOf(Inum inum) const;
+  [[nodiscard]] std::uint64_t creation_seq_of(Inum inum) const;
+
+  void set_clock_hint(Nanos now) { now_hint_ = now; }
+
+ private:
+  struct Inode {
+    bool in_use = false;
+    bool is_dir = false;
+    std::uint64_t size = 0;
+    Nanos atime = 0;
+    Nanos mtime = 0;
+    Nanos ctime = 0;
+    std::uint64_t creation_seq = 0;
+    std::uint32_t cg = 0;
+    std::vector<std::uint64_t> blocks;  // disk block numbers, one per file block
+    // Directory payload (metadata only; timing modeled via DirBlocks()).
+    std::map<std::string, Inum, std::less<>> children;
+    std::vector<std::string> child_order;  // readdir order = creation order
+  };
+
+  struct CylGroup {
+    std::uint64_t first_block = 0;      // first block of the group
+    std::uint64_t data_start = 0;       // first data block (after inode table)
+    std::uint64_t data_end = 0;         // one past last data block
+    std::vector<bool> block_used;       // indexed by block - data_start
+    std::vector<bool> inode_used;       // indexed by inode slot
+    std::uint64_t free_blocks = 0;
+    std::uint32_t free_inodes = 0;
+    std::uint64_t rotor = 0;            // next-fit start for kSparse (relative)
+  };
+
+  [[nodiscard]] static std::vector<std::string> SplitPath(std::string_view path);
+  [[nodiscard]] FsErr ResolveParent(std::string_view path, Inum* parent,
+                                    std::string* leaf) const;
+  [[nodiscard]] FsErr ResolveInum(std::string_view path, Inum* out) const;
+
+  [[nodiscard]] const Inode* Get(Inum inum) const;
+  [[nodiscard]] Inode* Get(Inum inum);
+
+  // Allocates an inode in (preferably) cylinder group `cg_hint`, lowest free
+  // slot first (FFS reuses freed inodes lowest-first — key to Fig 6 aging).
+  [[nodiscard]] Inum AllocInode(std::uint32_t cg_hint, bool is_dir);
+  void FreeInode(Inum inum);
+
+  // Allocates one data block for `inode`; `prev` is the previous block of
+  // the file (contiguity preference) or 0 for the first block.
+  [[nodiscard]] std::uint64_t AllocBlock(Inode& inode, std::uint64_t prev);
+  void FreeBlock(std::uint64_t block);
+
+  [[nodiscard]] std::uint32_t CgOfBlock(std::uint64_t block) const;
+  [[nodiscard]] bool BlockIsFree(std::uint64_t block) const;
+  void MarkBlock(std::uint64_t block, bool used);
+
+  // Picks the cylinder group for a new directory (round-robin, FFS-style
+  // load spreading).
+  [[nodiscard]] std::uint32_t PickDirCg();
+
+  FsParams params_;
+  std::vector<CylGroup> groups_;
+  std::vector<Inode> inodes_;  // indexed by inum (slot 0 unused)
+  Inum root_ = kInvalidInum;
+  std::uint64_t free_data_blocks_ = 0;
+  std::uint64_t creation_counter_ = 0;
+  std::uint32_t dir_cg_rotor_ = 0;
+  std::uint64_t log_head_ = 0;  // kLogStructured global append cursor
+  Nanos now_hint_ = 0;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_FS_FFS_H_

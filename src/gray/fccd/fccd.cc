@@ -1,0 +1,214 @@
+#include "src/gray/fccd/fccd.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/gray/toolbox/stopwatch.h"
+
+namespace gray {
+
+std::uint64_t FilePlan::TotalBytes() const {
+  std::uint64_t total = 0;
+  for (const UnitPlan& u : units) {
+    total += u.extent.length;
+  }
+  return total;
+}
+
+Fccd::Fccd(SysApi* sys, FccdOptions options, const ParamRepository* repo)
+    : sys_(sys),
+      options_(options),
+      rng_state_((options.seed != 0 ? options.seed : sys->Now() ^ 0x5eedULL) | 1) {
+  if (repo != nullptr) {
+    // The calibrated access unit from the microbenchmark repository; an
+    // explicitly non-default option wins.
+    if (options_.access_unit == FccdOptions{}.access_unit) {
+      if (const auto v = repo->Get(params::kFccdAccessUnitBytes); v.has_value() && *v > 0) {
+        options_.access_unit = static_cast<std::uint64_t>(*v);
+      }
+    }
+    usage_.Record(Technique::kMicrobenchmarks);
+  }
+  // Snap units to the record alignment so extents never split a record.
+  if (options_.align > 1) {
+    options_.access_unit = std::max(options_.align,
+                                    options_.access_unit / options_.align * options_.align);
+    options_.prediction_unit =
+        std::max(options_.align, options_.prediction_unit / options_.align * options_.align);
+  }
+  options_.prediction_unit = std::min(options_.prediction_unit, options_.access_unit);
+
+  usage_.Record(Technique::kAlgorithmicKnowledge);
+  usage_.Describe(Technique::kAlgorithmicKnowledge,
+                  "LRU-like replacement evicts files in long runs");
+  usage_.Describe(Technique::kMonitorOutputs, "time for 1-byte read probes");
+  usage_.Describe(Technique::kStatistics, "sort units by probe time");
+  usage_.Describe(Technique::kMicrobenchmarks, "access unit from disk bandwidth curve");
+  usage_.Describe(Technique::kProbes, "random byte per prediction unit");
+  usage_.Describe(Technique::kFeedback, "access-unit-sized reads recache in units");
+}
+
+std::uint64_t Fccd::NextRandom() {
+  std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Nanos Fccd::ProbeRange(int fd, std::uint64_t lo, std::uint64_t hi) {
+  assert(hi > lo);
+  const std::uint64_t offset = lo + NextRandom() % (hi - lo);
+  ++probes_issued_;
+  usage_.Record(Technique::kProbes);
+  usage_.Record(Technique::kMonitorOutputs);
+  return Stopwatch::Time(sys_, [&] { (void)sys_->Pread(fd, {}, 1, offset); });
+}
+
+std::optional<FilePlan> Fccd::PlanFileViaMincore(const std::string& path,
+                                                 std::uint64_t size) {
+  const int fd = sys_->Open(path);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  std::vector<bool> resident;
+  const int rc = sys_->Mincore(fd, 0, size, &resident);
+  (void)sys_->Close(fd);
+  if (rc < 0) {
+    return std::nullopt;  // platform without mincore: caller probes instead
+  }
+  const std::uint64_t ps = sys_->PageSize();
+  FilePlan plan;
+  plan.path = path;
+  plan.file_size = size;
+  const std::uint64_t au = options_.access_unit;
+  for (std::uint64_t start = 0; start < size; start += au) {
+    const std::uint64_t end = std::min(size, start + au);
+    UnitPlan unit;
+    unit.extent = Extent{start, end - start};
+    // Ordering key: number of absent pages (no timing involved).
+    std::uint64_t absent = 0;
+    for (std::uint64_t p = start / ps; p <= (end - 1) / ps && p < resident.size(); ++p) {
+      absent += resident[p] ? 0 : 1;
+    }
+    unit.probe_time = absent;
+    unit.probes = 0;
+    plan.units.push_back(unit);
+  }
+  std::stable_sort(plan.units.begin(), plan.units.end(),
+                   [](const UnitPlan& a, const UnitPlan& b) {
+                     return a.probe_time < b.probe_time;
+                   });
+  return plan;
+}
+
+std::optional<FilePlan> Fccd::PlanFile(const std::string& path) {
+  FileInfo info;
+  if (sys_->Stat(path, &info) < 0 || info.is_dir) {
+    return std::nullopt;
+  }
+  last_used_mincore_ = false;
+  FilePlan plan;
+  plan.path = path;
+  plan.file_size = info.size;
+  if (info.size == 0) {
+    return plan;
+  }
+  if (options_.try_mincore && info.size >= sys_->PageSize()) {
+    if (auto via_mincore = PlanFileViaMincore(path, info.size); via_mincore.has_value()) {
+      last_used_mincore_ = true;
+      return via_mincore;
+    }
+    // Not available here: continue with the portable probing path.
+  }
+
+  const std::uint64_t page = sys_->PageSize();
+  if (info.size < page) {
+    // Heisenberg guard: probing would fault in the whole file. Report a
+    // fake high probe time instead (paper §4.1.4).
+    plan.units.push_back(UnitPlan{Extent{0, info.size}, options_.fake_high_time, 0});
+    return plan;
+  }
+
+  const int fd = sys_->Open(path);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+
+  const std::uint64_t au = options_.access_unit;
+  const std::uint64_t pu = options_.prediction_unit;
+  for (std::uint64_t start = 0; start < info.size; start += au) {
+    const std::uint64_t end = std::min(info.size, start + au);
+    UnitPlan unit;
+    unit.extent = Extent{start, end - start};
+    // One probe per prediction unit inside this access unit (four per
+    // default 20 MB unit).
+    for (std::uint64_t p = start; p < end; p += pu) {
+      const std::uint64_t p_end = std::min(end, p + pu);
+      unit.probe_time += ProbeRange(fd, p, p_end);
+      ++unit.probes;
+    }
+    plan.units.push_back(unit);
+  }
+  (void)sys_->Close(fd);
+
+  // The sort IS the classifier: no in-cache threshold needed, and a
+  // multi-level storage hierarchy comes out in nearest-first order.
+  usage_.Record(Technique::kStatistics);
+  std::stable_sort(plan.units.begin(), plan.units.end(),
+                   [](const UnitPlan& a, const UnitPlan& b) {
+                     // Compare per-probe averages so short tail units with
+                     // fewer probes are comparable to full units.
+                     const double ta = a.probes > 0
+                                           ? static_cast<double>(a.probe_time) / a.probes
+                                           : static_cast<double>(a.probe_time);
+                     const double tb = b.probes > 0
+                                           ? static_cast<double>(b.probe_time) / b.probes
+                                           : static_cast<double>(b.probe_time);
+                     return ta < tb;
+                   });
+  usage_.Record(Technique::kFeedback);
+  return plan;
+}
+
+std::vector<RankedFile> Fccd::OrderFiles(std::span<const std::string> paths) {
+  std::vector<RankedFile> ranked;
+  ranked.reserve(paths.size());
+  for (const std::string& path : paths) {
+    RankedFile rf;
+    rf.path = path;
+    FileInfo info;
+    if (sys_->Stat(path, &info) < 0 || info.is_dir) {
+      rf.avg_probe_time = options_.fake_high_time * 2;  // rank last
+      ranked.push_back(rf);
+      continue;
+    }
+    rf.size = info.size;
+    const std::uint64_t page = sys_->PageSize();
+    if (info.size < page) {
+      rf.avg_probe_time = rf.total_probe_time = options_.fake_high_time;
+      ranked.push_back(rf);
+      continue;
+    }
+    const int fd = sys_->Open(path);
+    if (fd < 0) {
+      rf.avg_probe_time = options_.fake_high_time * 2;
+      ranked.push_back(rf);
+      continue;
+    }
+    for (std::uint64_t p = 0; p < info.size; p += options_.prediction_unit) {
+      const std::uint64_t p_end = std::min(info.size, p + options_.prediction_unit);
+      rf.total_probe_time += ProbeRange(fd, p, p_end);
+      ++rf.probes;
+    }
+    (void)sys_->Close(fd);
+    rf.avg_probe_time = rf.probes > 0 ? rf.total_probe_time / rf.probes : 0;
+    ranked.push_back(rf);
+  }
+  usage_.Record(Technique::kStatistics);
+  std::stable_sort(ranked.begin(), ranked.end(), [](const RankedFile& a, const RankedFile& b) {
+    return a.avg_probe_time < b.avg_probe_time;
+  });
+  return ranked;
+}
+
+}  // namespace gray

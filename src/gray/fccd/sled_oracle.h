@@ -1,0 +1,78 @@
+// SLED oracle: the baseline FCCD is measured against.
+//
+// Van Meter and Gao's Storage Latency Estimation Descriptors (OSDI 2000)
+// propose a NEW kernel interface that reports predicted access times for
+// sections of a file — i.e., the kernel tells applications what is cached.
+// The paper's claim (§4.1): "a great deal of the utility of their proposed
+// system can be obtained without any modification to the operating system."
+//
+// This class implements what an application would get WITH that kernel
+// interface: a perfect-information access plan built from the simulator's
+// ground-truth presence bitmap, at zero probing cost. Benches compare the
+// gray-box FCCD plan against it to quantify how much of the white-box
+// utility survives the gray-box constraint.
+#ifndef SRC_GRAY_FCCD_SLED_ORACLE_H_
+#define SRC_GRAY_FCCD_SLED_ORACLE_H_
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "src/gray/fccd/fccd.h"
+#include "src/os/os.h"
+
+namespace gray {
+
+class SledOracle {
+ public:
+  explicit SledOracle(graysim::Os* os, FccdOptions options = FccdOptions{})
+      : os_(os), options_(options) {
+    if (options_.align > 1) {
+      options_.access_unit = std::max(
+          options_.align, options_.access_unit / options_.align * options_.align);
+    }
+  }
+
+  // Produces the plan a SLED-enabled kernel would hand out: access units
+  // ordered by their true resident fraction, descending.
+  [[nodiscard]] std::optional<FilePlan> PlanFile(const std::string& path) const {
+    graysim::InodeAttr attr;
+    if (os_->Stat(os_->default_pid(), path, &attr) < 0 || attr.is_dir) {
+      return std::nullopt;
+    }
+    FilePlan plan;
+    plan.path = path;
+    plan.file_size = attr.size;
+    const std::uint64_t au = options_.access_unit;
+    const std::uint64_t ps = os_->page_size();
+    for (std::uint64_t start = 0; start < attr.size; start += au) {
+      const std::uint64_t end = std::min(attr.size, start + au);
+      UnitPlan unit;
+      unit.extent = Extent{start, end - start};
+      // "Probe time" stands in for predicted latency: proportional to the
+      // non-resident fraction (what the SLED interface would report).
+      std::uint64_t absent = 0;
+      const std::uint64_t first_page = start / ps;
+      const std::uint64_t last_page = (end - 1) / ps;
+      for (std::uint64_t p = first_page; p <= last_page; ++p) {
+        absent += os_->PageResidentPath(path, p) ? 0 : 1;
+      }
+      unit.probe_time = absent;  // unit ordering key only
+      unit.probes = 0;           // the kernel interface costs no probes
+      plan.units.push_back(unit);
+    }
+    std::stable_sort(plan.units.begin(), plan.units.end(),
+                     [](const UnitPlan& a, const UnitPlan& b) {
+                       return a.probe_time < b.probe_time;
+                     });
+    return plan;
+  }
+
+ private:
+  graysim::Os* os_;
+  FccdOptions options_;
+};
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_FCCD_SLED_ORACLE_H_

@@ -1,0 +1,70 @@
+#include "src/gray/gbp/gbp.h"
+
+namespace gray {
+
+GbpFileOrder GbpOrderFiles(SysApi* sys, const GbpOptions& options,
+                           std::span<const std::string> paths) {
+  GbpFileOrder result;
+  switch (options.mode) {
+    case GbpMode::kMem: {
+      Fccd fccd(sys, options.fccd);
+      for (const RankedFile& rf : fccd.OrderFiles(paths)) {
+        result.order.push_back(rf.path);
+      }
+      return result;
+    }
+    case GbpMode::kFile: {
+      Fldc fldc(sys, options.fldc);
+      for (const StatOrderEntry& e : fldc.OrderByInode(paths)) {
+        result.order.push_back(e.path);
+      }
+      return result;
+    }
+    case GbpMode::kCompose: {
+      Compose compose(sys, options.fccd, options.fldc);
+      result.order = compose.OrderFiles(paths).order;
+      return result;
+    }
+  }
+  return result;
+}
+
+GbpOutPlan GbpPlanOut(SysApi* sys, const GbpOptions& options, const std::string& path) {
+  GbpOutPlan plan;
+  plan.path = path;
+  FccdOptions fccd_options = options.fccd;
+  fccd_options.align = options.align;
+  Fccd fccd(sys, fccd_options);
+  const auto file_plan = fccd.PlanFile(path);
+  if (!file_plan.has_value()) {
+    return plan;
+  }
+  plan.extents.reserve(file_plan->units.size());
+  for (const UnitPlan& u : file_plan->units) {
+    plan.extents.push_back(u.extent);
+  }
+  return plan;
+}
+
+std::uint64_t GbpStreamOut(SysApi* sys, const GbpOutPlan& plan) {
+  const int fd = sys->Open(plan.path);
+  if (fd < 0) {
+    return 0;
+  }
+  std::uint64_t streamed = 0;
+  constexpr std::uint64_t kChunk = 1ULL * 1024 * 1024;
+  for (const Extent& e : plan.extents) {
+    for (std::uint64_t off = 0; off < e.length; off += kChunk) {
+      const std::uint64_t n = std::min(kChunk, e.length - off);
+      if (sys->Pread(fd, {}, n, e.offset + off) < 0) {
+        (void)sys->Close(fd);
+        return streamed;
+      }
+      streamed += n;
+    }
+  }
+  (void)sys->Close(fd);
+  return streamed;
+}
+
+}  // namespace gray

@@ -1,0 +1,182 @@
+#include "src/gray/interpose/interposer.h"
+
+#include <algorithm>
+
+namespace gray {
+
+// --- CacheModel ---
+
+CacheModel::CacheModel(std::uint64_t capacity_bytes, std::uint32_t page_size)
+    : capacity_pages_(capacity_bytes / page_size), page_size_(page_size) {}
+
+std::uint64_t CacheModel::IdOf(const std::string& path) {
+  const auto it = file_ids_.find(path);
+  if (it != file_ids_.end()) {
+    return it->second;
+  }
+  const std::uint64_t id = next_file_id_++;
+  file_ids_.emplace(path, id);
+  return id;
+}
+
+std::optional<std::uint64_t> CacheModel::IdOfConst(const std::string& path) const {
+  const auto it = file_ids_.find(path);
+  if (it == file_ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void CacheModel::OnAccess(const std::string& path, std::uint64_t offset,
+                          std::uint64_t length) {
+  if (length == 0) {
+    return;
+  }
+  const std::uint64_t file_id = IdOf(path);
+  const std::uint64_t first = offset / page_size_;
+  const std::uint64_t last = (offset + length - 1) / page_size_;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    const Key key{file_id, p};
+    if (const auto it = index_.find(key); it != index_.end()) {
+      lru_.splice(lru_.end(), lru_, it->second);  // refresh
+      continue;
+    }
+    while (lru_.size() >= capacity_pages_ && !lru_.empty()) {
+      index_.erase(lru_.front());
+      lru_.pop_front();
+    }
+    lru_.push_back(key);
+    index_.emplace(key, std::prev(lru_.end()));
+  }
+}
+
+void CacheModel::OnRemove(const std::string& path) {
+  const auto id = IdOfConst(path);
+  if (!id.has_value()) {
+    return;
+  }
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->file_id == *id) {
+      index_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool CacheModel::PageResident(const std::string& path, std::uint64_t page) const {
+  const auto id = IdOfConst(path);
+  return id.has_value() && index_.contains(Key{*id, page});
+}
+
+double CacheModel::ResidentFraction(const std::string& path, std::uint64_t offset,
+                                    std::uint64_t length) const {
+  if (length == 0) {
+    return 0.0;
+  }
+  const std::uint64_t first = offset / page_size_;
+  const std::uint64_t last = (offset + length - 1) / page_size_;
+  std::uint64_t resident = 0;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    resident += PageResident(path, p) ? 1 : 0;
+  }
+  return static_cast<double>(resident) / static_cast<double>(last - first + 1);
+}
+
+// --- Interposer ---
+
+int Interposer::Open(const std::string& path) {
+  const int fd = inner_->Open(path);
+  if (fd >= 0) {
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+int Interposer::Creat(const std::string& path) {
+  const int fd = inner_->Creat(path);
+  if (fd >= 0) {
+    model_->OnRemove(path);  // creat truncates: old pages are gone
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+int Interposer::Close(int fd) {
+  fd_paths_.erase(fd);
+  return inner_->Close(fd);
+}
+
+std::int64_t Interposer::Pread(int fd, std::span<std::uint8_t> buf, std::uint64_t len,
+                               std::uint64_t offset) {
+  const std::int64_t n = inner_->Pread(fd, buf, len, offset);
+  if (n > 0) {
+    const auto it = fd_paths_.find(fd);
+    if (it != fd_paths_.end()) {
+      ++observed_calls_;
+      model_->OnAccess(it->second, offset, static_cast<std::uint64_t>(n));
+    }
+  }
+  return n;
+}
+
+std::int64_t Interposer::Pwrite(int fd, std::uint64_t len, std::uint64_t offset) {
+  const std::int64_t n = inner_->Pwrite(fd, len, offset);
+  if (n > 0) {
+    const auto it = fd_paths_.find(fd);
+    if (it != fd_paths_.end()) {
+      ++observed_calls_;
+      model_->OnAccess(it->second, offset, static_cast<std::uint64_t>(n));
+    }
+  }
+  return n;
+}
+
+int Interposer::Unlink(const std::string& path) {
+  const int rc = inner_->Unlink(path);
+  if (rc == 0) {
+    model_->OnRemove(path);
+  }
+  return rc;
+}
+
+int Interposer::Rename(const std::string& from, const std::string& to) {
+  const int rc = inner_->Rename(from, to);
+  if (rc == 0) {
+    // Conservative: forget both names (the model keys pages by path).
+    model_->OnRemove(from);
+    model_->OnRemove(to);
+  }
+  return rc;
+}
+
+// --- PassiveFccd ---
+
+std::optional<FilePlan> PassiveFccd::PlanFile(const std::string& path) const {
+  FileInfo info;
+  if (sys_->Stat(path, &info) < 0 || info.is_dir) {
+    return std::nullopt;
+  }
+  FilePlan plan;
+  plan.path = path;
+  plan.file_size = info.size;
+  const std::uint64_t au = options_.access_unit;
+  for (std::uint64_t start = 0; start < info.size; start += au) {
+    const std::uint64_t end = std::min(info.size, start + au);
+    UnitPlan unit;
+    unit.extent = Extent{start, end - start};
+    // Ordering key: modeled absent fraction, scaled for stable integer sort.
+    unit.probe_time = static_cast<Nanos>(
+        (1.0 - model_->ResidentFraction(path, start, end - start)) * 1e6);
+    unit.probes = 0;  // the whole point: no probes, no Heisenberg effect
+    plan.units.push_back(unit);
+  }
+  std::stable_sort(plan.units.begin(), plan.units.end(),
+                   [](const UnitPlan& a, const UnitPlan& b) {
+                     return a.probe_time < b.probe_time;
+                   });
+  return plan;
+}
+
+}  // namespace gray

@@ -1,0 +1,139 @@
+// Interposition + passive cache modeling (paper §4.1.1 and §6).
+//
+// The paper's §4.1.1 describes the OTHER extreme of the design space:
+// "Given complete knowledge of the behavior of the file-cache
+// page-replacement algorithm as well as the ability to observe its every
+// input, we could model or simulate which pages are in cache." Its §6 adds
+// that interpositioning is how one would observe those inputs.
+//
+// This module implements that design so its weaknesses can be measured:
+//  * Interposer — a SysApi decorator that forwards every call and feeds a
+//    CacheModel with the observed inputs (Jones-style interposition agent);
+//  * CacheModel — an LRU simulation of the OS file cache;
+//  * PassiveFccd — an FCCD that answers from the model with ZERO probes.
+//
+// The paper's objection, which the tests and ablations reproduce: "all
+// applications ... must provide inputs to the simulation; if a single
+// process does not obey the rules, our knowledge of what has been accessed
+// is incomplete and our simulation will be inaccurate."
+#ifndef SRC_GRAY_INTERPOSE_INTERPOSER_H_
+#define SRC_GRAY_INTERPOSE_INTERPOSER_H_
+
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gray/fccd/fccd.h"
+#include "src/gray/sys_api.h"
+
+namespace gray {
+
+// LRU simulation of the OS file cache, driven by observed file accesses.
+class CacheModel {
+ public:
+  CacheModel(std::uint64_t capacity_bytes, std::uint32_t page_size);
+
+  void OnAccess(const std::string& path, std::uint64_t offset, std::uint64_t length);
+  void OnRemove(const std::string& path);  // unlink / truncate-to-zero
+
+  [[nodiscard]] bool PageResident(const std::string& path, std::uint64_t page) const;
+  // Resident fraction of [offset, offset+length).
+  [[nodiscard]] double ResidentFraction(const std::string& path, std::uint64_t offset,
+                                        std::uint64_t length) const;
+  [[nodiscard]] std::uint64_t resident_pages() const { return lru_.size(); }
+
+ private:
+  struct Key {
+    std::uint64_t file_id;
+    std::uint64_t page;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(k.file_id * 0x9e3779b97f4a7c15ULL ^ k.page);
+    }
+  };
+
+  [[nodiscard]] std::uint64_t IdOf(const std::string& path);
+  [[nodiscard]] std::optional<std::uint64_t> IdOfConst(const std::string& path) const;
+
+  std::uint64_t capacity_pages_;
+  std::uint32_t page_size_;
+  std::unordered_map<std::string, std::uint64_t> file_ids_;
+  std::uint64_t next_file_id_ = 1;
+  std::list<Key> lru_;  // front = LRU
+  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> index_;
+};
+
+// SysApi decorator: forwards everything to the inner system and feeds the
+// CacheModel with every observed input.
+class Interposer final : public SysApi {
+ public:
+  Interposer(SysApi* inner, CacheModel* model) : inner_(inner), model_(model) {}
+
+  [[nodiscard]] Nanos Now() override { return inner_->Now(); }
+  void SleepNs(Nanos duration) override { inner_->SleepNs(duration); }
+
+  [[nodiscard]] int Open(const std::string& path) override;
+  int Close(int fd) override;
+  std::int64_t Pread(int fd, std::span<std::uint8_t> buf, std::uint64_t len,
+                     std::uint64_t offset) override;
+  std::int64_t Pwrite(int fd, std::uint64_t len, std::uint64_t offset) override;
+  [[nodiscard]] int Creat(const std::string& path) override;
+  int Fsync(int fd) override { return inner_->Fsync(fd); }
+  int Stat(const std::string& path, FileInfo* out) override {
+    return inner_->Stat(path, out);
+  }
+  int ReadDir(const std::string& path, std::vector<DirEntry>* out) override {
+    return inner_->ReadDir(path, out);
+  }
+  int Unlink(const std::string& path) override;
+  int Mkdir(const std::string& path) override { return inner_->Mkdir(path); }
+  int Rmdir(const std::string& path) override { return inner_->Rmdir(path); }
+  int Rename(const std::string& from, const std::string& to) override;
+  int Utimes(const std::string& path, Nanos atime, Nanos mtime) override {
+    return inner_->Utimes(path, atime, mtime);
+  }
+  int Mincore(int fd, std::uint64_t offset, std::uint64_t length,
+              std::vector<bool>* resident) override {
+    return inner_->Mincore(fd, offset, length, resident);
+  }
+
+  [[nodiscard]] MemHandle MemAlloc(std::uint64_t bytes) override {
+    return inner_->MemAlloc(bytes);
+  }
+  void MemFree(MemHandle handle) override { inner_->MemFree(handle); }
+  void MemTouch(MemHandle handle, std::uint64_t page_index, bool write) override {
+    inner_->MemTouch(handle, page_index, write);
+  }
+  [[nodiscard]] std::uint32_t PageSize() override { return inner_->PageSize(); }
+
+  [[nodiscard]] std::uint64_t observed_calls() const { return observed_calls_; }
+
+ private:
+  SysApi* inner_;
+  CacheModel* model_;
+  std::unordered_map<int, std::string> fd_paths_;
+  std::uint64_t observed_calls_ = 0;
+};
+
+// FCCD answered entirely from the interposed cache model: zero probes, zero
+// Heisenberg effect — and zero robustness against unobserved processes.
+class PassiveFccd {
+ public:
+  PassiveFccd(SysApi* sys, const CacheModel* model, FccdOptions options = FccdOptions{})
+      : sys_(sys), model_(model), options_(options) {}
+
+  [[nodiscard]] std::optional<FilePlan> PlanFile(const std::string& path) const;
+
+ private:
+  SysApi* sys_;
+  const CacheModel* model_;
+  FccdOptions options_;
+};
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_INTERPOSE_INTERPOSER_H_

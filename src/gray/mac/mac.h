@@ -1,0 +1,133 @@
+// Memory-based Admission Controller (paper §4.3).
+//
+// gb_alloc(min, max, multiple) discovers how much memory can be used without
+// paging and allocates it atomically; gb_free returns it. The probing
+// algorithm is the paper's:
+//
+//  * memory is probed a page at a time in TWO sequential loops, writing to
+//    each page (reads hit the COW zero page and allocate nothing);
+//  * the first loop moves the system to a known state — its touch times mix
+//    allocation/zeroing/reclaim costs and prove nothing by themselves, but
+//    several consecutive slow touches mean the page daemon woke up, and the
+//    prober skips straight to the verification loop;
+//  * the second loop re-touches every page: if all are fast, nothing was
+//    selected for replacement and the chunk fits; slow re-touches mean the
+//    allocation exceeded available memory;
+//  * the probe size grows conservatively — increments double while things
+//    fit, up to a cap, and collapse back to the initial increment on
+//    trouble ("analogous to but more conservative than TCP congestion
+//    control");
+//  * the slow/fast threshold comes from the microbenchmark repository, or
+//    from self-calibration on first contact (paper §4.3.2).
+//
+// Blocking admission: GbAllocBlocking retries with sleeps until the minimum
+// is available, which is what serializes competing gb-fastsorts in Fig 7.
+#ifndef SRC_GRAY_MAC_MAC_H_
+#define SRC_GRAY_MAC_MAC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/gray/sys_api.h"
+#include "src/gray/toolbox/param_repository.h"
+#include "src/gray/toolbox/techniques.h"
+
+namespace gray {
+
+struct MacOptions {
+  std::uint64_t initial_increment = 16ULL * 1024 * 1024;
+  std::uint64_t max_increment = 64ULL * 1024 * 1024;
+  // Consecutive slow first-loop touches that trigger the early skip to the
+  // verification loop.
+  int consecutive_slow_skip = 4;
+  // Consecutive slow second-loop touches that abort verification (the
+  // answer is already "does not fit"; finishing would thrash).
+  int consecutive_slow_abort = 4;
+  // 0 = take the threshold from the repository / self-calibration.
+  Nanos slow_threshold = 0;
+  Nanos retry_sleep = 500ULL * 1000 * 1000;  // 500 ms between admission retries
+  int max_retries = 240;                     // give up after ~2 virtual minutes
+};
+
+struct MacMetrics {
+  std::uint64_t pages_probed = 0;
+  std::uint64_t slow_touches = 0;
+  std::uint64_t early_skips = 0;       // loop-1 early exits
+  std::uint64_t failed_iterations = 0;
+  std::uint64_t retries = 0;           // blocking-admission sleeps
+  Nanos probe_time = 0;                // time inside probing loops
+  Nanos wait_time = 0;                 // time sleeping for admission
+};
+
+// RAII result of gb_alloc: owns one or more memory chunks totalling
+// `bytes()`. Pages are addressed 0..PageCount()-1 across chunks.
+class GbAllocation {
+ public:
+  GbAllocation() = default;
+  GbAllocation(GbAllocation&& other) noexcept { *this = std::move(other); }
+  GbAllocation& operator=(GbAllocation&& other) noexcept;
+  GbAllocation(const GbAllocation&) = delete;
+  GbAllocation& operator=(const GbAllocation&) = delete;
+  ~GbAllocation();
+
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t PageCount() const;
+  [[nodiscard]] bool valid() const { return sys_ != nullptr && bytes_ > 0; }
+
+  // Touches logical page `index` (spanning chunks transparently).
+  void Touch(std::uint64_t index, bool write = true);
+
+  void Release();  // explicit gb_free
+
+ private:
+  friend class Mac;
+  struct Chunk {
+    MemHandle handle = kInvalidMem;
+    std::uint64_t pages = 0;
+  };
+
+  SysApi* sys_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t page_size_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+class Mac {
+ public:
+  explicit Mac(SysApi* sys, MacOptions options = MacOptions{},
+               const ParamRepository* repo = nullptr);
+
+  // Non-blocking gb_alloc: returns nullopt when `min` bytes are not
+  // currently available without paging.
+  [[nodiscard]] std::optional<GbAllocation> GbAlloc(std::uint64_t min, std::uint64_t max,
+                                                    std::uint64_t multiple);
+
+  // Blocking variant: sleeps and retries until the minimum is available (or
+  // max_retries is exhausted, returning nullopt).
+  [[nodiscard]] std::optional<GbAllocation> GbAllocBlocking(std::uint64_t min,
+                                                            std::uint64_t max,
+                                                            std::uint64_t multiple);
+
+  static void GbFree(GbAllocation& allocation) { allocation.Release(); }
+
+  [[nodiscard]] Nanos slow_threshold() const { return slow_threshold_; }
+  [[nodiscard]] const MacMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const TechniqueUsage& usage() const { return usage_; }
+
+ private:
+  // Probes every page of the allocation twice (the two loops). True when
+  // the footprint fits in available memory.
+  [[nodiscard]] bool ProbeFits(GbAllocation& allocation);
+  void SelfCalibrate();
+
+  SysApi* sys_;
+  MacOptions options_;
+  Nanos slow_threshold_ = 0;
+  MacMetrics metrics_;
+  TechniqueUsage usage_;
+};
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_MAC_MAC_H_

@@ -1,0 +1,93 @@
+// Binding of the gray-box SysApi to the graysim simulated OS.
+//
+// One SimSys represents one process's view of the system: the (os, pid)
+// pair. This is the only file in src/gray that knows graysim exists.
+#ifndef SRC_GRAY_SIM_SYS_H_
+#define SRC_GRAY_SIM_SYS_H_
+
+#include <unordered_map>
+
+#include "src/gray/sys_api.h"
+#include "src/os/os.h"
+
+namespace gray {
+
+class SimSys final : public SysApi {
+ public:
+  SimSys(graysim::Os* os, graysim::Pid pid) : os_(os), pid_(pid) {}
+
+  [[nodiscard]] Nanos Now() override { return os_->Now(); }
+  void SleepNs(Nanos duration) override { os_->Sleep(pid_, duration); }
+
+  [[nodiscard]] int Open(const std::string& path) override { return os_->Open(pid_, path); }
+  int Close(int fd) override { return os_->Close(pid_, fd); }
+  std::int64_t Pread(int fd, std::span<std::uint8_t> buf, std::uint64_t len,
+                     std::uint64_t offset) override {
+    return os_->Pread(pid_, fd, buf, len, offset);
+  }
+  std::int64_t Pwrite(int fd, std::uint64_t len, std::uint64_t offset) override {
+    return os_->Pwrite(pid_, fd, len, offset);
+  }
+  [[nodiscard]] int Creat(const std::string& path) override { return os_->Creat(pid_, path); }
+  int Fsync(int fd) override { return os_->Fsync(pid_, fd); }
+  int Stat(const std::string& path, FileInfo* out) override {
+    graysim::InodeAttr attr;
+    const int rc = os_->Stat(pid_, path, &attr);
+    if (rc < 0) {
+      return rc;
+    }
+    out->inum = attr.inum;
+    out->size = attr.size;
+    out->is_dir = attr.is_dir;
+    out->atime = attr.atime;
+    out->mtime = attr.mtime;
+    return 0;
+  }
+  int ReadDir(const std::string& path, std::vector<DirEntry>* out) override {
+    std::vector<graysim::DirEntryInfo> entries;
+    const int rc = os_->ReadDir(pid_, path, &entries);
+    if (rc < 0) {
+      return rc;
+    }
+    out->clear();
+    out->reserve(entries.size());
+    for (const auto& e : entries) {
+      out->push_back(DirEntry{e.name, e.is_dir});
+    }
+    return 0;
+  }
+  int Unlink(const std::string& path) override { return os_->Unlink(pid_, path); }
+  int Mkdir(const std::string& path) override { return os_->Mkdir(pid_, path); }
+  int Rmdir(const std::string& path) override { return os_->Rmdir(pid_, path); }
+  int Rename(const std::string& from, const std::string& to) override {
+    return os_->Rename(pid_, from, to);
+  }
+  int Utimes(const std::string& path, Nanos atime, Nanos mtime) override {
+    return os_->Utimes(pid_, path, atime, mtime);
+  }
+  int Mincore(int fd, std::uint64_t offset, std::uint64_t length,
+              std::vector<bool>* resident) override {
+    return os_->Mincore(pid_, fd, offset, length, resident);
+  }
+
+  [[nodiscard]] MemHandle MemAlloc(std::uint64_t bytes) override {
+    const graysim::VmAreaId area = os_->VmAlloc(pid_, bytes);
+    return static_cast<MemHandle>(area);
+  }
+  void MemFree(MemHandle handle) override { os_->VmFree(pid_, handle); }
+  void MemTouch(MemHandle handle, std::uint64_t page_index, bool write) override {
+    os_->VmTouch(pid_, handle, page_index, write);
+  }
+  [[nodiscard]] std::uint32_t PageSize() override { return os_->page_size(); }
+
+  [[nodiscard]] graysim::Pid pid() const { return pid_; }
+  [[nodiscard]] graysim::Os* os() const { return os_; }
+
+ private:
+  graysim::Os* os_;
+  graysim::Pid pid_;
+};
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_SIM_SYS_H_

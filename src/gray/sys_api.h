@@ -1,0 +1,83 @@
+// The gray-box boundary.
+//
+// Everything in the gray library observes and controls the operating system
+// exclusively through this interface: the portable syscall surface any
+// UNIX-like system offers, plus a high-resolution timer. No internal OS
+// state is visible — exactly the constraint the paper's ICLs operate under.
+//
+// The repository binds SysApi to the graysim simulated OS (sim_sys.h); a
+// port to a real OS would bind it to POSIX calls and rdtsc.
+#ifndef SRC_GRAY_SYS_API_H_
+#define SRC_GRAY_SYS_API_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gray {
+
+using Nanos = std::uint64_t;
+using MemHandle = std::uint64_t;
+constexpr MemHandle kInvalidMem = 0;
+
+struct FileInfo {
+  std::uint64_t inum = 0;
+  std::uint64_t size = 0;
+  bool is_dir = false;
+  Nanos atime = 0;
+  Nanos mtime = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  bool is_dir = false;
+};
+
+class SysApi {
+ public:
+  virtual ~SysApi() = default;
+
+  // --- timing (the covert channel) ---
+  [[nodiscard]] virtual Nanos Now() = 0;
+  virtual void SleepNs(Nanos duration) = 0;
+
+  // --- files ---
+  // All calls return >= 0 on success and a negative errno-style value on
+  // failure.
+  [[nodiscard]] virtual int Open(const std::string& path) = 0;
+  virtual int Close(int fd) = 0;
+  virtual std::int64_t Pread(int fd, std::span<std::uint8_t> buf, std::uint64_t len,
+                             std::uint64_t offset) = 0;
+  virtual std::int64_t Pwrite(int fd, std::uint64_t len, std::uint64_t offset) = 0;
+  [[nodiscard]] virtual int Creat(const std::string& path) = 0;
+  virtual int Fsync(int fd) = 0;
+  virtual int Stat(const std::string& path, FileInfo* out) = 0;
+  virtual int ReadDir(const std::string& path, std::vector<DirEntry>* out) = 0;
+  virtual int Unlink(const std::string& path) = 0;
+  virtual int Mkdir(const std::string& path) = 0;
+  virtual int Rmdir(const std::string& path) = 0;
+  virtual int Rename(const std::string& from, const std::string& to) = 0;
+  virtual int Utimes(const std::string& path, Nanos atime, Nanos mtime) = 0;
+
+  // mincore(2)-style residency query (paper §4.1 footnote 1: "some systems
+  // provide information as to the contents of the file cache via the
+  // mincore routine. However, this interface is not broadly available and
+  // thus cannot be relied upon."). Fills one bool per page of the range.
+  // Returns a negative value on platforms without the interface — portable
+  // gray-box code must be prepared to fall back to probing.
+  virtual int Mincore(int fd, std::uint64_t offset, std::uint64_t length,
+                      std::vector<bool>* resident) = 0;
+
+  // --- memory ---
+  [[nodiscard]] virtual MemHandle MemAlloc(std::uint64_t bytes) = 0;
+  virtual void MemFree(MemHandle handle) = 0;
+  // Touches one page; write=true models a store (reads hit the COW zero
+  // page on most systems and do not allocate).
+  virtual void MemTouch(MemHandle handle, std::uint64_t page_index, bool write) = 0;
+  [[nodiscard]] virtual std::uint32_t PageSize() = 0;
+};
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_SYS_API_H_

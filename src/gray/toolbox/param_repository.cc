@@ -1,0 +1,55 @@
+#include "src/gray/toolbox/param_repository.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gray {
+
+std::string ParamRepository::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& [key, value] : values_) {
+    out << key << ' ' << value << '\n';
+  }
+  return out.str();
+}
+
+bool ParamRepository::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    double value = 0.0;
+    if (!(ls >> key >> value)) {
+      return false;
+    }
+    values_[key] = value;
+  }
+  return true;
+}
+
+bool ParamRepository::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << Serialize();
+  return static_cast<bool>(out);
+}
+
+bool ParamRepository::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Deserialize(buf.str());
+}
+
+}  // namespace gray

@@ -1,0 +1,67 @@
+// Persistent microbenchmark parameter repository (paper §5, "Microbenchmarks
+// for Configuration").
+//
+// Microbenchmark results are expensive to produce and shared by multiple
+// ICLs, so they are measured once and stored in a common key/value
+// repository: "each microbenchmark then only needs to be run once, or when
+// the performance is suspected to have changed."
+#ifndef SRC_GRAY_TOOLBOX_PARAM_REPOSITORY_H_
+#define SRC_GRAY_TOOLBOX_PARAM_REPOSITORY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace gray {
+
+// Canonical key names shared by the microbenchmark suite and the ICLs.
+namespace params {
+inline constexpr const char* kDiskSeqBandwidthMbs = "disk.seq_bandwidth_mbs";
+inline constexpr const char* kDiskRandomAccessNs = "disk.random_page_access_ns";
+inline constexpr const char* kMemCopyMbs = "mem.copy_mbs";
+inline constexpr const char* kMemTouchNs = "mem.touch_ns";
+inline constexpr const char* kMemZeroFillNs = "mem.zero_fill_ns";
+inline constexpr const char* kCacheProbeHitNs = "cache.probe_hit_ns";
+inline constexpr const char* kFccdAccessUnitBytes = "fccd.access_unit_bytes";
+}  // namespace params
+
+class ParamRepository {
+ public:
+  ParamRepository() = default;
+
+  void Set(const std::string& key, double value) { values_[key] = value; }
+
+  [[nodiscard]] std::optional<double> Get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] double GetOr(const std::string& key, double fallback) const {
+    return Get(key).value_or(fallback);
+  }
+
+  [[nodiscard]] bool Has(const std::string& key) const { return values_.contains(key); }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const std::map<std::string, double>& values() const { return values_; }
+
+  // Serialization: "key value\n" lines, sorted by key.
+  [[nodiscard]] std::string Serialize() const;
+  // Parses Serialize() output; returns false on malformed input (partial
+  // entries before the error are kept).
+  bool Deserialize(const std::string& text);
+
+  // Host-file persistence (the simulated machine has no host filesystem; the
+  // repository lives beside the experiment like the paper's advertised file).
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_TOOLBOX_PARAM_REPOSITORY_H_

@@ -1,0 +1,243 @@
+#include "src/gray/toolbox/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gray {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double n = static_cast<double>(count_);
+  const double m = static_cast<double>(other.count_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void ExponentialAverage::Add(double x) {
+  if (!primed_) {
+    value_ = x;
+    primed_ = true;
+    return;
+  }
+  value_ = alpha_ * x + (1.0 - alpha_) * value_;
+}
+
+double Median(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid), copy.end());
+  if (copy.size() % 2 == 1) {
+    return copy[mid];
+  }
+  const double hi = copy[mid];
+  const double lo = *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lo + hi) / 2.0;
+}
+
+double Pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) {
+    return 0.0;
+  }
+  double sx = 0;
+  double sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double cov = 0;
+  double vx = 0;
+  double vy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    cov += dx * dy;
+    vx += dx * dx;
+    vy += dy * dy;
+  }
+  if (vx <= 0.0 || vy <= 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(vx * vy);
+}
+
+Regression LinearFit(std::span<const double> xs, std::span<const double> ys) {
+  Regression r;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) {
+    return r;
+  }
+  double sx = 0;
+  double sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0;
+  double sxy = 0;
+  double syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    r.intercept = my;
+    return r;
+  }
+  r.slope = sxy / sxx;
+  r.intercept = my - r.slope * mx;
+  r.r2 = syy <= 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return r;
+}
+
+Clusters TwoMeans(std::span<const double> xs) {
+  Clusters result;
+  if (xs.empty()) {
+    return result;
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n == 1) {
+    result.threshold = sorted[0];
+    result.low_mean = result.high_mean = sorted[0];
+    result.low_count = 1;
+    return result;
+  }
+
+  // Prefix sums for O(1) per-split within-group variance.
+  std::vector<double> prefix(n + 1, 0.0);
+  std::vector<double> prefix2(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + sorted[i];
+    prefix2[i + 1] = prefix2[i] + sorted[i] * sorted[i];
+  }
+  auto sse = [&](std::size_t lo, std::size_t hi) {  // [lo, hi)
+    const double cnt = static_cast<double>(hi - lo);
+    if (cnt <= 0) {
+      return 0.0;
+    }
+    const double sum = prefix[hi] - prefix[lo];
+    const double sum2 = prefix2[hi] - prefix2[lo];
+    return sum2 - sum * sum / cnt;
+  };
+
+  double best = -1.0;
+  std::size_t best_k = 1;  // low cluster = [0, k)
+  for (std::size_t k = 1; k < n; ++k) {
+    const double total = sse(0, k) + sse(k, n);
+    if (best < 0.0 || total < best) {
+      best = total;
+      best_k = k;
+    }
+  }
+  result.low_count = best_k;
+  result.high_count = n - best_k;
+  result.low_mean = (prefix[best_k] - prefix[0]) / static_cast<double>(best_k);
+  result.high_mean = (prefix[n] - prefix[best_k]) / static_cast<double>(n - best_k);
+  result.threshold = (sorted[best_k - 1] + sorted[best_k]) / 2.0;
+  // Separation test: within-group SSE must be a small fraction of total SSE.
+  const double total_sse = sse(0, n);
+  result.separated = total_sse > 0.0 && best < 0.5 * total_sse &&
+                     result.high_mean > 2.0 * result.low_mean;
+  return result;
+}
+
+std::vector<double> DiscardOutliers(std::span<const double> xs, double k) {
+  if (xs.size() < 3) {
+    return std::vector<double>(xs.begin(), xs.end());
+  }
+  const double med = Median(xs);
+  std::vector<double> deviations;
+  deviations.reserve(xs.size());
+  for (const double x : xs) {
+    deviations.push_back(std::abs(x - med));
+  }
+  double mad = Median(deviations);
+  if (mad == 0.0) {
+    // Fall back to mean absolute deviation to avoid rejecting everything.
+    double sum = 0.0;
+    for (const double d : deviations) {
+      sum += d;
+    }
+    mad = sum / static_cast<double>(deviations.size());
+    if (mad == 0.0) {
+      return std::vector<double>(xs.begin(), xs.end());
+    }
+  }
+  std::vector<double> kept;
+  kept.reserve(xs.size());
+  for (const double x : xs) {
+    if (std::abs(x - med) <= k * mad) {
+      kept.push_back(x);
+    }
+  }
+  return kept;
+}
+
+SignTestResult SignTest(std::span<const double> a, std::span<const double> b) {
+  SignTestResult r;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] > b[i]) {
+      ++r.plus;
+    } else if (a[i] < b[i]) {
+      ++r.minus;
+    }
+  }
+  const double m = static_cast<double>(r.plus + r.minus);
+  if (m == 0.0) {
+    return r;
+  }
+  // Two-sided normal approximation to the binomial(m, 0.5).
+  const double k = static_cast<double>(std::max(r.plus, r.minus));
+  const double z = (k - m / 2.0 - 0.5) / std::sqrt(m / 4.0);
+  const double zc = std::max(z, 0.0);
+  r.p_value = std::erfc(zc / std::sqrt(2.0));
+  r.significant = r.p_value < 0.05;
+  return r;
+}
+
+}  // namespace gray

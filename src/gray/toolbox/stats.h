@@ -1,0 +1,109 @@
+// Statistical routines of the gray toolbox (paper §5, "Interpreting
+// Measurements").
+//
+// ICLs must turn noisy timing observations into robust inferences. The
+// toolbox provides the operations the paper calls out: incremental mean and
+// standard deviation, median, min/max, Pearson correlation, linear
+// regression, exponential averaging, two-group (1-D 2-means) clustering,
+// outlier rejection, and the paired-sample sign test used by MS Manners.
+// Everything is incremental or O(n log n), cheap enough to run inline with
+// measurements.
+#ifndef SRC_GRAY_TOOLBOX_STATS_H_
+#define SRC_GRAY_TOOLBOX_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gray {
+
+// Welford's incremental mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  // Merges another accumulator (parallel Welford).
+  void Merge(const RunningStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exponentially weighted moving average (MS Manners-style progress
+// smoothing).
+class ExponentialAverage {
+ public:
+  explicit ExponentialAverage(double alpha) : alpha_(alpha) {}
+
+  void Add(double x);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+// Median of a sample (copies; does not reorder the input).
+[[nodiscard]] double Median(std::span<const double> xs);
+
+// Pearson correlation coefficient; returns 0 for degenerate inputs.
+[[nodiscard]] double Pearson(std::span<const double> xs, std::span<const double> ys);
+
+struct Regression {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+// Least-squares linear regression.
+[[nodiscard]] Regression LinearFit(std::span<const double> xs, std::span<const double> ys);
+
+struct Clusters {
+  // Partition threshold: values < threshold belong to the low cluster.
+  double threshold = 0.0;
+  double low_mean = 0.0;
+  double high_mean = 0.0;
+  std::uint64_t low_count = 0;
+  std::uint64_t high_count = 0;
+  // True when the data genuinely splits into two groups (between-group
+  // variance dominates).
+  bool separated = false;
+};
+
+// Exact 1-D 2-means clustering: sorts and picks the split minimizing total
+// within-group variance (O(n log n)). Used by the FCCD/FLDC composition to
+// discriminate in-cache from on-disk probe times without a calibrated
+// threshold (paper §4.2.4).
+[[nodiscard]] Clusters TwoMeans(std::span<const double> xs);
+
+// Removes outliers farther than `k` median-absolute-deviations from the
+// median. Returns the retained values.
+[[nodiscard]] std::vector<double> DiscardOutliers(std::span<const double> xs, double k = 5.0);
+
+struct SignTestResult {
+  std::uint64_t plus = 0;       // pairs where a > b
+  std::uint64_t minus = 0;      // pairs where a < b
+  double p_value = 1.0;         // two-sided, normal approximation
+  bool significant = false;     // p < 0.05
+};
+
+// Paired-sample sign test: is sample `a` systematically different from `b`?
+// (One of the statistics MS Manners relies on, Table 1.)
+[[nodiscard]] SignTestResult SignTest(std::span<const double> a, std::span<const double> b);
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_TOOLBOX_STATS_H_

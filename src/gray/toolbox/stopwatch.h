@@ -1,0 +1,36 @@
+// Fast timing helper of the gray toolbox (paper §5, "Measuring Output").
+//
+// On a real platform this wraps the cheapest high-resolution counter (rdtsc
+// on x86); here it reads the SysApi clock. The Stopwatch costs nothing in
+// virtual time, matching the paper's requirement that timing overhead stay
+// negligible relative to the operations being measured.
+#ifndef SRC_GRAY_TOOLBOX_STOPWATCH_H_
+#define SRC_GRAY_TOOLBOX_STOPWATCH_H_
+
+#include "src/gray/sys_api.h"
+
+namespace gray {
+
+class Stopwatch {
+ public:
+  explicit Stopwatch(SysApi* sys) : sys_(sys), start_(sys->Now()) {}
+
+  void Restart() { start_ = sys_->Now(); }
+  [[nodiscard]] Nanos Elapsed() const { return sys_->Now() - start_; }
+
+  // Convenience: elapsed time of a single callable.
+  template <typename Fn>
+  [[nodiscard]] static Nanos Time(SysApi* sys, Fn&& fn) {
+    const Nanos t0 = sys->Now();
+    fn();
+    return sys->Now() - t0;
+  }
+
+ private:
+  SysApi* sys_;
+  Nanos start_;
+};
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_TOOLBOX_STOPWATCH_H_

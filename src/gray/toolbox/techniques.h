@@ -1,0 +1,74 @@
+// Instrumented registry of gray-box technique usage.
+//
+// Each ICL records which of the paper's techniques (§2) it actually used
+// during a run. The Table 2 bench prints the resulting matrix from live
+// counters rather than hard-coding the paper's table.
+#ifndef SRC_GRAY_TOOLBOX_TECHNIQUES_H_
+#define SRC_GRAY_TOOLBOX_TECHNIQUES_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gray {
+
+enum class Technique : std::size_t {
+  kAlgorithmicKnowledge = 0,
+  kMonitorOutputs,
+  kStatistics,
+  kMicrobenchmarks,
+  kProbes,
+  kKnownState,
+  kFeedback,
+  kCount,
+};
+
+[[nodiscard]] constexpr std::string_view TechniqueName(Technique t) {
+  switch (t) {
+    case Technique::kAlgorithmicKnowledge:
+      return "Knowledge";
+    case Technique::kMonitorOutputs:
+      return "Outputs";
+    case Technique::kStatistics:
+      return "Statistics";
+    case Technique::kMicrobenchmarks:
+      return "Benchmarks";
+    case Technique::kProbes:
+      return "Probes";
+    case Technique::kKnownState:
+      return "Known state";
+    case Technique::kFeedback:
+      return "Feedback";
+    case Technique::kCount:
+      break;
+  }
+  return "?";
+}
+
+class TechniqueUsage {
+ public:
+  void Record(Technique t, std::uint64_t n = 1) {
+    counts_[static_cast<std::size_t>(t)] += n;
+  }
+  // Describes *how* the technique is used (shown in the Table 2 matrix).
+  void Describe(Technique t, std::string how) {
+    notes_[static_cast<std::size_t>(t)] = std::move(how);
+  }
+
+  [[nodiscard]] std::uint64_t count(Technique t) const {
+    return counts_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] bool used(Technique t) const { return count(t) > 0; }
+  [[nodiscard]] const std::string& note(Technique t) const {
+    return notes_[static_cast<std::size_t>(t)];
+  }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(Technique::kCount)> counts_{};
+  std::array<std::string, static_cast<std::size_t>(Technique::kCount)> notes_{};
+};
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_TOOLBOX_TECHNIQUES_H_

@@ -1,0 +1,151 @@
+#include "src/mem/mem_system.h"
+
+#include <cassert>
+
+namespace graysim {
+
+MemSystem::MemSystem(Config config) : config_(config) {
+  assert(config_.total_pages > 0);
+  if (config_.policy == MemPolicy::kPartitionedFixedFile) {
+    assert(config_.file_cache_pages > 0);
+    assert(config_.file_cache_pages < config_.total_pages);
+  }
+}
+
+std::list<Page>* MemSystem::GlobalLruList() {
+  if (file_lru_.empty() && anon_lru_.empty()) {
+    return nullptr;
+  }
+  if (file_lru_.empty()) {
+    return &anon_lru_;
+  }
+  if (anon_lru_.empty()) {
+    return &file_lru_;
+  }
+  return file_lru_.front().last_touch <= anon_lru_.front().last_touch ? &file_lru_
+                                                                      : &anon_lru_;
+}
+
+bool MemSystem::EvictOne(PageKind incoming, Nanos* evict_cost) {
+  std::list<Page>* victim_list = nullptr;
+  switch (config_.policy) {
+    case MemPolicy::kUnifiedLru: {
+      // Prefer reclaiming file pages while the file cache holds a
+      // meaningful share of memory; below that, fall back to global LRU
+      // (which starts swapping anonymous memory under overcommit).
+      const std::uint64_t min_file = config_.total_pages / kMinFileShareDivisor;
+      if (file_pages_ >= min_file && !file_lru_.empty()) {
+        victim_list = &file_lru_;
+      } else {
+        victim_list = GlobalLruList();
+      }
+      break;
+    }
+    case MemPolicy::kPartitionedFixedFile:
+      // Each partition reclaims from itself.
+      victim_list = incoming == PageKind::kFile ? &file_lru_ : &anon_lru_;
+      break;
+    case MemPolicy::kStickyFile:
+      if (incoming == PageKind::kFile) {
+        // New file pages never displace anything.
+        return false;
+      }
+      // Anonymous demand reclaims file pages first, then old anon pages.
+      victim_list = !file_lru_.empty() ? &file_lru_ : &anon_lru_;
+      break;
+  }
+  if (victim_list == nullptr || victim_list->empty()) {
+    return false;
+  }
+  PageRef victim = victim_list->begin();
+  if (victim_list == &file_lru_ && victim->dirty) {
+    // Prefer a clean file page among the oldest few: reclaiming a dirty
+    // page forces a synchronous single-page writeback, which kernels avoid
+    // while clean pages are available (the write-behind flusher handles
+    // dirty data in coalesced batches).
+    PageRef scan = victim;
+    for (int k = 0; k < 64 && scan != file_lru_.end(); ++k, ++scan) {
+      if (!scan->dirty) {
+        victim = scan;
+        break;
+      }
+    }
+  }
+  if (evict_fn_) {
+    *evict_cost += evict_fn_(*victim);
+  }
+  ++stats_.evictions;
+  if (victim->kind == PageKind::kFile) {
+    ++stats_.file_evictions;
+    --file_pages_;
+  } else {
+    ++stats_.anon_evictions;
+    --anon_pages_;
+  }
+  victim_list->erase(victim);
+  return true;
+}
+
+std::optional<MemSystem::PageRef> MemSystem::Insert(Page page, Nanos* evict_cost) {
+  assert(evict_cost != nullptr);
+  const PageKind kind = page.kind;
+
+  // Determine whether this insert needs a reclaim under the active policy.
+  auto needs_eviction = [&]() -> bool {
+    switch (config_.policy) {
+      case MemPolicy::kUnifiedLru:
+      case MemPolicy::kStickyFile:
+        return used_pages() >= config_.total_pages;
+      case MemPolicy::kPartitionedFixedFile:
+        if (kind == PageKind::kFile) {
+          return file_pages_ >= config_.file_cache_pages;
+        }
+        return anon_pages_ >= config_.total_pages - config_.file_cache_pages;
+    }
+    return false;
+  };
+
+  while (needs_eviction()) {
+    if (!EvictOne(kind, evict_cost)) {
+      ++stats_.admissions_denied;
+      return std::nullopt;
+    }
+  }
+
+  page.last_touch = ++touch_seq_;
+  std::list<Page>& list = ListFor(kind);
+  list.push_back(page);
+  if (kind == PageKind::kFile) {
+    ++file_pages_;
+  } else {
+    ++anon_pages_;
+  }
+  return std::prev(list.end());
+}
+
+void MemSystem::Touch(PageRef ref) {
+  ref->last_touch = ++touch_seq_;
+  std::list<Page>& list = ListFor(ref->kind);
+  list.splice(list.end(), list, ref);
+}
+
+void MemSystem::Remove(PageRef ref) {
+  if (ref->kind == PageKind::kFile) {
+    --file_pages_;
+  } else {
+    --anon_pages_;
+  }
+  ListFor(ref->kind).erase(ref);
+}
+
+Nanos MemSystem::Reclaim(std::uint64_t n) {
+  Nanos cost = 0;
+  for (std::uint64_t i = 0; i < n && used_pages() > 0; ++i) {
+    if (!EvictOne(PageKind::kAnon, &cost)) {
+      break;
+    }
+  }
+  return cost;
+}
+
+}  // namespace graysim

@@ -1,0 +1,130 @@
+// Physical memory accounting shared by the file cache and virtual memory.
+//
+// A fixed pool of page frames is managed under one of three policies that
+// model the paper's three platforms:
+//
+//  * kUnifiedLru (Linux 2.2-like): file and anonymous pages compete for one
+//    pool. Reclaim prefers the oldest FILE page while the file cache holds
+//    at least 1/16 of memory (streaming "use-once" file data should not
+//    displace a process's active heap); below that share reclaim falls back
+//    to the globally least-recently-used page of either kind — which is
+//    what swaps anonymous memory once processes overcommit (the Fig 7
+//    paging cliff).
+//  * kPartitionedFixedFile (NetBSD 1.5-like): the file cache is a fixed-size
+//    partition (64 MB in the paper) with its own LRU; anonymous memory uses
+//    the rest.
+//  * kStickyFile (Solaris 7-like): once the pool is full a new *file* page
+//    is refused admission instead of displacing an existing page ("once a
+//    file is placed in the Solaris file cache, it is quite difficult to
+//    dislodge"). Anonymous demand still reclaims file pages.
+//
+// Eviction I/O (writeback / swap-out) is delegated to an owner-installed
+// handler so the Os can charge the cost to the faulting process.
+#ifndef SRC_MEM_MEM_SYSTEM_H_
+#define SRC_MEM_MEM_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+
+#include "src/sim/clock.h"
+
+namespace graysim {
+
+enum class PageKind : std::uint8_t { kFile, kAnon };
+
+enum class MemPolicy : std::uint8_t {
+  kUnifiedLru,            // Linux 2.2-like
+  kPartitionedFixedFile,  // NetBSD 1.5-like
+  kStickyFile,            // Solaris 7-like
+};
+
+struct Page {
+  PageKind kind;
+  std::uint64_t key1;  // file: inode number | anon: pid
+  std::uint64_t key2;  // file: page index  | anon: virtual page number
+  bool dirty = false;
+  std::uint64_t last_touch = 0;  // global touch sequence number
+};
+
+struct MemStats {
+  std::uint64_t evictions = 0;
+  std::uint64_t file_evictions = 0;
+  std::uint64_t anon_evictions = 0;
+  std::uint64_t admissions_denied = 0;
+};
+
+class MemSystem {
+ public:
+  struct Config {
+    std::uint64_t total_pages = 0;       // usable frames (after kernel reservation)
+    MemPolicy policy = MemPolicy::kUnifiedLru;
+    std::uint64_t file_cache_pages = 0;  // partition size for kPartitionedFixedFile
+  };
+
+  // Minimum share of memory the unified policy tries to keep available to
+  // the file cache before it starts swapping anonymous pages (1/16).
+  static constexpr std::uint64_t kMinFileShareDivisor = 16;
+
+  using PageRef = std::list<Page>::iterator;
+  // Unmaps the page from its owner and returns the I/O cost of eviction
+  // (writeback for dirty file pages, swap-out for anon pages).
+  using EvictFn = std::function<Nanos(const Page&)>;
+
+  explicit MemSystem(Config config);
+
+  void set_evict_handler(EvictFn fn) { evict_fn_ = std::move(fn); }
+
+  // Inserts a page, evicting if necessary. Returns nullopt when the policy
+  // refuses admission (sticky policy, file page, pool full). Eviction I/O
+  // cost is accumulated into *evict_cost.
+  [[nodiscard]] std::optional<PageRef> Insert(Page page, Nanos* evict_cost);
+
+  // Moves the page to the MRU end of its list.
+  void Touch(PageRef ref);
+
+  void MarkDirty(PageRef ref) { ref->dirty = true; }
+  void MarkClean(PageRef ref) { ref->dirty = false; }
+
+  // Frees the frame without writeback; the caller is responsible for any
+  // bookkeeping (used by unlink/truncate/VmFree).
+  void Remove(PageRef ref);
+
+  // Evicts up to n LRU pages (any kind); returns total eviction I/O cost.
+  [[nodiscard]] Nanos Reclaim(std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t total_pages() const { return config_.total_pages; }
+  [[nodiscard]] std::uint64_t used_pages() const { return file_pages_ + anon_pages_; }
+  [[nodiscard]] std::uint64_t free_pages() const { return config_.total_pages - used_pages(); }
+  [[nodiscard]] std::uint64_t file_pages() const { return file_pages_; }
+  [[nodiscard]] std::uint64_t anon_pages() const { return anon_pages_; }
+  [[nodiscard]] const MemStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  // Evicts one page to make room for a page of `incoming` kind. Returns
+  // false if nothing can be evicted (admission must be denied).
+  bool EvictOne(PageKind incoming, Nanos* evict_cost);
+
+  // The globally least-recently-touched page across both lists; nullopt
+  // when empty.
+  [[nodiscard]] std::list<Page>* GlobalLruList();
+
+  [[nodiscard]] std::list<Page>& ListFor(PageKind kind) {
+    return kind == PageKind::kFile ? file_lru_ : anon_lru_;
+  }
+
+  Config config_;
+  EvictFn evict_fn_;
+  std::list<Page> file_lru_;
+  std::list<Page> anon_lru_;
+  std::uint64_t file_pages_ = 0;
+  std::uint64_t anon_pages_ = 0;
+  std::uint64_t touch_seq_ = 0;
+  MemStats stats_;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_MEM_MEM_SYSTEM_H_

@@ -1,0 +1,943 @@
+#include "src/os/os.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace graysim {
+
+namespace {
+
+constexpr int ToErr(FsErr err) { return -static_cast<int>(err); }
+
+}  // namespace
+
+Os::Os(PlatformProfile profile, MachineConfig config)
+    : profile_(std::move(profile)),
+      config_(config),
+      scheduler_(&clock_, config_.scheduler_slice),
+      mem_(MemSystem::Config{
+          (config_.phys_mem_bytes - config_.kernel_reserved_bytes) / config_.page_size,
+          profile_.mem_policy,
+          profile_.file_cache_bytes / config_.page_size}),
+      cache_(&mem_),
+      vm_(&mem_),
+      jitter_rng_(config.jitter_seed) {
+  assert(config_.num_disks >= 1);
+  FsParams fs_params = config_.fs_params;
+  fs_params.block_size = config_.page_size;
+  fs_params.allocator = profile_.fs_allocator;
+  for (int d = 0; d < config_.num_disks; ++d) {
+    disks_.emplace_back(config_.disk_geometry, d);
+    // The swap disk's file system only uses the lower half; the upper half
+    // is the paging area.
+    FsParams p = fs_params;
+    if (d == config_.num_disks - 1) {
+      p.total_blocks = config_.disk_geometry.capacity_bytes / config_.page_size / 2;
+    }
+    filesystems_.push_back(std::make_unique<Ffs>(p, config_.disk_geometry.capacity_bytes));
+  }
+  swap_disk_ = config_.num_disks - 1;
+  swap_base_offset_ = config_.disk_geometry.capacity_bytes / 2;
+  disk_busy_until_.assign(disks_.size(), 0);
+  dirty_limit_pages_ =
+      static_cast<std::uint64_t>(static_cast<double>(mem_.total_pages()) * config_.dirty_ratio);
+
+  mem_.set_evict_handler([this](const Page& page) -> Nanos {
+    if (page.kind == PageKind::kFile) {
+      const Inum tagged = static_cast<Inum>(page.key1);
+      // Cluster writeback: when reclaim lands on a dirty page, clean the
+      // contiguous dirty run behind it in the same request (those pages are
+      // next in LRU order anyway and will be reclaimed for free once clean).
+      std::uint64_t run = 0;
+      if (page.dirty) {
+        run = cache_.CleanDirtyRunAfter(tagged, page.key2, 255);
+      }
+      const bool dirty = cache_.OnEvicted(page);
+      if (!dirty) {
+        return 0;
+      }
+      const int disk = DiskOfInum(tagged);
+      std::uint64_t block = page.key2;
+      if (!IsMetaInum(tagged)) {
+        if (filesystems_[disk]->BlockOf(LocalInum(tagged), page.key2, &block) != FsErr::kOk) {
+          return 0;  // file vanished concurrently; nothing to write
+        }
+      }
+      os_stats_.writeback_pages += 1 + run;
+      DiskIo(disk, block, 1 + run, /*is_write=*/true);
+      return 0;  // the wait accrued into io_accumulated_
+    }
+    const std::uint64_t slot = vm_.OnEvicted(page);
+    ++os_stats_.swap_outs;
+    SwapIo(slot, /*is_write=*/true);
+    return 0;
+  });
+
+  fd_tables_.resize(1);  // default pid 0
+}
+
+// ---- helpers ----
+
+bool Os::ParsePath(std::string_view path, PathRef* out) const {
+  if (path.size() < 2 || path[0] != '/' || path[1] != 'd') {
+    return false;
+  }
+  std::size_t i = 2;
+  int disk = 0;
+  bool any = false;
+  while (i < path.size() && path[i] >= '0' && path[i] <= '9') {
+    disk = disk * 10 + (path[i] - '0');
+    ++i;
+    any = true;
+  }
+  if (!any || disk >= static_cast<int>(disks_.size())) {
+    return false;
+  }
+  if (i < path.size() && path[i] != '/') {
+    return false;
+  }
+  out->disk = disk;
+  out->sub = std::string(path.substr(i));
+  return true;
+}
+
+Nanos Os::Jittered(Nanos cost) {
+  if (config_.timing_jitter <= 0.0 || cost == 0) {
+    return cost;
+  }
+  const double factor =
+      1.0 + config_.timing_jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
+  return static_cast<Nanos>(static_cast<double>(cost) * factor);
+}
+
+void Os::Charge(Pid pid, Nanos cost) {
+  cost = Jittered(cost);
+  if (in_scheduler_run_) {
+    const auto it = sched_index_.find(pid);
+    if (it != sched_index_.end()) {
+      scheduler_.Charge(it->second, cost);
+      return;
+    }
+  }
+  clock_.Advance(cost);
+}
+
+void Os::QueueOnDisk(int disk, Nanos service) {
+  // Effective issue time: the clock plus wait this operation has already
+  // accumulated (chained requests within one operation happen back to back).
+  const Nanos eff_now = clock_.now() + io_accumulated_;
+  const Nanos start = std::max(eff_now, disk_busy_until_[disk]);
+  const Nanos completion = start + service;
+  disk_busy_until_[disk] = completion;
+  io_accumulated_ += completion - eff_now;
+}
+
+void Os::DrainIoWait(Pid pid) {
+  const Nanos wait = io_accumulated_;
+  io_accumulated_ = 0;
+  if (wait == 0) {
+    return;
+  }
+  if (in_scheduler_run_) {
+    const auto it = sched_index_.find(pid);
+    if (it != sched_index_.end()) {
+      // Blocking I/O releases the CPU: other processes run until completion.
+      scheduler_.Sleep(it->second, wait);
+      return;
+    }
+  }
+  clock_.Advance(wait);
+}
+
+void Os::DiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write) {
+  const std::uint64_t offset = block * config_.page_size;
+  if (is_write) {
+    ++os_stats_.disk_writes;
+  } else {
+    ++os_stats_.disk_reads;
+  }
+  QueueOnDisk(disk, Jittered(disks_[disk].Access(offset, pages * config_.page_size,
+                                                 is_write)));
+}
+
+void Os::SwapIo(std::uint64_t slot, bool is_write) {
+  const std::uint64_t offset = swap_base_offset_ + slot * config_.page_size;
+  assert(offset + config_.page_size <= config_.disk_geometry.capacity_bytes);
+  if (is_write) {
+    ++os_stats_.disk_writes;
+  } else {
+    ++os_stats_.disk_reads;
+  }
+  QueueOnDisk(swap_disk_,
+              Jittered(disks_[swap_disk_].Access(offset, config_.page_size, is_write)));
+}
+
+void Os::MetaRead(Pid pid, int disk, std::uint64_t block) {
+  const Inum meta = Tag(disk, kMetaLocalInum);
+  if (cache_.Access(meta, block)) {
+    ++os_stats_.cache_hits;
+    Charge(pid, config_.costs.mem_touch);
+    return;
+  }
+  ++os_stats_.cache_misses;
+  DiskIo(disk, block, 1, /*is_write=*/false);
+  Nanos evict_cost = 0;
+  (void)cache_.Insert(meta, block, /*dirty=*/false, &evict_cost);
+  DrainIoWait(pid);
+  Charge(pid, config_.costs.mem_touch);
+}
+
+void Os::MetaDirty(Pid pid, int disk, std::uint64_t block) {
+  const Inum meta = Tag(disk, kMetaLocalInum);
+  Nanos evict_cost = 0;
+  if (cache_.Insert(meta, block, /*dirty=*/true, &evict_cost)) {
+    DrainIoWait(pid);  // any reclaim writeback
+    Charge(pid, config_.costs.mem_touch);
+  } else {
+    // Sticky cache refused admission: write through.
+    DiskIo(disk, block, 1, /*is_write=*/true);
+    DrainIoWait(pid);
+  }
+  MaybeFlushDirty(pid, /*force_all=*/false);
+}
+
+void Os::ChargeWalk(Pid pid, const PathRef& ref) {
+  Ffs& f = *filesystems_[ref.disk];
+  // Walk each directory on the path, reading its entry blocks, then read the
+  // final component's inode block.
+  std::vector<std::uint64_t> blocks;
+  Inum cur = f.root();
+  std::string_view rest = ref.sub;
+  while (!rest.empty()) {
+    while (!rest.empty() && rest.front() == '/') {
+      rest.remove_prefix(1);
+    }
+    if (rest.empty()) {
+      break;
+    }
+    const std::size_t slash = rest.find('/');
+    const std::string_view comp = rest.substr(0, slash);
+    // Read the directory we are searching.
+    if (f.DirBlocks(cur, &blocks) == FsErr::kOk) {
+      for (const std::uint64_t b : blocks) {
+        MetaRead(pid, ref.disk, b);
+      }
+    }
+    // Advance `cur` by resolving the accumulated path prefix.
+    const std::string prefix(ref.sub.substr(0, ref.sub.size() - rest.size()));
+    const std::string upto = prefix + std::string(comp);
+    Inum next = kInvalidInum;
+    if (f.Lookup(upto, &next) != FsErr::kOk) {
+      return;  // component missing; caller already handled the error
+    }
+    cur = next;
+    if (slash == std::string_view::npos) {
+      rest = std::string_view();
+    } else {
+      rest.remove_prefix(slash);
+    }
+  }
+  // Final inode block.
+  MetaRead(pid, ref.disk, f.InodeBlockOf(cur));
+}
+
+std::uint8_t Os::ContentByte(Inum tagged, std::uint64_t offset) {
+  std::uint64_t x = (static_cast<std::uint64_t>(tagged) << 32) ^ offset;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::uint8_t>(x & 0xff);
+}
+
+Os::FdEntry* Os::GetFd(Pid pid, int fd) {
+  if (pid >= fd_tables_.size()) {
+    return nullptr;
+  }
+  auto& table = fd_tables_[pid];
+  if (fd < 0 || fd >= static_cast<int>(table.size()) || !table[fd].open) {
+    return nullptr;
+  }
+  return &table[fd];
+}
+
+// ---- processes ----
+
+void Os::RunProcesses(const std::vector<std::function<void(Pid)>>& bodies) {
+  assert(!in_scheduler_run_);
+  std::vector<Pid> pids;
+  pids.reserve(bodies.size());
+  sched_index_.clear();
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    const Pid pid = next_pid_++;
+    pids.push_back(pid);
+    sched_index_[pid] = static_cast<int>(i);
+    if (pid >= fd_tables_.size()) {
+      fd_tables_.resize(pid + 1);
+    }
+  }
+  std::vector<std::function<void(int)>> wrapped;
+  wrapped.reserve(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    wrapped.push_back([this, &bodies, &pids, i](int) {
+      bodies[i](pids[i]);
+      // Process exit: release anonymous memory and fd table.
+      vm_.ReleaseProcess(pids[i]);
+      fd_tables_[pids[i]].clear();
+    });
+  }
+  in_scheduler_run_ = true;
+  scheduler_.Run(wrapped);
+  in_scheduler_run_ = false;
+  sched_index_.clear();
+}
+
+void Os::Sleep(Pid pid, Nanos duration) {
+  if (in_scheduler_run_) {
+    const auto it = sched_index_.find(pid);
+    if (it != sched_index_.end()) {
+      scheduler_.Sleep(it->second, duration);
+      return;
+    }
+  }
+  clock_.Advance(duration);
+}
+
+void Os::Compute(Pid pid, Nanos duration) {
+  while (duration > 0) {
+    const Nanos q = std::min(duration, config_.scheduler_slice);
+    Charge(pid, q);
+    duration -= q;
+  }
+}
+
+// ---- files ----
+
+int Os::Open(Pid pid, std::string_view path) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[ref.disk];
+  Inum inum = kInvalidInum;
+  if (const FsErr err = f.Lookup(ref.sub, &inum); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  InodeAttr attr;
+  (void)f.GetAttr(inum, &attr);
+  if (attr.is_dir) {
+    return ToErr(FsErr::kIsDir);
+  }
+  ChargeWalk(pid, ref);
+  auto& table = fd_tables_[pid];
+  int fd = -1;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (!table[i].open) {
+      fd = static_cast<int>(i);
+      break;
+    }
+  }
+  if (fd < 0) {
+    table.emplace_back();
+    fd = static_cast<int>(table.size()) - 1;
+  }
+  table[fd] = FdEntry{true, ref.disk, inum, 0, 0, 0};
+  return fd;
+}
+
+int Os::Close(Pid pid, int fd) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  FdEntry* e = GetFd(pid, fd);
+  if (e == nullptr) {
+    return ToErr(FsErr::kInvalid);
+  }
+  e->open = false;
+  return 0;
+}
+
+std::int64_t Os::Pread(Pid pid, int fd, std::span<std::uint8_t> buf, std::uint64_t len,
+                       std::uint64_t offset) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  FdEntry* e = GetFd(pid, fd);
+  if (e == nullptr) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[e->disk];
+  InodeAttr attr;
+  if (f.GetAttr(e->inum, &attr) != FsErr::kOk) {
+    return ToErr(FsErr::kNotFound);
+  }
+  if (offset >= attr.size || len == 0) {
+    return 0;
+  }
+  len = std::min(len, attr.size - offset);
+  const std::uint64_t ps = config_.page_size;
+  const std::uint64_t first = offset / ps;
+  const std::uint64_t last = (offset + len - 1) / ps;
+  const std::uint64_t file_pages = (attr.size + ps - 1) / ps;
+  const Inum tagged = Tag(e->disk, e->inum);
+
+  // Sequential readahead window.
+  const bool sequential = profile_.readahead && offset == e->next_seq_offset;
+  if (sequential) {
+    e->ra_window_pages = e->ra_window_pages == 0
+                             ? config_.readahead_min_pages
+                             : std::min(e->ra_window_pages * 2, config_.readahead_max_pages);
+  } else {
+    e->ra_window_pages = 0;
+  }
+  e->next_seq_offset = offset + len;
+
+  Nanos copy_cost = 0;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    const std::uint64_t page_start = p * ps;
+    const std::uint64_t lo = std::max(offset, page_start);
+    const std::uint64_t hi = std::min(offset + len, page_start + ps);
+    if (cache_.Access(tagged, p)) {
+      ++os_stats_.cache_hits;
+      copy_cost += config_.costs.CopyCost(hi - lo);
+      continue;
+    }
+    ++os_stats_.cache_misses;
+    // Build a run of pages that are missing and disk-contiguous, extending
+    // past the request by the readahead window when reading sequentially.
+    std::uint64_t limit = last;
+    if (e->ra_window_pages > 0) {
+      limit = std::max(limit, std::min(file_pages - 1, p + e->ra_window_pages - 1));
+    }
+    std::uint64_t start_block = 0;
+    if (f.BlockOf(e->inum, p, &start_block) != FsErr::kOk) {
+      return ToErr(FsErr::kInvalid);
+    }
+    std::uint64_t run = 1;
+    while (p + run <= limit) {
+      std::uint64_t b = 0;
+      if (f.BlockOf(e->inum, p + run, &b) != FsErr::kOk || b != start_block + run) {
+        break;
+      }
+      if (cache_.Resident(tagged, p + run)) {
+        break;
+      }
+      ++run;
+    }
+    DiskIo(e->disk, start_block, run, /*is_write=*/false);
+    Nanos evict_cost = 0;
+    for (std::uint64_t k = 0; k < run; ++k) {
+      (void)cache_.Insert(tagged, p + k, /*dirty=*/false, &evict_cost);
+      if (p + k > last) {
+        ++os_stats_.readahead_pages;
+      }
+    }
+    DrainIoWait(pid);
+    // Copy the requested portion of the run.
+    const std::uint64_t run_hi = std::min(offset + len, (p + run) * ps);
+    copy_cost += config_.costs.CopyCost(run_hi - lo);
+    p += run - 1;
+  }
+  Charge(pid, copy_cost);
+  f.TouchAtime(e->inum, clock_.now());
+
+  if (!buf.empty()) {
+    const std::uint64_t fill = std::min<std::uint64_t>(len, buf.size());
+    for (std::uint64_t i = 0; i < fill; ++i) {
+      buf[i] = ContentByte(tagged, offset + i);
+    }
+  }
+  return static_cast<std::int64_t>(len);
+}
+
+std::int64_t Os::Pwrite(Pid pid, int fd, std::uint64_t len, std::uint64_t offset) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  FdEntry* e = GetFd(pid, fd);
+  if (e == nullptr) {
+    return ToErr(FsErr::kInvalid);
+  }
+  if (len == 0) {
+    return 0;
+  }
+  Ffs& f = *filesystems_[e->disk];
+  InodeAttr attr;
+  if (f.GetAttr(e->inum, &attr) != FsErr::kOk) {
+    return ToErr(FsErr::kNotFound);
+  }
+  const std::uint64_t old_size = attr.size;
+  const std::uint64_t new_size = std::max(old_size, offset + len);
+  if (const FsErr err = f.Resize(e->inum, new_size, clock_.now()); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  const std::uint64_t ps = config_.page_size;
+  const std::uint64_t first = offset / ps;
+  const std::uint64_t last = (offset + len - 1) / ps;
+  const Inum tagged = Tag(e->disk, e->inum);
+
+  Nanos copy_cost = config_.costs.CopyCost(len);
+  for (std::uint64_t p = first; p <= last; ++p) {
+    const std::uint64_t page_start = p * ps;
+    const bool covers_whole_page = offset <= page_start && offset + len >= page_start + ps;
+    const bool existed_before = page_start < old_size;
+    if (!covers_whole_page && existed_before && !cache_.Resident(tagged, p)) {
+      // Read-modify-write of a partially overwritten page.
+      std::uint64_t block = 0;
+      if (f.BlockOf(e->inum, p, &block) == FsErr::kOk) {
+        ++os_stats_.cache_misses;
+        DiskIo(e->disk, block, 1, /*is_write=*/false);
+      }
+    }
+    Nanos evict_cost = 0;
+    if (!cache_.Insert(tagged, p, /*dirty=*/true, &evict_cost)) {
+      // Sticky cache refused admission: write through.
+      std::uint64_t block = 0;
+      if (f.BlockOf(e->inum, p, &block) == FsErr::kOk) {
+        DiskIo(e->disk, block, 1, /*is_write=*/true);
+      }
+    }
+    DrainIoWait(pid);
+  }
+  Charge(pid, copy_cost);
+  e->next_seq_offset = offset + len;  // writes also train the sequence detector
+  MaybeFlushDirty(pid, /*force_all=*/false);
+  return static_cast<std::int64_t>(len);
+}
+
+std::int64_t Os::Read(Pid pid, int fd, std::span<std::uint8_t> buf, std::uint64_t len) {
+  FdEntry* e = GetFd(pid, fd);
+  if (e == nullptr) {
+    return ToErr(FsErr::kInvalid);
+  }
+  const std::uint64_t offset = e->offset;
+  const std::int64_t n = Pread(pid, fd, buf, len, offset);
+  if (n > 0) {
+    // Pread may have been interleaved with other calls; re-fetch the entry
+    // (fd tables can grow) before advancing the offset.
+    if (FdEntry* e2 = GetFd(pid, fd); e2 != nullptr) {
+      e2->offset = offset + static_cast<std::uint64_t>(n);
+    }
+  }
+  return n;
+}
+
+std::int64_t Os::Write(Pid pid, int fd, std::uint64_t len) {
+  FdEntry* e = GetFd(pid, fd);
+  if (e == nullptr) {
+    return ToErr(FsErr::kInvalid);
+  }
+  const std::uint64_t offset = e->offset;
+  const std::int64_t n = Pwrite(pid, fd, len, offset);
+  if (n > 0) {
+    if (FdEntry* e2 = GetFd(pid, fd); e2 != nullptr) {
+      e2->offset = offset + static_cast<std::uint64_t>(n);
+    }
+  }
+  return n;
+}
+
+std::int64_t Os::Lseek(Pid pid, int fd, std::uint64_t offset) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  FdEntry* e = GetFd(pid, fd);
+  if (e == nullptr) {
+    return ToErr(FsErr::kInvalid);
+  }
+  if (offset == kSeekEnd) {
+    InodeAttr attr;
+    if (filesystems_[e->disk]->GetAttr(e->inum, &attr) != FsErr::kOk) {
+      return ToErr(FsErr::kNotFound);
+    }
+    e->offset = attr.size;
+  } else {
+    e->offset = offset;
+  }
+  return static_cast<std::int64_t>(e->offset);
+}
+
+int Os::Fsync(Pid pid, int fd) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  FdEntry* e = GetFd(pid, fd);
+  if (e == nullptr) {
+    return ToErr(FsErr::kInvalid);
+  }
+  const Inum tagged = Tag(e->disk, e->inum);
+  std::vector<std::pair<Inum, std::uint64_t>> pages;
+  for (const std::uint64_t p : cache_.TakeDirtyOfFile(tagged)) {
+    pages.emplace_back(tagged, p);
+  }
+  WritebackPages(pid, std::move(pages));
+  return 0;
+}
+
+int Os::Ftruncate(Pid pid, int fd, std::uint64_t size) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  FdEntry* e = GetFd(pid, fd);
+  if (e == nullptr) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[e->disk];
+  InodeAttr attr;
+  (void)f.GetAttr(e->inum, &attr);
+  if (const FsErr err = f.Resize(e->inum, size, clock_.now()); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  if (size < attr.size) {
+    const std::uint64_t ps = config_.page_size;
+    cache_.DropFilePagesFrom(Tag(e->disk, e->inum), (size + ps - 1) / ps);
+  }
+  return 0;
+}
+
+int Os::Mincore(Pid pid, int fd, std::uint64_t offset, std::uint64_t length,
+                std::vector<bool>* resident) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  if (!profile_.has_mincore) {
+    return ToErr(FsErr::kInvalid);  // interface not available on this platform
+  }
+  FdEntry* e = GetFd(pid, fd);
+  if (e == nullptr) {
+    return ToErr(FsErr::kInvalid);
+  }
+  graysim::InodeAttr attr;
+  if (filesystems_[e->disk]->GetAttr(e->inum, &attr) != FsErr::kOk) {
+    return ToErr(FsErr::kNotFound);
+  }
+  const std::uint64_t ps = config_.page_size;
+  const std::uint64_t end = std::min(attr.size, offset + length);
+  resident->clear();
+  if (offset >= end) {
+    return 0;
+  }
+  const Inum tagged = Tag(e->disk, e->inum);
+  Nanos walk_cost = 0;
+  for (std::uint64_t p = offset / ps; p <= (end - 1) / ps; ++p) {
+    resident->push_back(cache_.Resident(tagged, p));
+    walk_cost += 50;  // the kernel walks page-table/radix entries
+  }
+  Charge(pid, walk_cost);
+  return 0;
+}
+
+int Os::Creat(Pid pid, std::string_view path) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[ref.disk];
+  f.set_clock_hint(clock_.now());
+  Inum inum = kInvalidInum;
+  const FsErr lookup = f.Lookup(ref.sub, &inum);
+  if (lookup == FsErr::kOk) {
+    // POSIX creat truncates an existing file.
+    InodeAttr attr;
+    (void)f.GetAttr(inum, &attr);
+    if (attr.is_dir) {
+      return ToErr(FsErr::kIsDir);
+    }
+    cache_.DropFile(Tag(ref.disk, inum));
+    if (const FsErr err = f.Resize(inum, 0, clock_.now()); err != FsErr::kOk) {
+      return ToErr(err);
+    }
+  } else if (lookup == FsErr::kNotFound) {
+    if (const FsErr err = f.Create(ref.sub, &inum); err != FsErr::kOk) {
+      return ToErr(err);
+    }
+  } else {
+    return ToErr(lookup);
+  }
+  ChargeWalk(pid, ref);
+  MetaDirty(pid, ref.disk, f.InodeBlockOf(inum));
+  auto& table = fd_tables_[pid];
+  int fd = -1;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (!table[i].open) {
+      fd = static_cast<int>(i);
+      break;
+    }
+  }
+  if (fd < 0) {
+    table.emplace_back();
+    fd = static_cast<int>(table.size()) - 1;
+  }
+  table[fd] = FdEntry{true, ref.disk, inum, 0, 0, 0};
+  return fd;
+}
+
+int Os::Stat(Pid pid, std::string_view path, InodeAttr* out) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[ref.disk];
+  if (const FsErr err = f.GetAttrPath(ref.sub, out); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  ChargeWalk(pid, ref);
+  return 0;
+}
+
+int Os::Unlink(Pid pid, std::string_view path) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[ref.disk];
+  f.set_clock_hint(clock_.now());
+  Inum inum = kInvalidInum;
+  if (const FsErr err = f.Lookup(ref.sub, &inum); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  ChargeWalk(pid, ref);
+  cache_.DropFile(Tag(ref.disk, inum));
+  const std::uint64_t inode_block = f.InodeBlockOf(inum);
+  if (const FsErr err = f.Unlink(ref.sub); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  MetaDirty(pid, ref.disk, inode_block);
+  return 0;
+}
+
+int Os::Mkdir(Pid pid, std::string_view path) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[ref.disk];
+  f.set_clock_hint(clock_.now());
+  Inum inum = kInvalidInum;
+  if (const FsErr err = f.Mkdir(ref.sub, &inum); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  MetaDirty(pid, ref.disk, f.InodeBlockOf(inum));
+  return 0;
+}
+
+int Os::Rmdir(Pid pid, std::string_view path) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[ref.disk];
+  f.set_clock_hint(clock_.now());
+  Inum inum = kInvalidInum;
+  if (const FsErr err = f.Lookup(ref.sub, &inum); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  const std::uint64_t inode_block = f.InodeBlockOf(inum);
+  if (const FsErr err = f.Rmdir(ref.sub); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  MetaDirty(pid, ref.disk, inode_block);
+  return 0;
+}
+
+int Os::Rename(Pid pid, std::string_view from, std::string_view to) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  PathRef rfrom;
+  PathRef rto;
+  if (!ParsePath(from, &rfrom) || !ParsePath(to, &rto)) {
+    return ToErr(FsErr::kInvalid);
+  }
+  if (rfrom.disk != rto.disk) {
+    return ToErr(FsErr::kInvalid);  // no cross-device rename
+  }
+  Ffs& f = *filesystems_[rfrom.disk];
+  f.set_clock_hint(clock_.now());
+  // If the rename replaces an existing file, drop its pages.
+  Inum existing = kInvalidInum;
+  if (f.Lookup(rto.sub, &existing) == FsErr::kOk) {
+    cache_.DropFile(Tag(rto.disk, existing));
+  }
+  ChargeWalk(pid, rfrom);
+  if (const FsErr err = f.Rename(rfrom.sub, rto.sub); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  Inum moved = kInvalidInum;
+  if (f.Lookup(rto.sub, &moved) == FsErr::kOk) {
+    MetaDirty(pid, rfrom.disk, f.InodeBlockOf(moved));
+  }
+  return 0;
+}
+
+int Os::ReadDir(Pid pid, std::string_view path, std::vector<DirEntryInfo>* out) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[ref.disk];
+  Inum inum = kInvalidInum;
+  if (const FsErr err = f.Lookup(ref.sub, &inum); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  std::vector<std::uint64_t> blocks;
+  if (f.DirBlocks(inum, &blocks) == FsErr::kOk) {
+    for (const std::uint64_t b : blocks) {
+      MetaRead(pid, ref.disk, b);
+    }
+  }
+  if (const FsErr err = f.ListDir(ref.sub, out); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  return 0;
+}
+
+int Os::Utimes(Pid pid, std::string_view path, Nanos atime, Nanos mtime) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return ToErr(FsErr::kInvalid);
+  }
+  Ffs& f = *filesystems_[ref.disk];
+  Inum inum = kInvalidInum;
+  if (const FsErr err = f.Lookup(ref.sub, &inum); err != FsErr::kOk) {
+    return ToErr(err);
+  }
+  (void)f.SetTimes(inum, atime, mtime);
+  MetaDirty(pid, ref.disk, f.InodeBlockOf(inum));
+  return 0;
+}
+
+// ---- memory ----
+
+VmAreaId Os::VmAlloc(Pid pid, std::uint64_t bytes) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  const std::uint64_t pages = (bytes + config_.page_size - 1) / config_.page_size;
+  return vm_.Alloc(pid, pages);
+}
+
+void Os::VmFree(Pid pid, VmAreaId area) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  vm_.Free(pid, area);
+}
+
+void Os::VmTouch(Pid pid, VmAreaId area, std::uint64_t page_index, bool write) {
+  // A memory access, not a syscall: no syscall overhead.
+  const VmTouchResult r = vm_.Touch(pid, area, page_index, write);
+  switch (r.outcome) {
+    case TouchOutcome::kResident:
+    case TouchOutcome::kZeroRead:
+      Charge(pid, config_.costs.mem_touch);
+      return;
+    case TouchOutcome::kZeroFill:
+      DrainIoWait(pid);  // reclaim writeback/swap-out triggered by the fill
+      Charge(pid, config_.costs.zero_fill_page);
+      return;
+    case TouchOutcome::kSwapIn: {
+      ++os_stats_.swap_ins;
+      SwapIo(r.swap_slot, /*is_write=*/false);
+      DrainIoWait(pid);
+      Charge(pid, config_.costs.page_fault_overhead);
+      return;
+    }
+    case TouchOutcome::kDenied:
+      // Should be unreachable under all three policies; model as a hard
+      // fault so misconfigurations surface in experiments rather than hang.
+      Charge(pid, config_.costs.page_fault_overhead + Millis(10.0));
+      return;
+  }
+}
+
+// ---- write-behind ----
+
+void Os::MaybeFlushDirty(Pid pid, bool force_all) {
+  if (!force_all && cache_.dirty_pages() <= dirty_limit_pages_) {
+    return;
+  }
+  const std::uint64_t target = force_all ? 0 : dirty_limit_pages_ / 2;
+  const std::uint64_t excess = cache_.dirty_pages() - target;
+  WritebackPages(pid, cache_.TakeOldestDirty(excess));
+}
+
+void Os::WritebackPages(Pid pid, std::vector<std::pair<Inum, std::uint64_t>> pages) {
+  if (pages.empty()) {
+    return;
+  }
+  // Map to (disk, disk block), sort, and coalesce contiguous runs.
+  struct Target {
+    int disk;
+    std::uint64_t block;
+  };
+  std::vector<Target> targets;
+  targets.reserve(pages.size());
+  for (const auto& [tagged, page] : pages) {
+    const int disk = DiskOfInum(tagged);
+    std::uint64_t block = page;
+    if (!IsMetaInum(tagged)) {
+      if (filesystems_[disk]->BlockOf(LocalInum(tagged), page, &block) != FsErr::kOk) {
+        continue;  // truncated/unlinked since dirtying
+      }
+    }
+    targets.push_back(Target{disk, block});
+  }
+  std::sort(targets.begin(), targets.end(), [](const Target& a, const Target& b) {
+    return a.disk != b.disk ? a.disk < b.disk : a.block < b.block;
+  });
+  std::size_t i = 0;
+  while (i < targets.size()) {
+    std::size_t j = i + 1;
+    while (j < targets.size() && targets[j].disk == targets[i].disk &&
+           targets[j].block == targets[j - 1].block + 1) {
+      ++j;
+    }
+    os_stats_.writeback_pages += j - i;
+    DiskIo(targets[i].disk, targets[i].block, j - i, /*is_write=*/true);
+    i = j;
+  }
+  DrainIoWait(pid);
+}
+
+// ---- experiment control & introspection ----
+
+void Os::FlushFileCache() { cache_.DropAll(nullptr); }
+
+bool Os::PageResidentPath(std::string_view path, std::uint64_t page_index) const {
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return false;
+  }
+  Inum inum = kInvalidInum;
+  if (filesystems_[ref.disk]->Lookup(ref.sub, &inum) != FsErr::kOk) {
+    return false;
+  }
+  return cache_.Resident(Tag(ref.disk, inum), page_index);
+}
+
+double Os::ResidentFraction(std::string_view path) const {
+  PathRef ref;
+  if (!ParsePath(path, &ref)) {
+    return 0.0;
+  }
+  InodeAttr attr;
+  if (filesystems_[ref.disk]->GetAttrPath(ref.sub, &attr) != FsErr::kOk) {
+    return 0.0;
+  }
+  Inum inum = kInvalidInum;
+  (void)filesystems_[ref.disk]->Lookup(ref.sub, &inum);
+  const std::uint64_t pages = (attr.size + config_.page_size - 1) / config_.page_size;
+  if (pages == 0) {
+    return 1.0;
+  }
+  const std::uint64_t resident = cache_.ResidentPagesOfFile(Tag(ref.disk, inum));
+  return static_cast<double>(resident) / static_cast<double>(pages);
+}
+
+}  // namespace graysim

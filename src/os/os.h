@@ -1,0 +1,237 @@
+// The simulated operating system: POSIX-flavoured syscalls over the disk
+// model, FFS file systems, unified page cache, and virtual memory.
+//
+// This is the gray box. Every syscall charges virtual time to the calling
+// process; elapsed virtual time is the only channel through which the
+// gray-box layers in src/gray observe internal state. Ground-truth
+// introspection methods (clearly marked) exist solely for tests and for
+// reproducing the paper's "modified kernel" baselines (e.g., the presence
+// bitmap used to validate Fig 1).
+//
+// Paths name a disk explicitly: "/d0/dir/file" is on disk 0. The last disk
+// doubles as the paging (swap) device, as in the paper's Fig 7 setup.
+#ifndef SRC_OS_OS_H_
+#define SRC_OS_OS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/page_cache.h"
+#include "src/disk/disk.h"
+#include "src/fs/ffs.h"
+#include "src/mem/mem_system.h"
+#include "src/os/platform.h"
+#include "src/os/scheduler.h"
+#include "src/sim/clock.h"
+#include "src/sim/rng.h"
+#include "src/vm/vm.h"
+
+namespace graysim {
+
+struct OsStats {
+  std::uint64_t syscalls = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t swap_ins = 0;
+  std::uint64_t swap_outs = 0;
+  std::uint64_t readahead_pages = 0;
+  std::uint64_t writeback_pages = 0;
+};
+
+class Os {
+ public:
+  explicit Os(PlatformProfile profile, MachineConfig config = MachineConfig{});
+
+  Os(const Os&) = delete;
+  Os& operator=(const Os&) = delete;
+
+  // ---- processes ----
+  // A default process (pid 0) exists for single-process experiments.
+  [[nodiscard]] Pid default_pid() const { return 0; }
+  // Runs the given bodies as concurrently scheduled processes. Each body
+  // receives a fresh pid. Blocks until all complete.
+  void RunProcesses(const std::vector<std::function<void(Pid)>>& bodies);
+
+  // ---- time ----
+  [[nodiscard]] Nanos Now() const { return clock_.now(); }
+  void Sleep(Pid pid, Nanos duration);
+  void Compute(Pid pid, Nanos duration);  // CPU burn, preemptible
+
+  // ---- files ----
+  // All calls return >= 0 on success; a negative value is
+  // -static_cast<int>(FsErr).
+  [[nodiscard]] int Open(Pid pid, std::string_view path);
+  int Close(Pid pid, int fd);
+  // Reads `len` bytes at `offset`. `buf` may be empty (timing-only read); if
+  // non-empty, min(len, buf.size()) bytes of deterministic content are
+  // produced.
+  std::int64_t Pread(Pid pid, int fd, std::span<std::uint8_t> buf, std::uint64_t len,
+                     std::uint64_t offset);
+  std::int64_t Pwrite(Pid pid, int fd, std::uint64_t len, std::uint64_t offset);
+  // Sequential variants: read/write at the fd's file offset, advancing it.
+  std::int64_t Read(Pid pid, int fd, std::span<std::uint8_t> buf, std::uint64_t len);
+  std::int64_t Write(Pid pid, int fd, std::uint64_t len);
+  // Repositions the fd offset (SEEK_SET semantics; pass kSeekEnd for EOF).
+  static constexpr std::uint64_t kSeekEnd = ~0ULL;
+  std::int64_t Lseek(Pid pid, int fd, std::uint64_t offset);
+  int Fsync(Pid pid, int fd);
+  int Ftruncate(Pid pid, int fd, std::uint64_t size);
+
+  // mincore(2): residency bitmap for a byte range of an open file. Returns
+  // -kInvalid on platforms whose profile lacks the interface (paper §4.1
+  // footnote 1).
+  int Mincore(Pid pid, int fd, std::uint64_t offset, std::uint64_t length,
+              std::vector<bool>* resident);
+
+  int Creat(Pid pid, std::string_view path);  // returns fd; truncates
+  int Stat(Pid pid, std::string_view path, InodeAttr* out);
+  int Unlink(Pid pid, std::string_view path);
+  int Mkdir(Pid pid, std::string_view path);
+  int Rmdir(Pid pid, std::string_view path);
+  int Rename(Pid pid, std::string_view from, std::string_view to);
+  int ReadDir(Pid pid, std::string_view path, std::vector<DirEntryInfo>* out);
+  int Utimes(Pid pid, std::string_view path, Nanos atime, Nanos mtime);
+
+  // ---- memory ----
+  [[nodiscard]] VmAreaId VmAlloc(Pid pid, std::uint64_t bytes);
+  void VmFree(Pid pid, VmAreaId area);
+  // Touches one page of the area; write=true models a store.
+  void VmTouch(Pid pid, VmAreaId area, std::uint64_t page_index, bool write);
+
+  [[nodiscard]] std::uint32_t page_size() const { return config_.page_size; }
+  [[nodiscard]] const CostModel& costs() const { return config_.costs; }
+  [[nodiscard]] const PlatformProfile& profile() const { return profile_; }
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  // ---- experiment control (not part of the gray-box interface) ----
+  // Drops the entire file cache without charging time ("reboot-fresh" cache,
+  // used between experiment trials exactly as the paper flushes caches).
+  void FlushFileCache();
+  // Also returns all swapped anon pages to the untouched state? No — swap
+  // state belongs to processes; experiments recreate processes instead.
+
+  // ---- ground truth introspection (tests & benches only) ----
+  [[nodiscard]] bool PageResidentPath(std::string_view path, std::uint64_t page_index) const;
+  [[nodiscard]] double ResidentFraction(std::string_view path) const;
+  [[nodiscard]] std::uint64_t FileCachePages() const { return cache_.resident_pages(); }
+  [[nodiscard]] std::uint64_t FreeMemBytes() const {
+    return mem_.free_pages() * config_.page_size;
+  }
+  [[nodiscard]] std::uint64_t UsableMemBytes() const {
+    return mem_.total_pages() * config_.page_size;
+  }
+  [[nodiscard]] const OsStats& stats() const { return os_stats_; }
+  [[nodiscard]] const MemStats& mem_stats() const { return mem_.stats(); }
+  [[nodiscard]] const DiskStats& disk_stats(int disk) const { return disks_[disk].stats(); }
+  [[nodiscard]] const Ffs& fs(int disk) const { return *filesystems_[disk]; }
+  [[nodiscard]] Ffs& fs_mutable(int disk) { return *filesystems_[disk]; }
+  [[nodiscard]] int num_disks() const { return static_cast<int>(disks_.size()); }
+  [[nodiscard]] std::uint64_t VmResidentPages(Pid pid) const { return vm_.ResidentPages(pid); }
+
+ private:
+  struct FdEntry {
+    bool open = false;
+    int disk = -1;
+    Inum inum = kInvalidInum;
+    // File offset for the sequential Read/Write variants.
+    std::uint64_t offset = 0;
+    // Sequential-readahead state.
+    std::uint64_t next_seq_offset = 0;
+    std::uint32_t ra_window_pages = 0;
+  };
+
+  struct PathRef {
+    int disk = -1;
+    std::string sub;  // path within the file system
+  };
+
+  // Splits "/dN/rest" into (N, "/rest"). Returns false on malformed paths.
+  [[nodiscard]] bool ParsePath(std::string_view path, PathRef* out) const;
+
+  // Charges CPU-side `cost` to pid (advances clock; may yield under the
+  // scheduler). Applies the configured multiplicative timing jitter.
+  void Charge(Pid pid, Nanos cost);
+  [[nodiscard]] Nanos Jittered(Nanos cost);
+
+  // Performs a disk access of `pages` pages starting at fs block `block`.
+  // The wait accrues into io_accumulated_ (see below); callers drain it with
+  // DrainIoWait once the logical operation's I/O is complete.
+  void DiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write);
+  // Disk access to the swap partition (last disk, upper half).
+  void SwapIo(std::uint64_t slot, bool is_write);
+  // Queues a service time on a disk's busy timeline. Requests to one device
+  // serialize; different devices proceed in parallel. The incremental wait
+  // (relative to clock + already-accumulated wait) accrues into
+  // io_accumulated_ — chained requests inside one operation are therefore
+  // accounted exactly once.
+  void QueueOnDisk(int disk, Nanos service);
+  // Blocks pid for all accumulated I/O wait (under the scheduler, other
+  // processes run meanwhile — blocking I/O releases the CPU).
+  void DrainIoWait(Pid pid);
+
+  // Deterministic synthesized file content (the simulation stores no data).
+  [[nodiscard]] static std::uint8_t ContentByte(Inum tagged, std::uint64_t offset);
+
+  // Reads a metadata block (inode table / directory) through the cache.
+  void MetaRead(Pid pid, int disk, std::uint64_t block);
+  void MetaDirty(Pid pid, int disk, std::uint64_t block);
+
+  // Charges the directory walk + final inode read for resolving `path`.
+  void ChargeWalk(Pid pid, const PathRef& ref);
+
+  // Write-behind: flush oldest dirty pages when over the dirty limit.
+  void MaybeFlushDirty(Pid pid, bool force_all);
+  // Writes the given file pages back to disk, coalescing contiguous runs.
+  void WritebackPages(Pid pid, std::vector<std::pair<Inum, std::uint64_t>> pages);
+
+  // Page-cache keys tag the fs-local inum with its disk so files on
+  // different disks never collide: tagged = (disk << 24) | inum. The
+  // reserved local value 0xFFFFFF denotes that disk's metadata pseudo-file
+  // (inode table and directory blocks, keyed by disk block number).
+  static constexpr Inum kMetaLocalInum = 0xFFFFFF;
+  [[nodiscard]] static Inum Tag(int disk, Inum inum) {
+    return (static_cast<Inum>(disk) << 24) | inum;
+  }
+  [[nodiscard]] static Inum LocalInum(Inum tagged) { return tagged & kMetaLocalInum; }
+  [[nodiscard]] static int DiskOfInum(Inum tagged) { return static_cast<int>(tagged >> 24); }
+  [[nodiscard]] static bool IsMetaInum(Inum tagged) {
+    return LocalInum(tagged) == kMetaLocalInum;
+  }
+
+  [[nodiscard]] FdEntry* GetFd(Pid pid, int fd);
+
+  PlatformProfile profile_;
+  MachineConfig config_;
+  SimClock clock_;
+  Scheduler scheduler_;
+  MemSystem mem_;
+  PageCache cache_;
+  Vm vm_;
+  std::vector<Disk> disks_;
+  std::vector<Nanos> disk_busy_until_;
+  // I/O wait accumulated by the operation currently executing (the
+  // turnstile guarantees at most one operation runs at a time).
+  Nanos io_accumulated_ = 0;
+  std::vector<std::unique_ptr<Ffs>> filesystems_;
+  std::vector<std::vector<FdEntry>> fd_tables_;  // per pid
+  std::unordered_map<Pid, int> sched_index_;     // pid -> scheduler slot
+  std::uint64_t dirty_limit_pages_ = 0;
+  std::uint64_t swap_base_offset_ = 0;
+  int swap_disk_ = 0;
+  bool in_scheduler_run_ = false;
+  Pid next_pid_ = 1;
+  Rng jitter_rng_;
+  OsStats os_stats_;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_OS_OS_H_

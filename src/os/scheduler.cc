@@ -1,0 +1,143 @@
+#include "src/os/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace graysim {
+
+void Scheduler::Run(const std::vector<std::function<void(int)>>& bodies) {
+  const int n = static_cast<int>(bodies.size());
+  assert(n > 0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    procs_.clear();
+    for (int i = 0; i < n; ++i) {
+      procs_.push_back(std::make_unique<Proc>());
+    }
+    current_ = 0;
+    done_count_ = 0;
+    active_ = true;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([this, i, &bodies] {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        procs_[i]->cv.wait(lock, [this, i] { return current_ == i; });
+      }
+      bodies[i](i);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        procs_[i]->state = State::kDone;
+        ++done_count_;
+        const int next = PickNextLocked(i);
+        HandOffLocked(lock, i, next);
+        if (done_count_ == static_cast<int>(procs_.size())) {
+          all_done_cv_.notify_all();
+        }
+      }
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_cv_.wait(lock, [this, n] { return done_count_ == n; });
+    active_ = false;
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+int Scheduler::PickNextLocked(int from) {
+  const int n = static_cast<int>(procs_.size());
+  while (true) {
+    // Wake any sleepers whose deadline has passed.
+    for (int j = 0; j < n; ++j) {
+      Proc& p = *procs_[j];
+      if (p.state == State::kSleeping && p.wake_at <= clock_->now()) {
+        p.state = State::kReady;
+        p.slice_used = 0;
+      }
+    }
+    // Round-robin scan starting after `from`.
+    for (int k = 1; k <= n; ++k) {
+      const int j = (from + k) % n;
+      if (procs_[j]->state == State::kReady) {
+        return j;
+      }
+    }
+    // Nobody ready: either all done, or everyone sleeps — jump the clock.
+    Nanos min_wake = 0;
+    bool have_sleeper = false;
+    for (int j = 0; j < n; ++j) {
+      const Proc& p = *procs_[j];
+      if (p.state == State::kSleeping) {
+        if (!have_sleeper || p.wake_at < min_wake) {
+          min_wake = p.wake_at;
+          have_sleeper = true;
+        }
+      }
+    }
+    if (!have_sleeper) {
+      return -1;  // all done
+    }
+    clock_->AdvanceTo(std::max(clock_->now(), min_wake));
+  }
+}
+
+void Scheduler::HandOffLocked(std::unique_lock<std::mutex>& lock, int me, int next) {
+  if (next == -1) {
+    current_ = -1;
+    return;
+  }
+  if (next == me && procs_[me]->state == State::kReady) {
+    procs_[me]->slice_used = 0;
+    return;  // nobody else to run; keep going
+  }
+  current_ = next;
+  procs_[next]->slice_used = 0;
+  procs_[next]->cv.notify_one();
+  if (procs_[me]->state == State::kDone) {
+    return;  // exiting thread never takes the turn again
+  }
+  procs_[me]->cv.wait(lock, [this, me] { return current_ == me; });
+}
+
+void Scheduler::Charge(int proc, Nanos cost) {
+  std::unique_lock<std::mutex> lock(mu_);
+  clock_->Advance(cost);
+  Proc& p = *procs_[proc];
+  p.slice_used += cost;
+  if (p.slice_used >= slice_) {
+    const int next = PickNextLocked(proc);
+    HandOffLocked(lock, proc, next);
+  }
+}
+
+void Scheduler::Sleep(int proc, Nanos duration) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Proc& p = *procs_[proc];
+  p.state = State::kSleeping;
+  p.wake_at = clock_->now() + duration;
+  const int next = PickNextLocked(proc);
+  if (next == -1) {
+    // Only sleeper left: PickNextLocked advanced the clock and made us ready
+    // again — but it returns -1 only when no sleepers remain, so this means
+    // everyone else is done and we were woken by the clock jump.
+    p.state = State::kReady;
+    clock_->AdvanceTo(std::max(clock_->now(), p.wake_at));
+    return;
+  }
+  HandOffLocked(lock, proc, next);
+}
+
+void Scheduler::Yield(int proc) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int next = PickNextLocked(proc);
+  HandOffLocked(lock, proc, next);
+}
+
+}  // namespace graysim

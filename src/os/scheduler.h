@@ -1,0 +1,83 @@
+// Deterministic cooperative round-robin scheduler for simulated processes.
+//
+// Each simulated process runs on its own host thread, but a turnstile
+// guarantees that exactly one thread executes at a time: a thread only runs
+// while it holds the turn, and turns are handed off at syscall-charge points,
+// sleeps, and exits. Because hand-off decisions depend only on virtual time
+// and a fixed round-robin order, execution is fully deterministic regardless
+// of host scheduling.
+//
+// This gives the paper's multiprogrammed experiments (4 competing fastsorts
+// under MAC, Fig 7) interleaved execution on one virtual clock.
+#ifndef SRC_OS_SCHEDULER_H_
+#define SRC_OS_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace graysim {
+
+class Scheduler {
+ public:
+  Scheduler(SimClock* clock, Nanos slice) : clock_(clock), slice_(slice) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Runs all bodies to completion; bodies[i] is invoked with proc index i.
+  // Blocks the calling thread until every body returns.
+  void Run(const std::vector<std::function<void(int)>>& bodies);
+
+  // True while Run() is executing (i.e., charges should consider yielding).
+  [[nodiscard]] bool active() const { return active_; }
+
+  // Charges `cost` of virtual time to proc and yields if its slice expired.
+  void Charge(int proc, Nanos cost);
+
+  // Puts proc to sleep for `duration` of virtual time.
+  void Sleep(int proc, Nanos duration);
+
+  // Voluntarily gives up the remainder of the slice.
+  void Yield(int proc);
+
+  [[nodiscard]] Nanos slice() const { return slice_; }
+
+ private:
+  enum class State : std::uint8_t { kReady, kSleeping, kDone };
+
+  struct Proc {
+    State state = State::kReady;
+    Nanos wake_at = 0;
+    Nanos slice_used = 0;
+    std::condition_variable cv;
+  };
+
+  // Picks the next runnable proc after `from` (round-robin), waking sleepers
+  // whose deadline has passed and advancing the clock if everyone sleeps.
+  // Returns -1 when all procs are done. Requires mu_ held.
+  [[nodiscard]] int PickNextLocked(int from);
+
+  // Hands the turn to `next` and, unless this proc is done, blocks until the
+  // turn comes back. Requires lock held (released while waiting).
+  void HandOffLocked(std::unique_lock<std::mutex>& lock, int me, int next);
+
+  SimClock* clock_;
+  Nanos slice_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  int current_ = -1;
+  int done_count_ = 0;
+  bool active_ = false;
+  std::condition_variable all_done_cv_;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_OS_SCHEDULER_H_

@@ -1,0 +1,50 @@
+// Virtual-time clock for the graysim simulated machine.
+//
+// All activity in the simulated OS is accounted in virtual nanoseconds on a
+// single monotonically increasing clock. The clock is the covert channel the
+// gray-box ICLs observe: it plays the role that rdtsc/gettimeofday play on a
+// real machine.
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace graysim {
+
+// Virtual nanoseconds since machine boot.
+using Nanos = std::uint64_t;
+
+constexpr Nanos kMicrosecond = 1'000;
+constexpr Nanos kMillisecond = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+constexpr Nanos Micros(double us) { return static_cast<Nanos>(us * kMicrosecond); }
+constexpr Nanos Millis(double ms) { return static_cast<Nanos>(ms * kMillisecond); }
+constexpr Nanos Seconds(double s) { return static_cast<Nanos>(s * kSecond); }
+
+constexpr double ToSeconds(Nanos t) { return static_cast<double>(t) / kSecond; }
+constexpr double ToMillis(Nanos t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToMicros(Nanos t) { return static_cast<double>(t) / kMicrosecond; }
+
+// Monotonic virtual clock. Only ever advances.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  [[nodiscard]] Nanos now() const { return now_; }
+
+  void Advance(Nanos delta) { now_ += delta; }
+
+  void AdvanceTo(Nanos t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+
+ private:
+  Nanos now_ = 0;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_SIM_CLOCK_H_

@@ -1,0 +1,161 @@
+#include "src/vm/vm.h"
+
+#include <cassert>
+
+namespace graysim {
+
+VmAreaId Vm::Alloc(Pid pid, std::uint64_t pages) {
+  ProcessSpace& space = spaces_[pid];
+  const VmAreaId id = next_area_++;
+  space.areas.emplace(id, Area{space.next_vpage, pages});
+  space.next_vpage += pages;
+  return id;
+}
+
+void Vm::Free(Pid pid, VmAreaId area_id) {
+  ProcessSpace& space = spaces_[pid];
+  const auto it = space.areas.find(area_id);
+  assert(it != space.areas.end());
+  const Area area = it->second;
+  for (std::uint64_t i = 0; i < area.pages; ++i) {
+    const std::uint64_t vpage = area.base_vpage + i;
+    const auto pte_it = space.table.find(vpage);
+    if (pte_it == space.table.end()) {
+      continue;
+    }
+    if (pte_it->second.state == PteState::kResident) {
+      mem_->Remove(pte_it->second.ref);
+    } else if (pte_it->second.state == PteState::kSwapped) {
+      FreeSwapSlot(pte_it->second.swap_slot);
+    }
+    space.table.erase(pte_it);
+  }
+  space.areas.erase(it);
+}
+
+VmTouchResult Vm::Touch(Pid pid, VmAreaId area_id, std::uint64_t index, bool write) {
+  ProcessSpace& space = spaces_[pid];
+  const auto area_it = space.areas.find(area_id);
+  assert(area_it != space.areas.end());
+  assert(index < area_it->second.pages);
+  const std::uint64_t vpage = area_it->second.base_vpage + index;
+
+  VmTouchResult result;
+  Pte& pte = space.table[vpage];
+  switch (pte.state) {
+    case PteState::kResident:
+      mem_->Touch(pte.ref);
+      result.outcome = TouchOutcome::kResident;
+      return result;
+    case PteState::kUnmapped: {
+      if (!write) {
+        // Copy-on-write zero page: no frame allocated.
+        result.outcome = TouchOutcome::kZeroRead;
+        return result;
+      }
+      const auto ref =
+          mem_->Insert(Page{PageKind::kAnon, pid, vpage, /*dirty=*/true}, &result.evict_cost);
+      if (!ref.has_value()) {
+        result.outcome = TouchOutcome::kDenied;
+        return result;
+      }
+      pte.state = PteState::kResident;
+      pte.ref = *ref;
+      result.outcome = TouchOutcome::kZeroFill;
+      return result;
+    }
+    case PteState::kSwapped: {
+      const std::uint64_t slot = pte.swap_slot;
+      const auto ref =
+          mem_->Insert(Page{PageKind::kAnon, pid, vpage, /*dirty=*/true}, &result.evict_cost);
+      if (!ref.has_value()) {
+        result.outcome = TouchOutcome::kDenied;
+        return result;
+      }
+      FreeSwapSlot(slot);
+      pte.state = PteState::kResident;
+      pte.ref = *ref;
+      result.outcome = TouchOutcome::kSwapIn;
+      result.swap_slot = slot;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::uint64_t Vm::OnEvicted(const Page& page) {
+  const Pid pid = static_cast<Pid>(page.key1);
+  const std::uint64_t vpage = page.key2;
+  ProcessSpace& space = spaces_.at(pid);
+  const auto it = space.table.find(vpage);
+  assert(it != space.table.end());
+  assert(it->second.state == PteState::kResident);
+  const std::uint64_t slot = AllocSwapSlot();
+  it->second.state = PteState::kSwapped;
+  it->second.swap_slot = slot;
+  return slot;
+}
+
+std::uint64_t Vm::ResidentPages(Pid pid) const {
+  const auto it = spaces_.find(pid);
+  if (it == spaces_.end()) {
+    return 0;
+  }
+  std::uint64_t n = 0;
+  for (const auto& [vpage, pte] : it->second.table) {
+    if (pte.state == PteState::kResident) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t Vm::AreaPages(Pid pid, VmAreaId area) const {
+  const auto it = spaces_.find(pid);
+  if (it == spaces_.end()) {
+    return 0;
+  }
+  const auto area_it = it->second.areas.find(area);
+  return area_it == it->second.areas.end() ? 0 : area_it->second.pages;
+}
+
+bool Vm::PageResident(Pid pid, VmAreaId area, std::uint64_t index) const {
+  const auto it = spaces_.find(pid);
+  if (it == spaces_.end()) {
+    return false;
+  }
+  const auto area_it = it->second.areas.find(area);
+  if (area_it == it->second.areas.end()) {
+    return false;
+  }
+  const auto pte_it = it->second.table.find(area_it->second.base_vpage + index);
+  return pte_it != it->second.table.end() && pte_it->second.state == PteState::kResident;
+}
+
+void Vm::ReleaseProcess(Pid pid) {
+  const auto it = spaces_.find(pid);
+  if (it == spaces_.end()) {
+    return;
+  }
+  for (auto& [vpage, pte] : it->second.table) {
+    if (pte.state == PteState::kResident) {
+      mem_->Remove(pte.ref);
+    } else if (pte.state == PteState::kSwapped) {
+      FreeSwapSlot(pte.swap_slot);
+    }
+  }
+  spaces_.erase(it);
+}
+
+std::uint64_t Vm::AllocSwapSlot() {
+  if (!free_swap_slots_.empty()) {
+    const std::uint64_t slot = free_swap_slots_.back();
+    free_swap_slots_.pop_back();
+    return slot;
+  }
+  return next_swap_slot_++;
+}
+
+void Vm::FreeSwapSlot(std::uint64_t slot) { free_swap_slots_.push_back(slot); }
+
+}  // namespace graysim

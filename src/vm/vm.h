@@ -1,0 +1,100 @@
+// Virtual memory: per-process anonymous regions, demand zero-fill, swap.
+//
+// Semantics MAC depends on (paper §4.3.1):
+//  * reading an unallocated page hits the copy-on-write zero page and does
+//    NOT allocate a frame — probes must *write*;
+//  * the first write allocates and zero-fills a frame (medium cost);
+//  * a write to a swapped-out page pays a swap-in disk read (slow);
+//  * frames come from the shared MemSystem pool, so anonymous demand
+//    competes with the file cache exactly as in a unified VM system.
+#ifndef SRC_VM_VM_H_
+#define SRC_VM_VM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/mem_system.h"
+#include "src/sim/clock.h"
+
+namespace graysim {
+
+using Pid = std::uint32_t;
+using VmAreaId = std::uint64_t;
+
+enum class TouchOutcome : std::uint8_t {
+  kResident,   // already mapped: fast
+  kZeroFill,   // first write: frame allocated and zeroed
+  kZeroRead,   // read of unallocated page: COW zero page, no allocation
+  kSwapIn,     // page was swapped out: disk read required
+  kDenied,     // no frame could be obtained (pool exhausted and nothing
+               // evictable)
+};
+
+struct VmTouchResult {
+  TouchOutcome outcome = TouchOutcome::kResident;
+  Nanos evict_cost = 0;          // writeback/swap-out I/O triggered by reclaim
+  std::uint64_t swap_slot = 0;   // valid when outcome == kSwapIn
+};
+
+class Vm {
+ public:
+  explicit Vm(MemSystem* mem) : mem_(mem) {}
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // Reserves `pages` of address space; no frames are allocated yet.
+  [[nodiscard]] VmAreaId Alloc(Pid pid, std::uint64_t pages);
+
+  // Releases the region, freeing resident frames and swap slots.
+  void Free(Pid pid, VmAreaId area);
+
+  // Touches page `index` within `area`. The Os layer translates the outcome
+  // into time.
+  [[nodiscard]] VmTouchResult Touch(Pid pid, VmAreaId area, std::uint64_t index, bool write);
+
+  // Eviction callback: assigns a swap slot and unmaps. Returns the slot so
+  // the Os can charge the swap-out write.
+  std::uint64_t OnEvicted(const Page& page);
+
+  [[nodiscard]] std::uint64_t ResidentPages(Pid pid) const;
+  [[nodiscard]] std::uint64_t AreaPages(Pid pid, VmAreaId area) const;
+  [[nodiscard]] bool PageResident(Pid pid, VmAreaId area, std::uint64_t index) const;
+
+  // Releases everything belonging to a process (exit).
+  void ReleaseProcess(Pid pid);
+
+ private:
+  enum class PteState : std::uint8_t { kUnmapped, kResident, kSwapped };
+
+  struct Pte {
+    PteState state = PteState::kUnmapped;
+    MemSystem::PageRef ref;       // valid when kResident
+    std::uint64_t swap_slot = 0;  // valid when kSwapped
+  };
+
+  struct Area {
+    std::uint64_t base_vpage = 0;
+    std::uint64_t pages = 0;
+  };
+
+  struct ProcessSpace {
+    std::uint64_t next_vpage = 1;
+    std::unordered_map<VmAreaId, Area> areas;
+    std::unordered_map<std::uint64_t, Pte> table;  // vpage -> pte
+  };
+
+  [[nodiscard]] std::uint64_t AllocSwapSlot();
+  void FreeSwapSlot(std::uint64_t slot);
+
+  MemSystem* mem_;
+  std::unordered_map<Pid, ProcessSpace> spaces_;
+  VmAreaId next_area_ = 1;
+  std::uint64_t next_swap_slot_ = 0;
+  std::vector<std::uint64_t> free_swap_slots_;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_VM_VM_H_

@@ -1,0 +1,33 @@
+#include "src/workloads/aging.h"
+
+#include "src/workloads/filegen.h"
+
+namespace graywork {
+
+void DirectoryAger::RunEpoch(int files_per_epoch) {
+  std::vector<std::string> files = Files();
+  for (int i = 0; i < files_per_epoch && !files.empty(); ++i) {
+    const std::size_t victim = rng_.Below(files.size());
+    (void)os_->Unlink(pid_, files[victim]);
+    files.erase(files.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  for (int i = 0; i < files_per_epoch; ++i) {
+    const std::string path = dir_ + "/aged" + std::to_string(next_name_++);
+    (void)MakeFile(*os_, pid_, path, file_bytes_);
+  }
+}
+
+std::vector<std::string> DirectoryAger::Files() const {
+  std::vector<graysim::DirEntryInfo> entries;
+  std::vector<std::string> files;
+  if (os_->ReadDir(pid_, dir_, &entries) == 0) {
+    for (const auto& e : entries) {
+      if (!e.is_dir) {
+        files.push_back(dir_ + "/" + e.name);
+      }
+    }
+  }
+  return files;
+}
+
+}  // namespace graywork

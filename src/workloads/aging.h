@@ -1,0 +1,40 @@
+// Directory-aging driver (paper §4.2.3, Fig 6).
+//
+// One epoch deletes `files_per_epoch` random files from the directory and
+// creates the same number of new ones, which land in freed inode slots and
+// data holes — gradually destroying the i-number/layout correlation.
+#ifndef SRC_WORKLOADS_AGING_H_
+#define SRC_WORKLOADS_AGING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/os/os.h"
+#include "src/sim/rng.h"
+
+namespace graywork {
+
+class DirectoryAger {
+ public:
+  DirectoryAger(graysim::Os* os, graysim::Pid pid, std::string dir,
+                std::uint64_t file_bytes, std::uint64_t seed)
+      : os_(os), pid_(pid), dir_(std::move(dir)), file_bytes_(file_bytes), rng_(seed) {}
+
+  // Runs one delete-5/create-5 epoch (counts configurable).
+  void RunEpoch(int files_per_epoch = 5);
+
+  // Current file paths in the directory.
+  [[nodiscard]] std::vector<std::string> Files() const;
+
+ private:
+  graysim::Os* os_;
+  graysim::Pid pid_;
+  std::string dir_;
+  std::uint64_t file_bytes_;
+  graysim::Rng rng_;
+  std::uint64_t next_name_ = 0;
+};
+
+}  // namespace graywork
+
+#endif  // SRC_WORKLOADS_AGING_H_

@@ -1,0 +1,45 @@
+#include "src/workloads/filegen.h"
+
+#include <algorithm>
+
+namespace graywork {
+
+using graysim::Os;
+using graysim::Pid;
+
+bool MakeFile(Os& os, Pid pid, const std::string& path, std::uint64_t bytes) {
+  const int fd = os.Creat(pid, path);
+  if (fd < 0) {
+    return false;
+  }
+  constexpr std::uint64_t kChunk = 1ULL * 1024 * 1024;
+  for (std::uint64_t off = 0; off < bytes; off += kChunk) {
+    const std::uint64_t n = std::min(kChunk, bytes - off);
+    if (os.Pwrite(pid, fd, n, off) < 0) {
+      (void)os.Close(pid, fd);
+      return false;
+    }
+  }
+  if (os.Fsync(pid, fd) < 0) {
+    (void)os.Close(pid, fd);
+    return false;
+  }
+  return os.Close(pid, fd) == 0;
+}
+
+std::vector<std::string> MakeFileSet(Os& os, Pid pid, const std::string& dir, int count,
+                                     std::uint64_t bytes, const std::string& prefix) {
+  (void)os.Mkdir(pid, dir);
+  std::vector<std::string> paths;
+  paths.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::string path = dir + "/" + prefix + std::to_string(i);
+    if (!MakeFile(os, pid, path, bytes)) {
+      break;
+    }
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace graywork

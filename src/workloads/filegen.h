@@ -1,0 +1,26 @@
+// File-set generation helpers shared by tests, examples, and benches.
+#ifndef SRC_WORKLOADS_FILEGEN_H_
+#define SRC_WORKLOADS_FILEGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/os/os.h"
+
+namespace graywork {
+
+// Creates (or truncates) a file of `bytes` by sequential writes; fsyncs.
+// Returns false on failure.
+bool MakeFile(graysim::Os& os, graysim::Pid pid, const std::string& path,
+              std::uint64_t bytes);
+
+// Creates `count` files of `bytes` each under `dir` (created if missing),
+// named <prefix><i>. Returns their paths in creation order.
+std::vector<std::string> MakeFileSet(graysim::Os& os, graysim::Pid pid,
+                                     const std::string& dir, int count,
+                                     std::uint64_t bytes,
+                                     const std::string& prefix = "f");
+
+}  // namespace graywork
+
+#endif  // SRC_WORKLOADS_FILEGEN_H_

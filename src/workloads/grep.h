@@ -1,0 +1,61 @@
+// grep-like scanning workloads (paper §4.1.3 and Fig 3/4).
+//
+// Three variants of each run, mirroring the paper's application study:
+//  * Unmodified: scans files in the order given (what GNU grep does);
+//  * GrayBox (gb-grep): internally reorders files with the FCCD (the
+//    "10 lines became 30" modification);
+//  * WithGbp: the unmodified scan fed by `gbp` output — same ordering
+//    benefit plus the extra fork/exec and the redundant opens the paper
+//    measures.
+//
+// The scan itself reads each file sequentially in 64 KB requests and burns
+// CPU at the configured scan rate.
+#ifndef SRC_WORKLOADS_GREP_H_
+#define SRC_WORKLOADS_GREP_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/gray/gbp/gbp.h"
+#include "src/os/os.h"
+
+namespace graywork {
+
+struct GrepResult {
+  graysim::Nanos elapsed = 0;
+  std::uint64_t bytes_scanned = 0;
+  int files_scanned = 0;
+  bool found = false;
+};
+
+class Grep {
+ public:
+  Grep(graysim::Os* os, graysim::Pid pid) : os_(os), pid_(pid) {}
+
+  // Full scan of every file, in the given order.
+  GrepResult Run(std::span<const std::string> paths);
+
+  // gb-grep: reorders the file list with the FCCD first.
+  GrepResult RunGrayBox(std::span<const std::string> paths);
+
+  // Unmodified grep over `gbp <mode> *` output: adds the fork/exec of gbp
+  // and gbp's own probe opens before the scan.
+  GrepResult RunWithGbp(std::span<const std::string> paths, gray::GbpMode mode);
+
+  // Search variant (Fig 4): scans until the file containing the match is
+  // processed, then stops. `gray_order` reorders with FCCD first.
+  GrepResult RunSearch(std::span<const std::string> paths, const std::string& match_path,
+                       bool gray_order);
+
+ private:
+  // Scans one file completely; returns bytes read.
+  std::uint64_t ScanFile(const std::string& path);
+
+  graysim::Os* os_;
+  graysim::Pid pid_;
+};
+
+}  // namespace graywork
+
+#endif  // SRC_WORKLOADS_GREP_H_

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "src/classic/cosched.h"
+#include "src/classic/manners.h"
+#include "src/classic/tcp.h"
+
+namespace grayclassic {
+namespace {
+
+// --- TCP ---
+
+TEST(TcpTest, WiredNetworkAchievesHighGoodput) {
+  TcpSimConfig config;
+  const TcpSimResult r = RunTcpSim(config);
+  EXPECT_GT(r.goodput, 0.80) << "AIMD should keep the wired link busy";
+  EXPECT_GT(r.delivered, 0u);
+}
+
+TEST(TcpTest, CongestionDropsOccurAndWindowsAdapt) {
+  TcpSimConfig config;
+  config.num_senders = 8;
+  config.queue_capacity = 32;
+  const TcpSimResult r = RunTcpSim(config);
+  EXPECT_GT(r.congestion_drops, 0u);
+  EXPECT_GT(r.timeouts, 0u);
+  // Windows stay bounded: the gray-box control works.
+  EXPECT_LT(r.avg_cwnd, 2.0 * config.queue_capacity);
+}
+
+TEST(TcpTest, FairnessAcrossSenders) {
+  TcpSimConfig config;
+  config.ticks = 60'000;
+  const TcpSimResult r = RunTcpSim(config);
+  EXPECT_GT(r.fairness, 0.75) << "Jain index should show rough fairness";
+}
+
+TEST(TcpTest, WirelessLossesCollapseGoodput) {
+  // The paper's point: the gray-box assumption (loss == congestion) fails on
+  // a lossy medium and the algorithm needlessly collapses its window.
+  TcpSimConfig wired;
+  TcpSimConfig wireless = wired;
+  wireless.random_loss = 0.02;
+  const TcpSimResult w = RunTcpSim(wired);
+  const TcpSimResult l = RunTcpSim(wireless);
+  EXPECT_GT(l.random_losses, 0u);
+  EXPECT_LT(l.goodput, w.goodput * 0.7)
+      << "2% random loss should cost far more than 2% of goodput";
+}
+
+TEST(TcpTest, SingleSenderFillsPipe) {
+  TcpSimConfig config;
+  config.num_senders = 1;
+  config.ticks = 40'000;
+  const TcpSimResult r = RunTcpSim(config);
+  EXPECT_GT(r.goodput, 0.85);
+  EXPECT_DOUBLE_EQ(r.fairness, 1.0);
+}
+
+TEST(TcpTest, RedKeepsQueuesShorter) {
+  // RED (the paper's [16]) drops before the queue fills: senders back off
+  // earlier, so the average queue stays far shorter at similar goodput.
+  TcpSimConfig tail;
+  tail.num_senders = 8;
+  tail.ticks = 60'000;
+  TcpSimConfig red = tail;
+  red.red = true;
+  const TcpSimResult t = RunTcpSim(tail);
+  const TcpSimResult r = RunTcpSim(red);
+  EXPECT_LT(r.avg_queue, t.avg_queue * 0.7);
+  EXPECT_GT(r.goodput, t.goodput * 0.85);
+}
+
+// --- implicit coscheduling ---
+
+TEST(CoschedTest, DedicatedJobRunsNearIdeal) {
+  CoschedConfig config;
+  config.local_jobs_per_node = 0;
+  config.policy = WaitPolicy::kTwoPhase;
+  const CoschedResult r = RunCoschedSim(config);
+  EXPECT_LT(r.slowdown, 1.5) << "no competition: near-dedicated speed";
+}
+
+TEST(CoschedTest, TwoPhaseBeatsBlockImmediateUnderMultiprogramming) {
+  CoschedConfig base;
+  base.local_jobs_per_node = 2;
+  CoschedConfig two_phase = base;
+  two_phase.policy = WaitPolicy::kTwoPhase;
+  CoschedConfig block = base;
+  block.policy = WaitPolicy::kBlockImmediate;
+  const CoschedResult tp = RunCoschedSim(two_phase);
+  const CoschedResult bl = RunCoschedSim(block);
+  EXPECT_LT(tp.slowdown, bl.slowdown)
+      << "implicit coscheduling should beat pure local scheduling";
+}
+
+TEST(CoschedTest, TwoPhaseSpinsLessThanSpinForever) {
+  CoschedConfig base;
+  base.local_jobs_per_node = 2;
+  CoschedConfig two_phase = base;
+  two_phase.policy = WaitPolicy::kTwoPhase;
+  CoschedConfig spin = base;
+  spin.policy = WaitPolicy::kSpinForever;
+  const CoschedResult tp = RunCoschedSim(two_phase);
+  const CoschedResult sp = RunCoschedSim(spin);
+  EXPECT_LT(tp.spin_ticks, sp.spin_ticks);
+  // Spin-forever starves local jobs relative to two-phase.
+  EXPECT_GE(tp.local_throughput, sp.local_throughput);
+}
+
+TEST(CoschedTest, BlockingHappensOnlyWhenWarranted) {
+  CoschedConfig config;
+  config.local_jobs_per_node = 0;  // partners always scheduled
+  config.policy = WaitPolicy::kTwoPhase;
+  const CoschedResult r = RunCoschedSim(config);
+  // With everyone coscheduled, responses come back within the spin window:
+  // blocking should be rare.
+  EXPECT_LT(r.blocks, static_cast<std::uint64_t>(config.nodes * config.iterations / 10));
+}
+
+// --- MS Manners ---
+
+MannersConfig MakeMannersConfig() {
+  MannersConfig config;
+  // Foreground busy in the middle third of the run.
+  config.foreground_active = [](int t) { return t >= 33'000 && t < 66'000; };
+  return config;
+}
+
+TEST(MannersTest, BackgroundYieldsToForeground) {
+  const MannersConfig config = MakeMannersConfig();
+  const MannersResult manners = RunMannersSim(config);
+  const MannersResult greedy = RunGreedyBackgroundSim(config);
+  EXPECT_GT(greedy.fg_slowdown, 1.7) << "greedy background halves foreground progress";
+  EXPECT_LT(manners.fg_slowdown, 1.25) << "manners should nearly eliminate the impact";
+  EXPECT_GT(manners.suspensions, 0u);
+}
+
+TEST(MannersTest, BackgroundStillUsesIdleTime) {
+  const MannersConfig config = MakeMannersConfig();
+  const MannersResult manners = RunMannersSim(config);
+  EXPECT_GT(manners.idle_utilization, 0.6)
+      << "manners should still consume most idle capacity";
+}
+
+TEST(MannersTest, NoForegroundMeansNoSuspensions) {
+  MannersConfig config;
+  config.foreground_active = [](int) { return false; };
+  const MannersResult r = RunMannersSim(config);
+  EXPECT_EQ(r.suspensions, 0u);
+  EXPECT_GT(r.idle_utilization, 0.95);
+}
+
+TEST(MannersTest, AlwaysBusyForegroundSuppressesBackground) {
+  MannersConfig config;
+  config.foreground_active = [](int) { return true; };
+  const MannersResult manners = RunMannersSim(config);
+  const MannersResult greedy = RunGreedyBackgroundSim(config);
+  EXPECT_LT(manners.bg_work, greedy.bg_work / 4)
+      << "manners backs off almost completely";
+  EXPECT_LT(manners.fg_slowdown, 1.3);
+}
+
+}  // namespace
+}  // namespace grayclassic

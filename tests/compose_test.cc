@@ -1,0 +1,102 @@
+#include "src/gray/compose/compose.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/gray/sim_sys.h"
+#include "src/workloads/filegen.h"
+
+namespace gray {
+namespace {
+
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+TEST(ComposeTest, CachedFilesFirstThenInodeOrder) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  const std::vector<std::string> paths =
+      graywork::MakeFileSet(os, pid, "/d0/dir", 12, 10 * kMb);
+  os.FlushFileCache();
+  // Warm files 9 and 4 (deliberately out of i-number order).
+  for (const int i : {9, 4}) {
+    const int fd = os.Open(pid, paths[static_cast<std::size_t>(i)]);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(os.Pread(pid, fd, {}, 10 * kMb, 0), static_cast<std::int64_t>(10 * kMb));
+    ASSERT_EQ(os.Close(pid, fd), 0);
+  }
+  SimSys sys(&os, pid);
+  Compose compose(&sys);
+  const ComposedOrder result = compose.OrderFiles(paths);
+  ASSERT_EQ(result.order.size(), paths.size());
+  EXPECT_TRUE(result.clustered);
+  EXPECT_EQ(result.predicted_in_cache, 2u);
+  // The two cached files come first — and in i-number (creation) order,
+  // i.e. f4 before f9.
+  EXPECT_EQ(result.order[0], "/d0/dir/f4");
+  EXPECT_EQ(result.order[1], "/d0/dir/f9");
+  // The rest are in creation order too.
+  std::vector<std::string> rest(result.order.begin() + 2, result.order.end());
+  std::vector<std::string> expected;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (i != 4 && i != 9) {
+      expected.push_back(paths[i]);
+    }
+  }
+  EXPECT_EQ(rest, expected);
+}
+
+TEST(ComposeTest, AllColdFallsBackToInodeOrder) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  const std::vector<std::string> paths =
+      graywork::MakeFileSet(os, pid, "/d0/dir", 8, 10 * kMb);
+  os.FlushFileCache();
+  SimSys sys(&os, pid);
+  Compose compose(&sys);
+  // Shuffle the input to prove ordering comes from i-numbers.
+  std::vector<std::string> shuffled = {paths[5], paths[1], paths[7], paths[0],
+                                       paths[3], paths[6], paths[2], paths[4]};
+  const ComposedOrder result = compose.OrderFiles(shuffled);
+  ASSERT_EQ(result.order.size(), paths.size());
+  // Probes fault pages in as they go (Heisenberg), so some later files may
+  // cluster as "cached"; regardless, every group must be inode-sorted.
+  std::vector<std::string> expected(paths.begin(), paths.end());
+  if (!result.clustered) {
+    EXPECT_EQ(result.order, expected);
+  } else {
+    // Verify both segments are subsequences in creation order.
+    auto in_creation_order = [&](auto begin, auto end) {
+      std::size_t last = 0;
+      for (auto it = begin; it != end; ++it) {
+        const auto pos = std::find(paths.begin(), paths.end(), *it) - paths.begin();
+        if (it != begin && static_cast<std::size_t>(pos) < last) {
+          return false;
+        }
+        last = static_cast<std::size_t>(pos);
+      }
+      return true;
+    };
+    const auto split = result.order.begin() +
+                       static_cast<std::ptrdiff_t>(result.predicted_in_cache);
+    EXPECT_TRUE(in_creation_order(result.order.begin(), split));
+    EXPECT_TRUE(in_creation_order(split, result.order.end()));
+  }
+}
+
+TEST(ComposeTest, EmptyInput) {
+  Os os(PlatformProfile::Linux22());
+  SimSys sys(&os, os.default_pid());
+  Compose compose(&sys);
+  const ComposedOrder result = compose.OrderFiles({});
+  EXPECT_TRUE(result.order.empty());
+}
+
+}  // namespace
+}  // namespace gray

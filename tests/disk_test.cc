@@ -1,0 +1,82 @@
+#include "src/disk/disk.h"
+
+#include <gtest/gtest.h>
+
+namespace graysim {
+namespace {
+
+TEST(DiskTest, SequentialAccessIsTransferOnly) {
+  Disk disk(DiskGeometry::Ibm9Lzx(), 0);
+  // First access pays a seek + rotation.
+  const Nanos first = disk.Access(0, 4096, false);
+  // Second access is contiguous: controller + partial rotation miss +
+  // transfer (no seek, no full rotational latency).
+  const Nanos second = disk.Access(4096, 4096, false);
+  EXPECT_LT(second, first);
+  const Nanos expected = Micros(disk.geometry().controller_overhead_us) +
+                         Millis(disk.geometry().inter_request_rotation_miss_ms) +
+                         disk.TransferTime(4096);
+  EXPECT_EQ(second, expected);
+}
+
+TEST(DiskTest, SeekTimeMonotonicInDistance) {
+  Disk disk(DiskGeometry::Ibm9Lzx(), 0);
+  Nanos prev = 0;
+  for (std::uint64_t dist = 4 * 1024 * 1024; dist < disk.geometry().capacity_bytes;
+       dist *= 4) {
+    const Nanos t = disk.SeekTime(0, dist);
+    EXPECT_GE(t, prev) << "distance " << dist;
+    prev = t;
+  }
+}
+
+TEST(DiskTest, SameCylinderSkipsSeek) {
+  Disk disk(DiskGeometry::Ibm9Lzx(), 0);
+  EXPECT_EQ(disk.SeekTime(0, disk.geometry().cylinder_span_bytes / 2), 0u);
+  EXPECT_GT(disk.SeekTime(0, disk.geometry().cylinder_span_bytes * 10), 0u);
+}
+
+TEST(DiskTest, SequentialBandwidthNearSpec) {
+  Disk disk(DiskGeometry::Ibm9Lzx(), 0);
+  const std::uint64_t mb = 1024 * 1024;
+  const std::uint64_t total = 64 * mb;
+  Nanos t = 0;
+  for (std::uint64_t off = 0; off < total; off += mb) {
+    t += disk.Access(off, mb, false);
+  }
+  const double seconds = ToSeconds(t);
+  const double mbs = 64.0 / seconds;
+  // Within 15% of the geometry's media rate.
+  EXPECT_GT(mbs, disk.geometry().transfer_mb_per_s * 0.85);
+  EXPECT_LE(mbs, disk.geometry().transfer_mb_per_s * 1.001);
+}
+
+TEST(DiskTest, RandomAccessDominatedBySeekAndRotation) {
+  Disk disk(DiskGeometry::Ibm9Lzx(), 0);
+  // A 4 KB random read should take several milliseconds.
+  const Nanos t = disk.Access(disk.geometry().capacity_bytes / 2, 4096, false);
+  EXPECT_GT(t, Millis(3.0));
+  EXPECT_LT(t, Millis(15.0));
+}
+
+TEST(DiskTest, StatsTrackReadsAndWrites) {
+  Disk disk(DiskGeometry::Ibm9Lzx(), 0);
+  (void)disk.Access(0, 8192, false);
+  (void)disk.Access(8192, 4096, true);
+  EXPECT_EQ(disk.stats().requests, 2u);
+  EXPECT_EQ(disk.stats().bytes_read, 8192u);
+  EXPECT_EQ(disk.stats().bytes_written, 4096u);
+  EXPECT_EQ(disk.stats().sequential_requests, 1u);
+}
+
+TEST(DiskTest, WritesAndReadsShareHeadPosition) {
+  Disk disk(DiskGeometry::Ibm9Lzx(), 0);
+  (void)disk.Access(0, 4096, true);
+  const Nanos seq_read = disk.Access(4096, 4096, false);
+  EXPECT_EQ(seq_read, Micros(disk.geometry().controller_overhead_us) +
+                          Millis(disk.geometry().inter_request_rotation_miss_ms) +
+                          disk.TransferTime(4096));
+}
+
+}  // namespace
+}  // namespace graysim

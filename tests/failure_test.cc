@@ -1,0 +1,164 @@
+// Failure injection and error-path tests: resource exhaustion and invalid
+// operations must fail cleanly with the right error, never corrupt state.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/os/os.h"
+#include "src/workloads/filegen.h"
+
+namespace graysim {
+namespace {
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+MachineConfig TinyFsConfig() {
+  MachineConfig cfg;
+  // One cylinder group per disk: 8192 blocks (32 MB), 256 inodes.
+  cfg.fs_params.total_blocks = 8192;
+  return cfg;
+}
+
+TEST(FailureTest, WriteFailsCleanlyWhenDiskFull) {
+  Os os(PlatformProfile::Linux22(), TinyFsConfig());
+  const Pid pid = os.default_pid();
+  const int fd = os.Creat(pid, "/d0/huge");
+  ASSERT_GE(fd, 0);
+  // The fs holds < 32 MB of data; writing 64 MB must fail part-way.
+  std::int64_t written = 0;
+  std::int64_t rc = 0;
+  for (std::uint64_t off = 0; off < 64 * kMb; off += kMb) {
+    rc = os.Pwrite(pid, fd, kMb, off);
+    if (rc < 0) {
+      break;
+    }
+    written += rc;
+  }
+  EXPECT_EQ(rc, -static_cast<int>(FsErr::kNoSpace));
+  EXPECT_GT(written, 0);
+  EXPECT_LT(written, static_cast<std::int64_t>(33 * kMb));
+  // The file stays readable up to what was written.
+  InodeAttr attr;
+  ASSERT_EQ(os.Stat(pid, "/d0/huge", &attr), 0);
+  EXPECT_EQ(os.Pread(pid, fd, {}, 64 * kMb, 0), static_cast<std::int64_t>(attr.size));
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(FailureTest, DeletingFreesSpaceForNewWrites) {
+  Os os(PlatformProfile::Linux22(), TinyFsConfig());
+  const Pid pid = os.default_pid();
+  // Fill most of the disk, hit ENOSPC, delete, retry.
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/a", 24 * kMb));
+  const int fd = os.Creat(pid, "/d0/b");
+  ASSERT_GE(fd, 0);
+  std::int64_t rc = 0;
+  for (std::uint64_t off = 0; off < 16 * kMb && rc >= 0; off += kMb) {
+    rc = os.Pwrite(pid, fd, kMb, off);
+  }
+  ASSERT_EQ(rc, -static_cast<int>(FsErr::kNoSpace));
+  ASSERT_EQ(os.Close(pid, fd), 0);
+  ASSERT_EQ(os.Unlink(pid, "/d0/a"), 0);
+  EXPECT_TRUE(graywork::MakeFile(os, pid, "/d0/c", 16 * kMb))
+      << "space reclaimed by unlink must be reusable";
+}
+
+TEST(FailureTest, InodeExhaustionFailsCreate) {
+  MachineConfig cfg = TinyFsConfig();
+  Os os(PlatformProfile::Linux22(), cfg);
+  const Pid pid = os.default_pid();
+  // One group = 256 inodes, minus the root directory.
+  int created = 0;
+  int rc = 0;
+  for (int i = 0; i < 400; ++i) {
+    rc = os.Creat(pid, "/d0/f" + std::to_string(i));
+    if (rc < 0) {
+      break;
+    }
+    ASSERT_EQ(os.Close(pid, rc), 0);
+    ++created;
+  }
+  EXPECT_EQ(rc, -static_cast<int>(FsErr::kNoSpace));
+  EXPECT_EQ(created, 255);
+  // Unlinking one frees a slot.
+  ASSERT_EQ(os.Unlink(pid, "/d0/f7"), 0);
+  const int fd = os.Creat(pid, "/d0/again");
+  EXPECT_GE(fd, 0);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(FailureTest, OperationsOnClosedFdFail) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/f", 4096));
+  const int fd = os.Open(pid, "/d0/f");
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+  EXPECT_LT(os.Pread(pid, fd, {}, 10, 0), 0);
+  EXPECT_LT(os.Pwrite(pid, fd, 10, 0), 0);
+  EXPECT_LT(os.Fsync(pid, fd), 0);
+  EXPECT_LT(os.Lseek(pid, fd, 0), 0);
+  EXPECT_LT(os.Close(pid, fd), 0) << "double close";
+}
+
+TEST(FailureTest, CrossDeviceRenameRejected) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/f", 4096));
+  EXPECT_EQ(os.Rename(pid, "/d0/f", "/d1/f"), -static_cast<int>(FsErr::kInvalid));
+  // The source is untouched.
+  InodeAttr attr;
+  EXPECT_EQ(os.Stat(pid, "/d0/f", &attr), 0);
+}
+
+TEST(FailureTest, DirectoryMisuseErrors) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_EQ(os.Mkdir(pid, "/d0/dir"), 0);
+  EXPECT_EQ(os.Open(pid, "/d0/dir"), -static_cast<int>(FsErr::kIsDir));
+  EXPECT_EQ(os.Unlink(pid, "/d0/dir"), -static_cast<int>(FsErr::kIsDir));
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/file", 4096));
+  EXPECT_EQ(os.Rmdir(pid, "/d0/file"), -static_cast<int>(FsErr::kNotDir));
+  std::vector<DirEntryInfo> entries;
+  EXPECT_EQ(os.ReadDir(pid, "/d0/file", &entries), -static_cast<int>(FsErr::kNotDir));
+  EXPECT_EQ(os.Mkdir(pid, "/d0/dir"), -static_cast<int>(FsErr::kExists));
+}
+
+TEST(FailureTest, ReadBeyondEofReturnsZeroNotError) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/f", 100));
+  const int fd = os.Open(pid, "/d0/f");
+  EXPECT_EQ(os.Pread(pid, fd, {}, 10, 1000), 0);
+  EXPECT_EQ(os.Pread(pid, fd, {}, 0, 0), 0);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(FailureTest, StateConsistentAfterEnospcStorm) {
+  // Property: after hammering a tiny fs with writes that mostly fail, all
+  // accounting still balances and the files that exist are intact.
+  Os os(PlatformProfile::Linux22(), TinyFsConfig());
+  const Pid pid = os.default_pid();
+  std::vector<std::string> survivors;
+  for (int i = 0; i < 20; ++i) {
+    const std::string path = "/d0/s" + std::to_string(i);
+    if (graywork::MakeFile(os, pid, path, 4 * kMb)) {
+      survivors.push_back(path);
+    } else {
+      (void)os.Unlink(pid, path);  // clean up the partial file
+    }
+  }
+  EXPECT_GE(survivors.size(), 6u);
+  for (const std::string& path : survivors) {
+    InodeAttr attr;
+    ASSERT_EQ(os.Stat(pid, path, &attr), 0) << path;
+    EXPECT_EQ(attr.size, 4 * kMb);
+    const int fd = os.Open(pid, path);
+    EXPECT_EQ(os.Pread(pid, fd, {}, 4 * kMb, 0), static_cast<std::int64_t>(4 * kMb));
+    ASSERT_EQ(os.Close(pid, fd), 0);
+  }
+}
+
+}  // namespace
+}  // namespace graysim

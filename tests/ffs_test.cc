@@ -1,0 +1,318 @@
+#include "src/fs/ffs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace graysim {
+namespace {
+
+constexpr std::uint64_t kDiskBytes = 9ULL * 1024 * 1024 * 1024;
+
+Ffs MakeFs(AllocatorKind allocator = AllocatorKind::kPacked) {
+  FsParams p;
+  p.allocator = allocator;
+  return Ffs(p, kDiskBytes);
+}
+
+TEST(FfsTest, CreateLookupUnlink) {
+  Ffs fs = MakeFs();
+  Inum inum = kInvalidInum;
+  ASSERT_EQ(fs.Create("/a", &inum), FsErr::kOk);
+  EXPECT_NE(inum, kInvalidInum);
+  Inum found = kInvalidInum;
+  EXPECT_EQ(fs.Lookup("/a", &found), FsErr::kOk);
+  EXPECT_EQ(found, inum);
+  EXPECT_EQ(fs.Unlink("/a"), FsErr::kOk);
+  EXPECT_EQ(fs.Lookup("/a", &found), FsErr::kNotFound);
+}
+
+TEST(FfsTest, CreateInMissingDirFails) {
+  Ffs fs = MakeFs();
+  Inum inum = kInvalidInum;
+  EXPECT_EQ(fs.Create("/nodir/a", &inum), FsErr::kNotFound);
+}
+
+TEST(FfsTest, DuplicateCreateFails) {
+  Ffs fs = MakeFs();
+  Inum inum = kInvalidInum;
+  ASSERT_EQ(fs.Create("/a", &inum), FsErr::kOk);
+  EXPECT_EQ(fs.Create("/a", &inum), FsErr::kExists);
+}
+
+TEST(FfsTest, MkdirAndNesting) {
+  Ffs fs = MakeFs();
+  Inum d = kInvalidInum;
+  ASSERT_EQ(fs.Mkdir("/dir", &d), FsErr::kOk);
+  Inum f = kInvalidInum;
+  ASSERT_EQ(fs.Create("/dir/file", &f), FsErr::kOk);
+  InodeAttr attr;
+  ASSERT_EQ(fs.GetAttrPath("/dir/file", &attr), FsErr::kOk);
+  EXPECT_FALSE(attr.is_dir);
+  ASSERT_EQ(fs.GetAttrPath("/dir", &attr), FsErr::kOk);
+  EXPECT_TRUE(attr.is_dir);
+}
+
+TEST(FfsTest, RmdirRequiresEmpty) {
+  Ffs fs = MakeFs();
+  Inum d = kInvalidInum;
+  ASSERT_EQ(fs.Mkdir("/dir", &d), FsErr::kOk);
+  Inum f = kInvalidInum;
+  ASSERT_EQ(fs.Create("/dir/file", &f), FsErr::kOk);
+  EXPECT_EQ(fs.Rmdir("/dir"), FsErr::kNotEmpty);
+  ASSERT_EQ(fs.Unlink("/dir/file"), FsErr::kOk);
+  EXPECT_EQ(fs.Rmdir("/dir"), FsErr::kOk);
+}
+
+TEST(FfsTest, CreationOrderGivesIncreasingInums) {
+  Ffs fs = MakeFs();
+  Inum prev = kInvalidInum;
+  for (int i = 0; i < 50; ++i) {
+    Inum inum = kInvalidInum;
+    ASSERT_EQ(fs.Create("/f" + std::to_string(i), &inum), FsErr::kOk);
+    if (prev != kInvalidInum) {
+      EXPECT_GT(inum, prev);
+    }
+    prev = inum;
+  }
+}
+
+TEST(FfsTest, FreedInumsAreReusedLowestFirst) {
+  Ffs fs = MakeFs();
+  std::vector<Inum> inums;
+  for (int i = 0; i < 10; ++i) {
+    Inum inum = kInvalidInum;
+    ASSERT_EQ(fs.Create("/f" + std::to_string(i), &inum), FsErr::kOk);
+    inums.push_back(inum);
+  }
+  ASSERT_EQ(fs.Unlink("/f3"), FsErr::kOk);
+  ASSERT_EQ(fs.Unlink("/f7"), FsErr::kOk);
+  Inum reused = kInvalidInum;
+  ASSERT_EQ(fs.Create("/new1", &reused), FsErr::kOk);
+  EXPECT_EQ(reused, inums[3]);  // lowest freed slot first
+  ASSERT_EQ(fs.Create("/new2", &reused), FsErr::kOk);
+  EXPECT_EQ(reused, inums[7]);
+}
+
+TEST(FfsTest, PackedAllocatorPacksSmallFilesContiguously) {
+  Ffs fs = MakeFs(AllocatorKind::kPacked);
+  std::vector<Inum> inums;
+  for (int i = 0; i < 20; ++i) {
+    Inum inum = kInvalidInum;
+    ASSERT_EQ(fs.Create("/f" + std::to_string(i), &inum), FsErr::kOk);
+    ASSERT_EQ(fs.Resize(inum, 8192, 0), FsErr::kOk);  // two blocks
+    inums.push_back(inum);
+  }
+  // Each file is internally contiguous and files follow each other on disk.
+  for (std::size_t i = 0; i < inums.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fs.ContiguityOf(inums[i]), 1.0);
+    if (i > 0) {
+      EXPECT_EQ(fs.FirstBlockOf(inums[i]), fs.FirstBlockOf(inums[i - 1]) + 2);
+    }
+  }
+}
+
+TEST(FfsTest, SparseAllocatorLeavesInterFileGaps) {
+  Ffs fs = MakeFs(AllocatorKind::kSparse);
+  Inum a = kInvalidInum;
+  Inum b = kInvalidInum;
+  ASSERT_EQ(fs.Create("/a", &a), FsErr::kOk);
+  ASSERT_EQ(fs.Resize(a, 8192, 0), FsErr::kOk);
+  ASSERT_EQ(fs.Create("/b", &b), FsErr::kOk);
+  ASSERT_EQ(fs.Resize(b, 8192, 0), FsErr::kOk);
+  const std::uint64_t gap = fs.FirstBlockOf(b) - fs.FirstBlockOf(a);
+  EXPECT_GT(gap, 2u);  // more than just file a's two blocks
+}
+
+TEST(FfsTest, ResizeGrowsAndShrinks) {
+  Ffs fs = MakeFs();
+  Inum inum = kInvalidInum;
+  ASSERT_EQ(fs.Create("/a", &inum), FsErr::kOk);
+  ASSERT_EQ(fs.Resize(inum, 10000, 5), FsErr::kOk);
+  InodeAttr attr;
+  ASSERT_EQ(fs.GetAttr(inum, &attr), FsErr::kOk);
+  EXPECT_EQ(attr.size, 10000u);
+  EXPECT_EQ(attr.blocks, 3u);
+  const std::uint64_t free_before = fs.free_blocks();
+  ASSERT_EQ(fs.Resize(inum, 4096, 6), FsErr::kOk);
+  ASSERT_EQ(fs.GetAttr(inum, &attr), FsErr::kOk);
+  EXPECT_EQ(attr.blocks, 1u);
+  EXPECT_EQ(fs.free_blocks(), free_before + 2);
+}
+
+TEST(FfsTest, UnlinkFreesBlocks) {
+  Ffs fs = MakeFs();
+  const std::uint64_t free0 = fs.free_blocks();
+  Inum inum = kInvalidInum;
+  ASSERT_EQ(fs.Create("/a", &inum), FsErr::kOk);
+  ASSERT_EQ(fs.Resize(inum, 1 << 20, 0), FsErr::kOk);
+  EXPECT_EQ(fs.free_blocks(), free0 - 256);
+  ASSERT_EQ(fs.Unlink("/a"), FsErr::kOk);
+  EXPECT_EQ(fs.free_blocks(), free0);
+}
+
+TEST(FfsTest, RenameMovesAcrossDirectories) {
+  Ffs fs = MakeFs();
+  Inum d1 = kInvalidInum;
+  Inum d2 = kInvalidInum;
+  ASSERT_EQ(fs.Mkdir("/d1", &d1), FsErr::kOk);
+  ASSERT_EQ(fs.Mkdir("/d2", &d2), FsErr::kOk);
+  Inum f = kInvalidInum;
+  ASSERT_EQ(fs.Create("/d1/x", &f), FsErr::kOk);
+  ASSERT_EQ(fs.Rename("/d1/x", "/d2/y"), FsErr::kOk);
+  Inum found = kInvalidInum;
+  EXPECT_EQ(fs.Lookup("/d1/x", &found), FsErr::kNotFound);
+  ASSERT_EQ(fs.Lookup("/d2/y", &found), FsErr::kOk);
+  EXPECT_EQ(found, f);  // the inode is preserved
+}
+
+TEST(FfsTest, RenameReplacesExistingFile) {
+  Ffs fs = MakeFs();
+  Inum a = kInvalidInum;
+  Inum b = kInvalidInum;
+  ASSERT_EQ(fs.Create("/a", &a), FsErr::kOk);
+  ASSERT_EQ(fs.Create("/b", &b), FsErr::kOk);
+  ASSERT_EQ(fs.Rename("/a", "/b"), FsErr::kOk);
+  Inum found = kInvalidInum;
+  ASSERT_EQ(fs.Lookup("/b", &found), FsErr::kOk);
+  EXPECT_EQ(found, a);
+}
+
+TEST(FfsTest, RenameDirectory) {
+  Ffs fs = MakeFs();
+  Inum d = kInvalidInum;
+  ASSERT_EQ(fs.Mkdir("/old", &d), FsErr::kOk);
+  Inum f = kInvalidInum;
+  ASSERT_EQ(fs.Create("/old/file", &f), FsErr::kOk);
+  ASSERT_EQ(fs.Rename("/old", "/new"), FsErr::kOk);
+  Inum found = kInvalidInum;
+  ASSERT_EQ(fs.Lookup("/new/file", &found), FsErr::kOk);
+  EXPECT_EQ(found, f);
+}
+
+TEST(FfsTest, ListDirReturnsCreationOrder) {
+  Ffs fs = MakeFs();
+  Inum inum = kInvalidInum;
+  ASSERT_EQ(fs.Create("/zz", &inum), FsErr::kOk);
+  ASSERT_EQ(fs.Create("/aa", &inum), FsErr::kOk);
+  ASSERT_EQ(fs.Create("/mm", &inum), FsErr::kOk);
+  std::vector<DirEntryInfo> entries;
+  ASSERT_EQ(fs.ListDir("/", &entries), FsErr::kOk);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "zz");
+  EXPECT_EQ(entries[1].name, "aa");
+  EXPECT_EQ(entries[2].name, "mm");
+}
+
+TEST(FfsTest, SetTimesRoundTrips) {
+  Ffs fs = MakeFs();
+  Inum inum = kInvalidInum;
+  ASSERT_EQ(fs.Create("/a", &inum), FsErr::kOk);
+  ASSERT_EQ(fs.SetTimes(inum, Seconds(1.0), Seconds(2.0)), FsErr::kOk);
+  InodeAttr attr;
+  ASSERT_EQ(fs.GetAttr(inum, &attr), FsErr::kOk);
+  EXPECT_EQ(attr.atime, Seconds(1.0));
+  EXPECT_EQ(attr.mtime, Seconds(2.0));
+}
+
+TEST(FfsTest, AgingDecorrelatesInumFromLayout) {
+  // Fill a directory, then delete and recreate files: new files reuse LOW
+  // i-numbers (lowest-free-slot reuse) but their data lands FORWARD at the
+  // allocator rotor, so the rank correlation between i-number and disk
+  // position decays — the effect driving Fig 6.
+  Ffs fs = MakeFs(AllocatorKind::kPacked);
+  constexpr int kFiles = 100;
+  constexpr std::uint64_t kSize = 8192;
+  for (int i = 0; i < kFiles; ++i) {
+    Inum inum = kInvalidInum;
+    ASSERT_EQ(fs.Create("/f" + std::to_string(i), &inum), FsErr::kOk);
+    ASSERT_EQ(fs.Resize(inum, kSize, 0), FsErr::kOk);
+  }
+  auto rank_correlation = [&]() {
+    // Collect (inum, first block) for every live file and compute the
+    // Pearson correlation of the two sequences.
+    std::vector<DirEntryInfo> entries;
+    EXPECT_EQ(fs.ListDir("/", &entries), FsErr::kOk);
+    std::vector<std::pair<Inum, std::uint64_t>> points;
+    for (const auto& e : entries) {
+      points.emplace_back(e.inum, fs.FirstBlockOf(e.inum));
+    }
+    std::sort(points.begin(), points.end());
+    double n = static_cast<double>(points.size());
+    double sx = 0;
+    double sy = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sx += static_cast<double>(i);
+      sy += static_cast<double>(points[i].second);
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+    double cov = 0;
+    double vx = 0;
+    double vy = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double dx = static_cast<double>(i) - mx;
+      const double dy = static_cast<double>(points[i].second) - my;
+      cov += dx * dy;
+      vx += dx * dx;
+      vy += dy * dy;
+    }
+    return cov / std::sqrt(vx * vy);
+  };
+
+  EXPECT_GT(rank_correlation(), 0.999) << "clean fs: inum order == layout order";
+  // 20 epochs: delete 5 (deterministic spread), create 5 new.
+  int created = 0;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (int k = 0; k < 5; ++k) {
+      const int victim = (epoch * 17 + k * 23) % kFiles;
+      const std::string old_name = "/f" + std::to_string(victim);
+      Inum dummy = kInvalidInum;
+      if (fs.Lookup(old_name, &dummy) == FsErr::kOk) {
+        ASSERT_EQ(fs.Unlink(old_name), FsErr::kOk);
+      }
+      Inum inum = kInvalidInum;
+      ASSERT_EQ(fs.Create("/new" + std::to_string(created++), &inum), FsErr::kOk);
+      ASSERT_EQ(fs.Resize(inum, kSize, 0), FsErr::kOk);
+    }
+  }
+  EXPECT_LT(rank_correlation(), 0.8) << "aging should decorrelate inum from layout";
+}
+
+TEST(FfsTest, InodeBlockLocatedInOwningGroup) {
+  Ffs fs = MakeFs();
+  Inum inum = kInvalidInum;
+  ASSERT_EQ(fs.Create("/a", &inum), FsErr::kOk);
+  const std::uint64_t block = fs.InodeBlockOf(inum);
+  EXPECT_LT(block, fs.params().blocks_per_cg);  // root dir lives in group 0
+}
+
+TEST(FfsTest, FilesInDifferentDirsLandInDifferentGroups) {
+  Ffs fs = MakeFs();
+  Inum d1 = kInvalidInum;
+  Inum d2 = kInvalidInum;
+  ASSERT_EQ(fs.Mkdir("/d1", &d1), FsErr::kOk);
+  ASSERT_EQ(fs.Mkdir("/d2", &d2), FsErr::kOk);
+  Inum f1 = kInvalidInum;
+  Inum f2 = kInvalidInum;
+  ASSERT_EQ(fs.Create("/d1/a", &f1), FsErr::kOk);
+  ASSERT_EQ(fs.Create("/d2/a", &f2), FsErr::kOk);
+  ASSERT_EQ(fs.Resize(f1, 8192, 0), FsErr::kOk);
+  ASSERT_EQ(fs.Resize(f2, 8192, 0), FsErr::kOk);
+  const std::uint64_t cg1 = fs.FirstBlockOf(f1) / fs.params().blocks_per_cg;
+  const std::uint64_t cg2 = fs.FirstBlockOf(f2) / fs.params().blocks_per_cg;
+  EXPECT_NE(cg1, cg2);
+}
+
+TEST(FfsTest, LargeFileSpansGroupsMostlyContiguously) {
+  Ffs fs = MakeFs();
+  Inum inum = kInvalidInum;
+  ASSERT_EQ(fs.Create("/big", &inum), FsErr::kOk);
+  ASSERT_EQ(fs.Resize(inum, 128ULL << 20, 0), FsErr::kOk);  // 128 MB
+  EXPECT_GT(fs.ContiguityOf(inum), 0.99);
+}
+
+}  // namespace
+}  // namespace graysim

@@ -1,0 +1,248 @@
+#include "src/gray/fldc/fldc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/gray/sim_sys.h"
+#include "src/sim/rng.h"
+#include "src/workloads/aging.h"
+#include "src/workloads/filegen.h"
+
+namespace gray {
+namespace {
+
+using graysim::Nanos;
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+struct Fixture {
+  Fixture() : os(PlatformProfile::Linux22()), sys(&os, os.default_pid()) {}
+  Os os;
+  SimSys sys;
+};
+
+// Reads every file fully in the given order with a cold cache; returns the
+// elapsed time.
+Nanos TimedColdRead(Os& os, Pid pid, const std::vector<std::string>& order) {
+  os.FlushFileCache();
+  const Nanos t0 = os.Now();
+  for (const std::string& path : order) {
+    graysim::InodeAttr attr;
+    if (os.Stat(pid, path, &attr) < 0) {
+      continue;
+    }
+    const int fd = os.Open(pid, path);
+    (void)os.Pread(pid, fd, {}, attr.size, 0);
+    (void)os.Close(pid, fd);
+  }
+  return os.Now() - t0;
+}
+
+TEST(FldcTest, OrderByInodeMatchesCreationOrderOnCleanFs) {
+  Fixture f;
+  const Pid pid = f.os.default_pid();
+  const std::vector<std::string> paths =
+      graywork::MakeFileSet(f.os, pid, "/d0/dir", 20, 8192);
+  // Shuffle deterministically, then recover creation order via i-numbers.
+  std::vector<std::string> shuffled = paths;
+  graysim::Rng rng(99);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.Below(i)]);
+  }
+  Fldc fldc(&f.sys);
+  const auto ordered = fldc.OrderByInode(shuffled);
+  ASSERT_EQ(ordered.size(), paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(ordered[i].path, paths[i]);
+  }
+}
+
+TEST(FldcTest, MissingFilesRankLast) {
+  Fixture f;
+  const Pid pid = f.os.default_pid();
+  const auto paths = graywork::MakeFileSet(f.os, pid, "/d0/dir", 3, 8192);
+  std::vector<std::string> with_missing = {paths[2], "/d0/dir/ghost", paths[0]};
+  Fldc fldc(&f.sys);
+  const auto ordered = fldc.OrderByInode(with_missing);
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered.back().path, "/d0/dir/ghost");
+  EXPECT_FALSE(ordered.back().stat_ok);
+}
+
+TEST(FldcTest, OrderByDirectoryGroups) {
+  Fixture f;
+  Fldc fldc(&f.sys);
+  const std::vector<std::string> paths = {"/d0/b/1", "/d0/a/1", "/d0/b/2", "/d0/a/2"};
+  const auto ordered = fldc.OrderByDirectory(paths);
+  ASSERT_EQ(ordered.size(), 4u);
+  EXPECT_EQ(DirnameOf(ordered[0]), DirnameOf(ordered[1]));
+  EXPECT_EQ(DirnameOf(ordered[2]), DirnameOf(ordered[3]));
+}
+
+TEST(FldcTest, InodeOrderBeatsRandomOrderColdRead) {
+  // Fig 5's core claim on a clean file system.
+  Fixture f;
+  const Pid pid = f.os.default_pid();
+  const auto paths = graywork::MakeFileSet(f.os, pid, "/d0/dir", 100, 8192);
+  std::vector<std::string> random_order = paths;
+  graysim::Rng rng(7);
+  for (std::size_t i = random_order.size(); i > 1; --i) {
+    std::swap(random_order[i - 1], random_order[rng.Below(i)]);
+  }
+  const Nanos random_time = TimedColdRead(f.os, pid, random_order);
+
+  Fldc fldc(&f.sys);
+  std::vector<std::string> inode_order;
+  for (const auto& e : fldc.OrderByInode(paths)) {
+    inode_order.push_back(e.path);
+  }
+  const Nanos inode_time = TimedColdRead(f.os, pid, inode_order);
+  EXPECT_LT(inode_time * 3, random_time)
+      << "i-number order should be several times faster than random";
+}
+
+TEST(FldcTest, RefreshPreservesContentsAndTimes) {
+  Fixture f;
+  const Pid pid = f.os.default_pid();
+  const auto paths = graywork::MakeFileSet(f.os, pid, "/d0/dir", 10, 8192);
+  // Record sizes and times.
+  std::vector<graysim::InodeAttr> before(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    ASSERT_EQ(f.os.Stat(pid, paths[i], &before[i]), 0);
+  }
+  Fldc fldc(&f.sys);
+  ASSERT_EQ(fldc.RefreshDirectory("/d0/dir"), 0);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    graysim::InodeAttr after;
+    ASSERT_EQ(f.os.Stat(pid, paths[i], &after), 0) << paths[i];
+    EXPECT_EQ(after.size, before[i].size);
+    EXPECT_EQ(after.mtime, before[i].mtime) << "mtime must survive (make depends on it)";
+  }
+}
+
+TEST(FldcTest, RefreshAssignsSmallFilesLowInums) {
+  Fixture f;
+  const Pid pid = f.os.default_pid();
+  ASSERT_EQ(f.os.Mkdir(pid, "/d0/dir"), 0);
+  // Create a large file first (low inum), small files after.
+  ASSERT_TRUE(graywork::MakeFile(f.os, pid, "/d0/dir/big", 4 * 1024 * 1024));
+  ASSERT_TRUE(graywork::MakeFile(f.os, pid, "/d0/dir/small1", 4096));
+  ASSERT_TRUE(graywork::MakeFile(f.os, pid, "/d0/dir/small2", 4096));
+  Fldc fldc(&f.sys);
+  ASSERT_EQ(fldc.RefreshDirectory("/d0/dir"), 0);
+  graysim::InodeAttr big;
+  graysim::InodeAttr s1;
+  graysim::InodeAttr s2;
+  ASSERT_EQ(f.os.Stat(pid, "/d0/dir/big", &big), 0);
+  ASSERT_EQ(f.os.Stat(pid, "/d0/dir/small1", &s1), 0);
+  ASSERT_EQ(f.os.Stat(pid, "/d0/dir/small2", &s2), 0);
+  EXPECT_LT(s1.inum, big.inum);
+  EXPECT_LT(s2.inum, big.inum);
+}
+
+TEST(FldcTest, AgingDegradesInodeOrderAndRefreshRestoresIt) {
+  // Fig 6 in miniature: age the directory, watch i-number order degrade,
+  // refresh, watch it recover.
+  Fixture f;
+  const Pid pid = f.os.default_pid();
+  (void)graywork::MakeFileSet(f.os, pid, "/d0/dir", 100, 8192);
+  Fldc fldc(&f.sys);
+
+  auto inode_order_time = [&] {
+    std::vector<graysim::DirEntryInfo> entries;
+    EXPECT_EQ(f.os.ReadDir(pid, "/d0/dir", &entries), 0);
+    std::vector<std::string> paths;
+    for (const auto& e : entries) {
+      paths.push_back("/d0/dir/" + e.name);
+    }
+    std::vector<std::string> order;
+    for (const auto& e : fldc.OrderByInode(paths)) {
+      order.push_back(e.path);
+    }
+    return TimedColdRead(f.os, pid, order);
+  };
+
+  const Nanos fresh = inode_order_time();
+  graywork::DirectoryAger ager(&f.os, pid, "/d0/dir", 8192, /*seed=*/11);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    ager.RunEpoch();
+  }
+  const Nanos aged = inode_order_time();
+  EXPECT_GT(aged, fresh * 2) << "30 epochs of aging should badly hurt i-number order";
+
+  ASSERT_EQ(fldc.RefreshDirectory("/d0/dir"), 0);
+  const Nanos refreshed = inode_order_time();
+  EXPECT_LT(refreshed, aged / 2) << "refresh should restore most of the loss";
+  EXPECT_LT(refreshed, fresh * 2) << "refreshed layout should be near-fresh";
+}
+
+TEST(FldcTest, RefreshMissingDirFails) {
+  Fixture f;
+  Fldc fldc(&f.sys);
+  EXPECT_LT(fldc.RefreshDirectory("/d0/ghost"), 0);
+}
+
+TEST(FldcTest, DirnameOfHandlesEdgeCases) {
+  EXPECT_EQ(DirnameOf("/d0/a/b"), "/d0/a");
+  EXPECT_EQ(DirnameOf("/file"), "/");
+  EXPECT_EQ(DirnameOf("noslash"), "/");
+}
+
+TEST(FldcTest, MtimeOrderBeatsInumOrderOnLfsAfterChurn) {
+  // The paper's LFS port (§4.2.5): on a log-structured fs, REWRITING files
+  // moves their data to the log head, so write-time order predicts layout
+  // while i-number order (fixed at creation) does not.
+  graysim::Os os(graysim::PlatformProfile::LfsVariant());
+  const Pid pid = os.default_pid();
+  const auto paths = graywork::MakeFileSet(os, pid, "/d0/dir", 80, 8192);
+  // Rewrite the files in a scrambled order: data moves to the log head in
+  // rewrite order; i-numbers stay put.
+  graysim::Rng rng(21);
+  std::vector<std::string> rewrite_order = paths;
+  for (std::size_t i = rewrite_order.size(); i > 1; --i) {
+    std::swap(rewrite_order[i - 1], rewrite_order[rng.Below(i)]);
+  }
+  for (const std::string& path : rewrite_order) {
+    ASSERT_TRUE(graywork::MakeFile(os, pid, path, 8192));  // creat truncates
+  }
+
+  gray::SimSys sys(&os, pid);
+  Fldc fldc(&sys);
+  std::vector<std::string> by_inum;
+  for (const auto& e : fldc.OrderByInode(paths)) {
+    by_inum.push_back(e.path);
+  }
+  std::vector<std::string> by_mtime;
+  for (const auto& e : fldc.OrderByMtime(paths)) {
+    by_mtime.push_back(e.path);
+  }
+  const Nanos inum_time = TimedColdRead(os, pid, by_inum);
+  const Nanos mtime_time = TimedColdRead(os, pid, by_mtime);
+  EXPECT_LT(mtime_time * 2, inum_time)
+      << "on LFS, mtime order should be the layout order";
+}
+
+TEST(FldcTest, MtimeOrderMatchesRewriteOrderOnLfs) {
+  graysim::Os os(graysim::PlatformProfile::LfsVariant());
+  const Pid pid = os.default_pid();
+  const auto paths = graywork::MakeFileSet(os, pid, "/d0/dir", 10, 4096);
+  // Rewrite in reverse order.
+  for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+    os.Sleep(pid, graysim::Millis(1.0));  // distinct mtimes
+    ASSERT_TRUE(graywork::MakeFile(os, pid, *it, 4096));
+  }
+  gray::SimSys sys(&os, pid);
+  Fldc fldc(&sys);
+  const auto ordered = fldc.OrderByMtime(paths);
+  ASSERT_EQ(ordered.size(), paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(ordered[i].path, paths[paths.size() - 1 - i]);
+  }
+}
+
+}  // namespace
+}  // namespace gray

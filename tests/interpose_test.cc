@@ -1,0 +1,210 @@
+#include "src/gray/interpose/interposer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/gray/sim_sys.h"
+#include "src/workloads/filegen.h"
+
+namespace gray {
+namespace {
+
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+struct Fixture {
+  Fixture()
+      : os(PlatformProfile::Linux22()),
+        sys(&os, os.default_pid()),
+        model(os.UsableMemBytes(), os.page_size()),
+        interposed(&sys, &model) {}
+  Os os;
+  SimSys sys;
+  CacheModel model;
+  Interposer interposed;
+};
+
+TEST(CacheModelTest, TracksAccessesUpToCapacity) {
+  CacheModel model(8 * 4096, 4096);
+  model.OnAccess("/a", 0, 4 * 4096);
+  EXPECT_EQ(model.resident_pages(), 4u);
+  EXPECT_TRUE(model.PageResident("/a", 0));
+  EXPECT_FALSE(model.PageResident("/a", 4));
+  // Exceed capacity: LRU pages fall out.
+  model.OnAccess("/b", 0, 8 * 4096);
+  EXPECT_EQ(model.resident_pages(), 8u);
+  EXPECT_FALSE(model.PageResident("/a", 0)) << "oldest pages evicted from the model";
+}
+
+TEST(CacheModelTest, RefreshKeepsHotPages) {
+  CacheModel model(4 * 4096, 4096);
+  model.OnAccess("/a", 0, 2 * 4096);
+  model.OnAccess("/b", 0, 2 * 4096);
+  model.OnAccess("/a", 0, 2 * 4096);  // refresh /a
+  model.OnAccess("/c", 0, 2 * 4096);  // evicts /b (LRU)
+  EXPECT_TRUE(model.PageResident("/a", 0));
+  EXPECT_FALSE(model.PageResident("/b", 0));
+}
+
+TEST(CacheModelTest, RemoveDropsWholeFile) {
+  CacheModel model(16 * 4096, 4096);
+  model.OnAccess("/a", 0, 4 * 4096);
+  model.OnRemove("/a");
+  EXPECT_EQ(model.resident_pages(), 0u);
+  EXPECT_DOUBLE_EQ(model.ResidentFraction("/a", 0, 4 * 4096), 0.0);
+}
+
+TEST(InterposerTest, ForwardsAndObserves) {
+  Fixture f;
+  ASSERT_TRUE(graywork::MakeFile(f.os, f.os.default_pid(), "/d0/file", 2 * kMb));
+  f.os.FlushFileCache();
+  const int fd = f.interposed.Open("/d0/file");
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(f.interposed.Pread(fd, {}, kMb, 0), static_cast<std::int64_t>(kMb));
+  ASSERT_EQ(f.interposed.Close(fd), 0);
+  EXPECT_EQ(f.interposed.observed_calls(), 1u);
+  // The model saw the read and agrees with the real cache.
+  EXPECT_GT(f.model.ResidentFraction("/d0/file", 0, kMb), 0.99);
+  EXPECT_TRUE(f.os.PageResidentPath("/d0/file", 0));
+  EXPECT_FALSE(f.model.PageResident("/d0/file", kMb / 4096 + 1));
+}
+
+TEST(InterposerTest, PassiveFccdMatchesRealityWhenAllInputsObserved) {
+  // §4.1.1's happy case: every access flows through the interposer, so the
+  // model — and hence the passive plan — is exact.
+  Fixture f;
+  const Pid pid = f.os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(f.os, pid, "/d0/big", 200 * kMb));
+  f.os.FlushFileCache();
+  // Client reads the first half THROUGH the interposer.
+  const int fd = f.interposed.Open("/d0/big");
+  ASSERT_EQ(f.interposed.Pread(fd, {}, 100 * kMb, 0),
+            static_cast<std::int64_t>(100 * kMb));
+  ASSERT_EQ(f.interposed.Close(fd), 0);
+
+  PassiveFccd passive(&f.sys, &f.model);
+  const auto plan = passive.PlanFile("/d0/big");
+  ASSERT_TRUE(plan.has_value());
+  const std::size_t half = plan->units.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    EXPECT_LT(plan->units[i].extent.offset, 100 * kMb)
+        << "passive plan should put the observed-warm half first";
+  }
+  // And it cost nothing: no probes were issued against the real system.
+  for (const UnitPlan& u : plan->units) {
+    EXPECT_EQ(u.probes, 0);
+  }
+}
+
+TEST(InterposerTest, PassiveFccdWrongWhenAProcessBypassesIt) {
+  // §4.1.1's objection: "if a single process does not obey the rules, our
+  // knowledge of what has been accessed is incomplete and our simulation
+  // will be inaccurate." The probing FCCD is immune.
+  Fixture f;
+  const Pid pid = f.os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(f.os, pid, "/d0/big", 200 * kMb));
+  f.os.FlushFileCache();
+  // Observed client reads the FIRST half through the interposer...
+  {
+    const int fd = f.interposed.Open("/d0/big");
+    ASSERT_EQ(f.interposed.Pread(fd, {}, 100 * kMb, 0),
+              static_cast<std::int64_t>(100 * kMb));
+    ASSERT_EQ(f.interposed.Close(fd), 0);
+  }
+  // ...then an UNOBSERVED process flushes the cache and reads the SECOND
+  // half directly (bypassing the interposer).
+  f.os.FlushFileCache();
+  {
+    const int fd = f.os.Open(pid, "/d0/big");
+    ASSERT_EQ(f.os.Pread(pid, fd, {}, 100 * kMb, 100 * kMb),
+              static_cast<std::int64_t>(100 * kMb));
+    ASSERT_EQ(f.os.Close(pid, fd), 0);
+  }
+
+  // The passive plan still believes the FIRST half is warm: wrong.
+  PassiveFccd passive(&f.sys, &f.model);
+  const auto passive_plan = passive.PlanFile("/d0/big");
+  ASSERT_TRUE(passive_plan.has_value());
+  std::size_t passive_wrong = 0;
+  const std::size_t half = passive_plan->units.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    if (passive_plan->units[i].extent.offset < 100 * kMb) {
+      ++passive_wrong;  // predicted warm, actually cold
+    }
+  }
+  EXPECT_EQ(passive_wrong, half) << "the stale model should be entirely wrong";
+
+  // The probing FCCD observes the real system and gets it right.
+  Fccd probing(&f.sys);
+  const auto probe_plan = probing.PlanFile("/d0/big");
+  ASSERT_TRUE(probe_plan.has_value());
+  for (std::size_t i = 0; i < probe_plan->units.size() / 2; ++i) {
+    EXPECT_GE(probe_plan->units[i].extent.offset, 100 * kMb)
+        << "probes see the truth regardless of unobserved activity";
+  }
+}
+
+TEST(FccdMincoreTest, UsesMincoreWherePresentFallsBackElsewhere) {
+  // Footnote 1: mincore exists on some platforms (our Linux profile) but
+  // cannot be relied upon; the same FCCD binary must work on both.
+  for (const bool linux_platform : {true, false}) {
+    Os os(linux_platform ? PlatformProfile::Linux22() : PlatformProfile::NetBsd15());
+    const Pid pid = os.default_pid();
+    ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/file", 40 * kMb));
+    os.FlushFileCache();
+    const int fd = os.Open(pid, "/d0/file");
+    ASSERT_EQ(os.Pread(pid, fd, {}, 20 * kMb, 0), static_cast<std::int64_t>(20 * kMb));
+    ASSERT_EQ(os.Close(pid, fd), 0);
+
+    SimSys sys(&os, pid);
+    FccdOptions options;
+    options.try_mincore = true;
+    Fccd fccd(&sys, options);
+    const auto plan = fccd.PlanFile("/d0/file");
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(fccd.last_plan_used_mincore(), linux_platform);
+    if (linux_platform) {
+      EXPECT_EQ(fccd.probes_issued(), 0u) << "mincore path must not probe";
+      // No Heisenberg effect: the cold half stayed cold.
+      EXPECT_FALSE(os.PageResidentPath("/d0/file", 30 * kMb / 4096));
+    } else {
+      EXPECT_GT(fccd.probes_issued(), 0u) << "fallback to probing";
+    }
+    // Either way, the warm half leads the plan.
+    EXPECT_LT(plan->units.front().extent.offset, 20 * kMb);
+  }
+}
+
+TEST(OsMincoreTest, BitmapMatchesGroundTruth) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/f", 16 * 4096));
+  os.FlushFileCache();
+  const int fd = os.Open(pid, "/d0/f");
+  ASSERT_EQ(os.Pread(pid, fd, {}, 4 * 4096, 4 * 4096), 4 * 4096);
+  std::vector<bool> bitmap;
+  ASSERT_EQ(os.Mincore(pid, fd, 0, 16 * 4096, &bitmap), 0);
+  ASSERT_EQ(bitmap.size(), 16u);
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_EQ(bitmap[static_cast<std::size_t>(p)], p >= 4 && p < 8) << "page " << p;
+  }
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsMincoreTest, UnavailableOnOtherPlatforms) {
+  Os os(PlatformProfile::Solaris7());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/f", 4096));
+  const int fd = os.Open(pid, "/d0/f");
+  std::vector<bool> bitmap;
+  EXPECT_LT(os.Mincore(pid, fd, 0, 4096, &bitmap), 0);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+}  // namespace
+}  // namespace gray

@@ -1,0 +1,406 @@
+#include "src/os/os.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace graysim {
+namespace {
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+// Creates a file of `bytes` by writing it sequentially.
+void MakeFile(Os& os, Pid pid, const std::string& path, std::uint64_t bytes) {
+  const int fd = os.Creat(pid, path);
+  ASSERT_GE(fd, 0) << path;
+  const std::uint64_t chunk = 1 * kMb;
+  for (std::uint64_t off = 0; off < bytes; off += chunk) {
+    const std::uint64_t n = std::min(chunk, bytes - off);
+    ASSERT_EQ(os.Pwrite(pid, fd, n, off), static_cast<std::int64_t>(n));
+  }
+  ASSERT_EQ(os.Fsync(pid, fd), 0);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, OpenMissingFileFails) {
+  Os os(PlatformProfile::Linux22());
+  EXPECT_LT(os.Open(os.default_pid(), "/d0/nothing"), 0);
+}
+
+TEST(OsTest, BadPathsRejected) {
+  Os os(PlatformProfile::Linux22());
+  EXPECT_LT(os.Open(os.default_pid(), "no-disk-prefix"), 0);
+  EXPECT_LT(os.Open(os.default_pid(), "/d9/file"), 0);  // only 5 disks
+}
+
+TEST(OsTest, WriteThenReadBack) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 3 * kMb);
+  InodeAttr attr;
+  ASSERT_EQ(os.Stat(pid, "/d0/file", &attr), 0);
+  EXPECT_EQ(attr.size, 3 * kMb);
+  const int fd = os.Open(pid, "/d0/file");
+  ASSERT_GE(fd, 0);
+  std::vector<std::uint8_t> buf(64);
+  EXPECT_EQ(os.Pread(pid, fd, buf, 64, 0), 64);
+  EXPECT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, ReadContentIsDeterministic) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", kMb);
+  const int fd = os.Open(pid, "/d0/file");
+  std::vector<std::uint8_t> a(128);
+  std::vector<std::uint8_t> b(128);
+  ASSERT_EQ(os.Pread(pid, fd, a, 128, 4096), 128);
+  ASSERT_EQ(os.Pread(pid, fd, b, 128, 4096), 128);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, ColdReadSlowerThanWarmRead) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 16 * kMb);
+  os.FlushFileCache();
+  const int fd = os.Open(pid, "/d0/file");
+  ASSERT_GE(fd, 0);
+
+  const Nanos t0 = os.Now();
+  ASSERT_EQ(os.Pread(pid, fd, {}, 16 * kMb, 0), static_cast<std::int64_t>(16 * kMb));
+  const Nanos cold = os.Now() - t0;
+
+  const Nanos t1 = os.Now();
+  ASSERT_EQ(os.Pread(pid, fd, {}, 16 * kMb, 0), static_cast<std::int64_t>(16 * kMb));
+  const Nanos warm = os.Now() - t1;
+
+  EXPECT_GT(cold, warm * 5);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, SingleByteProbeTimesSeparateCacheStates) {
+  // The heart of FCCD: a 1-byte read is microseconds when cached,
+  // milliseconds when not.
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 64 * kMb);
+  os.FlushFileCache();
+  const int fd = os.Open(pid, "/d0/file");
+
+  const Nanos t0 = os.Now();
+  ASSERT_EQ(os.Pread(pid, fd, {}, 1, 32 * kMb), 1);
+  const Nanos miss = os.Now() - t0;
+
+  const Nanos t1 = os.Now();
+  ASSERT_EQ(os.Pread(pid, fd, {}, 1, 32 * kMb), 1);
+  const Nanos hit = os.Now() - t1;
+
+  EXPECT_GT(miss, Millis(1.0));
+  EXPECT_LT(hit, Micros(10.0));
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, ProbeBringsPageIn) {
+  // The Heisenberg effect: probing a non-resident page faults it in.
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 8 * kMb);
+  os.FlushFileCache();
+  EXPECT_FALSE(os.PageResidentPath("/d0/file", 5));
+  const int fd = os.Open(pid, "/d0/file");
+  ASSERT_EQ(os.Pread(pid, fd, {}, 1, 5 * 4096), 1);
+  EXPECT_TRUE(os.PageResidentPath("/d0/file", 5));
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, SequentialScanUsesReadahead) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 8 * kMb);
+  os.FlushFileCache();
+  const int fd = os.Open(pid, "/d0/file");
+  for (std::uint64_t off = 0; off < 8 * kMb; off += 64 * 1024) {
+    ASSERT_EQ(os.Pread(pid, fd, {}, 64 * 1024, off), 64 * 1024);
+  }
+  EXPECT_GT(os.stats().readahead_pages, 0u);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, LruEvictionWhenFileExceedsMemory) {
+  // A scan of a file larger than memory leaves the tail resident, not the
+  // head (LRU).
+  MachineConfig cfg;
+  cfg.phys_mem_bytes = 64 * kMb;
+  cfg.kernel_reserved_bytes = 16 * kMb;  // 48 MB usable
+  Os os(PlatformProfile::Linux22(), cfg);
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 96 * kMb);
+  os.FlushFileCache();
+  const int fd = os.Open(pid, "/d0/file");
+  ASSERT_EQ(os.Pread(pid, fd, {}, 96 * kMb, 0), static_cast<std::int64_t>(96 * kMb));
+  EXPECT_FALSE(os.PageResidentPath("/d0/file", 0));
+  EXPECT_TRUE(os.PageResidentPath("/d0/file", 96 * kMb / 4096 - 1));
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, VmReadDoesNotAllocateButWriteDoes) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  const VmAreaId area = os.VmAlloc(pid, 16 * 4096);
+  os.VmTouch(pid, area, 3, /*write=*/false);
+  EXPECT_EQ(os.VmResidentPages(pid), 0u);
+  os.VmTouch(pid, area, 3, /*write=*/true);
+  EXPECT_EQ(os.VmResidentPages(pid), 1u);
+  os.VmFree(pid, area);
+  EXPECT_EQ(os.VmResidentPages(pid), 0u);
+}
+
+TEST(OsTest, OvercommitSwapsAndSwapInIsSlow) {
+  MachineConfig cfg;
+  cfg.phys_mem_bytes = 32 * kMb;
+  cfg.kernel_reserved_bytes = 8 * kMb;  // 24 MB usable = 6144 pages
+  Os os(PlatformProfile::Linux22(), cfg);
+  const Pid pid = os.default_pid();
+  const std::uint64_t pages = 8000;  // exceeds memory
+  const VmAreaId area = os.VmAlloc(pid, pages * 4096);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    os.VmTouch(pid, area, i, /*write=*/true);
+  }
+  EXPECT_GT(os.stats().swap_outs, 0u);
+  // Page 0 was swapped out; touching it swaps in (slow).
+  const Nanos t0 = os.Now();
+  os.VmTouch(pid, area, 0, /*write=*/true);
+  EXPECT_GT(os.Now() - t0, Millis(1.0));
+  EXPECT_GT(os.stats().swap_ins, 0u);
+}
+
+TEST(OsTest, SchedulerInterleavesProcesses) {
+  Os os(PlatformProfile::Linux22());
+  std::vector<Nanos> finish(2, 0);
+  os.RunProcesses({
+      [&](Pid pid) {
+        os.Compute(pid, Millis(100.0));
+        finish[0] = os.Now();
+      },
+      [&](Pid pid) {
+        os.Compute(pid, Millis(100.0));
+        finish[1] = os.Now();
+      },
+  });
+  // Both ran on one virtual clock; total is the sum of the compute time and
+  // both finished near the end (interleaved, not serialized).
+  EXPECT_GE(os.Now(), Millis(200.0));
+  const Nanos gap = finish[1] > finish[0] ? finish[1] - finish[0] : finish[0] - finish[1];
+  EXPECT_LE(gap, Millis(20.0));
+}
+
+TEST(OsTest, SchedulerIsDeterministic) {
+  auto run = [] {
+    Os os(PlatformProfile::Linux22());
+    os.RunProcesses({
+        [&](Pid pid) {
+          MakeFile(os, pid, "/d0/a", 4 * kMb);
+          os.Compute(pid, Millis(37.0));
+        },
+        [&](Pid pid) {
+          MakeFile(os, pid, "/d1/b", 2 * kMb);
+          os.Sleep(pid, Millis(5.0));
+          os.Compute(pid, Millis(11.0));
+        },
+    });
+    return os.Now();
+  };
+  const Nanos a = run();
+  const Nanos b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(OsTest, SleepAdvancesVirtualTime) {
+  Os os(PlatformProfile::Linux22());
+  os.RunProcesses({[&](Pid pid) {
+    const Nanos t0 = os.Now();
+    os.Sleep(pid, Seconds(2.0));
+    EXPECT_GE(os.Now() - t0, Seconds(2.0));
+  }});
+}
+
+TEST(OsTest, UnlinkDropsCachedPages) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 4 * kMb);
+  const std::uint64_t before = os.FileCachePages();
+  EXPECT_GT(before, 0u);
+  ASSERT_EQ(os.Unlink(pid, "/d0/file"), 0);
+  EXPECT_LT(os.FileCachePages(), before);
+}
+
+TEST(OsTest, StatReportsInumAndTimes) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/a", 8192);
+  MakeFile(os, pid, "/d0/b", 8192);
+  InodeAttr a;
+  InodeAttr b;
+  ASSERT_EQ(os.Stat(pid, "/d0/a", &a), 0);
+  ASSERT_EQ(os.Stat(pid, "/d0/b", &b), 0);
+  EXPECT_LT(a.inum, b.inum);  // creation order
+}
+
+TEST(OsTest, ReadDirListsFiles) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_EQ(os.Mkdir(pid, "/d0/dir"), 0);
+  MakeFile(os, pid, "/d0/dir/x", 4096);
+  MakeFile(os, pid, "/d0/dir/y", 4096);
+  std::vector<DirEntryInfo> entries;
+  ASSERT_EQ(os.ReadDir(pid, "/d0/dir", &entries), 0);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "x");
+  EXPECT_EQ(entries[1].name, "y");
+}
+
+TEST(OsTest, NetBsdFileCacheCappedAt64Mb) {
+  Os os(PlatformProfile::NetBsd15());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 128 * kMb);
+  os.FlushFileCache();
+  const int fd = os.Open(pid, "/d0/file");
+  ASSERT_EQ(os.Pread(pid, fd, {}, 128 * kMb, 0), static_cast<std::int64_t>(128 * kMb));
+  EXPECT_LE(os.FileCachePages() * 4096, 64 * kMb);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, SolarisCacheIsSticky) {
+  Os os(PlatformProfile::Solaris7());
+  const Pid pid = os.default_pid();
+  // First file fills the cache and stays; a second scan cannot dislodge it.
+  MakeFile(os, pid, "/d0/a", 900 * kMb);
+  os.FlushFileCache();
+  int fd = os.Open(pid, "/d0/a");
+  ASSERT_EQ(os.Pread(pid, fd, {}, 900 * kMb, 0), static_cast<std::int64_t>(900 * kMb));
+  ASSERT_EQ(os.Close(pid, fd), 0);
+  const double frac_a = os.ResidentFraction("/d0/a");
+  EXPECT_GT(frac_a, 0.85);
+
+  MakeFile(os, pid, "/d1/b", 512 * kMb);
+  fd = os.Open(pid, "/d1/b");
+  // b was just written, so flush to make this a cold read.
+  // (Writes of b may have bypassed the full cache already.)
+  ASSERT_EQ(os.Pread(pid, fd, {}, 512 * kMb, 0), static_cast<std::int64_t>(512 * kMb));
+  ASSERT_EQ(os.Close(pid, fd), 0);
+  EXPECT_GT(os.ResidentFraction("/d0/a"), 0.85) << "scan of b dislodged a";
+}
+
+TEST(OsTest, WritebackCoalescesRuns) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 32 * kMb);
+  const auto& stats = os.disk_stats(0);
+  // Writeback of a sequential file should need far fewer requests than
+  // pages written.
+  EXPECT_LT(stats.requests, 32 * kMb / 4096 / 4);
+}
+
+TEST(OsTest, SequentialReadAdvancesOffset) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 3 * 4096);
+  const int fd = os.Open(pid, "/d0/file");
+  std::vector<std::uint8_t> a(16);
+  std::vector<std::uint8_t> b(16);
+  ASSERT_EQ(os.Read(pid, fd, a, 16), 16);
+  ASSERT_EQ(os.Read(pid, fd, b, 16), 16);
+  // Sequential reads return different content (different offsets).
+  EXPECT_NE(a, b);
+  std::vector<std::uint8_t> b_again(16);
+  ASSERT_EQ(os.Pread(pid, fd, b_again, 16, 16), 16);
+  EXPECT_EQ(b, b_again);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, ReadStopsAtEof) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/small", 100);
+  const int fd = os.Open(pid, "/d0/small");
+  EXPECT_EQ(os.Read(pid, fd, {}, 64), 64);
+  EXPECT_EQ(os.Read(pid, fd, {}, 64), 36);
+  EXPECT_EQ(os.Read(pid, fd, {}, 64), 0);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, WriteAppendsSequentially) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  const int fd = os.Creat(pid, "/d0/log");
+  ASSERT_GE(fd, 0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(os.Write(pid, fd, 1000), 1000);
+  }
+  InodeAttr attr;
+  ASSERT_EQ(os.Stat(pid, "/d0/log", &attr), 0);
+  EXPECT_EQ(attr.size, 5000u);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, LseekRepositionsAndSeeksEnd) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/file", 9000);
+  const int fd = os.Open(pid, "/d0/file");
+  ASSERT_EQ(os.Lseek(pid, fd, 8000), 8000);
+  EXPECT_EQ(os.Read(pid, fd, {}, 4096), 1000);  // clamped at EOF
+  ASSERT_EQ(os.Lseek(pid, fd, Os::kSeekEnd), 9000);
+  EXPECT_EQ(os.Read(pid, fd, {}, 10), 0);
+  ASSERT_EQ(os.Lseek(pid, fd, 0), 0);
+  EXPECT_EQ(os.Read(pid, fd, {}, 10), 10);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST(OsTest, LfsProfileAppendsAllWritesAtLogHead) {
+  Os os(PlatformProfile::LfsVariant());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/a", 8192);
+  MakeFile(os, pid, "/d0/b", 8192);
+  const auto& fs = os.fs(0);
+  graysim::InodeAttr a;
+  graysim::InodeAttr b;
+  ASSERT_EQ(os.Stat(pid, "/d0/a", &a), 0);
+  ASSERT_EQ(os.Stat(pid, "/d0/b", &b), 0);
+  // b was written right after a: its data sits immediately after a's.
+  EXPECT_EQ(fs.FirstBlockOf(static_cast<Inum>(b.inum)),
+            fs.FirstBlockOf(static_cast<Inum>(a.inum)) + 2);
+}
+
+TEST(OsTest, FilesOnDifferentDisksDoNotCollideInCache) {
+  // Regression: files on different disks share local i-numbers; the page
+  // cache must key on (disk, inum, page) without truncation.
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  MakeFile(os, pid, "/d0/a", 8 * kMb);  // both get the first free inum
+  MakeFile(os, pid, "/d1/a", 8 * kMb);  // of their respective filesystems
+  InodeAttr a0;
+  InodeAttr a1;
+  ASSERT_EQ(os.Stat(pid, "/d0/a", &a0), 0);
+  ASSERT_EQ(os.Stat(pid, "/d1/a", &a1), 0);
+  ASSERT_EQ(a0.inum, a1.inum) << "precondition: same local inum";
+  os.FlushFileCache();
+  // Warm only the d0 file.
+  const int fd = os.Open(pid, "/d0/a");
+  ASSERT_EQ(os.Pread(pid, fd, {}, 8 * kMb, 0), static_cast<std::int64_t>(8 * kMb));
+  ASSERT_EQ(os.Close(pid, fd), 0);
+  EXPECT_TRUE(os.PageResidentPath("/d0/a", 0));
+  EXPECT_FALSE(os.PageResidentPath("/d1/a", 0)) << "d1 twin must remain cold";
+  // And timing agrees: a probe of the d1 twin goes to disk.
+  const int fd1 = os.Open(pid, "/d1/a");
+  const Nanos t0 = os.Now();
+  ASSERT_EQ(os.Pread(pid, fd1, {}, 1, 0), 1);
+  EXPECT_GT(os.Now() - t0, Millis(1.0));
+  ASSERT_EQ(os.Close(pid, fd1), 0);
+}
+
+}  // namespace
+}  // namespace graysim

@@ -1,0 +1,156 @@
+#include "src/cache/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace graysim {
+namespace {
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  PageCacheTest()
+      : mem_(MemSystem::Config{64, MemPolicy::kUnifiedLru, 0}), cache_(&mem_) {
+    mem_.set_evict_handler([this](const Page& page) {
+      if (page.kind == PageKind::kFile) {
+        evicted_dirty_ += cache_.OnEvicted(page) ? 1 : 0;
+        ++evicted_;
+      }
+      return Nanos{0};
+    });
+  }
+
+  MemSystem mem_;
+  PageCache cache_;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t evicted_dirty_ = 0;
+  Nanos cost_ = 0;
+};
+
+TEST_F(PageCacheTest, InsertThenAccessHits) {
+  EXPECT_FALSE(cache_.Access(1, 0));
+  ASSERT_TRUE(cache_.Insert(1, 0, false, &cost_));
+  EXPECT_TRUE(cache_.Access(1, 0));
+  EXPECT_TRUE(cache_.Resident(1, 0));
+  EXPECT_EQ(cache_.resident_pages(), 1u);
+}
+
+TEST_F(PageCacheTest, ReinsertIsIdempotent) {
+  ASSERT_TRUE(cache_.Insert(1, 0, false, &cost_));
+  ASSERT_TRUE(cache_.Insert(1, 0, false, &cost_));
+  EXPECT_EQ(cache_.resident_pages(), 1u);
+}
+
+TEST_F(PageCacheTest, ReinsertDirtyMarksDirty) {
+  ASSERT_TRUE(cache_.Insert(1, 0, false, &cost_));
+  EXPECT_EQ(cache_.dirty_pages(), 0u);
+  ASSERT_TRUE(cache_.Insert(1, 0, true, &cost_));
+  EXPECT_EQ(cache_.dirty_pages(), 1u);
+  EXPECT_EQ(cache_.resident_pages(), 1u);
+}
+
+TEST_F(PageCacheTest, DistinctFilesDoNotCollide) {
+  ASSERT_TRUE(cache_.Insert(1, 7, false, &cost_));
+  ASSERT_TRUE(cache_.Insert(2, 7, false, &cost_));
+  EXPECT_EQ(cache_.resident_pages(), 2u);
+  EXPECT_EQ(cache_.ResidentPagesOfFile(1), 1u);
+  EXPECT_EQ(cache_.ResidentPagesOfFile(2), 1u);
+}
+
+TEST_F(PageCacheTest, DropFileRemovesOnlyThatFile) {
+  for (std::uint64_t p = 0; p < 5; ++p) {
+    ASSERT_TRUE(cache_.Insert(1, p, p % 2 == 0, &cost_));
+    ASSERT_TRUE(cache_.Insert(2, p, false, &cost_));
+  }
+  cache_.DropFile(1);
+  EXPECT_EQ(cache_.ResidentPagesOfFile(1), 0u);
+  EXPECT_EQ(cache_.ResidentPagesOfFile(2), 5u);
+  EXPECT_EQ(cache_.dirty_pages(), 0u) << "dirty bookkeeping cleaned with the file";
+  EXPECT_EQ(mem_.used_pages(), 5u);
+}
+
+TEST_F(PageCacheTest, DropFilePagesFromTruncatesTail) {
+  for (std::uint64_t p = 0; p < 10; ++p) {
+    ASSERT_TRUE(cache_.Insert(3, p, true, &cost_));
+  }
+  cache_.DropFilePagesFrom(3, 6);
+  EXPECT_EQ(cache_.ResidentPagesOfFile(3), 6u);
+  EXPECT_TRUE(cache_.Resident(3, 5));
+  EXPECT_FALSE(cache_.Resident(3, 6));
+  EXPECT_EQ(cache_.dirty_pages(), 6u);
+}
+
+TEST_F(PageCacheTest, TakeOldestDirtyReturnsDirtyingOrder) {
+  ASSERT_TRUE(cache_.Insert(1, 5, true, &cost_));
+  ASSERT_TRUE(cache_.Insert(2, 9, true, &cost_));
+  ASSERT_TRUE(cache_.Insert(1, 1, true, &cost_));
+  const auto batch = cache_.TakeOldestDirty(2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], (std::pair<Inum, std::uint64_t>{1, 5}));
+  EXPECT_EQ(batch[1], (std::pair<Inum, std::uint64_t>{2, 9}));
+  EXPECT_EQ(cache_.dirty_pages(), 1u);
+}
+
+TEST_F(PageCacheTest, TakeDirtyOfFileIsSelective) {
+  ASSERT_TRUE(cache_.Insert(1, 0, true, &cost_));
+  ASSERT_TRUE(cache_.Insert(2, 0, true, &cost_));
+  ASSERT_TRUE(cache_.Insert(1, 3, true, &cost_));
+  const auto pages = cache_.TakeDirtyOfFile(1);
+  EXPECT_EQ(pages.size(), 2u);
+  EXPECT_EQ(cache_.dirty_pages(), 1u);  // file 2's page remains dirty
+}
+
+TEST_F(PageCacheTest, CleanDirtyRunAfterStopsAtCleanOrAbsent) {
+  for (std::uint64_t p = 0; p < 6; ++p) {
+    ASSERT_TRUE(cache_.Insert(1, p, /*dirty=*/p != 3, &cost_));
+  }
+  // Run after page 0: pages 1,2 dirty; page 3 clean stops it.
+  EXPECT_EQ(cache_.CleanDirtyRunAfter(1, 0, 255), 2u);
+  EXPECT_EQ(cache_.dirty_pages(), 3u);  // pages 0, 4, 5 still dirty
+  // Run after page 4: page 5 dirty, page 6 absent stops it.
+  EXPECT_EQ(cache_.CleanDirtyRunAfter(1, 4, 255), 1u);
+}
+
+TEST_F(PageCacheTest, CleanDirtyRunAfterRespectsCap) {
+  for (std::uint64_t p = 0; p < 10; ++p) {
+    ASSERT_TRUE(cache_.Insert(1, p, true, &cost_));
+  }
+  EXPECT_EQ(cache_.CleanDirtyRunAfter(1, 0, 4), 4u);
+  EXPECT_EQ(cache_.dirty_pages(), 6u);
+}
+
+TEST_F(PageCacheTest, EvictionUnmapsAndReportsDirty) {
+  // Fill the 64-frame pool with dirty pages, then overflow it.
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    ASSERT_TRUE(cache_.Insert(1, p, true, &cost_));
+  }
+  ASSERT_TRUE(cache_.Insert(2, 0, false, &cost_));
+  EXPECT_EQ(evicted_, 1u);
+  EXPECT_EQ(evicted_dirty_, 1u);
+  EXPECT_EQ(cache_.resident_pages(), 64u);
+  EXPECT_EQ(cache_.dirty_pages(), 63u);
+}
+
+TEST_F(PageCacheTest, DropAllReportsDirtyPages) {
+  ASSERT_TRUE(cache_.Insert(1, 0, true, &cost_));
+  ASSERT_TRUE(cache_.Insert(1, 1, false, &cost_));
+  std::vector<std::pair<Inum, std::uint64_t>> dirty;
+  cache_.DropAll(&dirty);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].second, 0u);
+  EXPECT_EQ(cache_.resident_pages(), 0u);
+  EXPECT_EQ(mem_.used_pages(), 0u);
+}
+
+TEST_F(PageCacheTest, AccessRefreshesLruOrder) {
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    ASSERT_TRUE(cache_.Insert(1, p, false, &cost_));
+  }
+  ASSERT_TRUE(cache_.Access(1, 0));  // refresh the oldest page
+  ASSERT_TRUE(cache_.Insert(2, 0, false, &cost_));
+  EXPECT_TRUE(cache_.Resident(1, 0)) << "refreshed page survived";
+  EXPECT_FALSE(cache_.Resident(1, 1)) << "page 1 became LRU and was evicted";
+}
+
+}  // namespace
+}  // namespace graysim

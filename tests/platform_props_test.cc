@@ -1,0 +1,148 @@
+// Platform-sweep property tests: invariants every platform profile must
+// satisfy, run against all four (Linux, NetBSD, Solaris, LFS-variant).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/os/os.h"
+#include "src/workloads/filegen.h"
+
+namespace graysim {
+namespace {
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+class PlatformProperty : public ::testing::TestWithParam<int> {
+ protected:
+  static PlatformProfile Profile() {
+    switch (GetParam()) {
+      case 0:
+        return PlatformProfile::Linux22();
+      case 1:
+        return PlatformProfile::NetBsd15();
+      case 2:
+        return PlatformProfile::Solaris7();
+      default:
+        return PlatformProfile::LfsVariant();
+    }
+  }
+};
+
+TEST_P(PlatformProperty, ColdReadSlowerThanWarmRead) {
+  Os os(Profile());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/f", 8 * kMb));
+  os.FlushFileCache();
+  const int fd = os.Open(pid, "/d0/f");
+  const Nanos t0 = os.Now();
+  ASSERT_EQ(os.Pread(pid, fd, {}, 8 * kMb, 0), static_cast<std::int64_t>(8 * kMb));
+  const Nanos cold = os.Now() - t0;
+  const Nanos t1 = os.Now();
+  ASSERT_EQ(os.Pread(pid, fd, {}, 8 * kMb, 0), static_cast<std::int64_t>(8 * kMb));
+  const Nanos warm = os.Now() - t1;
+  EXPECT_GT(cold, warm * 3) << Profile().name;
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST_P(PlatformProperty, CacheNeverExceedsItsBudget) {
+  Os os(Profile());
+  const Pid pid = os.default_pid();
+  // Stream more data than any cache budget.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/f" + std::to_string(i), 48 * kMb));
+  }
+  const std::uint64_t cache_bytes = os.FileCachePages() * os.page_size();
+  const std::uint64_t budget = Profile().mem_policy == MemPolicy::kPartitionedFixedFile
+                                   ? Profile().file_cache_bytes
+                                   : os.UsableMemBytes();
+  EXPECT_LE(cache_bytes, budget) << Profile().name;
+}
+
+TEST_P(PlatformProperty, FlushEmptiesTheCache) {
+  Os os(Profile());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/f", 4 * kMb));
+  EXPECT_GT(os.FileCachePages(), 0u);
+  os.FlushFileCache();
+  EXPECT_EQ(os.FileCachePages(), 0u) << Profile().name;
+}
+
+TEST_P(PlatformProperty, ProbeTimesSeparateStates) {
+  // The FCCD's foundational assumption must hold on every platform: cached
+  // probes are orders of magnitude faster than cold ones.
+  Os os(Profile());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/f", 16 * kMb));
+  os.FlushFileCache();
+  const int fd = os.Open(pid, "/d0/f");
+  const Nanos t0 = os.Now();
+  ASSERT_EQ(os.Pread(pid, fd, {}, 1, 8 * kMb), 1);
+  const Nanos miss = os.Now() - t0;
+  const Nanos t1 = os.Now();
+  ASSERT_EQ(os.Pread(pid, fd, {}, 1, 8 * kMb), 1);
+  const Nanos hit = os.Now() - t1;
+  EXPECT_GT(miss, hit * 100) << Profile().name;
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST_P(PlatformProperty, CreationOrderGivesMonotoneInums) {
+  Os os(Profile());
+  const Pid pid = os.default_pid();
+  const auto paths = graywork::MakeFileSet(os, pid, "/d0/dir", 15, 4096);
+  std::uint64_t prev = 0;
+  for (const std::string& path : paths) {
+    InodeAttr attr;
+    ASSERT_EQ(os.Stat(pid, path, &attr), 0);
+    EXPECT_GT(attr.inum, prev) << Profile().name;
+    prev = attr.inum;
+  }
+}
+
+TEST_P(PlatformProperty, WriteReadBackSizesConsistent) {
+  Os os(Profile());
+  const Pid pid = os.default_pid();
+  const int fd = os.Creat(pid, "/d0/f");
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(os.Pwrite(pid, fd, 5000, 0), 5000);
+  ASSERT_EQ(os.Pwrite(pid, fd, 5000, 5000), 5000);
+  InodeAttr attr;
+  ASSERT_EQ(os.Stat(pid, "/d0/f", &attr), 0);
+  EXPECT_EQ(attr.size, 10000u);
+  EXPECT_EQ(os.Pread(pid, fd, {}, 20000, 0), 10000);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+TEST_P(PlatformProperty, DeterministicAcrossIdenticalRuns) {
+  auto run = [this] {
+    Os os(Profile());
+    const Pid pid = os.default_pid();
+    (void)graywork::MakeFileSet(os, pid, "/d0/dir", 10, 64 * 1024);
+    os.FlushFileCache();
+    for (int i = 0; i < 10; i += 2) {
+      const int fd = os.Open(pid, "/d0/dir/f" + std::to_string(i));
+      (void)os.Pread(pid, fd, {}, 64 * 1024, 0);
+      (void)os.Close(pid, fd);
+    }
+    return os.Now();
+  };
+  EXPECT_EQ(run(), run()) << Profile().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, PlatformProperty, ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0:
+                               return std::string("Linux22");
+                             case 1:
+                               return std::string("NetBsd15");
+                             case 2:
+                               return std::string("Solaris7");
+                             default:
+                               return std::string("LfsVariant");
+                           }
+                         });
+
+}  // namespace
+}  // namespace graysim

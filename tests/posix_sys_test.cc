@@ -1,0 +1,188 @@
+// Functional tests of the POSIX SysApi binding against the real host
+// filesystem (a temp directory). NO timing assertions: CI machines make
+// them meaningless — the paper's microbenchmarks "likely require a
+// dedicated system". What matters here is that the binding is faithful
+// enough that the gray library's logic runs unchanged on a real OS.
+
+#include "src/gray/posix_sys.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/gray/fccd/fccd.h"
+#include "src/gray/fldc/fldc.h"
+
+namespace gray {
+namespace {
+
+class PosixSysTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("gb_posix_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    ASSERT_EQ(sys_.Mkdir(dir_), 0);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  PosixSys sys_;
+  std::string dir_;
+};
+
+TEST_F(PosixSysTest, CreateWriteStatReadRoundTrip) {
+  const int fd = sys_.Creat(Path("f"));
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(sys_.Pwrite(fd, 10000, 0), 10000);
+  ASSERT_EQ(sys_.Fsync(fd), 0);
+  ASSERT_EQ(sys_.Close(fd), 0);
+
+  FileInfo info;
+  ASSERT_EQ(sys_.Stat(Path("f"), &info), 0);
+  EXPECT_EQ(info.size, 10000u);
+  EXPECT_FALSE(info.is_dir);
+  EXPECT_GT(info.inum, 0u);
+
+  const int rfd = sys_.Open(Path("f"));
+  ASSERT_GE(rfd, 0);
+  std::vector<std::uint8_t> buf(64, 0xFF);
+  EXPECT_EQ(sys_.Pread(rfd, buf, 64, 0), 64);
+  EXPECT_EQ(buf[0], 0) << "Pwrite writes zeros";
+  // Timing-only read (empty buffer) still reports bytes crossed.
+  EXPECT_EQ(sys_.Pread(rfd, {}, 10000, 0), 10000);
+  EXPECT_EQ(sys_.Pread(rfd, {}, 500, 9900), 100) << "clamped at EOF";
+  ASSERT_EQ(sys_.Close(rfd), 0);
+}
+
+TEST_F(PosixSysTest, OpenMissingFails) {
+  EXPECT_LT(sys_.Open(Path("missing")), 0);
+  FileInfo info;
+  EXPECT_LT(sys_.Stat(Path("missing"), &info), 0);
+}
+
+TEST_F(PosixSysTest, ReadDirListsCreatedFiles) {
+  for (const char* name : {"a", "b", "c"}) {
+    const int fd = sys_.Creat(Path(name));
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(sys_.Close(fd), 0);
+  }
+  ASSERT_EQ(sys_.Mkdir(Path("sub")), 0);
+  std::vector<DirEntry> entries;
+  ASSERT_EQ(sys_.ReadDir(dir_, &entries), 0);
+  EXPECT_EQ(entries.size(), 4u);
+  const auto sub = std::find_if(entries.begin(), entries.end(),
+                                [](const DirEntry& e) { return e.name == "sub"; });
+  ASSERT_NE(sub, entries.end());
+  EXPECT_TRUE(sub->is_dir);
+}
+
+TEST_F(PosixSysTest, RenameUnlinkRmdir) {
+  const int fd = sys_.Creat(Path("x"));
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(sys_.Close(fd), 0);
+  ASSERT_EQ(sys_.Rename(Path("x"), Path("y")), 0);
+  EXPECT_LT(sys_.Open(Path("x")), 0);
+  ASSERT_EQ(sys_.Unlink(Path("y")), 0);
+  ASSERT_EQ(sys_.Mkdir(Path("d")), 0);
+  ASSERT_EQ(sys_.Rmdir(Path("d")), 0);
+}
+
+TEST_F(PosixSysTest, UtimesRoundTripsMtime) {
+  const int fd = sys_.Creat(Path("t"));
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(sys_.Close(fd), 0);
+  const Nanos mtime = 1'500'000'000ULL * 1'000'000'000ULL;  // 2017-07-14
+  ASSERT_EQ(sys_.Utimes(Path("t"), mtime, mtime), 0);
+  FileInfo info;
+  ASSERT_EQ(sys_.Stat(Path("t"), &info), 0);
+  EXPECT_EQ(info.mtime, mtime);
+}
+
+TEST_F(PosixSysTest, MemAllocTouchFree) {
+  const MemHandle h = sys_.MemAlloc(16 * sys_.PageSize());
+  ASSERT_NE(h, kInvalidMem);
+  for (std::uint64_t p = 0; p < 16; ++p) {
+    sys_.MemTouch(h, p, /*write=*/true);
+    sys_.MemTouch(h, p, /*write=*/false);
+  }
+  sys_.MemFree(h);
+  EXPECT_EQ(sys_.MemAlloc(0), kInvalidMem);
+}
+
+TEST_F(PosixSysTest, MincoreReportsResidencyBitmap) {
+  const int fd = sys_.Creat(Path("m"));
+  ASSERT_GE(fd, 0);
+  const std::uint64_t bytes = 8ULL * sys_.PageSize();
+  ASSERT_EQ(sys_.Pwrite(fd, bytes, 0), static_cast<std::int64_t>(bytes));
+  ASSERT_EQ(sys_.Fsync(fd), 0);
+  std::vector<bool> resident;
+  ASSERT_EQ(sys_.Mincore(fd, 0, bytes, &resident), 0);
+  EXPECT_EQ(resident.size(), 8u);
+  // Just-written pages are resident on any sane host (no assertion on
+  // individual pages beyond the size — CI kernels may reclaim).
+  ASSERT_EQ(sys_.Close(fd), 0);
+}
+
+TEST_F(PosixSysTest, ClockIsMonotonic) {
+  const Nanos a = sys_.Now();
+  sys_.SleepNs(1'000'000);  // 1 ms
+  const Nanos b = sys_.Now();
+  EXPECT_GT(b, a);
+}
+
+// The actual point: the gray-box library runs unchanged on the real OS.
+TEST_F(PosixSysTest, FldcOrdersRealFilesByInode) {
+  std::vector<std::string> paths;
+  for (int i = 0; i < 8; ++i) {
+    const std::string path = Path("file" + std::to_string(i));
+    const int fd = sys_.Creat(path);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(sys_.Pwrite(fd, 4096, 0), 4096);
+    ASSERT_EQ(sys_.Close(fd), 0);
+    paths.push_back(path);
+  }
+  Fldc fldc(&sys_);
+  const auto ordered = fldc.OrderByInode(paths);
+  ASSERT_EQ(ordered.size(), paths.size());
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    EXPECT_LE(ordered[i - 1].inum, ordered[i].inum) << "must be sorted by inum";
+    EXPECT_TRUE(ordered[i].stat_ok);
+  }
+}
+
+TEST_F(PosixSysTest, FccdPlansARealFile) {
+  const std::string path = Path("big");
+  const int fd = sys_.Creat(path);
+  ASSERT_GE(fd, 0);
+  const std::uint64_t bytes = 4ULL * 1024 * 1024;
+  ASSERT_EQ(sys_.Pwrite(fd, bytes, 0), static_cast<std::int64_t>(bytes));
+  ASSERT_EQ(sys_.Close(fd), 0);
+
+  FccdOptions options;
+  options.access_unit = 1024 * 1024;
+  options.prediction_unit = 512 * 1024;
+  Fccd fccd(&sys_, options);
+  const auto plan = fccd.PlanFile(path);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->TotalBytes(), bytes);
+  EXPECT_EQ(plan->units.size(), 4u);
+  EXPECT_GT(fccd.probes_issued(), 0u);
+
+  // And the mincore path works against the real kernel too.
+  FccdOptions mc = options;
+  mc.try_mincore = true;
+  Fccd fccd_mc(&sys_, mc);
+  const auto plan_mc = fccd_mc.PlanFile(path);
+  ASSERT_TRUE(plan_mc.has_value());
+  EXPECT_TRUE(fccd_mc.last_plan_used_mincore());
+  EXPECT_EQ(fccd_mc.probes_issued(), 0u);
+}
+
+}  // namespace
+}  // namespace gray

@@ -1,0 +1,159 @@
+// Deterministic turnstile scheduler: fairness, sleeping, determinism, and
+// scaling across process counts (TEST_P sweep).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "src/os/scheduler.h"
+
+namespace graysim {
+namespace {
+
+TEST(SchedulerTest, SingleProcessRunsToCompletion) {
+  SimClock clock;
+  Scheduler sched(&clock, Millis(10.0));
+  bool ran = false;
+  sched.Run({[&](int) {
+    sched.Charge(0, Millis(25.0));
+    ran = true;
+  }});
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(clock.now(), Millis(25.0));
+}
+
+TEST(SchedulerTest, ChargesAccumulateAcrossProcesses) {
+  SimClock clock;
+  Scheduler sched(&clock, Millis(10.0));
+  sched.Run({
+      [&](int p) { sched.Charge(p, Millis(30.0)); },
+      [&](int p) { sched.Charge(p, Millis(20.0)); },
+  });
+  EXPECT_EQ(clock.now(), Millis(50.0));
+}
+
+TEST(SchedulerTest, RoundRobinInterleavesFairly) {
+  SimClock clock;
+  Scheduler sched(&clock, Millis(10.0));
+  // Each process records the time at which it performs each step; with
+  // round-robin slices, neither can run two full slices back to back while
+  // the other is runnable.
+  std::vector<Nanos> finish(2, 0);
+  sched.Run({
+      [&](int p) {
+        for (int i = 0; i < 10; ++i) {
+          sched.Charge(p, Millis(10.0));
+        }
+        finish[0] = clock.now();
+      },
+      [&](int p) {
+        for (int i = 0; i < 10; ++i) {
+          sched.Charge(p, Millis(10.0));
+        }
+        finish[1] = clock.now();
+      },
+  });
+  const Nanos gap = finish[1] > finish[0] ? finish[1] - finish[0] : finish[0] - finish[1];
+  EXPECT_LE(gap, Millis(10.0)) << "both should finish within one slice of each other";
+}
+
+TEST(SchedulerTest, SleepWakesAtDeadline) {
+  SimClock clock;
+  Scheduler sched(&clock, Millis(10.0));
+  Nanos woke_at = 0;
+  sched.Run({[&](int p) {
+    sched.Sleep(p, Seconds(3.0));
+    woke_at = clock.now();
+  }});
+  EXPECT_GE(woke_at, Seconds(3.0));
+}
+
+TEST(SchedulerTest, SleeperYieldsToRunnableProcess) {
+  SimClock clock;
+  Scheduler sched(&clock, Millis(10.0));
+  Nanos worker_done = 0;
+  Nanos sleeper_done = 0;
+  sched.Run({
+      [&](int p) {
+        sched.Sleep(p, Millis(500.0));
+        sleeper_done = clock.now();
+      },
+      [&](int p) {
+        sched.Charge(p, Millis(100.0));  // runs while the other sleeps
+        worker_done = clock.now();
+      },
+  });
+  EXPECT_LE(worker_done, Millis(120.0)) << "worker shouldn't wait for the sleeper";
+  EXPECT_GE(sleeper_done, Millis(500.0));
+}
+
+TEST(SchedulerTest, AllSleepingAdvancesClock) {
+  SimClock clock;
+  Scheduler sched(&clock, Millis(10.0));
+  sched.Run({
+      [&](int p) { sched.Sleep(p, Millis(100.0)); },
+      [&](int p) { sched.Sleep(p, Millis(250.0)); },
+  });
+  EXPECT_GE(clock.now(), Millis(250.0));
+}
+
+TEST(SchedulerTest, YieldRotatesWithoutCharging) {
+  SimClock clock;
+  Scheduler sched(&clock, Millis(10.0));
+  std::vector<int> order;
+  sched.Run({
+      [&](int p) {
+        order.push_back(0);
+        sched.Yield(p);
+        order.push_back(0);
+      },
+      [&](int p) {
+        order.push_back(1);
+        sched.Yield(p);
+        order.push_back(1);
+      },
+  });
+  EXPECT_EQ(clock.now(), 0u);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);  // yield handed the turn over
+}
+
+class SchedulerScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerScaling, ManyProcessesAllFinishDeterministically) {
+  const int n = GetParam();
+  auto run = [n] {
+    SimClock clock;
+    Scheduler sched(&clock, Millis(10.0));
+    std::vector<std::function<void(int)>> bodies;
+    std::vector<Nanos> finish(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      bodies.push_back([&sched, &clock, &finish, i](int p) {
+        for (int k = 0; k < 5 + i; ++k) {
+          sched.Charge(p, Millis(3.0 + i));
+        }
+        if (i % 3 == 0) {
+          sched.Sleep(p, Millis(17.0));
+        }
+        finish[static_cast<std::size_t>(i)] = clock.now();
+      });
+    }
+    sched.Run(bodies);
+    return std::make_pair(clock.now(), finish);
+  };
+  const auto [t1, f1] = run();
+  const auto [t2, f2] = run();
+  EXPECT_EQ(t1, t2) << "scheduler must be deterministic";
+  EXPECT_EQ(f1, f2);
+  for (const Nanos t : f1) {
+    EXPECT_GT(t, 0u) << "every process finished";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, SchedulerScaling, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace graysim

@@ -1,0 +1,177 @@
+#include "src/gray/toolbox/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gray {
+namespace {
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(ExponentialAverageTest, ConvergesToConstant) {
+  ExponentialAverage avg(0.25);
+  avg.Add(100.0);
+  EXPECT_DOUBLE_EQ(avg.value(), 100.0);  // primed by first sample
+  for (int i = 0; i < 200; ++i) {
+    avg.Add(10.0);
+  }
+  EXPECT_NEAR(avg.value(), 10.0, 1e-6);
+}
+
+TEST(MedianTest, OddAndEven) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Median(odd), 3.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Median(even), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(PearsonTest, PerfectAndInverseCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {2, 4, 6, 8, 10};
+  const std::vector<double> down = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(Pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(Pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputsReturnZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> flat = {7, 7, 7};
+  EXPECT_DOUBLE_EQ(Pearson(xs, flat), 0.0);
+  EXPECT_DOUBLE_EQ(Pearson({}, {}), 0.0);
+}
+
+TEST(LinearFitTest, RecoversLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0);
+  }
+  const Regression r = LinearFit(xs, ys);
+  EXPECT_NEAR(r.slope, 3.0, 1e-9);
+  EXPECT_NEAR(r.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(r.r2, 1.0, 1e-12);
+}
+
+TEST(TwoMeansTest, SeparatesBimodalData) {
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(1000.0 + i);       // fast cluster (~1 µs probes)
+    xs.push_back(8000000.0 + i * 100);  // slow cluster (~8 ms probes)
+  }
+  const Clusters c = TwoMeans(xs);
+  EXPECT_TRUE(c.separated);
+  EXPECT_EQ(c.low_count, 20u);
+  EXPECT_EQ(c.high_count, 20u);
+  EXPECT_GT(c.threshold, 2000.0);
+  EXPECT_LT(c.threshold, 8000000.0);
+}
+
+TEST(TwoMeansTest, UnimodalDataNotSeparated) {
+  std::vector<double> xs;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(1000.0 + (i % 7));
+  }
+  const Clusters c = TwoMeans(xs);
+  EXPECT_FALSE(c.separated);
+}
+
+TEST(TwoMeansTest, HandlesTinyInputs) {
+  EXPECT_EQ(TwoMeans({}).low_count, 0u);
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(TwoMeans(one).low_count, 1u);
+  const std::vector<double> two = {1.0, 100.0};
+  const Clusters c = TwoMeans(two);
+  EXPECT_EQ(c.low_count, 1u);
+  EXPECT_EQ(c.high_count, 1u);
+}
+
+TEST(DiscardOutliersTest, RemovesSpikes) {
+  std::vector<double> xs(50, 10.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] += static_cast<double>(i % 3);  // 10, 11, 12 pattern
+  }
+  xs.push_back(100000.0);  // scheduler hiccup
+  const std::vector<double> kept = DiscardOutliers(xs);
+  EXPECT_EQ(kept.size(), xs.size() - 1);
+  for (const double x : kept) {
+    EXPECT_LT(x, 1000.0);
+  }
+}
+
+TEST(DiscardOutliersTest, AllIdenticalKept) {
+  const std::vector<double> xs(10, 5.0);
+  EXPECT_EQ(DiscardOutliers(xs).size(), 10u);
+}
+
+TEST(SignTestTest, DetectsSystematicDifference) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(10.0 + i);
+    b.push_back(9.0 + i);  // a consistently larger
+  }
+  const SignTestResult r = SignTest(a, b);
+  EXPECT_EQ(r.plus, 40u);
+  EXPECT_EQ(r.minus, 0u);
+  EXPECT_TRUE(r.significant);
+}
+
+TEST(SignTestTest, NoDifferenceNotSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(i);
+    b.push_back(i % 2 == 0 ? i + 1.0 : i - 1.0);  // alternating winner
+  }
+  const SignTestResult r = SignTest(a, b);
+  EXPECT_FALSE(r.significant);
+}
+
+TEST(SignTestTest, TiesIgnored) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {1, 2, 3};
+  const SignTestResult r = SignTest(a, b);
+  EXPECT_EQ(r.plus + r.minus, 0u);
+  EXPECT_FALSE(r.significant);
+}
+
+}  // namespace
+}  // namespace gray

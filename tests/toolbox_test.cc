@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/gray/sim_sys.h"
+#include "src/gray/toolbox/microbench.h"
+#include "src/gray/toolbox/param_repository.h"
+#include "src/gray/toolbox/stopwatch.h"
+#include "src/gray/toolbox/techniques.h"
+
+namespace gray {
+namespace {
+
+using graysim::Os;
+using graysim::PlatformProfile;
+
+TEST(ParamRepositoryTest, SetGetRoundTrip) {
+  ParamRepository repo;
+  EXPECT_FALSE(repo.Get("x").has_value());
+  repo.Set("x", 3.5);
+  EXPECT_DOUBLE_EQ(repo.Get("x").value(), 3.5);
+  EXPECT_DOUBLE_EQ(repo.GetOr("missing", 7.0), 7.0);
+}
+
+TEST(ParamRepositoryTest, SerializeDeserializeRoundTrip) {
+  ParamRepository repo;
+  repo.Set(params::kDiskSeqBandwidthMbs, 19.75);
+  repo.Set(params::kMemTouchNs, 150.0);
+  ParamRepository copy;
+  ASSERT_TRUE(copy.Deserialize(repo.Serialize()));
+  EXPECT_DOUBLE_EQ(copy.Get(params::kDiskSeqBandwidthMbs).value(), 19.75);
+  EXPECT_DOUBLE_EQ(copy.Get(params::kMemTouchNs).value(), 150.0);
+}
+
+TEST(ParamRepositoryTest, DeserializeSkipsCommentsRejectsGarbage) {
+  ParamRepository repo;
+  EXPECT_TRUE(repo.Deserialize("# comment\nkey 1.5\n\n"));
+  EXPECT_DOUBLE_EQ(repo.Get("key").value(), 1.5);
+  ParamRepository bad;
+  EXPECT_FALSE(bad.Deserialize("key notanumber\n"));
+}
+
+TEST(ParamRepositoryTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gb_params_test.txt";
+  ParamRepository repo;
+  repo.Set("a.b", 42.0);
+  ASSERT_TRUE(repo.SaveToFile(path));
+  ParamRepository loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path));
+  EXPECT_DOUBLE_EQ(loaded.Get("a.b").value(), 42.0);
+  std::remove(path.c_str());
+}
+
+TEST(StopwatchTest, MeasuresVirtualTime) {
+  graysim::MachineConfig cfg;
+  cfg.timing_jitter = 0.0;  // exact expectations below
+  Os os(PlatformProfile::Linux22(), cfg);
+  SimSys sys(&os, os.default_pid());
+  Stopwatch sw(&sys);
+  os.Compute(os.default_pid(), graysim::Millis(3.0));
+  EXPECT_EQ(sw.Elapsed(), graysim::Millis(3.0));
+  sw.Restart();
+  EXPECT_EQ(sw.Elapsed(), 0u);
+}
+
+TEST(TechniqueUsageTest, RecordsAndDescribes) {
+  TechniqueUsage usage;
+  EXPECT_FALSE(usage.used(Technique::kProbes));
+  usage.Record(Technique::kProbes, 5);
+  usage.Describe(Technique::kProbes, "1-byte reads");
+  EXPECT_TRUE(usage.used(Technique::kProbes));
+  EXPECT_EQ(usage.count(Technique::kProbes), 5u);
+  EXPECT_EQ(usage.note(Technique::kProbes), "1-byte reads");
+}
+
+TEST(MicrobenchTest, MeasuresSaneParameters) {
+  Os os(PlatformProfile::Linux22());
+  SimSys sys(&os, os.default_pid());
+  MicrobenchOptions options;
+  options.mem_hint_bytes = os.config().phys_mem_bytes;
+  options.disk_test_bytes = 64ULL * 1024 * 1024;  // keep the test quick
+  Microbench bench(&sys, options);
+  ParamRepository repo;
+  ASSERT_TRUE(bench.RunAll(&repo));
+
+  // Disk sequential bandwidth should be near the modeled media rate.
+  const double bw = repo.Get(params::kDiskSeqBandwidthMbs).value();
+  EXPECT_GT(bw, 10.0);
+  EXPECT_LT(bw, 25.0);
+  // Random page access is milliseconds.
+  const double rnd = repo.Get(params::kDiskRandomAccessNs).value();
+  EXPECT_GT(rnd, 1e6);
+  EXPECT_LT(rnd, 20e6);
+  // Memory copy far faster than disk.
+  const double copy = repo.Get(params::kMemCopyMbs).value();
+  EXPECT_GT(copy, bw * 5);
+  // Touch is sub-microsecond; zero-fill is microseconds but far below disk.
+  EXPECT_LT(repo.Get(params::kMemTouchNs).value(), 1000.0);
+  EXPECT_GT(repo.Get(params::kMemZeroFillNs).value(),
+            repo.Get(params::kMemTouchNs).value());
+  EXPECT_LT(repo.Get(params::kMemZeroFillNs).value(), 100'000.0);
+  // Probe hit is microseconds.
+  EXPECT_LT(repo.Get(params::kCacheProbeHitNs).value(), 20'000.0);
+  // Calibrated access unit lands in a plausible band (the paper found 20 MB).
+  const double au = repo.Get(params::kFccdAccessUnitBytes).value();
+  EXPECT_GE(au, 1.0 * 1024 * 1024);
+  EXPECT_LE(au, 40.0 * 1024 * 1024);
+
+  bench.Cleanup();
+}
+
+}  // namespace
+}  // namespace gray

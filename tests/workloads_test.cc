@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/gray/gbp/gbp.h"
+#include "src/gray/sim_sys.h"
+#include "src/workloads/fastsort.h"
+#include "src/workloads/filegen.h"
+#include "src/workloads/grep.h"
+
+namespace graywork {
+namespace {
+
+using graysim::Nanos;
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+TEST(GrepTest, WarmScanFasterThanCold) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  const auto paths = MakeFileSet(os, pid, "/d0/set", 10, 10 * kMb);
+  os.FlushFileCache();
+  Grep grep(&os, pid);
+  const GrepResult cold = grep.Run(paths);
+  const GrepResult warm = grep.Run(paths);
+  EXPECT_EQ(cold.bytes_scanned, 100 * kMb);
+  EXPECT_GT(cold.elapsed, warm.elapsed * 2);
+}
+
+TEST(GrepTest, GrayBoxBeatsUnmodifiedWhenCacheTooSmall) {
+  // Fig 3 shape: total data ~1.4x the cache; repeated unmodified runs get no
+  // reuse (LRU worst case); gray-box runs reuse the cached fraction.
+  graysim::MachineConfig cfg;
+  cfg.phys_mem_bytes = 320 * kMb;
+  cfg.kernel_reserved_bytes = 32 * kMb;  // 288 MB cache
+  Os os(PlatformProfile::Linux22(), cfg);
+  const Pid pid = os.default_pid();
+  const auto paths = MakeFileSet(os, pid, "/d0/set", 40, 10 * kMb);  // 400 MB
+  os.FlushFileCache();
+  Grep grep(&os, pid);
+  (void)grep.Run(paths);  // warm to steady state
+  const GrepResult unmodified = grep.Run(paths);
+  (void)grep.RunGrayBox(paths);  // let the gray version establish its order
+  const GrepResult gb = grep.RunGrayBox(paths);
+  EXPECT_EQ(gb.bytes_scanned, unmodified.bytes_scanned);
+  EXPECT_LT(gb.elapsed * 3 / 2, unmodified.elapsed)
+      << "gb-grep should be clearly faster on repeated runs";
+}
+
+TEST(GrepTest, GbpVersionCloseToGrayBoxVersion) {
+  graysim::MachineConfig cfg;
+  cfg.phys_mem_bytes = 320 * kMb;
+  cfg.kernel_reserved_bytes = 32 * kMb;
+  Os os(PlatformProfile::Linux22(), cfg);
+  const Pid pid = os.default_pid();
+  const auto paths = MakeFileSet(os, pid, "/d0/set", 40, 10 * kMb);
+  os.FlushFileCache();
+  Grep grep(&os, pid);
+  (void)grep.RunGrayBox(paths);
+  const GrepResult gb = grep.RunGrayBox(paths);
+  const GrepResult gbp = grep.RunWithGbp(paths, gray::GbpMode::kMem);
+  // gbp keeps most of the benefit of the modified application (cache state
+  // shifts between runs, so allow a generous band around parity).
+  EXPECT_LT(gbp.elapsed, gb.elapsed * 3 / 2);
+  EXPECT_GT(gbp.elapsed * 2, gb.elapsed);
+}
+
+TEST(GrepTest, SearchStopsEarlyWithGrayOrdering) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  const auto paths = MakeFileSet(os, pid, "/d0/set", 20, 10 * kMb);
+  os.FlushFileCache();
+  // Warm the LAST file — the one holding the match (the paper's worst case
+  // for in-order search, best case for gray search).
+  const std::string& match = paths.back();
+  {
+    const int fd = os.Open(pid, match);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(os.Pread(pid, fd, {}, 10 * kMb, 0), static_cast<std::int64_t>(10 * kMb));
+    ASSERT_EQ(os.Close(pid, fd), 0);
+  }
+  Grep grep(&os, pid);
+  const GrepResult gray_search = grep.RunSearch(paths, match, /*gray_order=*/true);
+  const GrepResult plain_search = grep.RunSearch(paths, match, /*gray_order=*/false);
+  ASSERT_TRUE(gray_search.found);
+  ASSERT_TRUE(plain_search.found);
+  EXPECT_EQ(gray_search.files_scanned, 1);
+  EXPECT_EQ(plain_search.files_scanned, 20);
+  EXPECT_LT(gray_search.elapsed * 5, plain_search.elapsed);
+}
+
+TEST(FastsortTest, SortsAllInputInPasses) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(MakeFile(os, pid, "/d0/input", 100 * kMb));
+  os.FlushFileCache();
+  Fastsort sort(&os, pid);
+  FastsortOptions options;
+  options.input = "/d0/input";
+  options.run_dir = "/d1/runs";
+  options.pass_bytes = 30 * kMb;
+  const FastsortReport report = sort.Run(options);
+  EXPECT_EQ(report.bytes_sorted, 100 * kMb / 100 * 100);
+  EXPECT_EQ(report.passes, 4);  // 30+30+30+10
+  EXPECT_GT(report.read, 0u);
+  EXPECT_GT(report.sort, 0u);
+  EXPECT_GT(report.write, 0u);
+  // Runs exist.
+  graysim::InodeAttr attr;
+  EXPECT_EQ(os.Stat(pid, "/d1/runs/run0", &attr), 0);
+  EXPECT_EQ(attr.size, 30 * kMb / 100 * 100);
+}
+
+TEST(FastsortTest, ReadPhaseOnlySkipsWrites) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(MakeFile(os, pid, "/d0/input", 50 * kMb));
+  os.FlushFileCache();
+  Fastsort sort(&os, pid);
+  FastsortOptions options;
+  options.input = "/d0/input";
+  options.run_dir = "/d1/runs2";
+  options.pass_bytes = 25 * kMb;
+  options.write_runs = false;
+  const FastsortReport report = sort.Run(options);
+  EXPECT_EQ(report.write, 0u);
+  EXPECT_EQ(report.bytes_sorted, 50 * kMb / 100 * 100);
+}
+
+TEST(FastsortTest, FccdOrderReadsCachedPartFirst) {
+  // gb-fastsort's read phase benefits from a partially warm cache.
+  graysim::MachineConfig cfg;
+  cfg.phys_mem_bytes = 256 * kMb;
+  cfg.kernel_reserved_bytes = 32 * kMb;  // 224 MB
+  Os os(PlatformProfile::Linux22(), cfg);
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(MakeFile(os, pid, "/d0/input", 300 * kMb));
+  Fastsort sort(&os, pid);
+
+  auto read_phase = [&](ReadOrder order) {
+    // Refresh the cache contents before each run as the paper does: one
+    // linear scan leaves the tail cached.
+    os.FlushFileCache();
+    const int fd = os.Open(pid, "/d0/input");
+    (void)os.Pread(pid, fd, {}, 300 * kMb, 0);
+    (void)os.Close(pid, fd);
+    FastsortOptions options;
+    options.input = "/d0/input";
+    options.run_dir = "/d1/r";
+    options.pass_bytes = 64 * kMb;
+    options.write_runs = false;
+    options.read_order = order;
+    return sort.Run(options);
+  };
+
+  const FastsortReport linear = read_phase(ReadOrder::kLinear);
+  const FastsortReport gb = read_phase(ReadOrder::kFccd);
+  EXPECT_EQ(gb.bytes_sorted, linear.bytes_sorted);
+  EXPECT_LT(gb.total, linear.total) << "gb-fastsort read phase should win";
+}
+
+TEST(FastsortTest, MacVersionAdaptsPassSize) {
+  graysim::MachineConfig cfg;
+  cfg.phys_mem_bytes = 256 * kMb;
+  cfg.kernel_reserved_bytes = 32 * kMb;
+  Os os(PlatformProfile::Linux22(), cfg);
+  std::uint64_t swap_ins = 0;
+  FastsortReport report;
+  os.RunProcesses({[&](Pid pid) {
+    ASSERT_TRUE(MakeFile(os, pid, "/d0/input", 200 * kMb));
+    os.FlushFileCache();
+    Fastsort sort(&os, pid);
+    FastsortOptions options;
+    options.input = "/d0/input";
+    options.run_dir = "/d1/runs3";
+    options.use_mac = true;
+    options.mac_min = 32 * kMb;
+    options.mac_max = 128 * kMb;  // leave headroom for streaming file pages
+    report = sort.Run(options);
+    swap_ins = os.stats().swap_ins;
+  }});
+  EXPECT_EQ(report.bytes_sorted, 200 * kMb / 100 * 100);
+  EXPECT_GT(report.passes, 0);
+  EXPECT_GT(report.probe_overhead, 0u);
+  // The MAC-sized sort should not page during its phases.
+  EXPECT_EQ(swap_ins, 0u);
+}
+
+TEST(FastsortTest, MergePhaseCombinesAllRuns) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_TRUE(MakeFile(os, pid, "/d0/input", 60 * kMb));
+  os.FlushFileCache();
+  Fastsort sort(&os, pid);
+  FastsortOptions options;
+  options.input = "/d0/input";
+  options.run_dir = "/d1/mruns";
+  options.pass_bytes = 25 * kMb;
+  const FastsortReport pass1 = sort.Run(options);
+  ASSERT_EQ(pass1.passes, 3);
+
+  const MergeReport merge = sort.Merge(options, "/d2/sorted");
+  EXPECT_EQ(merge.runs_merged, 3);
+  EXPECT_EQ(merge.bytes_merged, pass1.bytes_sorted);
+  graysim::InodeAttr attr;
+  ASSERT_EQ(os.Stat(pid, "/d2/sorted", &attr), 0);
+  EXPECT_EQ(attr.size, pass1.bytes_sorted);
+  EXPECT_GT(merge.total, 0u);
+}
+
+TEST(FastsortTest, MergeOfEmptyRunDirIsEmpty) {
+  Os os(PlatformProfile::Linux22());
+  const Pid pid = os.default_pid();
+  ASSERT_EQ(os.Mkdir(pid, "/d0/norun"), 0);
+  Fastsort sort(&os, pid);
+  FastsortOptions options;
+  options.run_dir = "/d0/norun";
+  const MergeReport merge = sort.Merge(options, "/d0/out");
+  EXPECT_EQ(merge.runs_merged, 0);
+  EXPECT_EQ(merge.bytes_merged, 0u);
+}
+
+}  // namespace
+}  // namespace graywork
