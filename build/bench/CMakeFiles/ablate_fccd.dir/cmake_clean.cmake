@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fccd.dir/ablate_fccd.cc.o"
+  "CMakeFiles/ablate_fccd.dir/ablate_fccd.cc.o.d"
+  "ablate_fccd"
+  "ablate_fccd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fccd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fldc.dir/ablate_fldc.cc.o"
+  "CMakeFiles/ablate_fldc.dir/ablate_fldc.cc.o.d"
+  "ablate_fldc"
+  "ablate_fldc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fldc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mac.dir/ablate_mac.cc.o"
+  "CMakeFiles/ablate_mac.dir/ablate_mac.cc.o.d"
+  "ablate_mac"
+  "ablate_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_probe_correlation.dir/fig1_probe_correlation.cc.o"
+  "CMakeFiles/fig1_probe_correlation.dir/fig1_probe_correlation.cc.o.d"
+  "fig1_probe_correlation"
+  "fig1_probe_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_probe_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_single_file_scan.dir/fig2_single_file_scan.cc.o"
+  "CMakeFiles/fig2_single_file_scan.dir/fig2_single_file_scan.cc.o.d"
+  "fig2_single_file_scan"
+  "fig2_single_file_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_single_file_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

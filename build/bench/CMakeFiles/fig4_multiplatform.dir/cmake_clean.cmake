@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_multiplatform.dir/fig4_multiplatform.cc.o"
+  "CMakeFiles/fig4_multiplatform.dir/fig4_multiplatform.cc.o.d"
+  "fig4_multiplatform"
+  "fig4_multiplatform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_multiplatform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_file_ordering.dir/fig5_file_ordering.cc.o"
+  "CMakeFiles/fig5_file_ordering.dir/fig5_file_ordering.cc.o.d"
+  "fig5_file_ordering"
+  "fig5_file_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_file_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

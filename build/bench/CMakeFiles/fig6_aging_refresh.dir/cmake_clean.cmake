@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_aging_refresh.dir/fig6_aging_refresh.cc.o"
+  "CMakeFiles/fig6_aging_refresh.dir/fig6_aging_refresh.cc.o.d"
+  "fig6_aging_refresh"
+  "fig6_aging_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_aging_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mac_fastsort.dir/fig7_mac_fastsort.cc.o"
+  "CMakeFiles/fig7_mac_fastsort.dir/fig7_mac_fastsort.cc.o.d"
+  "fig7_mac_fastsort"
+  "fig7_mac_fastsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mac_fastsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

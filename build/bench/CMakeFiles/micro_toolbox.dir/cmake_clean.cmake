@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_toolbox.dir/micro_toolbox.cc.o"
+  "CMakeFiles/micro_toolbox.dir/micro_toolbox.cc.o.d"
+  "micro_toolbox"
+  "micro_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

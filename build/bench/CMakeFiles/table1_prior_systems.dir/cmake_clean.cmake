@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_prior_systems.dir/table1_prior_systems.cc.o"
+  "CMakeFiles/table1_prior_systems.dir/table1_prior_systems.cc.o.d"
+  "table1_prior_systems"
+  "table1_prior_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_prior_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_case_studies.dir/table2_case_studies.cc.o"
+  "CMakeFiles/table2_case_studies.dir/table2_case_studies.cc.o.d"
+  "table2_case_studies"
+  "table2_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

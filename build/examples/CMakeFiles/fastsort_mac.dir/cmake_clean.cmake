@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastsort_mac.dir/fastsort_mac.cpp.o"
+  "CMakeFiles/fastsort_mac.dir/fastsort_mac.cpp.o.d"
+  "fastsort_mac"
+  "fastsort_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastsort_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_grep.dir/gb_grep.cpp.o"
+  "CMakeFiles/gb_grep.dir/gb_grep.cpp.o.d"
+  "gb_grep"
+  "gb_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbp_tool.dir/gbp_tool.cpp.o"
+  "CMakeFiles/gbp_tool.dir/gbp_tool.cpp.o.d"
+  "gbp_tool"
+  "gbp_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

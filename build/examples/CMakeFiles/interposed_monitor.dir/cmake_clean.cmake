@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interposed_monitor.dir/interposed_monitor.cpp.o"
+  "CMakeFiles/interposed_monitor.dir/interposed_monitor.cpp.o.d"
+  "interposed_monitor"
+  "interposed_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interposed_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

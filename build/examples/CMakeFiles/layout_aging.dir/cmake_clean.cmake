@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_aging.dir/layout_aging.cpp.o"
+  "CMakeFiles/layout_aging.dir/layout_aging.cpp.o.d"
+  "layout_aging"
+  "layout_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_probe.dir/posix_probe.cpp.o"
+  "CMakeFiles/posix_probe.dir/posix_probe.cpp.o.d"
+  "posix_probe"
+  "posix_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_cache.dir/page_cache.cc.o"
+  "CMakeFiles/gb_cache.dir/page_cache.cc.o.d"
+  "libgb_cache.a"
+  "libgb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

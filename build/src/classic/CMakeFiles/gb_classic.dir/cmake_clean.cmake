@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_classic.dir/cosched.cc.o"
+  "CMakeFiles/gb_classic.dir/cosched.cc.o.d"
+  "CMakeFiles/gb_classic.dir/manners.cc.o"
+  "CMakeFiles/gb_classic.dir/manners.cc.o.d"
+  "CMakeFiles/gb_classic.dir/tcp.cc.o"
+  "CMakeFiles/gb_classic.dir/tcp.cc.o.d"
+  "libgb_classic.a"
+  "libgb_classic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

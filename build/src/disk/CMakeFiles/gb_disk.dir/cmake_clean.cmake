@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_disk.dir/disk.cc.o"
+  "CMakeFiles/gb_disk.dir/disk.cc.o.d"
+  "libgb_disk.a"
+  "libgb_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_fs.dir/ffs.cc.o"
+  "CMakeFiles/gb_fs.dir/ffs.cc.o.d"
+  "libgb_fs.a"
+  "libgb_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

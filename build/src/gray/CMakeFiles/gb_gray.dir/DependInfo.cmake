@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gray/compose/compose.cc" "src/gray/CMakeFiles/gb_gray.dir/compose/compose.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/compose/compose.cc.o.d"
+  "/root/repo/src/gray/fccd/fccd.cc" "src/gray/CMakeFiles/gb_gray.dir/fccd/fccd.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/fccd/fccd.cc.o.d"
+  "/root/repo/src/gray/fldc/fldc.cc" "src/gray/CMakeFiles/gb_gray.dir/fldc/fldc.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/fldc/fldc.cc.o.d"
+  "/root/repo/src/gray/gbp/gbp.cc" "src/gray/CMakeFiles/gb_gray.dir/gbp/gbp.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/gbp/gbp.cc.o.d"
+  "/root/repo/src/gray/interpose/interposer.cc" "src/gray/CMakeFiles/gb_gray.dir/interpose/interposer.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/interpose/interposer.cc.o.d"
+  "/root/repo/src/gray/mac/governor.cc" "src/gray/CMakeFiles/gb_gray.dir/mac/governor.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/mac/governor.cc.o.d"
+  "/root/repo/src/gray/mac/mac.cc" "src/gray/CMakeFiles/gb_gray.dir/mac/mac.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/mac/mac.cc.o.d"
+  "/root/repo/src/gray/posix_sys.cc" "src/gray/CMakeFiles/gb_gray.dir/posix_sys.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/posix_sys.cc.o.d"
+  "/root/repo/src/gray/toolbox/microbench.cc" "src/gray/CMakeFiles/gb_gray.dir/toolbox/microbench.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/toolbox/microbench.cc.o.d"
+  "/root/repo/src/gray/toolbox/param_repository.cc" "src/gray/CMakeFiles/gb_gray.dir/toolbox/param_repository.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/toolbox/param_repository.cc.o.d"
+  "/root/repo/src/gray/toolbox/stats.cc" "src/gray/CMakeFiles/gb_gray.dir/toolbox/stats.cc.o" "gcc" "src/gray/CMakeFiles/gb_gray.dir/toolbox/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/gb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/gb_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/gb_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_gray.dir/compose/compose.cc.o"
+  "CMakeFiles/gb_gray.dir/compose/compose.cc.o.d"
+  "CMakeFiles/gb_gray.dir/fccd/fccd.cc.o"
+  "CMakeFiles/gb_gray.dir/fccd/fccd.cc.o.d"
+  "CMakeFiles/gb_gray.dir/fldc/fldc.cc.o"
+  "CMakeFiles/gb_gray.dir/fldc/fldc.cc.o.d"
+  "CMakeFiles/gb_gray.dir/gbp/gbp.cc.o"
+  "CMakeFiles/gb_gray.dir/gbp/gbp.cc.o.d"
+  "CMakeFiles/gb_gray.dir/interpose/interposer.cc.o"
+  "CMakeFiles/gb_gray.dir/interpose/interposer.cc.o.d"
+  "CMakeFiles/gb_gray.dir/mac/governor.cc.o"
+  "CMakeFiles/gb_gray.dir/mac/governor.cc.o.d"
+  "CMakeFiles/gb_gray.dir/mac/mac.cc.o"
+  "CMakeFiles/gb_gray.dir/mac/mac.cc.o.d"
+  "CMakeFiles/gb_gray.dir/posix_sys.cc.o"
+  "CMakeFiles/gb_gray.dir/posix_sys.cc.o.d"
+  "CMakeFiles/gb_gray.dir/toolbox/microbench.cc.o"
+  "CMakeFiles/gb_gray.dir/toolbox/microbench.cc.o.d"
+  "CMakeFiles/gb_gray.dir/toolbox/param_repository.cc.o"
+  "CMakeFiles/gb_gray.dir/toolbox/param_repository.cc.o.d"
+  "CMakeFiles/gb_gray.dir/toolbox/stats.cc.o"
+  "CMakeFiles/gb_gray.dir/toolbox/stats.cc.o.d"
+  "libgb_gray.a"
+  "libgb_gray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_gray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

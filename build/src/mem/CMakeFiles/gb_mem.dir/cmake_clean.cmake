@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_mem.dir/mem_system.cc.o"
+  "CMakeFiles/gb_mem.dir/mem_system.cc.o.d"
+  "libgb_mem.a"
+  "libgb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/os.cc" "src/os/CMakeFiles/gb_os.dir/os.cc.o" "gcc" "src/os/CMakeFiles/gb_os.dir/os.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/os/CMakeFiles/gb_os.dir/scheduler.cc.o" "gcc" "src/os/CMakeFiles/gb_os.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/gb_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/gb_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

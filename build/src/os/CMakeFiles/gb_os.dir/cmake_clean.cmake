@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_os.dir/os.cc.o"
+  "CMakeFiles/gb_os.dir/os.cc.o.d"
+  "CMakeFiles/gb_os.dir/scheduler.cc.o"
+  "CMakeFiles/gb_os.dir/scheduler.cc.o.d"
+  "libgb_os.a"
+  "libgb_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

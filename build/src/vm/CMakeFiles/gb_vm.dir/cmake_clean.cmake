@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_vm.dir/vm.cc.o"
+  "CMakeFiles/gb_vm.dir/vm.cc.o.d"
+  "libgb_vm.a"
+  "libgb_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

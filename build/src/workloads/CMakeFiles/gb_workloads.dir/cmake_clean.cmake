@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_workloads.dir/aging.cc.o"
+  "CMakeFiles/gb_workloads.dir/aging.cc.o.d"
+  "CMakeFiles/gb_workloads.dir/fastsort.cc.o"
+  "CMakeFiles/gb_workloads.dir/fastsort.cc.o.d"
+  "CMakeFiles/gb_workloads.dir/filegen.cc.o"
+  "CMakeFiles/gb_workloads.dir/filegen.cc.o.d"
+  "CMakeFiles/gb_workloads.dir/grep.cc.o"
+  "CMakeFiles/gb_workloads.dir/grep.cc.o.d"
+  "libgb_workloads.a"
+  "libgb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fccd_test.dir/fccd_test.cc.o"
+  "CMakeFiles/fccd_test.dir/fccd_test.cc.o.d"
+  "fccd_test"
+  "fccd_test.pdb"
+  "fccd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fccd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

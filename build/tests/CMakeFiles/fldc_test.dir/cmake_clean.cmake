@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fldc_test.dir/fldc_test.cc.o"
+  "CMakeFiles/fldc_test.dir/fldc_test.cc.o.d"
+  "fldc_test"
+  "fldc_test.pdb"
+  "fldc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fldc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

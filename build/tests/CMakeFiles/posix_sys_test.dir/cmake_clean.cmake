@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_sys_test.dir/posix_sys_test.cc.o"
+  "CMakeFiles/posix_sys_test.dir/posix_sys_test.cc.o.d"
+  "posix_sys_test"
+  "posix_sys_test.pdb"
+  "posix_sys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_sys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/disk_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_system_test[1]_include.cmake")
+include("/root/repo/build/tests/ffs_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/toolbox_test[1]_include.cmake")
+include("/root/repo/build/tests/fccd_test[1]_include.cmake")
+include("/root/repo/build/tests/fldc_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_test[1]_include.cmake")
+include("/root/repo/build/tests/compose_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/classic_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/page_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/governor_test[1]_include.cmake")
+include("/root/repo/build/tests/interpose_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_props_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/posix_sys_test[1]_include.cmake")
