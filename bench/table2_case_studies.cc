@@ -35,6 +35,25 @@ void PrintUsage(const char* name, const gray::TechniqueUsage& usage) {
   }
 }
 
+// The cost of observation, from the shared ProbeEngine's accounting: how
+// many probes the ICL issued, how much data they dragged through the
+// system, and what share of the ICL's lifetime went to probing.
+void PrintProbeReport(const gray::ProbeReport& report, gray::Nanos lifetime) {
+  std::printf(
+      "  probe overhead: %llu probes (%llu pread / %llu touch / %llu stat, "
+      "%llu failed) in %llu batches\n",
+      static_cast<unsigned long long>(report.probes),
+      static_cast<unsigned long long>(report.pread_probes),
+      static_cast<unsigned long long>(report.memtouch_probes),
+      static_cast<unsigned long long>(report.stat_probes),
+      static_cast<unsigned long long>(report.failed_probes),
+      static_cast<unsigned long long>(report.batches));
+  std::printf("  probe cost:     %llu bytes touched, %.3f ms probing (%.1f%% of lifetime)\n",
+              static_cast<unsigned long long>(report.bytes_touched),
+              static_cast<double>(report.probe_time) / 1e6,
+              100.0 * report.ProbeShare(lifetime));
+}
+
 }  // namespace
 
 int main() {
@@ -56,17 +75,20 @@ int main() {
   (void)fccd.PlanFile("/d0/big");
   (void)fccd.OrderFiles(set);
   PrintUsage("FCCD (file-cache content detector)", fccd.usage());
+  PrintProbeReport(fccd.probe_report(), fccd.probe_engine().lifetime());
 
   // FLDC: order by i-number and refresh a directory.
   gray::Fldc fldc(&sys);
   (void)fldc.OrderByInode(set);
   (void)fldc.RefreshDirectory("/d0/set");
   PrintUsage("FLDC (file layout detector & controller)", fldc.usage());
+  PrintProbeReport(fldc.probe_report(), fldc.probe_engine().lifetime());
 
   // MAC: one admission-controlled allocation.
   gray::Mac mac(&sys, gray::MacOptions{}, &repo);
   auto alloc = mac.GbAlloc(64 * gbench::kMb, 256 * gbench::kMb, 4096);
   PrintUsage("MAC (memory-based admission controller)", mac.usage());
+  PrintProbeReport(mac.probe_report(), mac.probe_engine().lifetime());
   if (alloc.has_value()) {
     alloc->Release();
   }

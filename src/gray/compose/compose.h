@@ -36,6 +36,12 @@ class Compose {
 
   [[nodiscard]] Fccd& fccd() { return fccd_; }
   [[nodiscard]] Fldc& fldc() { return fldc_; }
+  // Combined observation overhead of both constituent ICLs.
+  [[nodiscard]] ProbeReport probe_report() const {
+    ProbeReport merged = fccd_.probe_report();
+    merged.Merge(fldc_.probe_report());
+    return merged;
+  }
 
  private:
   SysApi* sys_;

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "src/gray/toolbox/stopwatch.h"
-
 namespace gray {
 
 std::uint64_t FilePlan::TotalBytes() const {
@@ -18,7 +16,8 @@ std::uint64_t FilePlan::TotalBytes() const {
 Fccd::Fccd(SysApi* sys, FccdOptions options, const ParamRepository* repo)
     : sys_(sys),
       options_(options),
-      rng_state_((options.seed != 0 ? options.seed : sys->Now() ^ 0x5eedULL) | 1) {
+      rng_state_((options.seed != 0 ? options.seed : sys->Now() ^ 0x5eedULL) | 1),
+      engine_(sys, ProbeEngineOptions{options.probe_strategy}) {
   if (repo != nullptr) {
     // The calibrated access unit from the microbenchmark repository; an
     // explicitly non-default option wins.
@@ -55,13 +54,16 @@ std::uint64_t Fccd::NextRandom() {
   return z ^ (z >> 31);
 }
 
-Nanos Fccd::ProbeRange(int fd, std::uint64_t lo, std::uint64_t hi) {
+TimedPread Fccd::ProbeRequest(int fd, std::uint64_t lo, std::uint64_t hi) {
   assert(hi > lo);
-  const std::uint64_t offset = lo + NextRandom() % (hi - lo);
-  ++probes_issued_;
-  usage_.Record(Technique::kProbes);
-  usage_.Record(Technique::kMonitorOutputs);
-  return Stopwatch::Time(sys_, [&] { (void)sys_->Pread(fd, {}, 1, offset); });
+  return TimedPread{fd, 1, lo + NextRandom() % (hi - lo)};
+}
+
+std::vector<ProbeSample> Fccd::RunProbes(std::span<const TimedPread> reqs) {
+  probes_issued_ += reqs.size();
+  usage_.Record(Technique::kProbes, reqs.size());
+  usage_.Record(Technique::kMonitorOutputs, reqs.size());
+  return engine_.RunPreads(reqs);
 }
 
 std::optional<FilePlan> Fccd::PlanFileViaMincore(const std::string& path,
@@ -134,20 +136,28 @@ std::optional<FilePlan> Fccd::PlanFile(const std::string& path) {
     return std::nullopt;
   }
 
+  // Plan the whole file up front — one probe per prediction unit inside
+  // each access unit (four per default 20 MB unit), offsets drawn in the
+  // same order a scalar loop would — then execute as one engine run.
   const std::uint64_t au = options_.access_unit;
   const std::uint64_t pu = options_.prediction_unit;
+  std::vector<TimedPread> reqs;
   for (std::uint64_t start = 0; start < info.size; start += au) {
     const std::uint64_t end = std::min(info.size, start + au);
     UnitPlan unit;
     unit.extent = Extent{start, end - start};
-    // One probe per prediction unit inside this access unit (four per
-    // default 20 MB unit).
     for (std::uint64_t p = start; p < end; p += pu) {
-      const std::uint64_t p_end = std::min(end, p + pu);
-      unit.probe_time += ProbeRange(fd, p, p_end);
+      reqs.push_back(ProbeRequest(fd, p, std::min(end, p + pu)));
       ++unit.probes;
     }
     plan.units.push_back(unit);
+  }
+  const std::vector<ProbeSample> samples = RunProbes(reqs);
+  std::size_t next = 0;
+  for (UnitPlan& unit : plan.units) {
+    for (int i = 0; i < unit.probes; ++i) {
+      unit.probe_time += samples[next++].latency_ns;
+    }
   }
   (void)sys_->Close(fd);
 
@@ -195,9 +205,12 @@ std::vector<RankedFile> Fccd::OrderFiles(std::span<const std::string> paths) {
       ranked.push_back(rf);
       continue;
     }
+    std::vector<TimedPread> reqs;
     for (std::uint64_t p = 0; p < info.size; p += options_.prediction_unit) {
-      const std::uint64_t p_end = std::min(info.size, p + options_.prediction_unit);
-      rf.total_probe_time += ProbeRange(fd, p, p_end);
+      reqs.push_back(ProbeRequest(fd, p, std::min(info.size, p + options_.prediction_unit)));
+    }
+    for (const ProbeSample& s : RunProbes(reqs)) {
+      rf.total_probe_time += s.latency_ns;
       ++rf.probes;
     }
     (void)sys_->Close(fd);

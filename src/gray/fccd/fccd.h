@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/gray/probe/probe_engine.h"
 #include "src/gray/sys_api.h"
 #include "src/gray/toolbox/param_repository.h"
 #include "src/gray/toolbox/techniques.h"
@@ -49,6 +50,9 @@ struct FccdOptions {
   // detector silently falls back to probes, so the same binary stays
   // portable.
   bool try_mincore = false;
+  // How the probe plan is executed (see ProbeEngine); offsets and probe
+  // order are identical either way, so the inference is too.
+  ProbeStrategy probe_strategy = ProbeStrategy::kBatched;
 };
 
 struct Extent {
@@ -101,13 +105,18 @@ class Fccd {
   [[nodiscard]] const FccdOptions& options() const { return options_; }
   [[nodiscard]] const TechniqueUsage& usage() const { return usage_; }
   [[nodiscard]] std::uint64_t probes_issued() const { return probes_issued_; }
+  // Observation-overhead accounting for every probe this detector issued.
+  [[nodiscard]] const ProbeReport& probe_report() const { return engine_.report(); }
+  [[nodiscard]] const ProbeEngine& probe_engine() const { return engine_; }
   // True when the last PlanFile was answered by mincore (no probes, no
   // Heisenberg effect).
   [[nodiscard]] bool last_plan_used_mincore() const { return last_used_mincore_; }
 
  private:
-  // Times a 1-byte read at a random offset within [lo, hi).
-  [[nodiscard]] Nanos ProbeRange(int fd, std::uint64_t lo, std::uint64_t hi);
+  // Plans a timed 1-byte read at a random offset within [lo, hi).
+  [[nodiscard]] TimedPread ProbeRequest(int fd, std::uint64_t lo, std::uint64_t hi);
+  // Executes a probe plan through the engine and updates the counters.
+  [[nodiscard]] std::vector<ProbeSample> RunProbes(std::span<const TimedPread> reqs);
   [[nodiscard]] std::uint64_t NextRandom();
 
   // Builds a plan from a mincore bitmap; nullopt when the interface is
@@ -118,6 +127,7 @@ class Fccd {
   SysApi* sys_;
   FccdOptions options_;
   std::uint64_t rng_state_;
+  ProbeEngine engine_;
   std::uint64_t probes_issued_ = 0;
   bool last_used_mincore_ = false;
   TechniqueUsage usage_;

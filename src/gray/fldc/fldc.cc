@@ -12,7 +12,10 @@ std::string DirnameOf(const std::string& path) {
   return path.substr(0, slash);
 }
 
-Fldc::Fldc(SysApi* sys, FldcOptions options) : sys_(sys), options_(std::move(options)) {
+Fldc::Fldc(SysApi* sys, FldcOptions options)
+    : sys_(sys),
+      options_(std::move(options)),
+      engine_(sys, ProbeEngineOptions{options_.probe_strategy}) {
   usage_.Record(Technique::kAlgorithmicKnowledge);
   usage_.Describe(Technique::kAlgorithmicKnowledge,
                   "FFS: same-dir files share a cylinder group; creation order "
@@ -22,33 +25,30 @@ Fldc::Fldc(SysApi* sys, FldcOptions options) : sys_(sys), options_(std::move(opt
   usage_.Describe(Technique::kStatistics, "clustering when composed with FCCD");
 }
 
-namespace {
-
-std::vector<StatOrderEntry> StatAll(SysApi* sys, std::span<const std::string> paths,
-                                    std::uint64_t* stats_issued, TechniqueUsage* usage) {
-  std::vector<StatOrderEntry> entries;
-  entries.reserve(paths.size());
-  for (const std::string& path : paths) {
-    StatOrderEntry e;
-    e.path = path;
-    FileInfo info;
-    ++*stats_issued;
-    usage->Record(Technique::kProbes);
-    if (sys->Stat(path, &info) == 0 && !info.is_dir) {
-      e.inum = info.inum;
-      e.size = info.size;
-      e.mtime = info.mtime;
-      e.stat_ok = true;
+std::vector<StatOrderEntry> Fldc::StatAll(std::span<const std::string> paths) {
+  std::vector<TimedStat> reqs(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    reqs[i].path = paths[i];
+  }
+  stats_issued_ += paths.size();
+  usage_.Record(Technique::kProbes, paths.size());
+  std::vector<FileInfo> infos;
+  const std::vector<ProbeSample> samples = engine_.RunStats(reqs, &infos);
+  std::vector<StatOrderEntry> entries(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    entries[i].path = paths[i];
+    if (samples[i].rc == 0 && !infos[i].is_dir) {
+      entries[i].inum = infos[i].inum;
+      entries[i].size = infos[i].size;
+      entries[i].mtime = infos[i].mtime;
+      entries[i].stat_ok = true;
     }
-    entries.push_back(std::move(e));
   }
   return entries;
 }
 
-}  // namespace
-
 std::vector<StatOrderEntry> Fldc::OrderByInode(std::span<const std::string> paths) {
-  std::vector<StatOrderEntry> entries = StatAll(sys_, paths, &stats_issued_, &usage_);
+  std::vector<StatOrderEntry> entries = StatAll(paths);
   std::stable_sort(entries.begin(), entries.end(),
                    [](const StatOrderEntry& a, const StatOrderEntry& b) {
                      if (a.stat_ok != b.stat_ok) {
@@ -60,7 +60,7 @@ std::vector<StatOrderEntry> Fldc::OrderByInode(std::span<const std::string> path
 }
 
 std::vector<StatOrderEntry> Fldc::OrderByMtime(std::span<const std::string> paths) {
-  std::vector<StatOrderEntry> entries = StatAll(sys_, paths, &stats_issued_, &usage_);
+  std::vector<StatOrderEntry> entries = StatAll(paths);
   std::stable_sort(entries.begin(), entries.end(),
                    [](const StatOrderEntry& a, const StatOrderEntry& b) {
                      if (a.stat_ok != b.stat_ok) {
@@ -92,8 +92,12 @@ int Fldc::CopyFile(const std::string& from, const std::string& to, std::uint64_t
   int rc = 0;
   for (std::uint64_t off = 0; off < size; off += options_.copy_chunk) {
     const std::uint64_t n = std::min(options_.copy_chunk, size - off);
-    if (sys_->Pread(src, {}, n, off) < 0 || sys_->Pwrite(dst, n, off) < 0) {
-      rc = -1;
+    if (const std::int64_t r = sys_->Pread(src, {}, n, off); r < 0) {
+      rc = static_cast<int>(r);
+      break;
+    }
+    if (const std::int64_t w = sys_->Pwrite(dst, n, off); w < 0) {
+      rc = static_cast<int>(w);
       break;
     }
   }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/gray/probe/probe_engine.h"
 #include "src/gray/sys_api.h"
 #include "src/gray/toolbox/techniques.h"
 
@@ -29,6 +30,8 @@ struct FldcOptions {
   std::uint64_t copy_chunk = 1ULL * 1024 * 1024;
   // Suffix of the temporary directory created during a refresh.
   std::string refresh_suffix = ".gbrefresh";
+  // How the stat sweep is executed (see ProbeEngine).
+  ProbeStrategy probe_strategy = ProbeStrategy::kBatched;
 };
 
 struct StatOrderEntry {
@@ -66,12 +69,20 @@ class Fldc {
 
   [[nodiscard]] const TechniqueUsage& usage() const { return usage_; }
   [[nodiscard]] std::uint64_t stats_issued() const { return stats_issued_; }
+  // Observation-overhead accounting for the stat sweeps.
+  [[nodiscard]] const ProbeReport& probe_report() const { return engine_.report(); }
+  [[nodiscard]] const ProbeEngine& probe_engine() const { return engine_; }
 
  private:
+  // Stats every path through the engine, in order.
+  [[nodiscard]] std::vector<StatOrderEntry> StatAll(std::span<const std::string> paths);
+  // Returns 0 on success or the first failing call's negative errno-style
+  // code (never a bare -1: callers distinguish ENOSPC from EIO).
   int CopyFile(const std::string& from, const std::string& to, std::uint64_t size);
 
   SysApi* sys_;
   FldcOptions options_;
+  ProbeEngine engine_;
   std::uint64_t stats_issued_ = 0;
   TechniqueUsage usage_;
 };

@@ -46,21 +46,29 @@ GbpOutPlan GbpPlanOut(SysApi* sys, const GbpOptions& options, const std::string&
   return plan;
 }
 
-std::uint64_t GbpStreamOut(SysApi* sys, const GbpOutPlan& plan) {
+std::uint64_t GbpStreamOut(SysApi* sys, const GbpOutPlan& plan, ProbeEngine* engine) {
   const int fd = sys->Open(plan.path);
   if (fd < 0) {
     return 0;
   }
+  ProbeEngine local(sys);
+  if (engine == nullptr) {
+    engine = &local;
+  }
   std::uint64_t streamed = 0;
   constexpr std::uint64_t kChunk = 1ULL * 1024 * 1024;
   for (const Extent& e : plan.extents) {
+    std::vector<TimedPread> reqs;
+    reqs.reserve(static_cast<std::size_t>((e.length + kChunk - 1) / kChunk));
     for (std::uint64_t off = 0; off < e.length; off += kChunk) {
-      const std::uint64_t n = std::min(kChunk, e.length - off);
-      if (sys->Pread(fd, {}, n, e.offset + off) < 0) {
+      reqs.push_back(TimedPread{fd, std::min(kChunk, e.length - off), e.offset + off});
+    }
+    for (const ProbeSample& s : engine->RunPreads(reqs)) {
+      if (s.rc < 0) {
         (void)sys->Close(fd);
         return streamed;
       }
-      streamed += n;
+      streamed += static_cast<std::uint64_t>(s.rc);
     }
   }
   (void)sys->Close(fd);

@@ -57,8 +57,11 @@ struct GbpOutPlan {
 
 // Executes an -out plan: reads the file in plan order (as the gbp process
 // would) and "writes" it to a pipe, charging the extra copy the paper
-// attributes to the pipe mechanism. Returns bytes streamed.
-std::uint64_t GbpStreamOut(SysApi* sys, const GbpOutPlan& plan);
+// attributes to the pipe mechanism. Returns bytes streamed. The 1 MB
+// prefetch reads go through `engine` when one is supplied (each extent is
+// one engine run), so callers can account streaming against probing.
+std::uint64_t GbpStreamOut(SysApi* sys, const GbpOutPlan& plan,
+                           ProbeEngine* engine = nullptr);
 
 }  // namespace gray
 

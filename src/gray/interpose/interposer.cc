@@ -133,6 +133,21 @@ std::int64_t Interposer::Pwrite(int fd, std::uint64_t len, std::uint64_t offset)
   return n;
 }
 
+void Interposer::PreadBatch(std::span<const PreadOp> ops, std::span<BatchResult> out) {
+  inner_->PreadBatch(ops, out);
+  const std::size_t n = std::min(ops.size(), out.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out[i].rc <= 0) {
+      continue;
+    }
+    const auto it = fd_paths_.find(ops[i].fd);
+    if (it != fd_paths_.end()) {
+      ++observed_calls_;
+      model_->OnAccess(it->second, ops[i].offset, static_cast<std::uint64_t>(out[i].rc));
+    }
+  }
+}
+
 int Interposer::Unlink(const std::string& path) {
   const int rc = inner_->Unlink(path);
   if (rc == 0) {

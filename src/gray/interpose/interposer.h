@@ -101,6 +101,19 @@ class Interposer final : public SysApi {
     return inner_->Mincore(fd, offset, length, resident);
   }
 
+  // Batches forward to the inner system's (possibly native) batch path, then
+  // feed the model with every constituent operation — a batch must not be a
+  // blind spot, or the simulation silently rots (the paper's §4.1.1
+  // objection).
+  void PreadBatch(std::span<const PreadOp> ops, std::span<BatchResult> out) override;
+  void MemTouchBatch(std::span<const MemTouchOp> ops, std::span<BatchResult> out) override {
+    inner_->MemTouchBatch(ops, out);  // anonymous memory: not modeled
+  }
+  void StatBatch(std::span<const std::string> paths, std::span<FileInfo> infos,
+                 std::span<BatchResult> out) override {
+    inner_->StatBatch(paths, infos, out);  // stat reads no file pages
+  }
+
   [[nodiscard]] MemHandle MemAlloc(std::uint64_t bytes) override {
     return inner_->MemAlloc(bytes);
   }

@@ -4,7 +4,6 @@
 #include <cassert>
 
 #include "src/gray/toolbox/stats.h"
-#include "src/gray/toolbox/stopwatch.h"
 
 namespace gray {
 
@@ -45,6 +44,17 @@ void GbAllocation::Touch(std::uint64_t index, bool write) {
   assert(false && "page index out of range");
 }
 
+TimedMemTouch GbAllocation::TouchRequest(std::uint64_t index, bool write) const {
+  for (const Chunk& c : chunks_) {
+    if (index < c.pages) {
+      return TimedMemTouch{c.handle, index, write};
+    }
+    index -= c.pages;
+  }
+  assert(false && "page index out of range");
+  return TimedMemTouch{};
+}
+
 void GbAllocation::Release() {
   if (sys_ != nullptr) {
     for (const Chunk& c : chunks_) {
@@ -59,7 +69,9 @@ void GbAllocation::Release() {
 // --- Mac ---
 
 Mac::Mac(SysApi* sys, MacOptions options, const ParamRepository* repo)
-    : sys_(sys), options_(options) {
+    : sys_(sys),
+      options_(options),
+      engine_(sys, ProbeEngineOptions{options.probe_strategy}) {
   usage_.Record(Technique::kAlgorithmicKnowledge);
   usage_.Describe(Technique::kAlgorithmicKnowledge,
                   "page daemon evicts when the working set exceeds memory; "
@@ -90,11 +102,14 @@ void Mac::SelfCalibrate() {
   // small allocation (paper §4.3.2, second method).
   const std::uint64_t pages = 64;
   const MemHandle h = sys_->MemAlloc(pages * sys_->PageSize());
+  std::vector<TimedMemTouch> reqs(pages);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    reqs[i] = TimedMemTouch{h, i, true};
+  }
   std::vector<double> samples;
   samples.reserve(pages);
-  for (std::uint64_t i = 0; i < pages; ++i) {
-    const Nanos dt = Stopwatch::Time(sys_, [&] { sys_->MemTouch(h, i, true); });
-    samples.push_back(static_cast<double>(dt));
+  for (const ProbeSample& s : engine_.RunMemTouches(reqs)) {
+    samples.push_back(static_cast<double>(s.latency_ns));
   }
   sys_->MemFree(h);
   const std::vector<double> kept = DiscardOutliers(samples);
@@ -109,25 +124,31 @@ bool Mac::ProbeFits(GbAllocation& allocation) {
   usage_.Record(Technique::kProbes, pages);
   usage_.Record(Technique::kKnownState);
 
+  std::vector<TimedMemTouch> reqs(pages);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    reqs[i] = allocation.TouchRequest(i, true);
+  }
+
   // Loop 1: move to a known state. Touch (write) every page. Times here mix
   // zero-fill, reclaim, and swap-in costs; they cannot prove the chunk
   // fits, but consecutive slow touches reveal page-daemon activity early.
+  // Streamed (RunUntil), never batched: the early skip must stop probing.
   int consecutive_slow = 0;
   bool suspicious = false;
-  for (std::uint64_t i = 0; i < pages; ++i) {
-    const Nanos dt = Stopwatch::Time(sys_, [&] { allocation.Touch(i, true); });
+  engine_.RunMemTouchesUntil(reqs, [&](std::size_t, const ProbeSample& s) {
     ++metrics_.pages_probed;
-    if (dt > slow_threshold_) {
+    if (s.latency_ns > slow_threshold_) {
       ++metrics_.slow_touches;
       if (++consecutive_slow >= options_.consecutive_slow_skip) {
         suspicious = true;
         ++metrics_.early_skips;
-        break;  // skip straight to the verification loop
+        return false;  // skip straight to the verification loop
       }
     } else {
       consecutive_slow = 0;
     }
-  }
+    return true;
+  });
 
   // Loop 2: verification. Every page must re-touch fast; slow re-touches
   // mean some of the allocation was selected for replacement. Isolated slow
@@ -136,21 +157,25 @@ bool Mac::ProbeFits(GbAllocation& allocation) {
   // succession (paper §4.3.2), because the daemon reclaims LRU runs.
   consecutive_slow = 0;
   std::uint64_t slow = 0;
-  for (std::uint64_t i = 0; i < pages; ++i) {
-    const Nanos dt = Stopwatch::Time(sys_, [&] { allocation.Touch(i, true); });
+  bool aborted = false;
+  engine_.RunMemTouchesUntil(reqs, [&](std::size_t, const ProbeSample& s) {
     ++metrics_.pages_probed;
-    if (dt > slow_threshold_) {
+    if (s.latency_ns > slow_threshold_) {
       ++metrics_.slow_touches;
       ++slow;
       if (++consecutive_slow >= options_.consecutive_slow_abort) {
-        metrics_.probe_time += sys_->Now() - start;
+        aborted = true;
         return false;  // certainly paging; stop before thrashing further
       }
     } else {
       consecutive_slow = 0;
     }
-  }
+    return true;
+  });
   metrics_.probe_time += sys_->Now() - start;
+  if (aborted) {
+    return false;
+  }
   // No consecutive-slow run: isolated slow touches are tolerated unless
   // they amount to a sustained fraction of the allocation (alternating
   // reclaim patterns). Loop-1 suspicion tightens the fraction.

@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/gray/probe/probe_engine.h"
 #include "src/gray/sys_api.h"
 #include "src/gray/toolbox/param_repository.h"
 #include "src/gray/toolbox/techniques.h"
@@ -48,6 +49,11 @@ struct MacOptions {
   Nanos slow_threshold = 0;
   Nanos retry_sleep = 500ULL * 1000 * 1000;  // 500 ms between admission retries
   int max_retries = 240;                     // give up after ~2 virtual minutes
+  // Execution strategy for calibration touches. The two admission loops are
+  // always streamed one page at a time regardless of this knob: each sample
+  // decides whether the next probe is issued (early skip/abort), and probing
+  // past the abort point would keep dirtying pages mid-thrash.
+  ProbeStrategy probe_strategy = ProbeStrategy::kBatched;
 };
 
 struct MacMetrics {
@@ -77,6 +83,8 @@ class GbAllocation {
 
   // Touches logical page `index` (spanning chunks transparently).
   void Touch(std::uint64_t index, bool write = true);
+  // The same touch as a timed request for a ProbeEngine run.
+  [[nodiscard]] TimedMemTouch TouchRequest(std::uint64_t index, bool write = true) const;
 
   void Release();  // explicit gb_free
 
@@ -114,6 +122,9 @@ class Mac {
   [[nodiscard]] Nanos slow_threshold() const { return slow_threshold_; }
   [[nodiscard]] const MacMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const TechniqueUsage& usage() const { return usage_; }
+  // Observation-overhead accounting for every page-touch probe.
+  [[nodiscard]] const ProbeReport& probe_report() const { return engine_.report(); }
+  [[nodiscard]] const ProbeEngine& probe_engine() const { return engine_; }
 
  private:
   // Probes every page of the allocation twice (the two loops). True when
@@ -123,6 +134,7 @@ class Mac {
 
   SysApi* sys_;
   MacOptions options_;
+  ProbeEngine engine_;
   Nanos slow_threshold_ = 0;
   MacMetrics metrics_;
   TechniqueUsage usage_;

@@ -1,0 +1,167 @@
+#include "src/gray/probe/probe_engine.h"
+
+#include <algorithm>
+
+namespace gray {
+
+void ProbeReport::Merge(const ProbeReport& other) {
+  probes += other.probes;
+  batches += other.batches;
+  pread_probes += other.pread_probes;
+  memtouch_probes += other.memtouch_probes;
+  stat_probes += other.stat_probes;
+  failed_probes += other.failed_probes;
+  bytes_touched += other.bytes_touched;
+  probe_time += other.probe_time;
+}
+
+ProbeEngine::ProbeEngine(SysApi* sys, ProbeEngineOptions options)
+    : sys_(sys), options_(options), created_at_(sys->Now()) {
+  if (options_.max_batch == 0) {
+    options_.max_batch = 1;
+  }
+}
+
+Nanos ProbeEngine::lifetime() const { return sys_->Now() - created_at_; }
+
+void ProbeEngine::Reset() {
+  report_ = ProbeReport{};
+  latency_stats_ = RunningStats{};
+  created_at_ = sys_->Now();
+}
+
+void ProbeEngine::Account(Kind kind, const ProbeSample& sample) {
+  ++report_.probes;
+  report_.probe_time += sample.latency_ns;
+  latency_stats_.Add(static_cast<double>(sample.latency_ns));
+  switch (kind) {
+    case Kind::kPread:
+      ++report_.pread_probes;
+      if (sample.rc > 0) {
+        report_.bytes_touched += static_cast<std::uint64_t>(sample.rc);
+      }
+      break;
+    case Kind::kMemTouch:
+      ++report_.memtouch_probes;
+      report_.bytes_touched += sys_->PageSize();
+      break;
+    case Kind::kStat:
+      ++report_.stat_probes;
+      break;
+  }
+  if (sample.rc < 0) {
+    ++report_.failed_probes;
+  }
+}
+
+std::vector<ProbeSample> ProbeEngine::RunPreads(std::span<const TimedPread> reqs) {
+  std::vector<ProbeSample> samples(reqs.size());
+  if (options_.strategy == ProbeStrategy::kScalar) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const Nanos t0 = sys_->Now();
+      const std::int64_t rc = sys_->Pread(reqs[i].fd, {}, reqs[i].len, reqs[i].offset);
+      samples[i] = ProbeSample{sys_->Now() - t0, rc};
+      Account(Kind::kPread, samples[i]);
+    }
+    return samples;
+  }
+  std::vector<PreadOp> ops;
+  std::vector<BatchResult> results;
+  for (std::size_t start = 0; start < reqs.size(); start += options_.max_batch) {
+    const std::size_t n = std::min(options_.max_batch, reqs.size() - start);
+    ops.resize(n);
+    results.assign(n, BatchResult{});
+    for (std::size_t i = 0; i < n; ++i) {
+      ops[i] = PreadOp{reqs[start + i].fd, reqs[start + i].len, reqs[start + i].offset};
+    }
+    sys_->PreadBatch(ops, results);
+    ++report_.batches;
+    for (std::size_t i = 0; i < n; ++i) {
+      samples[start + i] = ProbeSample{results[i].latency_ns, results[i].rc};
+      Account(Kind::kPread, samples[start + i]);
+    }
+  }
+  return samples;
+}
+
+std::vector<ProbeSample> ProbeEngine::RunMemTouches(std::span<const TimedMemTouch> reqs) {
+  std::vector<ProbeSample> samples(reqs.size());
+  if (options_.strategy == ProbeStrategy::kScalar) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const Nanos t0 = sys_->Now();
+      sys_->MemTouch(reqs[i].handle, reqs[i].page_index, reqs[i].write);
+      samples[i] = ProbeSample{sys_->Now() - t0, 0};
+      Account(Kind::kMemTouch, samples[i]);
+    }
+    return samples;
+  }
+  std::vector<MemTouchOp> ops;
+  std::vector<BatchResult> results;
+  for (std::size_t start = 0; start < reqs.size(); start += options_.max_batch) {
+    const std::size_t n = std::min(options_.max_batch, reqs.size() - start);
+    ops.resize(n);
+    results.assign(n, BatchResult{});
+    for (std::size_t i = 0; i < n; ++i) {
+      ops[i] = MemTouchOp{reqs[start + i].handle, reqs[start + i].page_index,
+                          reqs[start + i].write};
+    }
+    sys_->MemTouchBatch(ops, results);
+    ++report_.batches;
+    for (std::size_t i = 0; i < n; ++i) {
+      samples[start + i] = ProbeSample{results[i].latency_ns, results[i].rc};
+      Account(Kind::kMemTouch, samples[start + i]);
+    }
+  }
+  return samples;
+}
+
+std::vector<ProbeSample> ProbeEngine::RunStats(std::span<const TimedStat> reqs,
+                                               std::vector<FileInfo>* infos) {
+  std::vector<ProbeSample> samples(reqs.size());
+  infos->assign(reqs.size(), FileInfo{});
+  if (options_.strategy == ProbeStrategy::kScalar) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const Nanos t0 = sys_->Now();
+      const int rc = sys_->Stat(reqs[i].path, &(*infos)[i]);
+      samples[i] = ProbeSample{sys_->Now() - t0, rc};
+      Account(Kind::kStat, samples[i]);
+    }
+    return samples;
+  }
+  std::vector<std::string> paths;
+  std::vector<BatchResult> results;
+  for (std::size_t start = 0; start < reqs.size(); start += options_.max_batch) {
+    const std::size_t n = std::min(options_.max_batch, reqs.size() - start);
+    paths.resize(n);
+    results.assign(n, BatchResult{});
+    for (std::size_t i = 0; i < n; ++i) {
+      paths[i] = reqs[start + i].path;
+    }
+    sys_->StatBatch(paths, std::span<FileInfo>(infos->data() + start, n), results);
+    ++report_.batches;
+    for (std::size_t i = 0; i < n; ++i) {
+      samples[start + i] = ProbeSample{results[i].latency_ns, results[i].rc};
+      Account(Kind::kStat, samples[start + i]);
+    }
+  }
+  return samples;
+}
+
+std::size_t ProbeEngine::RunMemTouchesUntil(
+    std::span<const TimedMemTouch> reqs,
+    const std::function<bool(std::size_t, const ProbeSample&)>& visit) {
+  std::size_t executed = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Nanos t0 = sys_->Now();
+    sys_->MemTouch(reqs[i].handle, reqs[i].page_index, reqs[i].write);
+    const ProbeSample sample{sys_->Now() - t0, 0};
+    Account(Kind::kMemTouch, sample);
+    ++executed;
+    if (!visit(i, sample)) {
+      break;
+    }
+  }
+  return executed;
+}
+
+}  // namespace gray

@@ -1,0 +1,147 @@
+// The shared observation layer of the gray toolbox.
+//
+// Every ICL in the paper reduces to the same loop — issue a syscall, time
+// it, feed the sample to statistics (FCCD times 1-byte reads, MAC times
+// page touches, FLDC times stats). The ProbeEngine is that loop, written
+// once: it plans, executes, and times probe batches, feeds every sample to
+// an incremental RunningStats, and accounts probe overhead (probes issued,
+// bytes touched, probe time vs useful-work time) in one place.
+//
+// Execution strategy is pluggable:
+//  * kBatched (default) sends sub-batches through the SysApi batch calls,
+//    so a backend with a cheap boundary crossing (graysim, vectored I/O)
+//    pays the syscall tax once per batch;
+//  * kScalar loops over the scalar calls with Now() around each — the
+//    portable fallback every UNIX supports, and the paper's literal loop.
+//
+// Early-exit probe loops (MAC's consecutive-slow abort) use RunUntil
+// variants, which are inherently sequential: each sample decides whether
+// the next probe is issued at all, so they execute scalar regardless of
+// strategy.
+#ifndef SRC_GRAY_PROBE_PROBE_ENGINE_H_
+#define SRC_GRAY_PROBE_PROBE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/gray/sys_api.h"
+#include "src/gray/toolbox/stats.h"
+
+namespace gray {
+
+// --- requests ---
+
+// Time a read of `len` bytes at `offset` (len = 1 is the classic residency
+// probe; larger lengths time prefetch-style reads).
+struct TimedPread {
+  int fd = -1;
+  std::uint64_t len = 1;
+  std::uint64_t offset = 0;
+};
+
+// Time a touch of one page of an anonymous allocation.
+struct TimedMemTouch {
+  MemHandle handle = kInvalidMem;
+  std::uint64_t page_index = 0;
+  bool write = true;
+};
+
+// Time a stat; the FileInfo comes back alongside the sample.
+struct TimedStat {
+  std::string path;
+};
+
+// --- results ---
+
+// One timed observation: the elapsed time of the operation (the covert
+// channel) and the return code the scalar call would have produced.
+struct ProbeSample {
+  Nanos latency_ns = 0;
+  std::int64_t rc = 0;
+};
+
+enum class ProbeStrategy {
+  kScalar,   // portable loop over scalar syscalls
+  kBatched,  // SysApi batch calls (one boundary crossing per sub-batch)
+};
+
+struct ProbeEngineOptions {
+  ProbeStrategy strategy = ProbeStrategy::kBatched;
+  // Requests per SysApi batch call; bounds per-batch memory and lets long
+  // plans interleave with competitors at sub-batch boundaries.
+  std::size_t max_batch = 256;
+};
+
+// Per-layer accounting of observation overhead. Everything an ICL needs to
+// answer "what did probing cost me?" — printed per ICL by
+// bench/table2_case_studies.
+struct ProbeReport {
+  std::uint64_t probes = 0;          // operations issued
+  std::uint64_t batches = 0;         // SysApi batch calls made
+  std::uint64_t pread_probes = 0;
+  std::uint64_t memtouch_probes = 0;
+  std::uint64_t stat_probes = 0;
+  std::uint64_t failed_probes = 0;   // rc < 0
+  std::uint64_t bytes_touched = 0;   // bytes read + pages touched * page size
+  Nanos probe_time = 0;              // virtual time spent inside probes
+
+  // Folds another report in (Compose aggregates its sub-ICLs this way).
+  void Merge(const ProbeReport& other);
+
+  // Fraction of `lifetime` spent probing; the remainder is useful work.
+  [[nodiscard]] double ProbeShare(Nanos lifetime) const {
+    return lifetime == 0 ? 0.0
+                         : static_cast<double>(probe_time) / static_cast<double>(lifetime);
+  }
+};
+
+class ProbeEngine {
+ public:
+  explicit ProbeEngine(SysApi* sys, ProbeEngineOptions options = ProbeEngineOptions{});
+
+  // Executes and times every request, in order; returns one sample per
+  // request and feeds each latency to the incremental stats.
+  std::vector<ProbeSample> RunPreads(std::span<const TimedPread> reqs);
+  std::vector<ProbeSample> RunMemTouches(std::span<const TimedMemTouch> reqs);
+  // infos->at(i) is filled when samples[i].rc == 0.
+  std::vector<ProbeSample> RunStats(std::span<const TimedStat> reqs,
+                                    std::vector<FileInfo>* infos);
+
+  // Early-exit streaming: issues requests one at a time and calls `visit`
+  // with each sample; stops (and stops probing) when visit returns false.
+  // Returns the number of requests executed. Sequential by necessity: the
+  // sample decides whether the next probe may be issued at all.
+  std::size_t RunMemTouchesUntil(
+      std::span<const TimedMemTouch> reqs,
+      const std::function<bool(std::size_t, const ProbeSample&)>& visit);
+
+  [[nodiscard]] const ProbeReport& report() const { return report_; }
+  // Incremental statistics over every sample since construction/reset.
+  [[nodiscard]] const RunningStats& latency_stats() const { return latency_stats_; }
+  // Virtual time since construction/reset; report().ProbeShare(lifetime())
+  // is the probe-time share of this engine's owner.
+  [[nodiscard]] Nanos lifetime() const;
+  void Reset();
+
+  [[nodiscard]] SysApi* sys() const { return sys_; }
+  [[nodiscard]] const ProbeEngineOptions& options() const { return options_; }
+
+ private:
+  enum class Kind { kPread, kMemTouch, kStat };
+
+  // Accounts one executed sample into the report and incremental stats.
+  void Account(Kind kind, const ProbeSample& sample);
+
+  SysApi* sys_;
+  ProbeEngineOptions options_;
+  ProbeReport report_;
+  RunningStats latency_stats_;
+  Nanos created_at_ = 0;
+};
+
+}  // namespace gray
+
+#endif  // SRC_GRAY_PROBE_PROBE_ENGINE_H_

@@ -70,6 +70,51 @@ class SimSys final : public SysApi {
     return os_->Mincore(pid_, fd, offset, length, resident);
   }
 
+  // Native batches: the whole batch crosses the simulated syscall boundary
+  // (and the turnstile scheduler) once; graysim times each constituent
+  // operation on its own clock.
+  void PreadBatch(std::span<const PreadOp> ops, std::span<BatchResult> out) override {
+    const std::size_t n = std::min(ops.size(), out.size());
+    std::vector<graysim::PreadBatchOp> os_ops(n);
+    std::vector<graysim::BatchOpResult> os_out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      os_ops[i] = graysim::PreadBatchOp{ops[i].fd, ops[i].len, ops[i].offset};
+    }
+    os_->PreadBatch(pid_, os_ops, os_out);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = BatchResult{os_out[i].latency_ns, os_out[i].rc};
+    }
+  }
+  void MemTouchBatch(std::span<const MemTouchOp> ops, std::span<BatchResult> out) override {
+    const std::size_t n = std::min(ops.size(), out.size());
+    std::vector<graysim::VmTouchBatchOp> os_ops(n);
+    std::vector<graysim::BatchOpResult> os_out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      os_ops[i] = graysim::VmTouchBatchOp{ops[i].handle, ops[i].page_index, ops[i].write};
+    }
+    os_->VmTouchBatch(pid_, os_ops, os_out);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = BatchResult{os_out[i].latency_ns, os_out[i].rc};
+    }
+  }
+  void StatBatch(std::span<const std::string> paths, std::span<FileInfo> infos,
+                 std::span<BatchResult> out) override {
+    const std::size_t n = std::min({paths.size(), infos.size(), out.size()});
+    std::vector<graysim::InodeAttr> attrs(n);
+    std::vector<graysim::BatchOpResult> os_out(n);
+    os_->StatBatch(pid_, paths.subspan(0, n), attrs, os_out);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (os_out[i].rc == 0) {
+        infos[i].inum = attrs[i].inum;
+        infos[i].size = attrs[i].size;
+        infos[i].is_dir = attrs[i].is_dir;
+        infos[i].atime = attrs[i].atime;
+        infos[i].mtime = attrs[i].mtime;
+      }
+      out[i] = BatchResult{os_out[i].latency_ns, os_out[i].rc};
+    }
+  }
+
   [[nodiscard]] MemHandle MemAlloc(std::uint64_t bytes) override {
     const graysim::VmAreaId area = os_->VmAlloc(pid_, bytes);
     return static_cast<MemHandle>(area);

@@ -10,6 +10,7 @@
 #ifndef SRC_GRAY_SYS_API_H_
 #define SRC_GRAY_SYS_API_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -32,6 +33,34 @@ struct FileInfo {
 struct DirEntry {
   std::string name;
   bool is_dir = false;
+};
+
+// --- batched observation requests ---
+//
+// Every ICL in the paper reduces to the same loop: issue a syscall, time it,
+// feed the sample to statistics. The batch calls below let that loop cross
+// the system boundary once per batch instead of once per request. Batch
+// reads are timing-only (no data out): they exist for probing and prefetch,
+// where the response time IS the result.
+
+struct PreadOp {
+  int fd = -1;
+  std::uint64_t len = 1;
+  std::uint64_t offset = 0;
+};
+
+struct MemTouchOp {
+  MemHandle handle = kInvalidMem;
+  std::uint64_t page_index = 0;
+  bool write = true;
+};
+
+// Per-operation outcome of a batch call: the return code the scalar call
+// would have produced, plus the elapsed time of that one operation as
+// observed by the executing layer's clock.
+struct BatchResult {
+  Nanos latency_ns = 0;
+  std::int64_t rc = 0;
 };
 
 class SysApi {
@@ -68,6 +97,42 @@ class SysApi {
   // gray-box code must be prepared to fall back to probing.
   virtual int Mincore(int fd, std::uint64_t offset, std::uint64_t length,
                       std::vector<bool>* resident) = 0;
+
+  // --- batched operations ---
+  // Each call executes min(ops.size(), out.size()) operations in request
+  // order and fills one BatchResult per operation. The default
+  // implementations loop over the scalar calls, timing each with Now() —
+  // exactly what a portable gray-box layer can do on any UNIX, preserving
+  // the paper's constraint. Backends with a cheaper boundary crossing (the
+  // simulated OS, or a kernel with vectored I/O) override them so the whole
+  // batch pays the crossing once; per-operation latencies then exclude the
+  // per-call syscall tax, which is the point of batching.
+  virtual void PreadBatch(std::span<const PreadOp> ops, std::span<BatchResult> out) {
+    const std::size_t n = std::min(ops.size(), out.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const Nanos t0 = Now();
+      const std::int64_t rc = Pread(ops[i].fd, {}, ops[i].len, ops[i].offset);
+      out[i] = BatchResult{Now() - t0, rc};
+    }
+  }
+  virtual void MemTouchBatch(std::span<const MemTouchOp> ops, std::span<BatchResult> out) {
+    const std::size_t n = std::min(ops.size(), out.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const Nanos t0 = Now();
+      MemTouch(ops[i].handle, ops[i].page_index, ops[i].write);
+      out[i] = BatchResult{Now() - t0, 0};
+    }
+  }
+  // Stats every path; fills infos[i] on success (rc == 0).
+  virtual void StatBatch(std::span<const std::string> paths, std::span<FileInfo> infos,
+                         std::span<BatchResult> out) {
+    const std::size_t n = std::min({paths.size(), infos.size(), out.size()});
+    for (std::size_t i = 0; i < n; ++i) {
+      const Nanos t0 = Now();
+      const int rc = Stat(paths[i], &infos[i]);
+      out[i] = BatchResult{Now() - t0, rc};
+    }
+  }
 
   // --- memory ---
   [[nodiscard]] virtual MemHandle MemAlloc(std::uint64_t bytes) = 0;

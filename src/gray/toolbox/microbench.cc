@@ -4,7 +4,6 @@
 #include <vector>
 
 #include "src/gray/toolbox/stats.h"
-#include "src/gray/toolbox/stopwatch.h"
 
 namespace gray {
 
@@ -21,7 +20,10 @@ double ToMbs(std::uint64_t bytes, Nanos elapsed) {
 }  // namespace
 
 Microbench::Microbench(SysApi* sys, MicrobenchOptions options)
-    : sys_(sys), options_(std::move(options)), rng_state_(options_.seed | 1) {}
+    : sys_(sys),
+      options_(std::move(options)),
+      engine_(sys, ProbeEngineOptions{options_.probe_strategy}),
+      rng_state_(options_.seed | 1) {}
 
 std::uint64_t Microbench::NextRandom() {
   // splitmix64 step — deterministic and dependency-free.
@@ -103,7 +105,8 @@ double Microbench::MeasureRandomPageAccessNs() {
   }
   const std::uint32_t ps = sys_->PageSize();
   const std::uint64_t pages = options_.disk_test_bytes / ps;
-  std::vector<double> samples;
+  std::vector<TimedPread> reqs;
+  reqs.reserve(static_cast<std::size_t>(options_.random_probes));
   std::vector<bool> probed(pages, false);
   for (int i = 0; i < options_.random_probes; ++i) {
     std::uint64_t page = NextRandom() % pages;
@@ -111,9 +114,11 @@ double Microbench::MeasureRandomPageAccessNs() {
       page = (page + 1) % pages;  // never re-time a page we faulted in
     }
     probed[page] = true;
-    const Nanos dt =
-        Stopwatch::Time(sys_, [&] { (void)sys_->Pread(fd, {}, 1, page * ps); });
-    samples.push_back(static_cast<double>(dt));
+    reqs.push_back(TimedPread{fd, 1, page * ps});
+  }
+  std::vector<double> samples;
+  for (const ProbeSample& s : engine_.RunPreads(reqs)) {
+    samples.push_back(static_cast<double>(s.latency_ns));
   }
   (void)sys_->Close(fd);
   return Median(samples);
@@ -150,10 +155,13 @@ double Microbench::MeasureMemTouchNs() {
   for (std::uint64_t i = 0; i < 64; ++i) {
     sys_->MemTouch(h, i, /*write=*/true);  // fault in
   }
-  std::vector<double> samples;
+  std::vector<TimedMemTouch> reqs(64);
   for (std::uint64_t i = 0; i < 64; ++i) {
-    const Nanos dt = Stopwatch::Time(sys_, [&] { sys_->MemTouch(h, i, true); });
-    samples.push_back(static_cast<double>(dt));
+    reqs[i] = TimedMemTouch{h, i, true};
+  }
+  std::vector<double> samples;
+  for (const ProbeSample& s : engine_.RunMemTouches(reqs)) {
+    samples.push_back(static_cast<double>(s.latency_ns));
   }
   sys_->MemFree(h);
   return Median(samples);
@@ -164,10 +172,13 @@ double Microbench::MeasureZeroFillNs() {
   if (h == kInvalidMem) {
     return 0.0;
   }
-  std::vector<double> samples;
+  std::vector<TimedMemTouch> reqs(64);
   for (std::uint64_t i = 0; i < 64; ++i) {
-    const Nanos dt = Stopwatch::Time(sys_, [&] { sys_->MemTouch(h, i, true); });
-    samples.push_back(static_cast<double>(dt));
+    reqs[i] = TimedMemTouch{h, i, true};
+  }
+  std::vector<double> samples;
+  for (const ProbeSample& s : engine_.RunMemTouches(reqs)) {
+    samples.push_back(static_cast<double>(s.latency_ns));
   }
   sys_->MemFree(h);
   return Median(samples);
@@ -184,11 +195,15 @@ double Microbench::MeasureProbeHitNs() {
     return 0.0;
   }
   (void)sys_->Pread(fd, {}, bytes, 0);  // warm
-  std::vector<double> samples;
   const std::uint32_t ps = sys_->PageSize();
+  std::vector<TimedPread> reqs;
+  reqs.reserve(bytes / ps);
   for (std::uint64_t p = 0; p < bytes / ps; ++p) {
-    const Nanos dt = Stopwatch::Time(sys_, [&] { (void)sys_->Pread(fd, {}, 1, p * ps); });
-    samples.push_back(static_cast<double>(dt));
+    reqs.push_back(TimedPread{fd, 1, p * ps});
+  }
+  std::vector<double> samples;
+  for (const ProbeSample& s : engine_.RunPreads(reqs)) {
+    samples.push_back(static_cast<double>(s.latency_ns));
   }
   (void)sys_->Close(fd);
   return Median(samples);

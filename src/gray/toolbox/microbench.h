@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "src/gray/probe/probe_engine.h"
 #include "src/gray/sys_api.h"
 #include "src/gray/toolbox/param_repository.h"
 
@@ -28,6 +29,9 @@ struct MicrobenchOptions {
   std::uint64_t disk_test_bytes = 256ULL * 1024 * 1024;
   int random_probes = 32;
   std::uint64_t seed = 0x9b5;
+  // Matches the execution strategy the ICLs will use, so the measured
+  // per-probe costs are the costs they will actually see.
+  ProbeStrategy probe_strategy = ProbeStrategy::kBatched;
 };
 
 class Microbench {
@@ -52,6 +56,9 @@ class Microbench {
   // Deletes scratch files.
   void Cleanup();
 
+  // Observation overhead of the whole suite's timed samples.
+  [[nodiscard]] const ProbeReport& probe_report() const { return engine_.report(); }
+
  private:
   // Creates (if needed) a scratch file of `bytes`; returns its path.
   [[nodiscard]] std::string EnsureFile(const std::string& name, std::uint64_t bytes);
@@ -61,6 +68,7 @@ class Microbench {
 
   SysApi* sys_;
   MicrobenchOptions options_;
+  ProbeEngine engine_;
   std::uint64_t rng_state_;
 };
 

@@ -361,6 +361,11 @@ std::int64_t Os::Pread(Pid pid, int fd, std::span<std::uint8_t> buf, std::uint64
                        std::uint64_t offset) {
   ++os_stats_.syscalls;
   Charge(pid, config_.costs.syscall_overhead);
+  return PreadImpl(pid, fd, buf, len, offset);
+}
+
+std::int64_t Os::PreadImpl(Pid pid, int fd, std::span<std::uint8_t> buf, std::uint64_t len,
+                           std::uint64_t offset) {
   FdEntry* e = GetFd(pid, fd);
   if (e == nullptr) {
     return ToErr(FsErr::kInvalid);
@@ -671,6 +676,10 @@ int Os::Creat(Pid pid, std::string_view path) {
 int Os::Stat(Pid pid, std::string_view path, InodeAttr* out) {
   ++os_stats_.syscalls;
   Charge(pid, config_.costs.syscall_overhead);
+  return StatImpl(pid, path, out);
+}
+
+int Os::StatImpl(Pid pid, std::string_view path, InodeAttr* out) {
   PathRef ref;
   if (!ParsePath(path, &ref)) {
     return ToErr(FsErr::kInvalid);
@@ -681,6 +690,48 @@ int Os::Stat(Pid pid, std::string_view path, InodeAttr* out) {
   }
   ChargeWalk(pid, ref);
   return 0;
+}
+
+// ---- batched syscalls ----
+
+void Os::PreadBatch(Pid pid, std::span<const PreadBatchOp> ops,
+                    std::span<BatchOpResult> out) {
+  ++os_stats_.syscalls;
+  ++os_stats_.batch_syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  const std::size_t n = std::min(ops.size(), out.size());
+  os_stats_.batched_ops += n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Nanos t0 = clock_.now();
+    const std::int64_t rc = PreadImpl(pid, ops[i].fd, {}, ops[i].len, ops[i].offset);
+    out[i] = BatchOpResult{clock_.now() - t0, rc};
+  }
+}
+
+void Os::StatBatch(Pid pid, std::span<const std::string> paths, std::span<InodeAttr> attrs,
+                   std::span<BatchOpResult> out) {
+  ++os_stats_.syscalls;
+  ++os_stats_.batch_syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  const std::size_t n = std::min({paths.size(), attrs.size(), out.size()});
+  os_stats_.batched_ops += n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Nanos t0 = clock_.now();
+    const int rc = StatImpl(pid, paths[i], &attrs[i]);
+    out[i] = BatchOpResult{clock_.now() - t0, rc};
+  }
+}
+
+void Os::VmTouchBatch(Pid pid, std::span<const VmTouchBatchOp> ops,
+                      std::span<BatchOpResult> out) {
+  // Memory accesses: no syscall entry to count or charge.
+  const std::size_t n = std::min(ops.size(), out.size());
+  os_stats_.batched_ops += n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Nanos t0 = clock_.now();
+    VmTouch(pid, ops[i].area, ops[i].page_index, ops[i].write);
+    out[i] = BatchOpResult{clock_.now() - t0, 0};
+  }
 }
 
 int Os::Unlink(Pid pid, std::string_view path) {

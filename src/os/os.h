@@ -36,6 +36,8 @@ namespace graysim {
 
 struct OsStats {
   std::uint64_t syscalls = 0;
+  std::uint64_t batch_syscalls = 0;  // batched entries (each counts 1 syscall)
+  std::uint64_t batched_ops = 0;     // constituent ops carried by batches
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t disk_reads = 0;
@@ -44,6 +46,26 @@ struct OsStats {
   std::uint64_t swap_outs = 0;
   std::uint64_t readahead_pages = 0;
   std::uint64_t writeback_pages = 0;
+};
+
+// One operation of a batched syscall (see Os::PreadBatch etc.). The batch
+// crosses the syscall boundary — and pays the syscall overhead — once; each
+// constituent operation is still executed and timed individually.
+struct PreadBatchOp {
+  int fd = -1;
+  std::uint64_t len = 1;
+  std::uint64_t offset = 0;
+};
+
+struct VmTouchBatchOp {
+  VmAreaId area = 0;
+  std::uint64_t page_index = 0;
+  bool write = true;
+};
+
+struct BatchOpResult {
+  Nanos latency_ns = 0;
+  std::int64_t rc = 0;
 };
 
 class Os {
@@ -93,6 +115,22 @@ class Os {
 
   int Creat(Pid pid, std::string_view path);  // returns fd; truncates
   int Stat(Pid pid, std::string_view path, InodeAttr* out);
+
+  // ---- batched syscalls ----
+  // Each executes min(ops.size(), out.size()) operations in request order,
+  // charging the syscall-entry overhead ONCE for the whole batch (one
+  // turnstile crossing) instead of once per operation. Every constituent
+  // operation still runs the full scalar path — same cache effects, same
+  // disk I/O, same per-byte costs — and its individual elapsed virtual time
+  // is reported in out[i].latency_ns. Batched reads are timing-only (no
+  // data buffer), matching their probing/prefetch role.
+  void PreadBatch(Pid pid, std::span<const PreadBatchOp> ops, std::span<BatchOpResult> out);
+  void StatBatch(Pid pid, std::span<const std::string> paths, std::span<InodeAttr> attrs,
+                 std::span<BatchOpResult> out);
+  // VmTouch is a memory access, not a syscall, so there is no overhead to
+  // amortize; the batch still saves N-1 boundary crossings for callers.
+  void VmTouchBatch(Pid pid, std::span<const VmTouchBatchOp> ops,
+                    std::span<BatchOpResult> out);
   int Unlink(Pid pid, std::string_view path);
   int Mkdir(Pid pid, std::string_view path);
   int Rmdir(Pid pid, std::string_view path);
@@ -207,6 +245,12 @@ class Os {
   }
 
   [[nodiscard]] FdEntry* GetFd(Pid pid, int fd);
+
+  // Syscall bodies shared by the scalar and batched entry points. Neither
+  // counts a syscall nor charges entry overhead — the public wrappers do.
+  std::int64_t PreadImpl(Pid pid, int fd, std::span<std::uint8_t> buf, std::uint64_t len,
+                         std::uint64_t offset);
+  int StatImpl(Pid pid, std::string_view path, InodeAttr* out);
 
   PlatformProfile profile_;
   MachineConfig config_;

@@ -226,6 +226,25 @@ TEST(FldcTest, MtimeOrderBeatsInumOrderOnLfsAfterChurn) {
       << "on LFS, mtime order should be the layout order";
 }
 
+TEST(FldcTest, RefreshPropagatesRealErrorWhenDiskFills) {
+  // A refresh doubles the directory's footprint while it copies; on a
+  // nearly-full file system the copy must fail with the file system's
+  // actual error code, not a generic -1.
+  graysim::MachineConfig cfg;
+  cfg.fs_params.total_blocks = 8192;  // one 32 MB cylinder group
+  graysim::Os os(graysim::PlatformProfile::Linux22(), cfg);
+  const Pid pid = os.default_pid();
+  ASSERT_EQ(os.Mkdir(pid, "/d0/dir"), 0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(graywork::MakeFile(os, pid, "/d0/dir/f" + std::to_string(i),
+                                   5 * 1024 * 1024));
+  }
+  gray::SimSys sys(&os, pid);
+  Fldc fldc(&sys);
+  const int rc = fldc.RefreshDirectory("/d0/dir");
+  EXPECT_EQ(rc, -static_cast<int>(graysim::FsErr::kNoSpace));
+}
+
 TEST(FldcTest, MtimeOrderMatchesRewriteOrderOnLfs) {
   graysim::Os os(graysim::PlatformProfile::LfsVariant());
   const Pid pid = os.default_pid();

@@ -1,0 +1,247 @@
+// Equivalence of the batched observation path with the scalar loop.
+//
+// The batch calls exist to cross the system boundary once per batch, not to
+// change what is observed: for the same request sequence they must return
+// the same results and leave the machine in the same end state (file-cache
+// residency, VM frames) as a scalar loop, on every platform profile.
+
+#include "src/gray/probe/probe_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/gray/interpose/interposer.h"
+#include "src/gray/sim_sys.h"
+#include "src/workloads/filegen.h"
+
+namespace gray {
+namespace {
+
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+PlatformProfile ProfileByName(const std::string& name) {
+  if (name == "NetBsd15") {
+    return PlatformProfile::NetBsd15();
+  }
+  if (name == "Solaris7") {
+    return PlatformProfile::Solaris7();
+  }
+  return PlatformProfile::Linux22();
+}
+
+// Two identically-configured machines: `scalar` executes loops of scalar
+// calls, `batched` the equivalent batch calls. Identical op sequences must
+// produce identical end states (the simulation is deterministic).
+struct TwinFixture {
+  explicit TwinFixture(const std::string& profile)
+      : scalar(ProfileByName(profile)),
+        batched(ProfileByName(profile)),
+        sys_scalar(&scalar, scalar.default_pid()),
+        sys_batched(&batched, batched.default_pid()) {}
+
+  Os scalar;
+  Os batched;
+  SimSys sys_scalar;
+  SimSys sys_batched;
+};
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchEquivalenceTest, PreadBatchMatchesScalarLoop) {
+  TwinFixture f(GetParam());
+  for (Os* os : {&f.scalar, &f.batched}) {
+    ASSERT_TRUE(graywork::MakeFile(*os, os->default_pid(), "/d0/file", 8 * kMb));
+    os->FlushFileCache();
+  }
+  const int fd_s = f.sys_scalar.Open("/d0/file");
+  const int fd_b = f.sys_batched.Open("/d0/file");
+  ASSERT_GE(fd_s, 0);
+  ASSERT_EQ(fd_s, fd_b);
+
+  // Probe every second page (misses), then the first 16 again (hits).
+  const std::uint32_t ps = f.sys_scalar.PageSize();
+  std::vector<PreadOp> ops;
+  for (std::uint64_t p = 0; p < 8 * kMb / ps; p += 2) {
+    ops.push_back(PreadOp{fd_b, 1, p * ps});
+  }
+  for (std::uint64_t p = 0; p < 32; p += 2) {
+    ops.push_back(PreadOp{fd_b, 1, p * ps});
+  }
+
+  std::vector<std::int64_t> scalar_rcs;
+  for (const PreadOp& op : ops) {
+    scalar_rcs.push_back(f.sys_scalar.Pread(fd_s, {}, op.len, op.offset));
+  }
+  std::vector<BatchResult> out(ops.size());
+  f.sys_batched.PreadBatch(ops, out);
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(out[i].rc, scalar_rcs[i]) << "op " << i;
+  }
+  // Identical cache end state: same resident count, same per-page residency.
+  EXPECT_EQ(f.scalar.FileCachePages(), f.batched.FileCachePages());
+  for (std::uint64_t p = 0; p < 8 * kMb / ps; ++p) {
+    ASSERT_EQ(f.scalar.PageResidentPath("/d0/file", p),
+              f.batched.PageResidentPath("/d0/file", p))
+        << "page " << p;
+  }
+  // The batch's reason to exist: the whole sequence entered the kernel once.
+  EXPECT_EQ(f.batched.stats().batched_ops, ops.size());
+  EXPECT_LT(f.batched.stats().syscalls, f.scalar.stats().syscalls);
+}
+
+TEST_P(BatchEquivalenceTest, MemTouchBatchMatchesScalarLoop) {
+  TwinFixture f(GetParam());
+  const std::uint64_t pages = 128;
+  const MemHandle h_s = f.sys_scalar.MemAlloc(pages * f.sys_scalar.PageSize());
+  const MemHandle h_b = f.sys_batched.MemAlloc(pages * f.sys_batched.PageSize());
+  ASSERT_NE(h_s, kInvalidMem);
+  ASSERT_EQ(h_s, h_b);
+
+  std::vector<MemTouchOp> ops;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    ops.push_back(MemTouchOp{h_b, i, /*write=*/true});
+  }
+  for (const MemTouchOp& op : ops) {
+    f.sys_scalar.MemTouch(h_s, op.page_index, op.write);
+  }
+  std::vector<BatchResult> out(ops.size());
+  f.sys_batched.MemTouchBatch(ops, out);
+
+  for (const BatchResult& r : out) {
+    EXPECT_EQ(r.rc, 0);
+  }
+  EXPECT_EQ(f.scalar.VmResidentPages(f.scalar.default_pid()),
+            f.batched.VmResidentPages(f.batched.default_pid()));
+}
+
+TEST_P(BatchEquivalenceTest, StatBatchMatchesScalarLoop) {
+  TwinFixture f(GetParam());
+  std::vector<std::string> paths;
+  for (Os* os : {&f.scalar, &f.batched}) {
+    paths = graywork::MakeFileSet(*os, os->default_pid(), "/d0/set", 6, 1 * kMb);
+  }
+  paths.push_back("/d0/absent");  // failures must match too
+
+  std::vector<FileInfo> scalar_infos(paths.size());
+  std::vector<std::int64_t> scalar_rcs;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    scalar_rcs.push_back(f.sys_scalar.Stat(paths[i], &scalar_infos[i]));
+  }
+  std::vector<FileInfo> infos(paths.size());
+  std::vector<BatchResult> out(paths.size());
+  f.sys_batched.StatBatch(paths, infos, out);
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(out[i].rc, scalar_rcs[i]) << paths[i];
+    if (out[i].rc == 0) {
+      EXPECT_EQ(infos[i].inum, scalar_infos[i].inum) << paths[i];
+      EXPECT_EQ(infos[i].size, scalar_infos[i].size) << paths[i];
+      EXPECT_EQ(infos[i].mtime, scalar_infos[i].mtime) << paths[i];
+      EXPECT_EQ(infos[i].is_dir, scalar_infos[i].is_dir) << paths[i];
+    }
+  }
+}
+
+TEST_P(BatchEquivalenceTest, EngineStrategiesAgreeAndAccount) {
+  TwinFixture f(GetParam());
+  for (Os* os : {&f.scalar, &f.batched}) {
+    ASSERT_TRUE(graywork::MakeFile(*os, os->default_pid(), "/d0/file", 4 * kMb));
+    os->FlushFileCache();
+  }
+  const int fd_s = f.sys_scalar.Open("/d0/file");
+  const int fd_b = f.sys_batched.Open("/d0/file");
+  ASSERT_EQ(fd_s, fd_b);
+
+  ProbeEngine scalar_engine(&f.sys_scalar,
+                            ProbeEngineOptions{ProbeStrategy::kScalar});
+  // A small max_batch so the run exercises sub-batch chunking.
+  ProbeEngine batched_engine(&f.sys_batched,
+                             ProbeEngineOptions{ProbeStrategy::kBatched, 7});
+
+  const std::uint32_t ps = f.sys_scalar.PageSize();
+  std::vector<TimedPread> reqs;
+  for (std::uint64_t p = 0; p < 100; ++p) {
+    reqs.push_back(TimedPread{fd_b, 1, p * 3 * ps});
+  }
+  const auto scalar_samples = scalar_engine.RunPreads(reqs);
+  const auto batched_samples = batched_engine.RunPreads(reqs);
+
+  ASSERT_EQ(scalar_samples.size(), batched_samples.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(scalar_samples[i].rc, batched_samples[i].rc) << "req " << i;
+  }
+  EXPECT_EQ(f.scalar.FileCachePages(), f.batched.FileCachePages());
+
+  EXPECT_EQ(scalar_engine.report().probes, reqs.size());
+  EXPECT_EQ(batched_engine.report().probes, reqs.size());
+  EXPECT_EQ(scalar_engine.report().batches, 0u);
+  EXPECT_EQ(batched_engine.report().batches, (reqs.size() + 6) / 7);
+  EXPECT_EQ(scalar_engine.report().pread_probes, reqs.size());
+  EXPECT_EQ(scalar_engine.report().bytes_touched, reqs.size());  // 1-byte probes
+  EXPECT_EQ(scalar_engine.latency_stats().count(), reqs.size());
+  EXPECT_GT(scalar_engine.report().probe_time, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, BatchEquivalenceTest,
+                         ::testing::Values("Linux22", "NetBsd15", "Solaris7"));
+
+// A batch must not be a blind spot for the interposition agent: every
+// constituent read feeds the passive cache model (paper §4.1.1).
+TEST(InterposerBatchTest, BatchedReadsFeedTheCacheModel) {
+  Os os(PlatformProfile::Linux22());
+  SimSys sys(&os, os.default_pid());
+  ASSERT_TRUE(graywork::MakeFile(os, os.default_pid(), "/d0/file", 4 * kMb));
+  os.FlushFileCache();
+
+  CacheModel model(64 * kMb, sys.PageSize());
+  Interposer interposed(&sys, &model);
+  const int fd = interposed.Open("/d0/file");
+  ASSERT_GE(fd, 0);
+
+  const std::uint32_t ps = sys.PageSize();
+  std::vector<PreadOp> ops;
+  for (std::uint64_t p = 0; p < 10; ++p) {
+    ops.push_back(PreadOp{fd, 1, p * ps});
+  }
+  std::vector<BatchResult> out(ops.size());
+  interposed.PreadBatch(ops, out);
+
+  EXPECT_EQ(interposed.observed_calls(), ops.size());
+  for (std::uint64_t p = 0; p < 10; ++p) {
+    EXPECT_TRUE(model.PageResident("/d0/file", p)) << "page " << p;
+  }
+}
+
+// The engine is strategy-agnostic even on top of a decorator: batches routed
+// through the Interposer keep the model in sync with the real cache.
+TEST(InterposerBatchTest, EngineRunsThroughInterposer) {
+  Os os(PlatformProfile::Linux22());
+  SimSys sys(&os, os.default_pid());
+  ASSERT_TRUE(graywork::MakeFile(os, os.default_pid(), "/d0/file", 4 * kMb));
+  os.FlushFileCache();
+
+  CacheModel model(64 * kMb, sys.PageSize());
+  Interposer interposed(&sys, &model);
+  ProbeEngine engine(&interposed);
+  const int fd = interposed.Open("/d0/file");
+  ASSERT_GE(fd, 0);
+
+  std::vector<TimedPread> reqs;
+  for (std::uint64_t p = 0; p < 16; ++p) {
+    reqs.push_back(TimedPread{fd, 1, p * sys.PageSize()});
+  }
+  const auto samples = engine.RunPreads(reqs);
+  ASSERT_EQ(samples.size(), reqs.size());
+  EXPECT_EQ(interposed.observed_calls(), reqs.size());
+  EXPECT_EQ(engine.report().probes, reqs.size());
+}
+
+}  // namespace
+}  // namespace gray
