@@ -30,6 +30,13 @@ using graysim::PlatformProfile;
 namespace {
 
 double ColdReadSeconds(Os& os, Pid pid, const std::vector<std::string>& order) {
+  // Let write-behind from the setup (refresh copies) drain first: this
+  // measures layout quality, not leftover device backlog.
+  for (int d = 0; d < os.num_disks(); ++d) {
+    if (os.disk_queue(d).busy_until() > os.Now()) {
+      os.Sleep(pid, os.disk_queue(d).busy_until() - os.Now());
+    }
+  }
   os.FlushFileCache();
   const Nanos t0 = os.Now();
   for (const std::string& path : order) {

@@ -6,6 +6,9 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <sys/stat.h>
+
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -64,6 +67,75 @@ inline void PrintHeader(const char* title) {
   }
   std::putchar('\n');
 }
+
+// Machine-diffable results: collects named metrics during a bench run and
+// writes them as results/BENCH_<name>.json, together with the total virtual
+// (simulated) time and the host wall time of the run. Host time starts at
+// construction.
+class JsonResults {
+ public:
+  explicit JsonResults(std::string bench_name)
+      : name_(std::move(bench_name)), host_start_(std::chrono::steady_clock::now()) {}
+
+  void Add(std::string metric, double value, std::string unit = "") {
+    entries_.push_back(Entry{std::move(metric), value, std::move(unit)});
+  }
+
+  void set_virtual_ns(graysim::Nanos t) { virtual_ns_ = t; }
+
+  // Writes results/BENCH_<name>.json (creating the directory if needed)
+  // relative to the current working directory. Returns false on I/O error.
+  bool Write(const char* dir = "results") {
+    ::mkdir(dir, 0755);  // best effort; existing directory is fine
+    const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    const double host_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start_)
+            .count();
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", Escaped(name_).c_str());
+    std::fprintf(f, "  \"virtual_time_s\": %.6f,\n",
+                 static_cast<double>(virtual_ns_) / 1e9);
+    std::fprintf(f, "  \"host_time_s\": %.6f,\n", host_s);
+    std::fprintf(f, "  \"metrics\": [");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"metric\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}",
+                   i == 0 ? "" : ",", Escaped(entries_[i].metric).c_str(),
+                   entries_[i].value, Escaped(entries_[i].unit).c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point host_start_;
+  graysim::Nanos virtual_ns_ = 0;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace gbench
 

@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   const std::vector<std::uint64_t> sizes_mb = {128, 256, 384, 512, 640, 768,
                                                832, 896, 1024, 1280, 1536};
 
+  gbench::JsonResults json("fig2_single_file_scan");
   gbench::PrintHeader("Figure 2: single-file scan, warm-cache time (seconds)");
   std::printf("%9s %18s %18s %18s %12s %12s\n", "size(MB)", "linear(s)", "gray-box(s)",
               "SLED-oracle(s)", "model-worst", "model-ideal");
@@ -115,7 +116,12 @@ int main(int argc, char** argv) {
     std::printf("%9llu %9.2f +/- %5.2f %9.2f +/- %5.2f %9.2f +/- %5.2f %12.2f %12.2f\n",
                 static_cast<unsigned long long>(mb), lin.mean, lin.stddev, gry.mean, gry.stddev, sled.mean, sled.stddev,
                 worst, ideal);
+    const std::string suffix = "_" + std::to_string(mb) + "mb";
+    json.Add("linear" + suffix, lin.mean, "s");
+    json.Add("gray" + suffix, gry.mean, "s");
+    json.Add("sled" + suffix, sled.mean, "s");
   }
+  json.Write();
 
   std::printf(
       "\nExpected shape (paper): linear jumps to the worst-case model once the\n"

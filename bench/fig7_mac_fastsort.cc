@@ -138,6 +138,7 @@ void RunAvailabilityCheck() {
 
 int main(int argc, char** argv) {
   const bool quick = gbench::FlagBool(argc, argv, "quick");
+  gbench::JsonResults json("fig7_mac_fastsort");
 
   gbench::PrintHeader(
       "Figure 7: four competing 477 MB fastsorts (per-process averages, seconds)");
@@ -153,12 +154,22 @@ int main(int argc, char** argv) {
     std::printf("%4lluMB static %7.1f +/- %5.1f %8.1f %8.1f %8.1f %8.1f %8.1f %10.0f %9llu\n",
                 static_cast<unsigned long long>(mb), r.total.mean, r.total.stddev, r.read, r.sort, r.write, r.probe,
                 r.wait, r.avg_pass_mb, static_cast<unsigned long long>(r.swap_ins));
+    json.Add("static_" + std::to_string(mb) + "mb_total", r.total.mean, "s");
+    json.Add("static_" + std::to_string(mb) + "mb_swap_ins",
+             static_cast<double>(r.swap_ins));
   }
   const ConfigResult gb = RunConfig(/*use_mac=*/true, 0);
   std::printf("%-12s %7.1f +/- %5.1f %8.1f %8.1f %8.1f %8.1f %8.1f %10.0f %9llu\n",
               "gb-fastsort", gb.total.mean, gb.total.stddev, gb.read, gb.sort, gb.write,
               gb.probe, gb.wait, gb.avg_pass_mb,
               static_cast<unsigned long long>(gb.swap_ins));
+  json.Add("gb_fastsort_total", gb.total.mean, "s");
+  json.Add("gb_fastsort_probe", gb.probe, "s");
+  json.Add("gb_fastsort_wait", gb.wait, "s");
+  json.Add("gb_fastsort_avg_pass_mb", gb.avg_pass_mb, "MB");
+  json.Add("gb_fastsort_swap_ins", static_cast<double>(gb.swap_ins));
+  json.set_virtual_ns(static_cast<graysim::Nanos>(gb.total.mean * 1e9));
+  json.Write();
 
   RunAvailabilityCheck();
 

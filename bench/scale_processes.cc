@@ -1,0 +1,135 @@
+// Scale test for the event-kernel scheduler: 16–64 competing gb-fastsorts
+// under MAC on one simulated machine.
+//
+// The old scheduler parked every simulated process on its own host thread
+// behind a mutex/condvar turnstile, so host cost grew with (context
+// switches x thread wakeups) and 64 processes were painful. The event
+// kernel runs all processes as fibers on one host thread; host wall time
+// now tracks total simulated work, not process count. This bench records
+// both virtual and host time per configuration and double-runs the largest
+// one to demonstrate bit-identical determinism.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workloads/fastsort.h"
+#include "src/workloads/filegen.h"
+
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+namespace {
+
+constexpr std::uint64_t kInputBytes = 24ULL * 1024 * 1024;
+
+struct ScaleResult {
+  graysim::Nanos virtual_time = 0;
+  double host_s = 0.0;
+  double avg_total_s = 0.0;  // per-process completion time (virtual)
+  double avg_pass_mb = 0.0;
+  std::uint64_t swap_ins = 0;
+  std::uint64_t daemon_wakeups = 0;
+  std::uint64_t max_queue_depth = 0;
+};
+
+ScaleResult RunScale(int nprocs) {
+  const auto host_start = std::chrono::steady_clock::now();
+  Os os(PlatformProfile::Linux22());
+  const Pid setup_pid = os.default_pid();
+  for (int i = 0; i < nprocs; ++i) {
+    const std::string input = "/d" + std::to_string(i % os.num_disks()) + "/in" + std::to_string(i);
+    if (!graywork::MakeFile(os, setup_pid, input, kInputBytes)) {
+      std::fprintf(stderr, "input creation failed\n");
+      std::exit(1);
+    }
+  }
+  os.FlushFileCache();
+
+  std::vector<graywork::FastsortReport> reports(nprocs);
+  std::vector<std::function<void(Pid)>> bodies;
+  for (int i = 0; i < nprocs; ++i) {
+    bodies.push_back([&, i](Pid pid) {
+      graywork::Fastsort sort(&os, pid);
+      graywork::FastsortOptions options;
+      const std::string disk = "/d" + std::to_string(i % os.num_disks());
+      options.input = disk + "/in" + std::to_string(i);
+      options.run_dir = disk + "/runs" + std::to_string(i);
+      options.record_bytes = 100;
+      options.use_mac = true;
+      options.mac_min = 4 * gbench::kMb;
+      options.mac_max = kInputBytes;
+      reports[i] = sort.Run(options);
+    });
+  }
+  os.RunProcesses(bodies);
+
+  ScaleResult r;
+  r.virtual_time = os.Now();
+  r.host_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start).count();
+  for (const auto& rep : reports) {
+    r.avg_total_s += gbench::ToSec(rep.total) / nprocs;
+    r.avg_pass_mb += rep.avg_pass_mb / nprocs;
+  }
+  r.swap_ins = os.stats().swap_ins;
+  r.daemon_wakeups = os.stats().daemon_wakeups;
+  for (int d = 0; d < os.num_disks(); ++d) {
+    r.max_queue_depth = std::max(r.max_queue_depth, os.MaxDiskQueueDepth(d));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = gbench::FlagBool(argc, argv, "quick");
+
+  gbench::PrintHeader(
+      "Scale: N competing 24 MB gb-fastsorts on one machine (event-kernel scheduler)");
+  std::printf("%6s %12s %10s %14s %12s %9s %9s %7s\n", "procs", "virtual(s)", "host(s)",
+              "avg proc(s)", "avg pass MB", "swap-ins", "daemons", "maxQ");
+
+  gbench::JsonResults json("scale_processes");
+  std::vector<int> sizes = quick ? std::vector<int>{16, 64} : std::vector<int>{16, 32, 64};
+  for (const int n : sizes) {
+    const ScaleResult r = RunScale(n);
+    std::printf("%6d %12.2f %10.2f %14.2f %12.0f %9llu %9llu %7llu\n", n,
+                gbench::ToSec(r.virtual_time), r.host_s, r.avg_total_s, r.avg_pass_mb,
+                static_cast<unsigned long long>(r.swap_ins),
+                static_cast<unsigned long long>(r.daemon_wakeups),
+                static_cast<unsigned long long>(r.max_queue_depth));
+    const std::string suffix = "_" + std::to_string(n);
+    json.Add("virtual_s" + suffix, gbench::ToSec(r.virtual_time), "s");
+    json.Add("host_s" + suffix, r.host_s, "s");
+    json.Add("avg_proc_s" + suffix, r.avg_total_s, "s");
+    if (n == sizes.back()) {
+      json.set_virtual_ns(r.virtual_time);
+    }
+  }
+
+  // Determinism at the largest scale: a second run must be bit-identical.
+  const ScaleResult again = RunScale(sizes.back());
+  const ScaleResult first = RunScale(sizes.back());
+  const bool deterministic = again.virtual_time == first.virtual_time &&
+                             again.swap_ins == first.swap_ins &&
+                             again.daemon_wakeups == first.daemon_wakeups &&
+                             again.max_queue_depth == first.max_queue_depth;
+  std::printf("\n%d-process rerun: %s (virtual time %.6fs both runs)\n", sizes.back(),
+              deterministic ? "bit-identical" : "MISMATCH", gbench::ToSec(again.virtual_time));
+  json.Add("deterministic_rerun", deterministic ? 1.0 : 0.0);
+  json.Write();
+  if (!deterministic) {
+    return 1;
+  }
+
+  std::printf(
+      "\nExpected shape: host wall time grows roughly with total simulated work\n"
+      "(N x 24 MB), not with process count; the retired thread-per-process\n"
+      "turnstile paid two host context switches per scheduler charge.\n");
+  return 0;
+}

@@ -5,6 +5,7 @@
 // record about themselves (with live counters), so the matrix is evidence,
 // not prose.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -54,6 +55,21 @@ void PrintProbeReport(const gray::ProbeReport& report, gray::Nanos lifetime) {
               100.0 * report.ProbeShare(lifetime));
 }
 
+// What the probes cost the simulated kernel, from the event-kernel side:
+// queued device requests and background daemon activity driven so far.
+void PrintKernelCounters(const Os& os) {
+  std::uint64_t max_depth = 0;
+  for (int d = 0; d < os.num_disks(); ++d) {
+    max_depth = std::max(max_depth, os.MaxDiskQueueDepth(d));
+  }
+  std::printf(
+      "  kernel side:    %llu disk requests queued, %llu daemon wakeups, "
+      "max queue depth %llu\n",
+      static_cast<unsigned long long>(os.stats().queued_disk_requests),
+      static_cast<unsigned long long>(os.stats().daemon_wakeups),
+      static_cast<unsigned long long>(max_depth));
+}
+
 }  // namespace
 
 int main() {
@@ -76,6 +92,7 @@ int main() {
   (void)fccd.OrderFiles(set);
   PrintUsage("FCCD (file-cache content detector)", fccd.usage());
   PrintProbeReport(fccd.probe_report(), fccd.probe_engine().lifetime());
+  PrintKernelCounters(os);
 
   // FLDC: order by i-number and refresh a directory.
   gray::Fldc fldc(&sys);
@@ -83,12 +100,14 @@ int main() {
   (void)fldc.RefreshDirectory("/d0/set");
   PrintUsage("FLDC (file layout detector & controller)", fldc.usage());
   PrintProbeReport(fldc.probe_report(), fldc.probe_engine().lifetime());
+  PrintKernelCounters(os);
 
   // MAC: one admission-controlled allocation.
   gray::Mac mac(&sys, gray::MacOptions{}, &repo);
   auto alloc = mac.GbAlloc(64 * gbench::kMb, 256 * gbench::kMb, 4096);
   PrintUsage("MAC (memory-based admission controller)", mac.usage());
   PrintProbeReport(mac.probe_report(), mac.probe_engine().lifetime());
+  PrintKernelCounters(os);
   if (alloc.has_value()) {
     alloc->Release();
   }

@@ -36,6 +36,22 @@ Nanos Disk::TransferTime(std::uint64_t bytes) const {
   return static_cast<Nanos>(static_cast<double>(bytes) * ns_per_byte);
 }
 
+Nanos Disk::SequentialExtend(std::uint64_t offset, std::uint64_t bytes, bool is_write) {
+  assert(head_valid_ && offset == head_pos_);
+  assert(offset + bytes <= geometry_.capacity_bytes);
+  const Nanos cost = TransferTime(bytes);
+  head_pos_ = offset + bytes;
+  ++stats_.requests;
+  ++stats_.sequential_requests;
+  if (is_write) {
+    stats_.bytes_written += bytes;
+  } else {
+    stats_.bytes_read += bytes;
+  }
+  stats_.busy_time += cost;
+  return cost;
+}
+
 Nanos Disk::Access(std::uint64_t offset, std::uint64_t bytes, bool is_write) {
   assert(offset + bytes <= geometry_.capacity_bytes);
   Nanos cost = Micros(geometry_.controller_overhead_us);

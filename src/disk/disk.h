@@ -55,6 +55,12 @@ class Disk {
   // Service time for a contiguous run of `bytes` at byte offset `offset`.
   [[nodiscard]] Nanos Access(std::uint64_t offset, std::uint64_t bytes, bool is_write);
 
+  // Extends the request currently at the tail of the device queue by a
+  // contiguous run starting exactly at the head position: the controller
+  // keeps streaming, so only media transfer is charged (no controller
+  // overhead, no rotation miss). Callers (DiskQueue) guarantee contiguity.
+  [[nodiscard]] Nanos SequentialExtend(std::uint64_t offset, std::uint64_t bytes, bool is_write);
+
   [[nodiscard]] const DiskGeometry& geometry() const { return geometry_; }
   [[nodiscard]] const DiskStats& stats() const { return stats_; }
   [[nodiscard]] int id() const { return disk_id_; }

@@ -1,0 +1,39 @@
+#include "src/disk/disk_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace graysim {
+
+Nanos DiskQueue::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
+                        std::function<void()> on_complete) {
+  const bool coalesce =
+      depth_ > 0 && is_write == tail_is_write_ && offset == tail_end_offset_;
+  Nanos service = coalesce ? disk_->SequentialExtend(offset, bytes, is_write)
+                           : disk_->Access(offset, bytes, is_write);
+  if (jitter_) {
+    service = jitter_(service);
+  }
+  const Nanos start = std::max(clock_->now(), busy_until_);
+  const Nanos completion = start + service;
+  busy_until_ = completion;
+  tail_end_offset_ = offset + bytes;
+  tail_is_write_ = is_write;
+
+  ++total_requests_;
+  if (coalesce) {
+    ++coalesced_requests_;
+  }
+  ++depth_;
+  max_depth_ = std::max(max_depth_, depth_);
+  events_->ScheduleAt(completion, EventQueue::Band::kCompletion,
+                      [this, cb = std::move(on_complete)] {
+                        --depth_;
+                        if (cb) {
+                          cb();
+                        }
+                      });
+  return completion;
+}
+
+}  // namespace graysim

@@ -1,0 +1,72 @@
+// Per-device FCFS request queue with completion events.
+//
+// Submit() computes the request's service time against the mechanical model,
+// appends it to the device's busy timeline (requests to one device
+// serialize; different devices proceed in parallel), and schedules a
+// completion event on the simulation's event queue. The submitter decides
+// whether to block on the returned completion time (demand reads) or walk
+// away (write-behind, readahead, swap-out) — that split is what makes
+// eviction and prefetch I/O truly asynchronous.
+//
+// Contiguous-run coalescing: a request that starts exactly where the queue's
+// tail request ends, in the same transfer direction, is merged into that
+// tail — the controller keeps streaming, charging transfer time only. This
+// models command queuing absorbing back-to-back sequential submissions
+// (readahead chains, clustered writeback).
+#ifndef SRC_DISK_DISK_QUEUE_H_
+#define SRC_DISK_DISK_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/disk/disk.h"
+#include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
+
+namespace graysim {
+
+class DiskQueue {
+ public:
+  // `jitter` (optional) perturbs each request's service time; the Os wires
+  // its seeded timing jitter through it.
+  using Jitter = std::function<Nanos(Nanos)>;
+
+  DiskQueue(Disk* disk, SimClock* clock, EventQueue* events)
+      : disk_(disk), clock_(clock), events_(events) {}
+
+  DiskQueue(const DiskQueue&) = delete;
+  DiskQueue& operator=(const DiskQueue&) = delete;
+
+  void set_jitter(Jitter jitter) { jitter_ = std::move(jitter); }
+
+  // Enqueues a contiguous request of `bytes` at byte `offset`. Returns its
+  // completion time; `on_complete` (may be null) runs at that instant in
+  // Band::kCompletion — before any process waking at the same time.
+  Nanos Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
+               std::function<void()> on_complete);
+
+  // Timeline position after the last queued request completes.
+  [[nodiscard]] Nanos busy_until() const { return busy_until_; }
+  [[nodiscard]] std::uint64_t depth() const { return depth_; }
+  [[nodiscard]] std::uint64_t max_depth() const { return max_depth_; }
+  [[nodiscard]] std::uint64_t total_requests() const { return total_requests_; }
+  [[nodiscard]] std::uint64_t coalesced_requests() const { return coalesced_requests_; }
+
+ private:
+  Disk* disk_;
+  SimClock* clock_;
+  EventQueue* events_;
+  Jitter jitter_;
+  Nanos busy_until_ = 0;
+  // End offset + direction of the tail request, for coalescing.
+  std::uint64_t tail_end_offset_ = 0;
+  bool tail_is_write_ = false;
+  std::uint64_t depth_ = 0;
+  std::uint64_t max_depth_ = 0;
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t coalesced_requests_ = 0;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_DISK_DISK_QUEUE_H_

@@ -138,6 +138,49 @@ void MemSystem::Remove(PageRef ref) {
   ListFor(ref->kind).erase(ref);
 }
 
+bool MemSystem::EvictCleanFileOne() {
+  if (file_lru_.empty()) {
+    return false;
+  }
+  if (config_.policy == MemPolicy::kUnifiedLru &&
+      file_pages_ < config_.total_pages / kMinFileShareDivisor) {
+    // Below the protected file share the policy victim would be anonymous
+    // memory; that reclaim is never free.
+    return false;
+  }
+  PageRef victim = file_lru_.end();
+  PageRef scan = file_lru_.begin();
+  for (int k = 0; k < 64 && scan != file_lru_.end(); ++k, ++scan) {
+    if (!scan->dirty) {
+      victim = scan;
+      break;
+    }
+  }
+  if (victim == file_lru_.end()) {
+    return false;  // oldest pages are all dirty: wait for the flusher
+  }
+  Nanos unused_cost = 0;
+  if (evict_fn_) {
+    unused_cost += evict_fn_(*victim);
+  }
+  ++stats_.evictions;
+  ++stats_.file_evictions;
+  --file_pages_;
+  file_lru_.erase(victim);
+  return true;
+}
+
+std::uint64_t MemSystem::ReclaimToFree(std::uint64_t target_free, std::uint64_t max_pages) {
+  std::uint64_t evicted = 0;
+  while (evicted < max_pages && free_pages() < target_free) {
+    if (!EvictCleanFileOne()) {
+      break;
+    }
+    ++evicted;
+  }
+  return evicted;
+}
+
 Nanos MemSystem::Reclaim(std::uint64_t n) {
   Nanos cost = 0;
   for (std::uint64_t i = 0; i < n && used_pages() > 0; ++i) {

@@ -94,6 +94,16 @@ class MemSystem {
   // Evicts up to n LRU pages (any kind); returns total eviction I/O cost.
   [[nodiscard]] Nanos Reclaim(std::uint64_t n);
 
+  // Page-daemon reclaim: evicts CLEAN file pages (oldest first) until
+  // free_pages() reaches `target_free`, up to `max_pages` in this batch.
+  // Returns the number evicted; stops early when the next policy victim
+  // would be dirty or anonymous — reclaiming those costs I/O, which real
+  // kernels push into process context (direct reclaim) so the allocating
+  // process pays the wait. That throttling is load-bearing here: MAC's
+  // slow-touch signal exists precisely because a daemon cannot hand out
+  // frames faster than the paging device retires eviction writes.
+  std::uint64_t ReclaimToFree(std::uint64_t target_free, std::uint64_t max_pages);
+
   [[nodiscard]] std::uint64_t total_pages() const { return config_.total_pages; }
   [[nodiscard]] std::uint64_t used_pages() const { return file_pages_ + anon_pages_; }
   [[nodiscard]] std::uint64_t free_pages() const { return config_.total_pages - used_pages(); }
@@ -106,6 +116,10 @@ class MemSystem {
   // Evicts one page to make room for a page of `incoming` kind. Returns
   // false if nothing can be evicted (admission must be denied).
   bool EvictOne(PageKind incoming, Nanos* evict_cost);
+
+  // Evicts one clean file page near the LRU end of the file list (if the
+  // policy currently reclaims from it); false when none qualifies.
+  bool EvictCleanFileOne();
 
   // The globally least-recently-touched page across both lists; nullopt
   // when empty.

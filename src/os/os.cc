@@ -9,12 +9,20 @@ namespace {
 
 constexpr int ToErr(FsErr err) { return -static_cast<int>(err); }
 
+// Pages the page daemon reclaims per activation before re-arming; small
+// batches keep its progress paced by the eviction I/O it submits.
+constexpr std::uint64_t kPageDaemonBatch = 32;
+// Re-arm interval while below the high watermark and no eviction I/O is
+// outstanding (clean reclaim is CPU-bound).
+constexpr Nanos kPageDaemonTick = Micros(100.0);
+
 }  // namespace
 
 Os::Os(PlatformProfile profile, MachineConfig config)
     : profile_(std::move(profile)),
       config_(config),
-      scheduler_(&clock_, config_.scheduler_slice),
+      events_(config_.event_tie_seed),
+      scheduler_(&clock_, &events_, config_.scheduler_slice),
       mem_(MemSystem::Config{
           (config_.phys_mem_bytes - config_.kernel_reserved_bytes) / config_.page_size,
           profile_.mem_policy,
@@ -36,11 +44,24 @@ Os::Os(PlatformProfile profile, MachineConfig config)
     }
     filesystems_.push_back(std::make_unique<Ffs>(p, config_.disk_geometry.capacity_bytes));
   }
+  // Queues are built after every Disk is emplaced: they hold raw pointers
+  // into disks_, which must not reallocate afterwards.
+  for (int d = 0; d < config_.num_disks; ++d) {
+    disk_queues_.push_back(std::make_unique<DiskQueue>(&disks_[d], &clock_, &events_));
+    disk_queues_.back()->set_jitter([this](Nanos cost) { return Jittered(cost); });
+  }
   swap_disk_ = config_.num_disks - 1;
   swap_base_offset_ = config_.disk_geometry.capacity_bytes / 2;
-  disk_busy_until_.assign(disks_.size(), 0);
+  // Write-behind threshold. On the partitioned platform dirty data lives in
+  // the fixed file partition, so the limit scales with that, not with all
+  // of memory (which would never trigger).
+  const std::uint64_t dirty_base = profile_.mem_policy == MemPolicy::kPartitionedFixedFile
+                                       ? mem_.config().file_cache_pages
+                                       : mem_.total_pages();
   dirty_limit_pages_ =
-      static_cast<std::uint64_t>(static_cast<double>(mem_.total_pages()) * config_.dirty_ratio);
+      static_cast<std::uint64_t>(static_cast<double>(dirty_base) * config_.dirty_ratio);
+  page_daemon_low_pages_ = std::min<std::uint64_t>(256, mem_.total_pages() / 64);
+  page_daemon_high_pages_ = 2 * page_daemon_low_pages_;
 
   mem_.set_evict_handler([this](const Page& page) -> Nanos {
     if (page.kind == PageKind::kFile) {
@@ -64,12 +85,20 @@ Os::Os(PlatformProfile profile, MachineConfig config)
         }
       }
       os_stats_.writeback_pages += 1 + run;
-      DiskIo(disk, block, 1 + run, /*is_write=*/true);
-      return 0;  // the wait accrued into io_accumulated_
+      const Nanos done = SubmitDiskIo(disk, block, 1 + run, /*is_write=*/true, nullptr);
+      if (!in_background_) {
+        // Direct reclaim in process context: the faulting process waits for
+        // this writeback (DrainDirectReclaim), as real kernels make it.
+        direct_reclaim_wait_ = std::max(direct_reclaim_wait_, done);
+      }
+      return 0;
     }
     const std::uint64_t slot = vm_.OnEvicted(page);
     ++os_stats_.swap_outs;
-    SwapIo(slot, /*is_write=*/true);
+    const Nanos done = SubmitSwapIo(slot, /*is_write=*/true);
+    if (!in_background_) {
+      direct_reclaim_wait_ = std::max(direct_reclaim_wait_, done);
+    }
     return 0;
   });
 
@@ -120,47 +149,57 @@ void Os::Charge(Pid pid, Nanos cost) {
     }
   }
   clock_.Advance(cost);
-}
-
-void Os::QueueOnDisk(int disk, Nanos service) {
-  // Effective issue time: the clock plus wait this operation has already
-  // accumulated (chained requests within one operation happen back to back).
-  const Nanos eff_now = clock_.now() + io_accumulated_;
-  const Nanos start = std::max(eff_now, disk_busy_until_[disk]);
-  const Nanos completion = start + service;
-  disk_busy_until_[disk] = completion;
-  io_accumulated_ += completion - eff_now;
-}
-
-void Os::DrainIoWait(Pid pid) {
-  const Nanos wait = io_accumulated_;
-  io_accumulated_ = 0;
-  if (wait == 0) {
-    return;
+  if (events_.next_time() <= clock_.now()) {
+    events_.RunDue(clock_.now());
   }
+}
+
+void Os::WaitUntil(Pid pid, Nanos deadline) {
   if (in_scheduler_run_) {
     const auto it = sched_index_.find(pid);
     if (it != sched_index_.end()) {
-      // Blocking I/O releases the CPU: other processes run until completion.
-      scheduler_.Sleep(it->second, wait);
+      // Blocking releases the CPU: other processes run until the deadline.
+      scheduler_.SleepUntil(it->second, deadline);
       return;
     }
   }
-  clock_.Advance(wait);
+  if (deadline > clock_.now()) {
+    clock_.AdvanceTo(deadline);
+  }
+  events_.RunDue(clock_.now());
 }
 
-void Os::DiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write) {
-  const std::uint64_t offset = block * config_.page_size;
+void Os::DrainDirectReclaim(Pid pid) {
+  if (direct_reclaim_wait_ == 0) {
+    return;
+  }
+  const Nanos deadline = direct_reclaim_wait_;
+  direct_reclaim_wait_ = 0;
+  WaitUntil(pid, deadline);
+}
+
+std::function<void()> Os::Background(std::function<void()> fn) {
+  return [this, fn = std::move(fn)] {
+    const bool prev = in_background_;
+    in_background_ = true;
+    fn();
+    in_background_ = prev;
+  };
+}
+
+Nanos Os::SubmitDiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write,
+                       std::function<void()> on_complete) {
   if (is_write) {
     ++os_stats_.disk_writes;
   } else {
     ++os_stats_.disk_reads;
   }
-  QueueOnDisk(disk, Jittered(disks_[disk].Access(offset, pages * config_.page_size,
-                                                 is_write)));
+  ++os_stats_.queued_disk_requests;
+  return disk_queues_[disk]->Submit(block * config_.page_size, pages * config_.page_size,
+                                    is_write, std::move(on_complete));
 }
 
-void Os::SwapIo(std::uint64_t slot, bool is_write) {
+Nanos Os::SubmitSwapIo(std::uint64_t slot, bool is_write) {
   const std::uint64_t offset = swap_base_offset_ + slot * config_.page_size;
   assert(offset + config_.page_size <= config_.disk_geometry.capacity_bytes);
   if (is_write) {
@@ -168,8 +207,55 @@ void Os::SwapIo(std::uint64_t slot, bool is_write) {
   } else {
     ++os_stats_.disk_reads;
   }
-  QueueOnDisk(swap_disk_,
-              Jittered(disks_[swap_disk_].Access(offset, config_.page_size, is_write)));
+  ++os_stats_.queued_disk_requests;
+  return disk_queues_[swap_disk_]->Submit(offset, config_.page_size, is_write, nullptr);
+}
+
+Nanos Os::SubmitReadFill(int disk, Inum tagged, std::uint64_t first_page,
+                         std::uint64_t npages, std::uint64_t start_block, bool readahead) {
+  const std::uint64_t token = next_read_token_++;
+  const Nanos done = SubmitDiskIo(
+      disk, start_block, npages, /*is_write=*/false,
+      Background([this, tagged, first_page, npages, token, readahead] {
+        FillPages(tagged, first_page, npages, token, readahead);
+      }));
+  for (std::uint64_t k = 0; k < npages; ++k) {
+    inflight_reads_[PageKey(tagged, first_page + k)] = InflightRead{done, token};
+  }
+  return done;
+}
+
+void Os::FillPages(Inum tagged, std::uint64_t first_page, std::uint64_t npages,
+                   std::uint64_t token, bool readahead) {
+  for (std::uint64_t k = 0; k < npages; ++k) {
+    const std::uint64_t page = first_page + k;
+    const auto it = inflight_reads_.find(PageKey(tagged, page));
+    if (it == inflight_reads_.end() || it->second.token != token) {
+      continue;  // invalidated (truncate/unlink/flush) while in flight
+    }
+    inflight_reads_.erase(it);
+    if (cache_.Resident(tagged, page)) {
+      continue;  // dirtied by an overlapping write while the read was queued
+    }
+    Nanos evict_cost = 0;
+    (void)cache_.Insert(tagged, page, /*dirty=*/false, &evict_cost);
+    if (readahead) {
+      ++os_stats_.readahead_pages;
+    }
+  }
+  MaybeWakePageDaemon();
+}
+
+void Os::InvalidateInflight(Inum tagged, std::uint64_t from_page) {
+  for (auto it = inflight_reads_.begin(); it != inflight_reads_.end();) {
+    const Inum key_inum = static_cast<Inum>(it->first >> 32);
+    const std::uint64_t key_page = it->first & 0xFFFFFFFFULL;
+    if (key_inum == tagged && key_page >= from_page) {
+      it = inflight_reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Os::MetaRead(Pid pid, int disk, std::uint64_t block) {
@@ -180,10 +266,11 @@ void Os::MetaRead(Pid pid, int disk, std::uint64_t block) {
     return;
   }
   ++os_stats_.cache_misses;
-  DiskIo(disk, block, 1, /*is_write=*/false);
-  Nanos evict_cost = 0;
-  (void)cache_.Insert(meta, block, /*dirty=*/false, &evict_cost);
-  DrainIoWait(pid);
+  if (const auto it = inflight_reads_.find(PageKey(meta, block)); it != inflight_reads_.end()) {
+    WaitUntil(pid, it->second.completion);
+  } else {
+    WaitUntil(pid, SubmitReadFill(disk, meta, block, 1, block, /*readahead=*/false));
+  }
   Charge(pid, config_.costs.mem_touch);
 }
 
@@ -191,14 +278,13 @@ void Os::MetaDirty(Pid pid, int disk, std::uint64_t block) {
   const Inum meta = Tag(disk, kMetaLocalInum);
   Nanos evict_cost = 0;
   if (cache_.Insert(meta, block, /*dirty=*/true, &evict_cost)) {
-    DrainIoWait(pid);  // any reclaim writeback
+    DrainDirectReclaim(pid);  // any reclaim writeback triggered by the insert
     Charge(pid, config_.costs.mem_touch);
   } else {
     // Sticky cache refused admission: write through.
-    DiskIo(disk, block, 1, /*is_write=*/true);
-    DrainIoWait(pid);
+    WaitUntil(pid, SubmitDiskIo(disk, block, 1, /*is_write=*/true, nullptr));
   }
-  MaybeFlushDirty(pid, /*force_all=*/false);
+  MaybeWakeFlushDaemon();
 }
 
 void Os::ChargeWalk(Pid pid, const PathRef& ref) {
@@ -291,16 +377,7 @@ void Os::RunProcesses(const std::vector<std::function<void(Pid)>>& bodies) {
   sched_index_.clear();
 }
 
-void Os::Sleep(Pid pid, Nanos duration) {
-  if (in_scheduler_run_) {
-    const auto it = sched_index_.find(pid);
-    if (it != sched_index_.end()) {
-      scheduler_.Sleep(it->second, duration);
-      return;
-    }
-  }
-  clock_.Advance(duration);
-}
+void Os::Sleep(Pid pid, Nanos duration) { WaitUntil(pid, clock_.now() + duration); }
 
 void Os::Compute(Pid pid, Nanos duration) {
   while (duration > 0) {
@@ -407,36 +484,57 @@ std::int64_t Os::PreadImpl(Pid pid, int fd, std::span<std::uint8_t> buf, std::ui
       continue;
     }
     ++os_stats_.cache_misses;
-    // Build a run of pages that are missing and disk-contiguous, extending
-    // past the request by the readahead window when reading sequentially.
-    std::uint64_t limit = last;
-    if (e->ra_window_pages > 0) {
-      limit = std::max(limit, std::min(file_pages - 1, p + e->ra_window_pages - 1));
+    // A readahead (or a concurrent reader's demand fetch) already has this
+    // page on the wire: wait for that request instead of re-issuing it.
+    if (const auto it = inflight_reads_.find(PageKey(tagged, p)); it != inflight_reads_.end()) {
+      WaitUntil(pid, it->second.completion);
+      (void)cache_.Access(tagged, p);
+      copy_cost += config_.costs.CopyCost(hi - lo);
+      continue;
     }
+    // Build the demand run: missing, disk-contiguous pages of this request.
     std::uint64_t start_block = 0;
     if (f.BlockOf(e->inum, p, &start_block) != FsErr::kOk) {
       return ToErr(FsErr::kInvalid);
     }
     std::uint64_t run = 1;
-    while (p + run <= limit) {
+    while (p + run <= last) {
       std::uint64_t b = 0;
       if (f.BlockOf(e->inum, p + run, &b) != FsErr::kOk || b != start_block + run) {
         break;
       }
-      if (cache_.Resident(tagged, p + run)) {
+      if (cache_.Resident(tagged, p + run) ||
+          inflight_reads_.contains(PageKey(tagged, p + run))) {
         break;
       }
       ++run;
     }
-    DiskIo(e->disk, start_block, run, /*is_write=*/false);
-    Nanos evict_cost = 0;
-    for (std::uint64_t k = 0; k < run; ++k) {
-      (void)cache_.Insert(tagged, p + k, /*dirty=*/false, &evict_cost);
-      if (p + k > last) {
-        ++os_stats_.readahead_pages;
+    const Nanos done = SubmitReadFill(e->disk, tagged, p, run, start_block,
+                                      /*readahead=*/false);
+    // When reading sequentially, push the readahead window beyond the
+    // request as a separate background fill: the process blocks only for
+    // its demand pages while the prefetch queues behind them (contiguous,
+    // so the device coalesces it into the same sequential stream).
+    if (e->ra_window_pages > 0 && p + run == last + 1) {
+      const std::uint64_t ra_limit = std::min(file_pages - 1, p + e->ra_window_pages - 1);
+      std::uint64_t ra_run = 0;
+      while (last + 1 + ra_run <= ra_limit) {
+        const std::uint64_t q = last + 1 + ra_run;
+        std::uint64_t b = 0;
+        if (f.BlockOf(e->inum, q, &b) != FsErr::kOk || b != start_block + (q - p)) {
+          break;
+        }
+        if (cache_.Resident(tagged, q) || inflight_reads_.contains(PageKey(tagged, q))) {
+          break;
+        }
+        ++ra_run;
+      }
+      if (ra_run > 0) {
+        (void)SubmitReadFill(e->disk, tagged, last + 1, ra_run,
+                             start_block + (last + 1 - p), /*readahead=*/true);
       }
     }
-    DrainIoWait(pid);
+    WaitUntil(pid, done);
     // Copy the requested portion of the run.
     const std::uint64_t run_hi = std::min(offset + len, (p + run) * ps);
     copy_cost += config_.costs.CopyCost(run_hi - lo);
@@ -486,10 +584,15 @@ std::int64_t Os::Pwrite(Pid pid, int fd, std::uint64_t len, std::uint64_t offset
     const bool existed_before = page_start < old_size;
     if (!covers_whole_page && existed_before && !cache_.Resident(tagged, p)) {
       // Read-modify-write of a partially overwritten page.
-      std::uint64_t block = 0;
-      if (f.BlockOf(e->inum, p, &block) == FsErr::kOk) {
-        ++os_stats_.cache_misses;
-        DiskIo(e->disk, block, 1, /*is_write=*/false);
+      ++os_stats_.cache_misses;
+      if (const auto it = inflight_reads_.find(PageKey(tagged, p));
+          it != inflight_reads_.end()) {
+        WaitUntil(pid, it->second.completion);
+      } else {
+        std::uint64_t block = 0;
+        if (f.BlockOf(e->inum, p, &block) == FsErr::kOk) {
+          WaitUntil(pid, SubmitReadFill(e->disk, tagged, p, 1, block, /*readahead=*/false));
+        }
       }
     }
     Nanos evict_cost = 0;
@@ -497,14 +600,20 @@ std::int64_t Os::Pwrite(Pid pid, int fd, std::uint64_t len, std::uint64_t offset
       // Sticky cache refused admission: write through.
       std::uint64_t block = 0;
       if (f.BlockOf(e->inum, p, &block) == FsErr::kOk) {
-        DiskIo(e->disk, block, 1, /*is_write=*/true);
+        WaitUntil(pid, SubmitDiskIo(e->disk, block, 1, /*is_write=*/true, nullptr));
       }
     }
-    DrainIoWait(pid);
+    DrainDirectReclaim(pid);
   }
   Charge(pid, copy_cost);
   e->next_seq_offset = offset + len;  // writes also train the sequence detector
-  MaybeFlushDirty(pid, /*force_all=*/false);
+  MaybeWakeFlushDaemon();
+  MaybeWakePageDaemon();
+  // Dirty throttle: a writer far ahead of the flusher blocks until the
+  // device catches up (balance_dirty_pages-style backpressure).
+  if (cache_.dirty_pages() > 2 * dirty_limit_pages_) {
+    WaitUntil(pid, disk_queues_[e->disk]->busy_until());
+  }
   return static_cast<std::int64_t>(len);
 }
 
@@ -571,7 +680,11 @@ int Os::Fsync(Pid pid, int fd) {
   for (const std::uint64_t p : cache_.TakeDirtyOfFile(tagged)) {
     pages.emplace_back(tagged, p);
   }
-  WritebackPages(pid, std::move(pages));
+  Nanos done = SubmitWritebackRuns(std::move(pages));
+  // fsync also covers writes the flusher already has in flight for this
+  // file; FCFS queues mean waiting for the device drain is sufficient.
+  done = std::max(done, disk_queues_[e->disk]->busy_until());
+  WaitUntil(pid, done);
   return 0;
 }
 
@@ -590,7 +703,10 @@ int Os::Ftruncate(Pid pid, int fd, std::uint64_t size) {
   }
   if (size < attr.size) {
     const std::uint64_t ps = config_.page_size;
-    cache_.DropFilePagesFrom(Tag(e->disk, e->inum), (size + ps - 1) / ps);
+    const std::uint64_t keep = (size + ps - 1) / ps;
+    const Inum tagged = Tag(e->disk, e->inum);
+    cache_.DropFilePagesFrom(tagged, keep);
+    InvalidateInflight(tagged, keep);
   }
   return 0;
 }
@@ -645,6 +761,7 @@ int Os::Creat(Pid pid, std::string_view path) {
       return ToErr(FsErr::kIsDir);
     }
     cache_.DropFile(Tag(ref.disk, inum));
+    InvalidateInflight(Tag(ref.disk, inum), 0);
     if (const FsErr err = f.Resize(inum, 0, clock_.now()); err != FsErr::kOk) {
       return ToErr(err);
     }
@@ -749,6 +866,7 @@ int Os::Unlink(Pid pid, std::string_view path) {
   }
   ChargeWalk(pid, ref);
   cache_.DropFile(Tag(ref.disk, inum));
+  InvalidateInflight(Tag(ref.disk, inum), 0);
   const std::uint64_t inode_block = f.InodeBlockOf(inum);
   if (const FsErr err = f.Unlink(ref.sub); err != FsErr::kOk) {
     return ToErr(err);
@@ -812,6 +930,7 @@ int Os::Rename(Pid pid, std::string_view from, std::string_view to) {
   Inum existing = kInvalidInum;
   if (f.Lookup(rto.sub, &existing) == FsErr::kOk) {
     cache_.DropFile(Tag(rto.disk, existing));
+    InvalidateInflight(Tag(rto.disk, existing), 0);
   }
   ChargeWalk(pid, rfrom);
   if (const FsErr err = f.Rename(rfrom.sub, rto.sub); err != FsErr::kOk) {
@@ -889,14 +1008,16 @@ void Os::VmTouch(Pid pid, VmAreaId area, std::uint64_t page_index, bool write) {
       Charge(pid, config_.costs.mem_touch);
       return;
     case TouchOutcome::kZeroFill:
-      DrainIoWait(pid);  // reclaim writeback/swap-out triggered by the fill
+      DrainDirectReclaim(pid);  // reclaim writeback/swap-out triggered by the fill
       Charge(pid, config_.costs.zero_fill_page);
+      MaybeWakePageDaemon();
       return;
     case TouchOutcome::kSwapIn: {
       ++os_stats_.swap_ins;
-      SwapIo(r.swap_slot, /*is_write=*/false);
-      DrainIoWait(pid);
+      DrainDirectReclaim(pid);
+      WaitUntil(pid, SubmitSwapIo(r.swap_slot, /*is_write=*/false));
       Charge(pid, config_.costs.page_fault_overhead);
+      MaybeWakePageDaemon();
       return;
     }
     case TouchOutcome::kDenied:
@@ -907,22 +1028,65 @@ void Os::VmTouch(Pid pid, VmAreaId area, std::uint64_t page_index, bool write) {
   }
 }
 
-// ---- write-behind ----
+// ---- background daemons ----
 
-void Os::MaybeFlushDirty(Pid pid, bool force_all) {
-  if (!force_all && cache_.dirty_pages() <= dirty_limit_pages_) {
+void Os::MaybeWakeFlushDaemon() {
+  if (flush_daemon_scheduled_ || cache_.dirty_pages() <= dirty_limit_pages_) {
     return;
   }
-  const std::uint64_t target = force_all ? 0 : dirty_limit_pages_ / 2;
-  const std::uint64_t excess = cache_.dirty_pages() - target;
-  WritebackPages(pid, cache_.TakeOldestDirty(excess));
+  flush_daemon_scheduled_ = true;
+  events_.ScheduleAt(clock_.now(), EventQueue::Band::kCompletion,
+                     Background([this] { FlushDaemonRun(); }));
 }
 
-void Os::WritebackPages(Pid pid, std::vector<std::pair<Inum, std::uint64_t>> pages) {
-  if (pages.empty()) {
+void Os::FlushDaemonRun() {
+  flush_daemon_scheduled_ = false;
+  ++os_stats_.daemon_wakeups;
+  if (cache_.dirty_pages() <= dirty_limit_pages_) {
     return;
   }
-  // Map to (disk, disk block), sort, and coalesce contiguous runs.
+  const std::uint64_t target = dirty_limit_pages_ / 2;
+  const std::uint64_t excess = cache_.dirty_pages() - target;
+  (void)SubmitWritebackRuns(cache_.TakeOldestDirty(excess));
+}
+
+void Os::MaybeWakePageDaemon() {
+  if (profile_.mem_policy != MemPolicy::kUnifiedLru || page_daemon_scheduled_) {
+    return;
+  }
+  if (mem_.free_pages() >= page_daemon_low_pages_) {
+    return;
+  }
+  page_daemon_scheduled_ = true;
+  events_.ScheduleAt(clock_.now(), EventQueue::Band::kCompletion,
+                     Background([this] { PageDaemonRun(); }));
+}
+
+void Os::PageDaemonRun() {
+  ++os_stats_.daemon_wakeups;
+  if (mem_.free_pages() >= page_daemon_high_pages_) {
+    page_daemon_scheduled_ = false;
+    return;
+  }
+  const std::uint64_t evicted =
+      mem_.ReclaimToFree(page_daemon_high_pages_, kPageDaemonBatch);
+  if (evicted == 0) {
+    // Nothing clean to take. Dirty and anonymous reclaim costs I/O, which
+    // stays in process context (direct reclaim) so the allocator pays the
+    // wait — the signal MAC reads. Go idle until the next fault re-arms us.
+    page_daemon_scheduled_ = false;
+    return;
+  }
+  events_.ScheduleAt(clock_.now() + kPageDaemonTick, EventQueue::Band::kCompletion,
+                     Background([this] { PageDaemonRun(); }));
+}
+
+Nanos Os::SubmitWritebackRuns(std::vector<std::pair<Inum, std::uint64_t>> pages) {
+  if (pages.empty()) {
+    return 0;
+  }
+  // Map to (disk, disk block), sort, and coalesce contiguous runs so each
+  // run goes to the device as one request.
   struct Target {
     int disk;
     std::uint64_t block;
@@ -942,6 +1106,7 @@ void Os::WritebackPages(Pid pid, std::vector<std::pair<Inum, std::uint64_t>> pag
   std::sort(targets.begin(), targets.end(), [](const Target& a, const Target& b) {
     return a.disk != b.disk ? a.disk < b.disk : a.block < b.block;
   });
+  Nanos done = 0;
   std::size_t i = 0;
   while (i < targets.size()) {
     std::size_t j = i + 1;
@@ -950,15 +1115,19 @@ void Os::WritebackPages(Pid pid, std::vector<std::pair<Inum, std::uint64_t>> pag
       ++j;
     }
     os_stats_.writeback_pages += j - i;
-    DiskIo(targets[i].disk, targets[i].block, j - i, /*is_write=*/true);
+    done = std::max(done, SubmitDiskIo(targets[i].disk, targets[i].block, j - i,
+                                       /*is_write=*/true, nullptr));
     i = j;
   }
-  DrainIoWait(pid);
+  return done;
 }
 
 // ---- experiment control & introspection ----
 
-void Os::FlushFileCache() { cache_.DropAll(nullptr); }
+void Os::FlushFileCache() {
+  cache_.DropAll(nullptr);
+  inflight_reads_.clear();
+}
 
 bool Os::PageResidentPath(std::string_view path, std::uint64_t page_index) const {
   PathRef ref;

@@ -8,6 +8,14 @@
 // reproducing the paper's "modified kernel" baselines (e.g., the presence
 // bitmap used to validate Fig 1).
 //
+// The simulation core is a discrete-event kernel: every disk has a real
+// request queue with completion events, and the page daemon, write-behind
+// flusher, and readahead fills run as background work on the event queue.
+// A faulting process blocks only until *its* request completes; eviction
+// and prefetch I/O proceed asynchronously — except direct reclaim, where a
+// foreground allocation that must evict a dirty victim waits for that
+// eviction's I/O, exactly the slow-touch signal MAC depends on.
+//
 // Paths name a disk explicitly: "/d0/dir/file" is on disk 0. The last disk
 // doubles as the paging (swap) device, as in the paper's Fig 7 setup.
 #ifndef SRC_OS_OS_H_
@@ -24,11 +32,13 @@
 
 #include "src/cache/page_cache.h"
 #include "src/disk/disk.h"
+#include "src/disk/disk_queue.h"
 #include "src/fs/ffs.h"
 #include "src/mem/mem_system.h"
 #include "src/os/platform.h"
 #include "src/os/scheduler.h"
 #include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
 #include "src/vm/vm.h"
 
@@ -46,6 +56,10 @@ struct OsStats {
   std::uint64_t swap_outs = 0;
   std::uint64_t readahead_pages = 0;
   std::uint64_t writeback_pages = 0;
+  std::uint64_t daemon_wakeups = 0;        // page-daemon + flusher activations
+  std::uint64_t queued_disk_requests = 0;  // requests submitted to device queues
+
+  friend bool operator==(const OsStats&, const OsStats&) = default;
 };
 
 // One operation of a batched syscall (see Os::PreadBatch etc.). The batch
@@ -118,12 +132,12 @@ class Os {
 
   // ---- batched syscalls ----
   // Each executes min(ops.size(), out.size()) operations in request order,
-  // charging the syscall-entry overhead ONCE for the whole batch (one
-  // turnstile crossing) instead of once per operation. Every constituent
-  // operation still runs the full scalar path — same cache effects, same
-  // disk I/O, same per-byte costs — and its individual elapsed virtual time
-  // is reported in out[i].latency_ns. Batched reads are timing-only (no
-  // data buffer), matching their probing/prefetch role.
+  // charging the syscall-entry overhead ONCE for the whole batch instead of
+  // once per operation. Every constituent operation still runs the full
+  // scalar path — same cache effects, same disk I/O, same per-byte costs —
+  // and its individual elapsed virtual time is reported in out[i].latency_ns.
+  // Batched reads are timing-only (no data buffer), matching their
+  // probing/prefetch role.
   void PreadBatch(Pid pid, std::span<const PreadBatchOp> ops, std::span<BatchOpResult> out);
   void StatBatch(Pid pid, std::span<const std::string> paths, std::span<InodeAttr> attrs,
                  std::span<BatchOpResult> out);
@@ -152,9 +166,8 @@ class Os {
   // ---- experiment control (not part of the gray-box interface) ----
   // Drops the entire file cache without charging time ("reboot-fresh" cache,
   // used between experiment trials exactly as the paper flushes caches).
+  // In-flight readahead fills are invalidated so stale data cannot land.
   void FlushFileCache();
-  // Also returns all swapped anon pages to the untouched state? No — swap
-  // state belongs to processes; experiments recreate processes instead.
 
   // ---- ground truth introspection (tests & benches only) ----
   [[nodiscard]] bool PageResidentPath(std::string_view path, std::uint64_t page_index) const;
@@ -169,6 +182,10 @@ class Os {
   [[nodiscard]] const OsStats& stats() const { return os_stats_; }
   [[nodiscard]] const MemStats& mem_stats() const { return mem_.stats(); }
   [[nodiscard]] const DiskStats& disk_stats(int disk) const { return disks_[disk].stats(); }
+  [[nodiscard]] const DiskQueue& disk_queue(int disk) const { return *disk_queues_[disk]; }
+  [[nodiscard]] std::uint64_t MaxDiskQueueDepth(int disk) const {
+    return disk_queues_[disk]->max_depth();
+  }
   [[nodiscard]] const Ffs& fs(int disk) const { return *filesystems_[disk]; }
   [[nodiscard]] Ffs& fs_mutable(int disk) { return *filesystems_[disk]; }
   [[nodiscard]] int num_disks() const { return static_cast<int>(disks_.size()); }
@@ -191,29 +208,54 @@ class Os {
     std::string sub;  // path within the file system
   };
 
+  // A demand or readahead read whose completion event has not yet filled
+  // the cache. The token guards against ABA: a drop + re-read of the same
+  // page must not let the older fill install stale contents.
+  struct InflightRead {
+    Nanos completion = 0;
+    std::uint64_t token = 0;
+  };
+
   // Splits "/dN/rest" into (N, "/rest"). Returns false on malformed paths.
   [[nodiscard]] bool ParsePath(std::string_view path, PathRef* out) const;
 
   // Charges CPU-side `cost` to pid (advances clock; may yield under the
-  // scheduler). Applies the configured multiplicative timing jitter.
+  // scheduler). Applies the configured multiplicative timing jitter and
+  // drains newly due events.
   void Charge(Pid pid, Nanos cost);
   [[nodiscard]] Nanos Jittered(Nanos cost);
 
-  // Performs a disk access of `pages` pages starting at fs block `block`.
-  // The wait accrues into io_accumulated_ (see below); callers drain it with
-  // DrainIoWait once the logical operation's I/O is complete.
-  void DiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write);
-  // Disk access to the swap partition (last disk, upper half).
-  void SwapIo(std::uint64_t slot, bool is_write);
-  // Queues a service time on a disk's busy timeline. Requests to one device
-  // serialize; different devices proceed in parallel. The incremental wait
-  // (relative to clock + already-accumulated wait) accrues into
-  // io_accumulated_ — chained requests inside one operation are therefore
-  // accounted exactly once.
-  void QueueOnDisk(int disk, Nanos service);
-  // Blocks pid for all accumulated I/O wait (under the scheduler, other
-  // processes run meanwhile — blocking I/O releases the CPU).
-  void DrainIoWait(Pid pid);
+  // Blocks pid until `deadline` (no-op if already past). Under the
+  // scheduler other processes run meanwhile; standalone, the clock jumps
+  // and due events (completions, daemons) are drained.
+  void WaitUntil(Pid pid, Nanos deadline);
+
+  // If the current foreground operation triggered direct reclaim of a
+  // dirty/anon victim, block until that eviction I/O completes — the
+  // process-context reclaim wait of the modeled kernels.
+  void DrainDirectReclaim(Pid pid);
+
+  // Wraps an event closure so evictions it triggers are recognized as
+  // background work (no direct-reclaim wait is recorded).
+  [[nodiscard]] std::function<void()> Background(std::function<void()> fn);
+
+  // Submits a request to a device queue; returns its completion time. The
+  // caller decides whether to wait (demand I/O) or not (background I/O).
+  Nanos SubmitDiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write,
+                     std::function<void()> on_complete);
+  // Disk request to the swap partition (last disk, upper half).
+  Nanos SubmitSwapIo(std::uint64_t slot, bool is_write);
+
+  // Submits a read whose completion fills the cache with pages
+  // [first_page, first_page + npages) of `tagged`, registered in the
+  // in-flight map so concurrent readers wait instead of re-issuing.
+  Nanos SubmitReadFill(int disk, Inum tagged, std::uint64_t first_page, std::uint64_t npages,
+                       std::uint64_t start_block, bool readahead);
+  void FillPages(Inum tagged, std::uint64_t first_page, std::uint64_t npages,
+                 std::uint64_t token, bool readahead);
+  // Forgets in-flight fills for pages >= from_page of a file whose cache
+  // entries were dropped (truncate/unlink/replace).
+  void InvalidateInflight(Inum tagged, std::uint64_t from_page);
 
   // Deterministic synthesized file content (the simulation stores no data).
   [[nodiscard]] static std::uint8_t ContentByte(Inum tagged, std::uint64_t offset);
@@ -225,10 +267,20 @@ class Os {
   // Charges the directory walk + final inode read for resolving `path`.
   void ChargeWalk(Pid pid, const PathRef& ref);
 
-  // Write-behind: flush oldest dirty pages when over the dirty limit.
-  void MaybeFlushDirty(Pid pid, bool force_all);
-  // Writes the given file pages back to disk, coalescing contiguous runs.
-  void WritebackPages(Pid pid, std::vector<std::pair<Inum, std::uint64_t>> pages);
+  // Background daemons, both running as event-queue closures.
+  // Write-behind flusher: batches the oldest dirty pages to disk when the
+  // dirty limit is exceeded.
+  void MaybeWakeFlushDaemon();
+  void FlushDaemonRun();
+  // Page daemon (unified-LRU profile): keeps the free list between its
+  // watermarks, paced by the completion of the eviction I/O it submits.
+  void MaybeWakePageDaemon();
+  void PageDaemonRun();
+
+  // Maps dirty pages to disk blocks, coalesces contiguous runs, and submits
+  // them as background writes. Returns the last completion time (0 if
+  // nothing was submitted).
+  Nanos SubmitWritebackRuns(std::vector<std::pair<Inum, std::uint64_t>> pages);
 
   // Page-cache keys tag the fs-local inum with its disk so files on
   // different disks never collide: tagged = (disk << 24) | inum. The
@@ -243,6 +295,10 @@ class Os {
   [[nodiscard]] static bool IsMetaInum(Inum tagged) {
     return LocalInum(tagged) == kMetaLocalInum;
   }
+  // Same packing as PageCache::Key, for the in-flight read map.
+  [[nodiscard]] static std::uint64_t PageKey(Inum tagged, std::uint64_t page) {
+    return (static_cast<std::uint64_t>(tagged) << 32) | page;
+  }
 
   [[nodiscard]] FdEntry* GetFd(Pid pid, int fd);
 
@@ -255,18 +311,26 @@ class Os {
   PlatformProfile profile_;
   MachineConfig config_;
   SimClock clock_;
+  EventQueue events_;
   Scheduler scheduler_;
   MemSystem mem_;
   PageCache cache_;
   Vm vm_;
   std::vector<Disk> disks_;
-  std::vector<Nanos> disk_busy_until_;
-  // I/O wait accumulated by the operation currently executing (the
-  // turnstile guarantees at most one operation runs at a time).
-  Nanos io_accumulated_ = 0;
+  std::vector<std::unique_ptr<DiskQueue>> disk_queues_;
   std::vector<std::unique_ptr<Ffs>> filesystems_;
   std::vector<std::vector<FdEntry>> fd_tables_;  // per pid
   std::unordered_map<Pid, int> sched_index_;     // pid -> scheduler slot
+  std::unordered_map<std::uint64_t, InflightRead> inflight_reads_;  // PageKey -> fill
+  std::uint64_t next_read_token_ = 1;
+  // Completion time of eviction I/O submitted by the current foreground
+  // operation; consumed by DrainDirectReclaim.
+  Nanos direct_reclaim_wait_ = 0;
+  bool in_background_ = false;
+  bool flush_daemon_scheduled_ = false;
+  bool page_daemon_scheduled_ = false;
+  std::uint64_t page_daemon_low_pages_ = 0;
+  std::uint64_t page_daemon_high_pages_ = 0;
   std::uint64_t dirty_limit_pages_ = 0;
   std::uint64_t swap_base_offset_ = 0;
   int swap_disk_ = 0;

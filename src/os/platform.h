@@ -107,6 +107,8 @@ struct MachineConfig {
   // (seeded) so experiments stay reproducible.
   double timing_jitter = 0.10;
   std::uint64_t jitter_seed = 0x6a17;
+  // Seed for the event queue's same-instant tie-breaking draws.
+  std::uint64_t event_tie_seed = 0x5eed;
   // Write-behind: flush begins above this fraction of memory dirty.
   double dirty_ratio = 0.125;
   std::uint32_t readahead_min_pages = 8;

@@ -2,142 +2,186 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+// ASan must be told about every stack switch or it reports false positives
+// (and its fake-stack GC frees frames that are still live on other fibers).
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GRAYSIM_ASAN_FIBERS 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define GRAYSIM_ASAN_FIBERS 1
+#endif
+
+#if defined(GRAYSIM_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom, size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_old,
+                                     size_t* size_old);
+}
+#endif
 
 namespace graysim {
 
+namespace {
+
+// 512 KB per fiber: simulated process bodies are shallow (no recursion into
+// user data), but event closures — daemon reclaim, cache fills — run on
+// whichever fiber stack is current, so leave generous headroom.
+constexpr std::size_t kFiberStackBytes = 512 * 1024;
+
+// The trampoline installed by makecontext takes no arguments, so the
+// scheduler whose Run() is executing parks itself here. Single host thread,
+// and nested Run() calls are not allowed, so a single slot suffices.
+Scheduler* g_running = nullptr;
+
+}  // namespace
+
+void Scheduler::Trampoline() { g_running->FiberMain(); }
+
+void Scheduler::FiberMain() {
+  const int me = current_;
+#if defined(GRAYSIM_ASAN_FIBERS)
+  // First entry to this fiber: complete the switch and capture the bounds
+  // of the stack we came from (the dispatch loop's host stack).
+  __sanitizer_finish_switch_fiber(nullptr, &main_stack_bottom_, &main_stack_size_);
+#endif
+  (*bodies_)[me](me);
+  fibers_[me]->state = State::kDone;
+  ++done_count_;
+  SwitchToMain(/*dying=*/true);
+  assert(false && "resumed a finished fiber");
+  std::abort();
+}
+
+void Scheduler::SwitchToFiber(int i) {
+  Fiber& f = *fibers_[i];
+  assert(f.state == State::kReady);
+  current_ = i;
+  f.slice_used = 0;
+#if defined(GRAYSIM_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&main_fake_stack_, f.stack.get(), f.stack_size);
+#endif
+  swapcontext(&main_ctx_, &f.ctx);
+#if defined(GRAYSIM_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(main_fake_stack_, nullptr, nullptr);
+#endif
+  current_ = -1;
+}
+
+void Scheduler::SwitchToMain(bool dying) {
+  Fiber& f = *fibers_[current_];
+#if defined(GRAYSIM_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(dying ? nullptr : &f.fake_stack, main_stack_bottom_,
+                                 main_stack_size_);
+#else
+  (void)dying;
+#endif
+  swapcontext(&f.ctx, &main_ctx_);
+  // Resumed (never reached when dying).
+#if defined(GRAYSIM_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(f.fake_stack, nullptr, nullptr);
+#endif
+}
+
 void Scheduler::Run(const std::vector<std::function<void(int)>>& bodies) {
   const int n = static_cast<int>(bodies.size());
-  assert(n > 0);
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    procs_.clear();
-    for (int i = 0; i < n; ++i) {
-      procs_.push_back(std::make_unique<Proc>());
-    }
-    current_ = 0;
-    done_count_ = 0;
-    active_ = true;
+  if (n == 0) {
+    return;  // nothing to schedule
   }
-
-  std::vector<std::thread> threads;
-  threads.reserve(n);
+  assert(!active_ && g_running == nullptr && "nested Scheduler::Run");
+  bodies_ = &bodies;
+  fibers_.clear();
+  fibers_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    threads.emplace_back([this, i, &bodies] {
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        procs_[i]->cv.wait(lock, [this, i] { return current_ == i; });
-      }
-      bodies[i](i);
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        procs_[i]->state = State::kDone;
-        ++done_count_;
-        const int next = PickNextLocked(i);
-        HandOffLocked(lock, i, next);
-        if (done_count_ == static_cast<int>(procs_.size())) {
-          all_done_cv_.notify_all();
-        }
-      }
-    });
+    auto f = std::make_unique<Fiber>();
+    f->stack = std::make_unique<char[]>(kFiberStackBytes);
+    f->stack_size = kFiberStackBytes;
+    getcontext(&f->ctx);
+    f->ctx.uc_stack.ss_sp = f->stack.get();
+    f->ctx.uc_stack.ss_size = f->stack_size;
+    f->ctx.uc_link = nullptr;  // fibers exit via SwitchToMain, never return
+    makecontext(&f->ctx, &Scheduler::Trampoline, 0);
+    fibers_.push_back(std::move(f));
+  }
+  done_count_ = 0;
+  active_ = true;
+  g_running = this;
+
+  int last = n - 1;  // round-robin starts at proc 0
+  while (done_count_ < n) {
+    const int next = PickNext(last);
+    if (next >= 0) {
+      SwitchToFiber(next);
+      last = next;
+      continue;
+    }
+    // Nobody runnable: every live fiber sleeps on an event (its own wake,
+    // or an I/O completion it waits behind). Jump to the next event.
+    const Nanos when = events_->next_time();
+    if (when == EventQueue::kNever) {
+      std::fprintf(stderr, "graysim: scheduler deadlock — no runnable process, no event\n");
+      std::abort();
+    }
+    clock_->AdvanceTo(std::max(clock_->now(), when));
+    events_->RunDue(clock_->now());
   }
 
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_cv_.wait(lock, [this, n] { return done_count_ == n; });
-    active_ = false;
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
+  g_running = nullptr;
+  active_ = false;
+  bodies_ = nullptr;
+  fibers_.clear();
 }
 
-int Scheduler::PickNextLocked(int from) {
-  const int n = static_cast<int>(procs_.size());
-  while (true) {
-    // Wake any sleepers whose deadline has passed.
-    for (int j = 0; j < n; ++j) {
-      Proc& p = *procs_[j];
-      if (p.state == State::kSleeping && p.wake_at <= clock_->now()) {
-        p.state = State::kReady;
-        p.slice_used = 0;
-      }
+int Scheduler::PickNext(int from) const {
+  const int n = static_cast<int>(fibers_.size());
+  for (int k = 1; k <= n; ++k) {
+    const int j = (from + k) % n;
+    if (fibers_[j]->state == State::kReady) {
+      return j;
     }
-    // Round-robin scan starting after `from`.
-    for (int k = 1; k <= n; ++k) {
-      const int j = (from + k) % n;
-      if (procs_[j]->state == State::kReady) {
-        return j;
-      }
-    }
-    // Nobody ready: either all done, or everyone sleeps — jump the clock.
-    Nanos min_wake = 0;
-    bool have_sleeper = false;
-    for (int j = 0; j < n; ++j) {
-      const Proc& p = *procs_[j];
-      if (p.state == State::kSleeping) {
-        if (!have_sleeper || p.wake_at < min_wake) {
-          min_wake = p.wake_at;
-          have_sleeper = true;
-        }
-      }
-    }
-    if (!have_sleeper) {
-      return -1;  // all done
-    }
-    clock_->AdvanceTo(std::max(clock_->now(), min_wake));
   }
-}
-
-void Scheduler::HandOffLocked(std::unique_lock<std::mutex>& lock, int me, int next) {
-  if (next == -1) {
-    current_ = -1;
-    return;
-  }
-  if (next == me && procs_[me]->state == State::kReady) {
-    procs_[me]->slice_used = 0;
-    return;  // nobody else to run; keep going
-  }
-  current_ = next;
-  procs_[next]->slice_used = 0;
-  procs_[next]->cv.notify_one();
-  if (procs_[me]->state == State::kDone) {
-    return;  // exiting thread never takes the turn again
-  }
-  procs_[me]->cv.wait(lock, [this, me] { return current_ == me; });
+  return -1;
 }
 
 void Scheduler::Charge(int proc, Nanos cost) {
-  std::unique_lock<std::mutex> lock(mu_);
+  assert(proc == current_);
   clock_->Advance(cost);
-  Proc& p = *procs_[proc];
-  p.slice_used += cost;
-  if (p.slice_used >= slice_) {
-    const int next = PickNextLocked(proc);
-    HandOffLocked(lock, proc, next);
+  Fiber& f = *fibers_[proc];
+  f.slice_used += cost;
+  // Fast path: one heap-front comparison, no locks, no syscalls.
+  if (events_->next_time() <= clock_->now()) {
+    events_->RunDue(clock_->now());
   }
+  if (f.slice_used >= slice_) {
+    SwitchToMain(/*dying=*/false);  // stays kReady; dispatched again in turn
+  }
+}
+
+void Scheduler::SleepUntil(int proc, Nanos deadline) {
+  assert(proc == current_);
+  if (deadline <= clock_->now()) {
+    events_->RunDue(clock_->now());
+    return;
+  }
+  Fiber& f = *fibers_[proc];
+  f.state = State::kSleeping;
+  events_->ScheduleAt(deadline, EventQueue::Band::kWake, [this, proc] {
+    fibers_[proc]->state = State::kReady;
+  });
+  SwitchToMain(/*dying=*/false);
 }
 
 void Scheduler::Sleep(int proc, Nanos duration) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Proc& p = *procs_[proc];
-  p.state = State::kSleeping;
-  p.wake_at = clock_->now() + duration;
-  const int next = PickNextLocked(proc);
-  if (next == -1) {
-    // Only sleeper left: PickNextLocked advanced the clock and made us ready
-    // again — but it returns -1 only when no sleepers remain, so this means
-    // everyone else is done and we were woken by the clock jump.
-    p.state = State::kReady;
-    clock_->AdvanceTo(std::max(clock_->now(), p.wake_at));
-    return;
-  }
-  HandOffLocked(lock, proc, next);
+  SleepUntil(proc, clock_->now() + duration);
 }
 
-void Scheduler::Yield(int proc) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const int next = PickNextLocked(proc);
-  HandOffLocked(lock, proc, next);
+void Scheduler::Yield([[maybe_unused]] int proc) {
+  assert(proc == current_);
+  events_->RunDue(clock_->now());
+  SwitchToMain(/*dying=*/false);
 }
 
 }  // namespace graysim

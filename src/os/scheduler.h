@@ -1,48 +1,56 @@
 // Deterministic cooperative round-robin scheduler for simulated processes.
 //
-// Each simulated process runs on its own host thread, but a turnstile
-// guarantees that exactly one thread executes at a time: a thread only runs
-// while it holds the turn, and turns are handed off at syscall-charge points,
-// sleeps, and exits. Because hand-off decisions depend only on virtual time
-// and a fixed round-robin order, execution is fully deterministic regardless
-// of host scheduling.
+// Each simulated process runs on a stackful fiber (ucontext) multiplexed on
+// the single host thread that called Run(). Control transfers happen at
+// syscall-charge points, sleeps, and exits — the same yield points as the
+// old thread-per-process turnstile — but a switch is now two swapcontext
+// calls instead of a mutex/condvar crossing, so the per-charge fast path
+// takes no locks at all and scales to dozens of competing processes.
 //
-// This gives the paper's multiprogrammed experiments (4 competing fastsorts
-// under MAC, Fig 7) interleaved execution on one virtual clock.
+// Sleep/wake is delegated to the discrete-event queue: a sleeping fiber
+// schedules its own wake event (Band::kWake), and when no fiber is runnable
+// the dispatch loop advances the clock to the next pending event. Device
+// completions and background daemons therefore interleave with process
+// execution on one deterministic timeline.
 #ifndef SRC_OS_SCHEDULER_H_
 #define SRC_OS_SCHEDULER_H_
 
-#include <condition_variable>
+#include <ucontext.h>
+
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
 
 namespace graysim {
 
 class Scheduler {
  public:
-  Scheduler(SimClock* clock, Nanos slice) : clock_(clock), slice_(slice) {}
+  Scheduler(SimClock* clock, EventQueue* events, Nanos slice)
+      : clock_(clock), events_(events), slice_(slice) {}
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   // Runs all bodies to completion; bodies[i] is invoked with proc index i.
-  // Blocks the calling thread until every body returns.
+  // Returns when every body has returned (a no-op for an empty vector).
+  // Pending events (device completions, daemons) are drained along the way.
   void Run(const std::vector<std::function<void(int)>>& bodies);
 
-  // True while Run() is executing (i.e., charges should consider yielding).
+  // True while Run() is executing. Single-threaded: only ever read from the
+  // same host thread that runs the fibers.
   [[nodiscard]] bool active() const { return active_; }
 
-  // Charges `cost` of virtual time to proc and yields if its slice expired.
+  // Charges `cost` of virtual time to proc, drains newly due events, and
+  // yields if the slice expired.
   void Charge(int proc, Nanos cost);
 
-  // Puts proc to sleep for `duration` of virtual time.
+  // Puts proc to sleep for `duration` of virtual time / until `deadline`.
   void Sleep(int proc, Nanos duration);
+  void SleepUntil(int proc, Nanos deadline);
 
   // Voluntarily gives up the remainder of the slice.
   void Yield(int proc);
@@ -52,30 +60,42 @@ class Scheduler {
  private:
   enum class State : std::uint8_t { kReady, kSleeping, kDone };
 
-  struct Proc {
+  struct Fiber {
+    ucontext_t ctx{};
+    std::unique_ptr<char[]> stack;
+    std::size_t stack_size = 0;
     State state = State::kReady;
-    Nanos wake_at = 0;
     Nanos slice_used = 0;
-    std::condition_variable cv;
+    // ASan bookkeeping: the fake-stack handle saved across switches away
+    // from this fiber (see __sanitizer_start_switch_fiber).
+    void* fake_stack = nullptr;
   };
 
-  // Picks the next runnable proc after `from` (round-robin), waking sleepers
-  // whose deadline has passed and advancing the clock if everyone sleeps.
-  // Returns -1 when all procs are done. Requires mu_ held.
-  [[nodiscard]] int PickNextLocked(int from);
+  // Entry point for every fiber (runs bodies_[current_]; never returns).
+  static void Trampoline();
+  void FiberMain();
 
-  // Hands the turn to `next` and, unless this proc is done, blocks until the
-  // turn comes back. Requires lock held (released while waiting).
-  void HandOffLocked(std::unique_lock<std::mutex>& lock, int me, int next);
+  // Next ready fiber after `from` in round-robin order; -1 if none.
+  [[nodiscard]] int PickNext(int from) const;
+
+  // Transfers control main -> fiber i / fiber current_ -> main. `dying`
+  // marks the fiber's final switch-out so ASan can retire its fake stack.
+  void SwitchToFiber(int i);
+  void SwitchToMain(bool dying);
 
   SimClock* clock_;
+  EventQueue* events_;
   Nanos slice_;
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  const std::vector<std::function<void(int)>>* bodies_ = nullptr;
+  ucontext_t main_ctx_{};
+  void* main_fake_stack_ = nullptr;
+  // Host-stack bounds of the dispatch loop, captured at first fiber entry.
+  const void* main_stack_bottom_ = nullptr;
+  std::size_t main_stack_size_ = 0;
   int current_ = -1;
   int done_count_ = 0;
   bool active_ = false;
-  std::condition_variable all_done_cv_;
 };
 
 }  // namespace graysim

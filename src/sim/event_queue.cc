@@ -1,0 +1,34 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+namespace graysim {
+
+EventQueue::EventId EventQueue::ScheduleAt(Nanos when, Band band, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  ++scheduled_total_;
+  heap_.push_back(Event{when, tie_rng_.Next(), id, band, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return id;
+}
+
+void EventQueue::RunDue(Nanos now) {
+  while (!heap_.empty() && heap_.front().when <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    ev.fn();
+  }
+}
+
+bool EventQueue::RunNext(SimClock* clock) {
+  if (heap_.empty()) {
+    return false;
+  }
+  const Nanos when = heap_.front().when;
+  clock->AdvanceTo(std::max(clock->now(), when));
+  RunDue(clock->now());
+  return true;
+}
+
+}  // namespace graysim

@@ -1,0 +1,93 @@
+// Deterministic discrete-event queue: the heart of the simulation kernel.
+//
+// Events are closures scheduled at a virtual time. Execution order is a
+// total order on (virtual_time, band, tie, seq): the band separates device
+// completions from process wake-ups at the same instant (completions first,
+// so a process waking at its I/O completion time observes the completion's
+// effects), `tie` is a seeded RNG draw taken at scheduling time (seeded
+// tie-breaking keeps same-band, same-time ordering independent of heap
+// internals yet fully reproducible), and `seq` is a monotonic id that makes
+// the order total even on tie collisions.
+//
+// Single-threaded by design: closures run inline from RunDue on whichever
+// (fiber) stack called it, and may schedule further events while running.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/rng.h"
+
+namespace graysim {
+
+class EventQueue {
+ public:
+  using EventId = std::uint64_t;
+  static constexpr Nanos kNever = ~Nanos{0};
+
+  enum class Band : std::uint8_t {
+    kCompletion = 0,  // device completions, daemon work
+    kWake = 1,        // process wake-ups
+  };
+
+  explicit EventQueue(std::uint64_t tie_seed) : tie_rng_(tie_seed) {}
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  EventId ScheduleAt(Nanos when, Band band, std::function<void()> fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  // Earliest pending event time; kNever when empty. Cheap enough for the
+  // per-charge fast path (one vector-front read, no locks).
+  [[nodiscard]] Nanos next_time() const { return heap_.empty() ? kNever : heap_.front().when; }
+
+  // Runs every event due at or before `now`, in deterministic order,
+  // including events scheduled by the closures themselves.
+  void RunDue(Nanos now);
+
+  // Advances the clock to the earliest pending event and runs everything
+  // due at that instant. Returns false when the queue is empty.
+  bool RunNext(SimClock* clock);
+
+  [[nodiscard]] std::uint64_t scheduled_total() const { return scheduled_total_; }
+
+ private:
+  struct Event {
+    Nanos when = 0;
+    std::uint64_t tie = 0;
+    EventId id = 0;
+    Band band = Band::kCompletion;
+    std::function<void()> fn;
+  };
+
+  // std::push_heap builds a max-heap; "later" events sink to the back.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      if (a.band != b.band) {
+        return a.band > b.band;
+      }
+      if (a.tie != b.tie) {
+        return a.tie > b.tie;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  std::vector<Event> heap_;
+  Rng tie_rng_;
+  EventId next_id_ = 1;
+  std::uint64_t scheduled_total_ = 0;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

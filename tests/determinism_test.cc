@@ -1,0 +1,154 @@
+// The simulation must be a deterministic function of its seeds: repeated
+// runs of the same workload produce bit-identical final virtual time and
+// OsStats (including the event-kernel counters: daemon wakeups, queued
+// disk requests, per-disk max queue depth) on every platform profile and
+// under a 32-process stress mix.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/os/os.h"
+
+namespace graysim {
+namespace {
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+void MakeFile(Os& os, Pid pid, const std::string& path, std::uint64_t bytes) {
+  const int fd = os.Creat(pid, path);
+  ASSERT_GE(fd, 0) << path;
+  const std::uint64_t chunk = 1 * kMb;
+  for (std::uint64_t off = 0; off < bytes; off += chunk) {
+    const std::uint64_t n = std::min(chunk, bytes - off);
+    ASSERT_EQ(os.Pwrite(pid, fd, n, off), static_cast<std::int64_t>(n));
+  }
+  ASSERT_EQ(os.Fsync(pid, fd), 0);
+  ASSERT_EQ(os.Close(pid, fd), 0);
+}
+
+struct Snapshot {
+  Nanos virtual_time = 0;
+  OsStats stats;
+  std::vector<std::uint64_t> max_queue_depths;
+  std::vector<std::uint64_t> queue_totals;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+// A mixed workload exercising every event source: demand reads with
+// readahead, dirty writes (flush daemon), memory pressure (page daemon and
+// direct reclaim), sleeps, and cross-process interleaving.
+Snapshot RunWorkload(const PlatformProfile& profile, int nprocs) {
+  MachineConfig cfg;
+  cfg.phys_mem_bytes = 160 * kMb;
+  cfg.kernel_reserved_bytes = 32 * kMb;  // 128 MB usable: real pressure
+  Os os(profile, cfg);
+  const Pid setup = os.default_pid();
+  for (int d = 0; d < 2; ++d) {
+    MakeFile(os, setup, "/d" + std::to_string(d) + "/input", 24 * kMb);
+  }
+  os.FlushFileCache();
+
+  std::vector<std::function<void(Pid)>> bodies;
+  for (int i = 0; i < nprocs; ++i) {
+    bodies.push_back([&os, i](Pid pid) {
+      const std::string in = "/d" + std::to_string(i % 2) + "/input";
+      const int fd = os.Open(pid, in);
+      ASSERT_GE(fd, 0);
+      // Staggered sequential reads (readahead + queue contention).
+      std::uint64_t off = static_cast<std::uint64_t>(i) * 512 * 1024;
+      for (int k = 0; k < 24; ++k) {
+        (void)os.Pread(pid, fd, {}, 256 * 1024, off % (24 * kMb));
+        off += 256 * 1024;
+      }
+      (void)os.Close(pid, fd);
+      // Private dirty data (write-behind flusher).
+      const int out =
+          os.Creat(pid, "/d" + std::to_string(i % 2) + "/out" + std::to_string(i));
+      ASSERT_GE(out, 0);
+      for (int k = 0; k < 8; ++k) {
+        (void)os.Pwrite(pid, out, 512 * 1024, static_cast<std::uint64_t>(k) * 512 * 1024);
+      }
+      if (i % 2 == 0) {
+        (void)os.Fsync(pid, out);
+      }
+      (void)os.Close(pid, out);
+      // Anonymous memory churn (zero fill; under enough processes, reclaim).
+      const VmAreaId area = os.VmAlloc(pid, (2 + i % 3) * kMb);
+      const std::uint64_t pages = (2 + i % 3) * kMb / os.page_size();
+      for (std::uint64_t p = 0; p < pages; ++p) {
+        os.VmTouch(pid, area, p, /*write=*/true);
+      }
+      os.Sleep(pid, Millis(1.0 + i));
+      for (std::uint64_t p = 0; p < pages; p += 7) {
+        os.VmTouch(pid, area, p, /*write=*/true);
+      }
+      os.VmFree(pid, area);
+    });
+  }
+  os.RunProcesses(bodies);
+
+  Snapshot snap;
+  snap.virtual_time = os.Now();
+  snap.stats = os.stats();
+  for (int d = 0; d < os.num_disks(); ++d) {
+    snap.max_queue_depths.push_back(os.MaxDiskQueueDepth(d));
+    snap.queue_totals.push_back(os.disk_queue(d).total_requests());
+  }
+  return snap;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static PlatformProfile ProfileFor(const std::string& name) {
+    if (name == "linux2.2") {
+      return PlatformProfile::Linux22();
+    }
+    if (name == "netbsd1.5") {
+      return PlatformProfile::NetBsd15();
+    }
+    return PlatformProfile::Solaris7();
+  }
+};
+
+TEST_P(DeterminismTest, RepeatedRunsAreBitIdentical) {
+  const PlatformProfile profile = ProfileFor(GetParam());
+  const Snapshot a = RunWorkload(profile, 6);
+  const Snapshot b = RunWorkload(profile, 6);
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+  EXPECT_TRUE(a.stats == b.stats);
+  EXPECT_EQ(a.max_queue_depths, b.max_queue_depths);
+  EXPECT_EQ(a.queue_totals, b.queue_totals);
+  EXPECT_GT(a.virtual_time, 0u);
+}
+
+TEST_P(DeterminismTest, EventKernelCountersAreExercised) {
+  const Snapshot s = RunWorkload(ProfileFor(GetParam()), 6);
+  EXPECT_GT(s.stats.queued_disk_requests, 0u);
+  // Some disk saw overlapping requests (the whole point of real queues).
+  std::uint64_t deepest = 0;
+  for (const std::uint64_t d : s.max_queue_depths) {
+    deepest = std::max(deepest, d);
+  }
+  EXPECT_GT(deepest, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, DeterminismTest,
+                         ::testing::Values("linux2.2", "netbsd1.5", "solaris7"));
+
+TEST(DeterminismStressTest, ThirtyTwoProcessesBitIdentical) {
+  const Snapshot a = RunWorkload(PlatformProfile::Linux22(), 32);
+  const Snapshot b = RunWorkload(PlatformProfile::Linux22(), 32);
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+  EXPECT_TRUE(a.stats == b.stats);
+  EXPECT_EQ(a.max_queue_depths, b.max_queue_depths);
+  EXPECT_EQ(a.queue_totals, b.queue_totals);
+  EXPECT_GT(a.stats.daemon_wakeups, 0u) << "stress mix should wake the daemons";
+}
+
+}  // namespace
+}  // namespace graysim

@@ -1,5 +1,6 @@
-// Deterministic turnstile scheduler: fairness, sleeping, determinism, and
-// scaling across process counts (TEST_P sweep).
+// Deterministic fiber scheduler: fairness, sleeping, determinism, and
+// scaling across process counts (TEST_P sweep). Sleep/wake goes through the
+// discrete-event queue, so every fixture pairs the scheduler with one.
 
 #include <gtest/gtest.h>
 
@@ -8,13 +9,17 @@
 #include <vector>
 
 #include "src/os/scheduler.h"
+#include "src/sim/event_queue.h"
 
 namespace graysim {
 namespace {
 
+constexpr std::uint64_t kTieSeed = 0x5eed;
+
 TEST(SchedulerTest, SingleProcessRunsToCompletion) {
   SimClock clock;
-  Scheduler sched(&clock, Millis(10.0));
+  EventQueue events(kTieSeed);
+  Scheduler sched(&clock, &events, Millis(10.0));
   bool ran = false;
   sched.Run({[&](int) {
     sched.Charge(0, Millis(25.0));
@@ -24,9 +29,19 @@ TEST(SchedulerTest, SingleProcessRunsToCompletion) {
   EXPECT_EQ(clock.now(), Millis(25.0));
 }
 
+TEST(SchedulerTest, EmptyRunIsANoOp) {
+  SimClock clock;
+  EventQueue events(kTieSeed);
+  Scheduler sched(&clock, &events, Millis(10.0));
+  sched.Run({});
+  EXPECT_EQ(clock.now(), 0u);
+  EXPECT_FALSE(sched.active());
+}
+
 TEST(SchedulerTest, ChargesAccumulateAcrossProcesses) {
   SimClock clock;
-  Scheduler sched(&clock, Millis(10.0));
+  EventQueue events(kTieSeed);
+  Scheduler sched(&clock, &events, Millis(10.0));
   sched.Run({
       [&](int p) { sched.Charge(p, Millis(30.0)); },
       [&](int p) { sched.Charge(p, Millis(20.0)); },
@@ -36,7 +51,8 @@ TEST(SchedulerTest, ChargesAccumulateAcrossProcesses) {
 
 TEST(SchedulerTest, RoundRobinInterleavesFairly) {
   SimClock clock;
-  Scheduler sched(&clock, Millis(10.0));
+  EventQueue events(kTieSeed);
+  Scheduler sched(&clock, &events, Millis(10.0));
   // Each process records the time at which it performs each step; with
   // round-robin slices, neither can run two full slices back to back while
   // the other is runnable.
@@ -61,7 +77,8 @@ TEST(SchedulerTest, RoundRobinInterleavesFairly) {
 
 TEST(SchedulerTest, SleepWakesAtDeadline) {
   SimClock clock;
-  Scheduler sched(&clock, Millis(10.0));
+  EventQueue events(kTieSeed);
+  Scheduler sched(&clock, &events, Millis(10.0));
   Nanos woke_at = 0;
   sched.Run({[&](int p) {
     sched.Sleep(p, Seconds(3.0));
@@ -72,7 +89,8 @@ TEST(SchedulerTest, SleepWakesAtDeadline) {
 
 TEST(SchedulerTest, SleeperYieldsToRunnableProcess) {
   SimClock clock;
-  Scheduler sched(&clock, Millis(10.0));
+  EventQueue events(kTieSeed);
+  Scheduler sched(&clock, &events, Millis(10.0));
   Nanos worker_done = 0;
   Nanos sleeper_done = 0;
   sched.Run({
@@ -91,7 +109,8 @@ TEST(SchedulerTest, SleeperYieldsToRunnableProcess) {
 
 TEST(SchedulerTest, AllSleepingAdvancesClock) {
   SimClock clock;
-  Scheduler sched(&clock, Millis(10.0));
+  EventQueue events(kTieSeed);
+  Scheduler sched(&clock, &events, Millis(10.0));
   sched.Run({
       [&](int p) { sched.Sleep(p, Millis(100.0)); },
       [&](int p) { sched.Sleep(p, Millis(250.0)); },
@@ -101,7 +120,8 @@ TEST(SchedulerTest, AllSleepingAdvancesClock) {
 
 TEST(SchedulerTest, YieldRotatesWithoutCharging) {
   SimClock clock;
-  Scheduler sched(&clock, Millis(10.0));
+  EventQueue events(kTieSeed);
+  Scheduler sched(&clock, &events, Millis(10.0));
   std::vector<int> order;
   sched.Run({
       [&](int p) {
@@ -121,13 +141,32 @@ TEST(SchedulerTest, YieldRotatesWithoutCharging) {
   EXPECT_EQ(order[1], 1);  // yield handed the turn over
 }
 
+TEST(SchedulerTest, DispatchDrainsEventQueueWhileAllSleep) {
+  SimClock clock;
+  EventQueue events(kTieSeed);
+  Scheduler sched(&clock, &events, Millis(10.0));
+  // A "device completion" scheduled mid-run must fire before a process that
+  // sleeps past it resumes (completions run in the earlier band).
+  Nanos completion_at = 0;
+  Nanos woke_at = 0;
+  sched.Run({[&](int p) {
+    events.ScheduleAt(clock.now() + Millis(5.0), EventQueue::Band::kCompletion,
+                      [&] { completion_at = clock.now(); });
+    sched.Sleep(p, Millis(5.0));
+    woke_at = clock.now();
+  }});
+  EXPECT_EQ(completion_at, Millis(5.0));
+  EXPECT_GE(woke_at, completion_at);
+}
+
 class SchedulerScaling : public ::testing::TestWithParam<int> {};
 
 TEST_P(SchedulerScaling, ManyProcessesAllFinishDeterministically) {
   const int n = GetParam();
   auto run = [n] {
     SimClock clock;
-    Scheduler sched(&clock, Millis(10.0));
+    EventQueue events(kTieSeed);
+    Scheduler sched(&clock, &events, Millis(10.0));
     std::vector<std::function<void(int)>> bodies;
     std::vector<Nanos> finish(static_cast<std::size_t>(n), 0);
     for (int i = 0; i < n; ++i) {
