@@ -1,0 +1,91 @@
+// Global operator new/delete replacements that count every heap
+// allocation. Linked into bench executables only (gb_bench adds this file
+// to each target); replacing the operators here overrides the libstdc++
+// definitions for the whole binary, including the static simulation
+// libraries, without touching non-bench builds.
+#include "bench/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Relaxed atomics: Google Benchmark spins up helper threads, and the
+// counters only need a consistent total, not ordering.
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* CountedAlloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+
+void* CountedAllocAligned(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (n + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded != 0 ? rounded : align);
+}
+
+}  // namespace
+
+namespace gbench {
+
+AllocCounts AllocSnapshot() {
+  return AllocCounts{g_allocs.load(std::memory_order_relaxed),
+                     g_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace gbench
+
+void* operator new(std::size_t n) {
+  void* p = CountedAlloc(n);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t n) { return operator new(n); }
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept { return CountedAlloc(n); }
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept { return CountedAlloc(n); }
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = CountedAllocAligned(n, static_cast<std::size_t>(align));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t align) { return operator new(n, align); }
+
+void* operator new(std::size_t n, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(n, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t n, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(n, static_cast<std::size_t>(align));
+}
+
+// aligned_alloc memory is released with free(), so every delete funnels
+// into the same call.
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

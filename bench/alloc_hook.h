@@ -1,0 +1,27 @@
+// Heap-allocation counting for bench builds.
+//
+// bench/alloc_hook.cc replaces the global operator new/delete with
+// counting wrappers; it is compiled into every bench executable (see
+// gb_bench in bench/CMakeLists.txt) and NOT into the libraries or tests,
+// so the simulation itself never pays for the counters outside a bench.
+// The counters let a bench report allocations-per-operation — the
+// regression signal for the allocation-free hot path.
+#ifndef BENCH_ALLOC_HOOK_H_
+#define BENCH_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace gbench {
+
+struct AllocCounts {
+  std::uint64_t allocs = 0;  // calls to any operator new since process start
+  std::uint64_t bytes = 0;   // total bytes requested
+};
+
+// Counter values since process start. Take two snapshots and subtract to
+// measure a region.
+[[nodiscard]] AllocCounts AllocSnapshot();
+
+}  // namespace gbench
+
+#endif  // BENCH_ALLOC_HOOK_H_

@@ -6,6 +6,7 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
 #include <sys/stat.h>
 
 #include <chrono>
@@ -15,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/alloc_hook.h"
 #include "src/gray/toolbox/stats.h"
 #include "src/os/os.h"
 
@@ -70,8 +72,8 @@ inline void PrintHeader(const char* title) {
 
 // Machine-diffable results: collects named metrics during a bench run and
 // writes them as results/BENCH_<name>.json, together with the total virtual
-// (simulated) time and the host wall time of the run. Host time starts at
-// construction.
+// (simulated) time, host wall time (started at construction), peak RSS, and
+// process-lifetime heap-allocation counters (from bench/alloc_hook.cc).
 class JsonResults {
  public:
   explicit JsonResults(std::string bench_name)
@@ -96,10 +98,19 @@ class JsonResults {
     const double host_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start_)
             .count();
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is in KB on Linux
+    const AllocCounts allocs = AllocSnapshot();
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", Escaped(name_).c_str());
     std::fprintf(f, "  \"virtual_time_s\": %.6f,\n",
                  static_cast<double>(virtual_ns_) / 1e9);
     std::fprintf(f, "  \"host_time_s\": %.6f,\n", host_s);
+    std::fprintf(f, "  \"peak_rss_mb\": %.1f,\n",
+                 static_cast<double>(usage.ru_maxrss) / 1024.0);
+    std::fprintf(f, "  \"heap_allocs\": %llu,\n",
+                 static_cast<unsigned long long>(allocs.allocs));
+    std::fprintf(f, "  \"heap_alloc_mb\": %.1f,\n",
+                 static_cast<double>(allocs.bytes) / (1024.0 * 1024.0));
     std::fprintf(f, "  \"metrics\": [");
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       std::fprintf(f, "%s\n    {\"metric\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}",

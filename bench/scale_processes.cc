@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/alloc_hook.h"
 #include "bench/bench_util.h"
 #include "src/workloads/fastsort.h"
 #include "src/workloads/filegen.h"
@@ -35,9 +36,12 @@ struct ScaleResult {
   std::uint64_t swap_ins = 0;
   std::uint64_t daemon_wakeups = 0;
   std::uint64_t max_queue_depth = 0;
+  std::uint64_t events = 0;       // kernel events + syscalls executed during the run
+  std::uint64_t heap_allocs = 0;  // operator new calls during the run
 };
 
 ScaleResult RunScale(int nprocs) {
+  const gbench::AllocCounts alloc_start = gbench::AllocSnapshot();
   const auto host_start = std::chrono::steady_clock::now();
   Os os(PlatformProfile::Linux22());
   const Pid setup_pid = os.default_pid();
@@ -78,6 +82,8 @@ ScaleResult RunScale(int nprocs) {
   }
   r.swap_ins = os.stats().swap_ins;
   r.daemon_wakeups = os.stats().daemon_wakeups;
+  r.events = os.events_scheduled() + os.stats().syscalls + os.stats().batched_ops;
+  r.heap_allocs = gbench::AllocSnapshot().allocs - alloc_start.allocs;
   for (int d = 0; d < os.num_disks(); ++d) {
     r.max_queue_depth = std::max(r.max_queue_depth, os.MaxDiskQueueDepth(d));
   }
@@ -91,22 +97,34 @@ int main(int argc, char** argv) {
 
   gbench::PrintHeader(
       "Scale: N competing 24 MB gb-fastsorts on one machine (event-kernel scheduler)");
-  std::printf("%6s %12s %10s %14s %12s %9s %9s %7s\n", "procs", "virtual(s)", "host(s)",
-              "avg proc(s)", "avg pass MB", "swap-ins", "daemons", "maxQ");
+  std::printf("%6s %12s %10s %14s %12s %9s %9s %7s %10s %10s\n", "procs", "virtual(s)",
+              "host(s)", "avg proc(s)", "avg pass MB", "swap-ins", "daemons", "maxQ",
+              "Mops/s", "allocs/op");
 
   gbench::JsonResults json("scale_processes");
-  std::vector<int> sizes = quick ? std::vector<int>{16, 64} : std::vector<int>{16, 32, 64};
+  std::vector<int> sizes =
+      quick ? std::vector<int>{16, 64} : std::vector<int>{16, 32, 64, 256};
   for (const int n : sizes) {
     const ScaleResult r = RunScale(n);
-    std::printf("%6d %12.2f %10.2f %14.2f %12.0f %9llu %9llu %7llu\n", n,
+    // Throughput denominator: kernel events scheduled plus syscalls served
+    // (each syscall exercises the cache/VM hot path at least once).
+    // Allocations-per-op should sit near zero once per-process setup is
+    // amortized — the hot path itself allocates nothing.
+    const double ops_per_host_s = static_cast<double>(r.events) / r.host_s;
+    const double allocs_per_op =
+        static_cast<double>(r.heap_allocs) / static_cast<double>(r.events);
+    std::printf("%6d %12.2f %10.2f %14.2f %12.0f %9llu %9llu %7llu %10.2f %10.4f\n", n,
                 gbench::ToSec(r.virtual_time), r.host_s, r.avg_total_s, r.avg_pass_mb,
                 static_cast<unsigned long long>(r.swap_ins),
                 static_cast<unsigned long long>(r.daemon_wakeups),
-                static_cast<unsigned long long>(r.max_queue_depth));
+                static_cast<unsigned long long>(r.max_queue_depth),
+                ops_per_host_s / 1e6, allocs_per_op);
     const std::string suffix = "_" + std::to_string(n);
     json.Add("virtual_s" + suffix, gbench::ToSec(r.virtual_time), "s");
     json.Add("host_s" + suffix, r.host_s, "s");
     json.Add("avg_proc_s" + suffix, r.avg_total_s, "s");
+    json.Add("ops_per_host_s" + suffix, ops_per_host_s, "ops/s");
+    json.Add("allocs_per_op" + suffix, allocs_per_op);
     if (n == sizes.back()) {
       json.set_virtual_ns(r.virtual_time);
     }

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: compare fresh bench JSON against committed baselines.
+
+Usage: check_perf.py <fresh_results_dir> <baseline_dir> [--factor=5]
+
+For every BENCH_*.json present in BOTH directories, every metric with unit
+"ops/s" must be no more than `factor` times slower than the committed
+baseline value. Host wall times are compared with the same factor, but only
+when the baseline run took at least 0.2 s (sub-100ms timings are noise on a
+shared CI runner). The gate is deliberately loose — 5x — because CI
+machines vary wildly; it exists to catch gross regressions (an accidental
+O(n^2), a reintroduced per-op allocation storm), not small ones. Tight
+tracking happens through the committed results/ JSONs reviewed in PRs.
+
+Exit status: 0 when every common metric passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: pathlib.Path) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def ops_metrics(doc: dict) -> dict:
+    return {
+        m["metric"]: m["value"]
+        for m in doc.get("metrics", [])
+        if m.get("unit") == "ops/s" and m.get("value", 0) > 0
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh", type=pathlib.Path)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("--factor", type=float, default=5.0)
+    args = parser.parse_args()
+
+    failures = []
+    compared = 0
+    for base_path in sorted(args.baseline.glob("BENCH_*.json")):
+        fresh_path = args.fresh / base_path.name
+        if not fresh_path.exists():
+            print(f"note: {base_path.name} has no fresh result; skipping")
+            continue
+        base, fresh = load(base_path), load(fresh_path)
+
+        base_ops, fresh_ops = ops_metrics(base), ops_metrics(fresh)
+        for name in sorted(base_ops.keys() & fresh_ops.keys()):
+            compared += 1
+            floor = base_ops[name] / args.factor
+            status = "ok" if fresh_ops[name] >= floor else "FAIL"
+            print(f"{status:4} {base_path.name}:{name}: "
+                  f"{fresh_ops[name]:.3g} ops/s vs baseline {base_ops[name]:.3g} "
+                  f"(floor {floor:.3g})")
+            if fresh_ops[name] < floor:
+                failures.append(f"{base_path.name}:{name}")
+
+        base_host = base.get("host_time_s", 0.0)
+        fresh_host = fresh.get("host_time_s", 0.0)
+        if base_host >= 0.2:
+            compared += 1
+            ceiling = base_host * args.factor
+            status = "ok" if fresh_host <= ceiling else "FAIL"
+            print(f"{status:4} {base_path.name}:host_time_s: "
+                  f"{fresh_host:.3g}s vs baseline {base_host:.3g}s "
+                  f"(ceiling {ceiling:.3g}s)")
+            if fresh_host > ceiling:
+                failures.append(f"{base_path.name}:host_time_s")
+
+    if compared == 0:
+        print("error: no common metrics to compare", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\nperf smoke FAILED ({len(failures)}): " + ", ".join(failures),
+              file=sys.stderr)
+        return 1
+    print(f"\nperf smoke passed: {compared} metrics within {args.factor}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

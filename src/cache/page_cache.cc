@@ -5,139 +5,134 @@
 namespace graysim {
 
 bool PageCache::Access(Inum inum, std::uint64_t page) {
-  const auto it = pages_.find(Key(inum, page));
-  if (it == pages_.end()) {
+  FrameId* ref = pages_.Find(Key(inum, page));
+  if (ref == nullptr) {
     return false;
   }
-  mem_->Touch(it->second.ref);
+  mem_->Touch(*ref);
   return true;
 }
 
 bool PageCache::Insert(Inum inum, std::uint64_t page, bool dirty, Nanos* evict_cost) {
   const std::uint64_t key = Key(inum, page);
-  if (const auto it = pages_.find(key); it != pages_.end()) {
-    mem_->Touch(it->second.ref);
+  if (FrameId* ref = pages_.Find(key); ref != nullptr) {
+    mem_->Touch(*ref);
     if (dirty) {
       MarkDirty(inum, page);
     }
     return true;
   }
-  const auto ref =
+  const FrameId ref =
       mem_->Insert(Page{PageKind::kFile, inum, page, dirty}, evict_cost);
-  if (!ref.has_value()) {
+  if (ref == kNoFrame) {
     return false;  // admission denied (sticky policy)
   }
-  Entry entry{*ref, std::nullopt};
   if (dirty) {
-    dirty_order_.push_back(key);
-    entry.dirty_it = std::prev(dirty_order_.end());
+    dirty_order_.PushBack(mem_->frames(), ref);
   }
-  pages_.emplace(key, entry);
+  pages_.Put(key, ref);
   ++per_file_count_[inum];
   return true;
 }
 
 void PageCache::MarkDirty(Inum inum, std::uint64_t page) {
-  const std::uint64_t key = Key(inum, page);
-  const auto it = pages_.find(key);
-  assert(it != pages_.end());
-  if (!it->second.dirty_it.has_value()) {
-    mem_->MarkDirty(it->second.ref);
-    dirty_order_.push_back(key);
-    it->second.dirty_it = std::prev(dirty_order_.end());
+  FrameId* ref = pages_.Find(Key(inum, page));
+  assert(ref != nullptr);
+  if (!mem_->frames().dirty(*ref)) {
+    mem_->MarkDirty(*ref);
+    dirty_order_.PushBack(mem_->frames(), *ref);
   }
 }
 
-void PageCache::ClearDirty(std::uint64_t key, Entry& entry) {
-  (void)key;
-  if (entry.dirty_it.has_value()) {
-    dirty_order_.erase(*entry.dirty_it);
-    entry.dirty_it = std::nullopt;
-    mem_->MarkClean(entry.ref);
+void PageCache::ClearDirty(FrameId frame) {
+  if (mem_->frames().dirty(frame)) {
+    dirty_order_.Remove(mem_->frames(), frame);
+    mem_->MarkClean(frame);
   }
 }
 
 bool PageCache::OnEvicted(const Page& page) {
-  const std::uint64_t key = Key(static_cast<Inum>(page.key1), page.key2);
-  const auto it = pages_.find(key);
-  assert(it != pages_.end());
-  const bool was_dirty = it->second.dirty_it.has_value();
+  const Inum inum = static_cast<Inum>(page.key1);
+  const std::uint64_t key = Key(inum, page.key2);
+  FrameId* ref = pages_.Find(key);
+  assert(ref != nullptr);
+  const bool was_dirty = page.dirty;
   if (was_dirty) {
-    dirty_order_.erase(*it->second.dirty_it);
+    // The frame is still live here (MemSystem releases it after the
+    // handler returns), so its dirty links are intact.
+    dirty_order_.Remove(mem_->frames(), *ref);
   }
-  if (--per_file_count_[static_cast<Inum>(page.key1)] == 0) {
-    per_file_count_.erase(static_cast<Inum>(page.key1));
+  std::uint64_t* count = per_file_count_.Find(inum);
+  assert(count != nullptr);
+  if (--*count == 0) {
+    per_file_count_.Erase(inum);
   }
-  pages_.erase(it);
+  pages_.Erase(key);
   return was_dirty;
 }
 
 void PageCache::DropFile(Inum inum) {
-  for (auto it = pages_.begin(); it != pages_.end();) {
-    if (KeyInum(it->first) == inum) {
-      ClearDirty(it->first, it->second);
-      mem_->Remove(it->second.ref);
-      it = pages_.erase(it);
-    } else {
-      ++it;
+  pages_.EraseIf([&](std::uint64_t key, FrameId ref) {
+    if (KeyInum(key) != inum) {
+      return false;
     }
-  }
-  per_file_count_.erase(inum);
+    ClearDirty(ref);
+    mem_->Remove(ref);
+    return true;
+  });
+  per_file_count_.Erase(inum);
 }
 
 void PageCache::DropFilePagesFrom(Inum inum, std::uint64_t first_page) {
-  for (auto it = pages_.begin(); it != pages_.end();) {
-    if (KeyInum(it->first) == inum && KeyPage(it->first) >= first_page) {
-      ClearDirty(it->first, it->second);
-      mem_->Remove(it->second.ref);
-      it = pages_.erase(it);
-      if (--per_file_count_[inum] == 0) {
-        per_file_count_.erase(inum);
-      }
-    } else {
-      ++it;
+  pages_.EraseIf([&](std::uint64_t key, FrameId ref) {
+    if (KeyInum(key) != inum || KeyPage(key) < first_page) {
+      return false;
     }
-  }
+    ClearDirty(ref);
+    mem_->Remove(ref);
+    std::uint64_t* count = per_file_count_.Find(inum);
+    if (--*count == 0) {
+      per_file_count_.Erase(inum);
+    }
+    return true;
+  });
 }
 
 void PageCache::DropAll(std::vector<std::pair<Inum, std::uint64_t>>* dirty_dropped) {
-  for (auto& [key, entry] : pages_) {
-    if (entry.dirty_it.has_value() && dirty_dropped != nullptr) {
+  pages_.ForEach([&](std::uint64_t key, FrameId ref) {
+    if (mem_->frames().dirty(ref) && dirty_dropped != nullptr) {
       dirty_dropped->emplace_back(KeyInum(key), KeyPage(key));
     }
-    mem_->Remove(entry.ref);
-  }
-  pages_.clear();
-  per_file_count_.clear();
-  dirty_order_.clear();
+    mem_->Remove(ref);
+  });
+  pages_.Clear();
+  per_file_count_.Clear();
+  dirty_order_.Clear();
 }
 
 std::vector<std::pair<Inum, std::uint64_t>> PageCache::TakeOldestDirty(
     std::uint64_t max_pages) {
   std::vector<std::pair<Inum, std::uint64_t>> result;
   while (!dirty_order_.empty() && result.size() < max_pages) {
-    const std::uint64_t key = dirty_order_.front();
-    auto it = pages_.find(key);
-    assert(it != pages_.end());
-    result.emplace_back(KeyInum(key), KeyPage(key));
-    ClearDirty(key, it->second);
+    const FrameId ref = dirty_order_.front();
+    result.emplace_back(static_cast<Inum>(mem_->frames().key1(ref)),
+                        mem_->frames().key2(ref));
+    ClearDirty(ref);
   }
   return result;
 }
 
 std::vector<std::uint64_t> PageCache::TakeDirtyOfFile(Inum inum) {
   std::vector<std::uint64_t> result;
-  for (auto it = dirty_order_.begin(); it != dirty_order_.end();) {
-    if (KeyInum(*it) == inum) {
-      result.push_back(KeyPage(*it));
-      auto entry_it = pages_.find(*it);
-      assert(entry_it != pages_.end());
-      entry_it->second.dirty_it = std::nullopt;
-      mem_->MarkClean(entry_it->second.ref);
-      it = dirty_order_.erase(it);
-    } else {
-      ++it;
+  FrameId ref = dirty_order_.front();
+  while (ref != kNoFrame) {
+    const FrameId next = DirtyList::Next(mem_->frames(), ref);
+    if (static_cast<Inum>(mem_->frames().key1(ref)) == inum) {
+      result.push_back(mem_->frames().key2(ref));
+      dirty_order_.Remove(mem_->frames(), ref);
+      mem_->MarkClean(ref);
     }
+    ref = next;
   }
   return result;
 }
@@ -146,20 +141,19 @@ std::uint64_t PageCache::CleanDirtyRunAfter(Inum inum, std::uint64_t page,
                                             std::uint64_t max_pages) {
   std::uint64_t n = 0;
   while (n < max_pages) {
-    const std::uint64_t key = Key(inum, page + 1 + n);
-    const auto it = pages_.find(key);
-    if (it == pages_.end() || !it->second.dirty_it.has_value()) {
+    FrameId* ref = pages_.Find(Key(inum, page + 1 + n));
+    if (ref == nullptr || !mem_->frames().dirty(*ref)) {
       break;
     }
-    ClearDirty(key, it->second);
+    ClearDirty(*ref);
     ++n;
   }
   return n;
 }
 
 std::uint64_t PageCache::ResidentPagesOfFile(Inum inum) const {
-  const auto it = per_file_count_.find(inum);
-  return it == per_file_count_.end() ? 0 : it->second;
+  const std::uint64_t* count = per_file_count_.Find(inum);
+  return count == nullptr ? 0 : *count;
 }
 
 }  // namespace graysim

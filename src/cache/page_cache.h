@@ -4,23 +4,31 @@
 // replacement policy) and all timing is charged by the Os layer. The cache
 // also tracks dirty pages in age order so the Os can model write-behind and
 // fsync.
+//
+// Hot-path layout: the residency map is an open-addressed FlatMap from the
+// packed (inum, page) key to a FrameId, and the dirty chain is intrusive in
+// the shared FrameTable (dirty_prev/dirty_next ids in each frame), so the
+// access / insert / dirty paths perform no heap allocation. A file page's
+// Page::dirty bit is exactly "on the dirty chain".
 #ifndef SRC_CACHE_PAGE_CACHE_H_
 #define SRC_CACHE_PAGE_CACHE_H_
 
 #include <cstdint>
-#include <list>
-#include <optional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/fs/ffs.h"
 #include "src/mem/mem_system.h"
 #include "src/sim/clock.h"
+#include "src/sim/flat_map.h"
 
 namespace graysim {
 
 class PageCache {
  public:
-  explicit PageCache(MemSystem* mem) : mem_(mem) {}
+  explicit PageCache(MemSystem* mem) : mem_(mem) {
+    pages_.Reserve(mem->total_pages());
+  }
 
   PageCache(const PageCache&) = delete;
   PageCache& operator=(const PageCache&) = delete;
@@ -29,7 +37,7 @@ class PageCache {
   bool Access(Inum inum, std::uint64_t page);
 
   [[nodiscard]] bool Resident(Inum inum, std::uint64_t page) const {
-    return pages_.contains(Key(inum, page));
+    return pages_.Contains(Key(inum, page));
   }
 
   // Inserts a page after a disk read (or for a write). Returns false when
@@ -76,11 +84,6 @@ class PageCache {
   [[nodiscard]] std::uint64_t ResidentPagesOfFile(Inum inum) const;
 
  private:
-  struct Entry {
-    MemSystem::PageRef ref;
-    std::optional<std::list<std::uint64_t>::iterator> dirty_it;
-  };
-
   // Key packing: the full 32-bit (disk-tagged) inum in the high bits and a
   // 32-bit page index below it. Page indexes stay < 2^32 (that would be a
   // 16 TB file at 4 KB pages; the modeled disks are 9 GB).
@@ -90,12 +93,13 @@ class PageCache {
   static Inum KeyInum(std::uint64_t key) { return static_cast<Inum>(key >> 32); }
   static std::uint64_t KeyPage(std::uint64_t key) { return key & 0xFFFFFFFFULL; }
 
-  void ClearDirty(std::uint64_t key, Entry& entry);
+  // Unlinks the frame from the dirty chain if dirty (clearing Page::dirty).
+  void ClearDirty(FrameId frame);
 
   MemSystem* mem_;
-  std::unordered_map<std::uint64_t, Entry> pages_;
-  std::unordered_map<Inum, std::uint64_t> per_file_count_;
-  std::list<std::uint64_t> dirty_order_;  // keys, oldest first
+  FlatMap<FrameId> pages_;               // packed key -> frame id
+  FlatMap<std::uint64_t> per_file_count_;  // inum -> resident pages
+  DirtyList dirty_order_;                // intrusive chain, oldest first
 };
 
 }  // namespace graysim

@@ -6,7 +6,7 @@
 namespace graysim {
 
 Nanos DiskQueue::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
-                        std::function<void()> on_complete) {
+                        CompletionFn on_complete) {
   const bool coalesce =
       depth_ > 0 && is_write == tail_is_write_ && offset == tail_end_offset_;
   Nanos service = coalesce ? disk_->SequentialExtend(offset, bytes, is_write)
@@ -27,7 +27,7 @@ Nanos DiskQueue::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write
   ++depth_;
   max_depth_ = std::max(max_depth_, depth_);
   events_->ScheduleAt(completion, EventQueue::Band::kCompletion,
-                      [this, cb = std::move(on_complete)] {
+                      [this, cb = on_complete]() mutable {
                         --depth_;
                         if (cb) {
                           cb();

@@ -22,14 +22,21 @@
 #include "src/disk/disk.h"
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/inline_fn.h"
 
 namespace graysim {
 
 class DiskQueue {
  public:
   // `jitter` (optional) perturbs each request's service time; the Os wires
-  // its seeded timing jitter through it.
+  // its seeded timing jitter through it. Installed once at setup, so the
+  // std::function indirection costs nothing per request.
   using Jitter = std::function<Nanos(Nanos)>;
+
+  // Completion callbacks are stored inline (nested inside the completion
+  // event), so submitting a request never allocates. 48 bytes fits the Os's
+  // read-fill closure (this + inum + page range + token + flag).
+  using CompletionFn = InlineFn<48>;
 
   DiskQueue(Disk* disk, SimClock* clock, EventQueue* events)
       : disk_(disk), clock_(clock), events_(events) {}
@@ -43,7 +50,7 @@ class DiskQueue {
   // completion time; `on_complete` (may be null) runs at that instant in
   // Band::kCompletion — before any process waking at the same time.
   Nanos Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
-               std::function<void()> on_complete);
+               CompletionFn on_complete);
 
   // Timeline position after the last queued request completes.
   [[nodiscard]] Nanos busy_until() const { return busy_until_; }

@@ -10,9 +10,12 @@ MemSystem::MemSystem(Config config) : config_(config) {
     assert(config_.file_cache_pages > 0);
     assert(config_.file_cache_pages < config_.total_pages);
   }
+  // The slab can never exceed the physical pool: Insert evicts or denies
+  // first. Reserving it up front makes Allocate allocation-free forever.
+  frames_.Reserve(config_.total_pages);
 }
 
-std::list<Page>* MemSystem::GlobalLruList() {
+LruList* MemSystem::GlobalLruList() {
   if (file_lru_.empty() && anon_lru_.empty()) {
     return nullptr;
   }
@@ -22,12 +25,13 @@ std::list<Page>* MemSystem::GlobalLruList() {
   if (anon_lru_.empty()) {
     return &file_lru_;
   }
-  return file_lru_.front().last_touch <= anon_lru_.front().last_touch ? &file_lru_
-                                                                      : &anon_lru_;
+  return frames_.last_touch(file_lru_.front()) <= frames_.last_touch(anon_lru_.front())
+             ? &file_lru_
+             : &anon_lru_;
 }
 
 bool MemSystem::EvictOne(PageKind incoming, Nanos* evict_cost) {
-  std::list<Page>* victim_list = nullptr;
+  LruList* victim_list = nullptr;
   switch (config_.policy) {
     case MemPolicy::kUnifiedLru: {
       // Prefer reclaiming file pages while the file cache holds a
@@ -57,36 +61,40 @@ bool MemSystem::EvictOne(PageKind incoming, Nanos* evict_cost) {
   if (victim_list == nullptr || victim_list->empty()) {
     return false;
   }
-  PageRef victim = victim_list->begin();
-  if (victim_list == &file_lru_ && victim->dirty) {
+  FrameId victim = victim_list->front();
+  if (victim_list == &file_lru_ && frames_.dirty(victim)) {
     // Prefer a clean file page among the oldest few: reclaiming a dirty
     // page forces a synchronous single-page writeback, which kernels avoid
     // while clean pages are available (the write-behind flusher handles
     // dirty data in coalesced batches).
-    PageRef scan = victim;
-    for (int k = 0; k < 64 && scan != file_lru_.end(); ++k, ++scan) {
-      if (!scan->dirty) {
+    FrameId scan = victim;
+    for (int k = 0; k < 64 && scan != kNoFrame; ++k, scan = LruList::Next(frames_, scan)) {
+      if (!frames_.dirty(scan)) {
         victim = scan;
         break;
       }
     }
   }
-  if (evict_fn_) {
-    *evict_cost += evict_fn_(*victim);
+  // Copy out before the handler runs: it unlinks the page from its owner
+  // (cache map / pte) and must see stable contents.
+  const Page victim_page = frames_.PageOf(victim);
+  if (evict_handler_ != nullptr) {
+    *evict_cost += evict_handler_->OnEvict(victim_page);
   }
   ++stats_.evictions;
-  if (victim->kind == PageKind::kFile) {
+  if (victim_page.kind == PageKind::kFile) {
     ++stats_.file_evictions;
     --file_pages_;
   } else {
     ++stats_.anon_evictions;
     --anon_pages_;
   }
-  victim_list->erase(victim);
+  victim_list->Remove(frames_, victim);
+  frames_.Release(victim);
   return true;
 }
 
-std::optional<MemSystem::PageRef> MemSystem::Insert(Page page, Nanos* evict_cost) {
+MemSystem::PageRef MemSystem::Insert(Page page, Nanos* evict_cost) {
   assert(evict_cost != nullptr);
   const PageKind kind = page.kind;
 
@@ -108,34 +116,36 @@ std::optional<MemSystem::PageRef> MemSystem::Insert(Page page, Nanos* evict_cost
   while (needs_eviction()) {
     if (!EvictOne(kind, evict_cost)) {
       ++stats_.admissions_denied;
-      return std::nullopt;
+      return kNoFrame;
     }
   }
 
   page.last_touch = ++touch_seq_;
-  std::list<Page>& list = ListFor(kind);
-  list.push_back(page);
+  const FrameId id = frames_.Allocate();
+  frames_.SetPage(id, page);
+  ListFor(kind).PushBack(frames_, id);
   if (kind == PageKind::kFile) {
     ++file_pages_;
   } else {
     ++anon_pages_;
   }
-  return std::prev(list.end());
+  return id;
 }
 
 void MemSystem::Touch(PageRef ref) {
-  ref->last_touch = ++touch_seq_;
-  std::list<Page>& list = ListFor(ref->kind);
-  list.splice(list.end(), list, ref);
+  frames_.set_last_touch(ref, ++touch_seq_);
+  ListFor(frames_.kind(ref)).MoveToBack(frames_, ref);
 }
 
 void MemSystem::Remove(PageRef ref) {
-  if (ref->kind == PageKind::kFile) {
+  const PageKind kind = frames_.kind(ref);
+  if (kind == PageKind::kFile) {
     --file_pages_;
   } else {
     --anon_pages_;
   }
-  ListFor(ref->kind).erase(ref);
+  ListFor(kind).Remove(frames_, ref);
+  frames_.Release(ref);
 }
 
 bool MemSystem::EvictCleanFileOne() {
@@ -148,25 +158,26 @@ bool MemSystem::EvictCleanFileOne() {
     // memory; that reclaim is never free.
     return false;
   }
-  PageRef victim = file_lru_.end();
-  PageRef scan = file_lru_.begin();
-  for (int k = 0; k < 64 && scan != file_lru_.end(); ++k, ++scan) {
-    if (!scan->dirty) {
+  FrameId victim = kNoFrame;
+  FrameId scan = file_lru_.front();
+  for (int k = 0; k < 64 && scan != kNoFrame; ++k, scan = LruList::Next(frames_, scan)) {
+    if (!frames_.dirty(scan)) {
       victim = scan;
       break;
     }
   }
-  if (victim == file_lru_.end()) {
+  if (victim == kNoFrame) {
     return false;  // oldest pages are all dirty: wait for the flusher
   }
-  Nanos unused_cost = 0;
-  if (evict_fn_) {
-    unused_cost += evict_fn_(*victim);
+  const Page victim_page = frames_.PageOf(victim);
+  if (evict_handler_ != nullptr) {
+    (void)evict_handler_->OnEvict(victim_page);  // clean: no I/O cost
   }
   ++stats_.evictions;
   ++stats_.file_evictions;
   --file_pages_;
-  file_lru_.erase(victim);
+  file_lru_.Remove(frames_, victim);
+  frames_.Release(victim);
   return true;
 }
 

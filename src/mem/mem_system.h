@@ -18,21 +18,21 @@
 //    file is placed in the Solaris file cache, it is quite difficult to
 //    dislodge"). Anonymous demand still reclaims file pages.
 //
-// Eviction I/O (writeback / swap-out) is delegated to an owner-installed
-// handler so the Os can charge the cost to the faulting process.
+// Frames live in a contiguous FrameTable and the LRU lists are intrusive
+// (see frame_table.h), so the per-touch hot path performs no heap
+// allocation. Eviction I/O (writeback / swap-out) is delegated to an
+// owner-installed EvictionHandler so the Os can charge the cost to the
+// faulting process; the handler is a plain interface pointer — installing
+// and invoking it never allocates either.
 #ifndef SRC_MEM_MEM_SYSTEM_H_
 #define SRC_MEM_MEM_SYSTEM_H_
 
 #include <cstdint>
-#include <functional>
-#include <list>
-#include <optional>
 
+#include "src/mem/frame_table.h"
 #include "src/sim/clock.h"
 
 namespace graysim {
-
-enum class PageKind : std::uint8_t { kFile, kAnon };
 
 enum class MemPolicy : std::uint8_t {
   kUnifiedLru,            // Linux 2.2-like
@@ -40,19 +40,24 @@ enum class MemPolicy : std::uint8_t {
   kStickyFile,            // Solaris 7-like
 };
 
-struct Page {
-  PageKind kind;
-  std::uint64_t key1;  // file: inode number | anon: pid
-  std::uint64_t key2;  // file: page index  | anon: virtual page number
-  bool dirty = false;
-  std::uint64_t last_touch = 0;  // global touch sequence number
-};
-
 struct MemStats {
   std::uint64_t evictions = 0;
   std::uint64_t file_evictions = 0;
   std::uint64_t anon_evictions = 0;
   std::uint64_t admissions_denied = 0;
+
+  friend bool operator==(const MemStats&, const MemStats&) = default;
+};
+
+// Owner hook for eviction I/O: unmaps the page from its owner and returns
+// the I/O cost of eviction (writeback for dirty file pages, swap-out for
+// anon pages).
+class EvictionHandler {
+ public:
+  virtual Nanos OnEvict(const Page& page) = 0;
+
+ protected:
+  ~EvictionHandler() = default;
 };
 
 class MemSystem {
@@ -67,25 +72,24 @@ class MemSystem {
   // the file cache before it starts swapping anonymous pages (1/16).
   static constexpr std::uint64_t kMinFileShareDivisor = 16;
 
-  using PageRef = std::list<Page>::iterator;
-  // Unmaps the page from its owner and returns the I/O cost of eviction
-  // (writeback for dirty file pages, swap-out for anon pages).
-  using EvictFn = std::function<Nanos(const Page&)>;
+  // A resident page is named by its frame id; kNoFrame means "no page"
+  // (admission denied).
+  using PageRef = FrameId;
 
   explicit MemSystem(Config config);
 
-  void set_evict_handler(EvictFn fn) { evict_fn_ = std::move(fn); }
+  void set_evict_handler(EvictionHandler* handler) { evict_handler_ = handler; }
 
-  // Inserts a page, evicting if necessary. Returns nullopt when the policy
+  // Inserts a page, evicting if necessary. Returns kNoFrame when the policy
   // refuses admission (sticky policy, file page, pool full). Eviction I/O
   // cost is accumulated into *evict_cost.
-  [[nodiscard]] std::optional<PageRef> Insert(Page page, Nanos* evict_cost);
+  [[nodiscard]] PageRef Insert(Page page, Nanos* evict_cost);
 
   // Moves the page to the MRU end of its list.
   void Touch(PageRef ref);
 
-  void MarkDirty(PageRef ref) { ref->dirty = true; }
-  void MarkClean(PageRef ref) { ref->dirty = false; }
+  void MarkDirty(PageRef ref) { frames_.set_dirty(ref, true); }
+  void MarkClean(PageRef ref) { frames_.set_dirty(ref, false); }
 
   // Frees the frame without writeback; the caller is responsible for any
   // bookkeeping (used by unlink/truncate/VmFree).
@@ -112,6 +116,12 @@ class MemSystem {
   [[nodiscard]] const MemStats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
+  // The shared frame slab: PageCache threads its dirty chain through it and
+  // reads page identities by frame id.
+  [[nodiscard]] FrameTable& frames() { return frames_; }
+  [[nodiscard]] const FrameTable& frames() const { return frames_; }
+  [[nodiscard]] Page page(PageRef ref) const { return frames_.PageOf(ref); }
+
  private:
   // Evicts one page to make room for a page of `incoming` kind. Returns
   // false if nothing can be evicted (admission must be denied).
@@ -121,18 +131,19 @@ class MemSystem {
   // policy currently reclaims from it); false when none qualifies.
   bool EvictCleanFileOne();
 
-  // The globally least-recently-touched page across both lists; nullopt
-  // when empty.
-  [[nodiscard]] std::list<Page>* GlobalLruList();
+  // The list holding the globally least-recently-touched page across both
+  // kinds; nullptr when both are empty.
+  [[nodiscard]] LruList* GlobalLruList();
 
-  [[nodiscard]] std::list<Page>& ListFor(PageKind kind) {
+  [[nodiscard]] LruList& ListFor(PageKind kind) {
     return kind == PageKind::kFile ? file_lru_ : anon_lru_;
   }
 
   Config config_;
-  EvictFn evict_fn_;
-  std::list<Page> file_lru_;
-  std::list<Page> anon_lru_;
+  EvictionHandler* evict_handler_ = nullptr;
+  FrameTable frames_;
+  LruList file_lru_;
+  LruList anon_lru_;
   std::uint64_t file_pages_ = 0;
   std::uint64_t anon_pages_ = 0;
   std::uint64_t touch_seq_ = 0;

@@ -63,46 +63,48 @@ Os::Os(PlatformProfile profile, MachineConfig config)
   page_daemon_low_pages_ = std::min<std::uint64_t>(256, mem_.total_pages() / 64);
   page_daemon_high_pages_ = 2 * page_daemon_low_pages_;
 
-  mem_.set_evict_handler([this](const Page& page) -> Nanos {
-    if (page.kind == PageKind::kFile) {
-      const Inum tagged = static_cast<Inum>(page.key1);
-      // Cluster writeback: when reclaim lands on a dirty page, clean the
-      // contiguous dirty run behind it in the same request (those pages are
-      // next in LRU order anyway and will be reclaimed for free once clean).
-      std::uint64_t run = 0;
-      if (page.dirty) {
-        run = cache_.CleanDirtyRunAfter(tagged, page.key2, 255);
-      }
-      const bool dirty = cache_.OnEvicted(page);
-      if (!dirty) {
-        return 0;
-      }
-      const int disk = DiskOfInum(tagged);
-      std::uint64_t block = page.key2;
-      if (!IsMetaInum(tagged)) {
-        if (filesystems_[disk]->BlockOf(LocalInum(tagged), page.key2, &block) != FsErr::kOk) {
-          return 0;  // file vanished concurrently; nothing to write
-        }
-      }
-      os_stats_.writeback_pages += 1 + run;
-      const Nanos done = SubmitDiskIo(disk, block, 1 + run, /*is_write=*/true, nullptr);
-      if (!in_background_) {
-        // Direct reclaim in process context: the faulting process waits for
-        // this writeback (DrainDirectReclaim), as real kernels make it.
-        direct_reclaim_wait_ = std::max(direct_reclaim_wait_, done);
-      }
+  mem_.set_evict_handler(this);
+
+  fd_tables_.resize(1);  // default pid 0
+}
+
+Nanos Os::OnEvict(const Page& page) {
+  if (page.kind == PageKind::kFile) {
+    const Inum tagged = static_cast<Inum>(page.key1);
+    // Cluster writeback: when reclaim lands on a dirty page, clean the
+    // contiguous dirty run behind it in the same request (those pages are
+    // next in LRU order anyway and will be reclaimed for free once clean).
+    std::uint64_t run = 0;
+    if (page.dirty) {
+      run = cache_.CleanDirtyRunAfter(tagged, page.key2, 255);
+    }
+    const bool dirty = cache_.OnEvicted(page);
+    if (!dirty) {
       return 0;
     }
-    const std::uint64_t slot = vm_.OnEvicted(page);
-    ++os_stats_.swap_outs;
-    const Nanos done = SubmitSwapIo(slot, /*is_write=*/true);
+    const int disk = DiskOfInum(tagged);
+    std::uint64_t block = page.key2;
+    if (!IsMetaInum(tagged)) {
+      if (filesystems_[disk]->BlockOf(LocalInum(tagged), page.key2, &block) != FsErr::kOk) {
+        return 0;  // file vanished concurrently; nothing to write
+      }
+    }
+    os_stats_.writeback_pages += 1 + run;
+    const Nanos done = SubmitDiskIo(disk, block, 1 + run, /*is_write=*/true, nullptr);
     if (!in_background_) {
+      // Direct reclaim in process context: the faulting process waits for
+      // this writeback (DrainDirectReclaim), as real kernels make it.
       direct_reclaim_wait_ = std::max(direct_reclaim_wait_, done);
     }
     return 0;
-  });
-
-  fd_tables_.resize(1);  // default pid 0
+  }
+  const std::uint64_t slot = vm_.OnEvicted(page);
+  ++os_stats_.swap_outs;
+  const Nanos done = SubmitSwapIo(slot, /*is_write=*/true);
+  if (!in_background_) {
+    direct_reclaim_wait_ = std::max(direct_reclaim_wait_, done);
+  }
+  return 0;
 }
 
 // ---- helpers ----
@@ -141,12 +143,9 @@ Nanos Os::Jittered(Nanos cost) {
 
 void Os::Charge(Pid pid, Nanos cost) {
   cost = Jittered(cost);
-  if (in_scheduler_run_) {
-    const auto it = sched_index_.find(pid);
-    if (it != sched_index_.end()) {
-      scheduler_.Charge(it->second, cost);
-      return;
-    }
+  if (in_scheduler_run_ && pid < sched_slots_.size() && sched_slots_[pid] >= 0) {
+    scheduler_.Charge(sched_slots_[pid], cost);
+    return;
   }
   clock_.Advance(cost);
   if (events_.next_time() <= clock_.now()) {
@@ -155,13 +154,10 @@ void Os::Charge(Pid pid, Nanos cost) {
 }
 
 void Os::WaitUntil(Pid pid, Nanos deadline) {
-  if (in_scheduler_run_) {
-    const auto it = sched_index_.find(pid);
-    if (it != sched_index_.end()) {
-      // Blocking releases the CPU: other processes run until the deadline.
-      scheduler_.SleepUntil(it->second, deadline);
-      return;
-    }
+  if (in_scheduler_run_ && pid < sched_slots_.size() && sched_slots_[pid] >= 0) {
+    // Blocking releases the CPU: other processes run until the deadline.
+    scheduler_.SleepUntil(sched_slots_[pid], deadline);
+    return;
   }
   if (deadline > clock_.now()) {
     clock_.AdvanceTo(deadline);
@@ -178,17 +174,8 @@ void Os::DrainDirectReclaim(Pid pid) {
   WaitUntil(pid, deadline);
 }
 
-std::function<void()> Os::Background(std::function<void()> fn) {
-  return [this, fn = std::move(fn)] {
-    const bool prev = in_background_;
-    in_background_ = true;
-    fn();
-    in_background_ = prev;
-  };
-}
-
 Nanos Os::SubmitDiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write,
-                       std::function<void()> on_complete) {
+                       DiskQueue::CompletionFn on_complete) {
   if (is_write) {
     ++os_stats_.disk_writes;
   } else {
@@ -196,7 +183,7 @@ Nanos Os::SubmitDiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool 
   }
   ++os_stats_.queued_disk_requests;
   return disk_queues_[disk]->Submit(block * config_.page_size, pages * config_.page_size,
-                                    is_write, std::move(on_complete));
+                                    is_write, on_complete);
 }
 
 Nanos Os::SubmitSwapIo(std::uint64_t slot, bool is_write) {
@@ -216,9 +203,9 @@ Nanos Os::SubmitReadFill(int disk, Inum tagged, std::uint64_t first_page,
   const std::uint64_t token = next_read_token_++;
   const Nanos done = SubmitDiskIo(
       disk, start_block, npages, /*is_write=*/false,
-      Background([this, tagged, first_page, npages, token, readahead] {
+      [this, tagged, first_page, npages, token, readahead] {
         FillPages(tagged, first_page, npages, token, readahead);
-      }));
+      });
   for (std::uint64_t k = 0; k < npages; ++k) {
     inflight_reads_[PageKey(tagged, first_page + k)] = InflightRead{done, token};
   }
@@ -227,13 +214,14 @@ Nanos Os::SubmitReadFill(int disk, Inum tagged, std::uint64_t first_page,
 
 void Os::FillPages(Inum tagged, std::uint64_t first_page, std::uint64_t npages,
                    std::uint64_t token, bool readahead) {
+  BackgroundScope background(this);  // runs off a completion event
   for (std::uint64_t k = 0; k < npages; ++k) {
     const std::uint64_t page = first_page + k;
-    const auto it = inflight_reads_.find(PageKey(tagged, page));
-    if (it == inflight_reads_.end() || it->second.token != token) {
+    const InflightRead* fill = inflight_reads_.Find(PageKey(tagged, page));
+    if (fill == nullptr || fill->token != token) {
       continue;  // invalidated (truncate/unlink/flush) while in flight
     }
-    inflight_reads_.erase(it);
+    inflight_reads_.Erase(PageKey(tagged, page));
     if (cache_.Resident(tagged, page)) {
       continue;  // dirtied by an overlapping write while the read was queued
     }
@@ -247,15 +235,9 @@ void Os::FillPages(Inum tagged, std::uint64_t first_page, std::uint64_t npages,
 }
 
 void Os::InvalidateInflight(Inum tagged, std::uint64_t from_page) {
-  for (auto it = inflight_reads_.begin(); it != inflight_reads_.end();) {
-    const Inum key_inum = static_cast<Inum>(it->first >> 32);
-    const std::uint64_t key_page = it->first & 0xFFFFFFFFULL;
-    if (key_inum == tagged && key_page >= from_page) {
-      it = inflight_reads_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  inflight_reads_.EraseIf([tagged, from_page](std::uint64_t key, const InflightRead&) {
+    return static_cast<Inum>(key >> 32) == tagged && (key & 0xFFFFFFFFULL) >= from_page;
+  });
 }
 
 void Os::MetaRead(Pid pid, int disk, std::uint64_t block) {
@@ -266,8 +248,8 @@ void Os::MetaRead(Pid pid, int disk, std::uint64_t block) {
     return;
   }
   ++os_stats_.cache_misses;
-  if (const auto it = inflight_reads_.find(PageKey(meta, block)); it != inflight_reads_.end()) {
-    WaitUntil(pid, it->second.completion);
+  if (const InflightRead* fill = inflight_reads_.Find(PageKey(meta, block)); fill != nullptr) {
+    WaitUntil(pid, fill->completion);
   } else {
     WaitUntil(pid, SubmitReadFill(disk, meta, block, 1, block, /*readahead=*/false));
   }
@@ -352,14 +334,16 @@ void Os::RunProcesses(const std::vector<std::function<void(Pid)>>& bodies) {
   assert(!in_scheduler_run_);
   std::vector<Pid> pids;
   pids.reserve(bodies.size());
-  sched_index_.clear();
   for (std::size_t i = 0; i < bodies.size(); ++i) {
     const Pid pid = next_pid_++;
     pids.push_back(pid);
-    sched_index_[pid] = static_cast<int>(i);
     if (pid >= fd_tables_.size()) {
       fd_tables_.resize(pid + 1);
     }
+  }
+  sched_slots_.assign(next_pid_, -1);
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    sched_slots_[pids[i]] = static_cast<int>(i);
   }
   std::vector<std::function<void(int)>> wrapped;
   wrapped.reserve(bodies.size());
@@ -374,7 +358,7 @@ void Os::RunProcesses(const std::vector<std::function<void(Pid)>>& bodies) {
   in_scheduler_run_ = true;
   scheduler_.Run(wrapped);
   in_scheduler_run_ = false;
-  sched_index_.clear();
+  std::fill(sched_slots_.begin(), sched_slots_.end(), -1);
 }
 
 void Os::Sleep(Pid pid, Nanos duration) { WaitUntil(pid, clock_.now() + duration); }
@@ -486,8 +470,8 @@ std::int64_t Os::PreadImpl(Pid pid, int fd, std::span<std::uint8_t> buf, std::ui
     ++os_stats_.cache_misses;
     // A readahead (or a concurrent reader's demand fetch) already has this
     // page on the wire: wait for that request instead of re-issuing it.
-    if (const auto it = inflight_reads_.find(PageKey(tagged, p)); it != inflight_reads_.end()) {
-      WaitUntil(pid, it->second.completion);
+    if (const InflightRead* fill = inflight_reads_.Find(PageKey(tagged, p)); fill != nullptr) {
+      WaitUntil(pid, fill->completion);
       (void)cache_.Access(tagged, p);
       copy_cost += config_.costs.CopyCost(hi - lo);
       continue;
@@ -504,7 +488,7 @@ std::int64_t Os::PreadImpl(Pid pid, int fd, std::span<std::uint8_t> buf, std::ui
         break;
       }
       if (cache_.Resident(tagged, p + run) ||
-          inflight_reads_.contains(PageKey(tagged, p + run))) {
+          inflight_reads_.Contains(PageKey(tagged, p + run))) {
         break;
       }
       ++run;
@@ -524,7 +508,7 @@ std::int64_t Os::PreadImpl(Pid pid, int fd, std::span<std::uint8_t> buf, std::ui
         if (f.BlockOf(e->inum, q, &b) != FsErr::kOk || b != start_block + (q - p)) {
           break;
         }
-        if (cache_.Resident(tagged, q) || inflight_reads_.contains(PageKey(tagged, q))) {
+        if (cache_.Resident(tagged, q) || inflight_reads_.Contains(PageKey(tagged, q))) {
           break;
         }
         ++ra_run;
@@ -585,9 +569,9 @@ std::int64_t Os::Pwrite(Pid pid, int fd, std::uint64_t len, std::uint64_t offset
     if (!covers_whole_page && existed_before && !cache_.Resident(tagged, p)) {
       // Read-modify-write of a partially overwritten page.
       ++os_stats_.cache_misses;
-      if (const auto it = inflight_reads_.find(PageKey(tagged, p));
-          it != inflight_reads_.end()) {
-        WaitUntil(pid, it->second.completion);
+      if (const InflightRead* fill = inflight_reads_.Find(PageKey(tagged, p));
+          fill != nullptr) {
+        WaitUntil(pid, fill->completion);
       } else {
         std::uint64_t block = 0;
         if (f.BlockOf(e->inum, p, &block) == FsErr::kOk) {
@@ -1036,10 +1020,11 @@ void Os::MaybeWakeFlushDaemon() {
   }
   flush_daemon_scheduled_ = true;
   events_.ScheduleAt(clock_.now(), EventQueue::Band::kCompletion,
-                     Background([this] { FlushDaemonRun(); }));
+                     [this] { FlushDaemonRun(); });
 }
 
 void Os::FlushDaemonRun() {
+  BackgroundScope background(this);  // daemon work runs off an event, not a process
   flush_daemon_scheduled_ = false;
   ++os_stats_.daemon_wakeups;
   if (cache_.dirty_pages() <= dirty_limit_pages_) {
@@ -1059,10 +1044,11 @@ void Os::MaybeWakePageDaemon() {
   }
   page_daemon_scheduled_ = true;
   events_.ScheduleAt(clock_.now(), EventQueue::Band::kCompletion,
-                     Background([this] { PageDaemonRun(); }));
+                     [this] { PageDaemonRun(); });
 }
 
 void Os::PageDaemonRun() {
+  BackgroundScope background(this);  // daemon work runs off an event, not a process
   ++os_stats_.daemon_wakeups;
   if (mem_.free_pages() >= page_daemon_high_pages_) {
     page_daemon_scheduled_ = false;
@@ -1078,7 +1064,7 @@ void Os::PageDaemonRun() {
     return;
   }
   events_.ScheduleAt(clock_.now() + kPageDaemonTick, EventQueue::Band::kCompletion,
-                     Background([this] { PageDaemonRun(); }));
+                     [this] { PageDaemonRun(); });
 }
 
 Nanos Os::SubmitWritebackRuns(std::vector<std::pair<Inum, std::uint64_t>> pages) {
@@ -1126,7 +1112,7 @@ Nanos Os::SubmitWritebackRuns(std::vector<std::pair<Inum, std::uint64_t>> pages)
 
 void Os::FlushFileCache() {
   cache_.DropAll(nullptr);
-  inflight_reads_.clear();
+  inflight_reads_.Clear();
 }
 
 bool Os::PageResidentPath(std::string_view path, std::uint64_t page_index) const {

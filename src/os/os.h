@@ -27,7 +27,6 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cache/page_cache.h"
@@ -39,6 +38,7 @@
 #include "src/os/scheduler.h"
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/flat_map.h"
 #include "src/sim/rng.h"
 #include "src/vm/vm.h"
 
@@ -82,7 +82,10 @@ struct BatchOpResult {
   std::int64_t rc = 0;
 };
 
-class Os {
+// Os implements MemSystem's EvictionHandler directly (private base): the
+// eviction hot path is a virtual call into OnEvict, with no std::function
+// allocation or indirection.
+class Os : private EvictionHandler {
  public:
   explicit Os(PlatformProfile profile, MachineConfig config = MachineConfig{});
 
@@ -180,6 +183,9 @@ class Os {
     return mem_.total_pages() * config_.page_size;
   }
   [[nodiscard]] const OsStats& stats() const { return os_stats_; }
+  // Total events ever scheduled on the kernel queue — the natural "ops"
+  // denominator for host-side throughput numbers in the benches.
+  [[nodiscard]] std::uint64_t events_scheduled() const { return events_.scheduled_total(); }
   [[nodiscard]] const MemStats& mem_stats() const { return mem_.stats(); }
   [[nodiscard]] const DiskStats& disk_stats(int disk) const { return disks_[disk].stats(); }
   [[nodiscard]] const DiskQueue& disk_queue(int disk) const { return *disk_queues_[disk]; }
@@ -235,14 +241,31 @@ class Os {
   // process-context reclaim wait of the modeled kernels.
   void DrainDirectReclaim(Pid pid);
 
-  // Wraps an event closure so evictions it triggers are recognized as
-  // background work (no direct-reclaim wait is recorded).
-  [[nodiscard]] std::function<void()> Background(std::function<void()> fn);
+  // MemSystem eviction callback (file writeback / swap-out); see the
+  // EvictionHandler base.
+  Nanos OnEvict(const Page& page) override;
+
+  // RAII marker for work running off the event queue (daemons, cache
+  // fills): evictions it triggers are background, so no direct-reclaim
+  // wait is recorded against a foreground process.
+  class BackgroundScope {
+   public:
+    explicit BackgroundScope(Os* os) : os_(os), prev_(os->in_background_) {
+      os_->in_background_ = true;
+    }
+    ~BackgroundScope() { os_->in_background_ = prev_; }
+    BackgroundScope(const BackgroundScope&) = delete;
+    BackgroundScope& operator=(const BackgroundScope&) = delete;
+
+   private:
+    Os* os_;
+    bool prev_;
+  };
 
   // Submits a request to a device queue; returns its completion time. The
   // caller decides whether to wait (demand I/O) or not (background I/O).
   Nanos SubmitDiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write,
-                     std::function<void()> on_complete);
+                     DiskQueue::CompletionFn on_complete);
   // Disk request to the swap partition (last disk, upper half).
   Nanos SubmitSwapIo(std::uint64_t slot, bool is_write);
 
@@ -320,8 +343,11 @@ class Os {
   std::vector<std::unique_ptr<DiskQueue>> disk_queues_;
   std::vector<std::unique_ptr<Ffs>> filesystems_;
   std::vector<std::vector<FdEntry>> fd_tables_;  // per pid
-  std::unordered_map<Pid, int> sched_index_;     // pid -> scheduler slot
-  std::unordered_map<std::uint64_t, InflightRead> inflight_reads_;  // PageKey -> fill
+  // pid -> scheduler slot (-1 when not scheduled); dense because pids are
+  // assigned sequentially. Read on every Charge, so it must be a flat
+  // array, not a hash map.
+  std::vector<int> sched_slots_;
+  FlatMap<InflightRead> inflight_reads_;  // PageKey -> fill
   std::uint64_t next_read_token_ = 1;
   // Completion time of eviction I/O submitted by the current foreground
   // operation; consumed by DrainDirectReclaim.

@@ -97,7 +97,12 @@ void Scheduler::Run(const std::vector<std::function<void(int)>>& bodies) {
   fibers_.reserve(n);
   for (int i = 0; i < n; ++i) {
     auto f = std::make_unique<Fiber>();
-    f->stack = std::make_unique<char[]>(kFiberStackBytes);
+    if (!stack_pool_.empty()) {
+      f->stack = std::move(stack_pool_.back());
+      stack_pool_.pop_back();
+    } else {
+      f->stack = std::make_unique<char[]>(kFiberStackBytes);
+    }
     f->stack_size = kFiberStackBytes;
     getcontext(&f->ctx);
     f->ctx.uc_stack.ss_sp = f->stack.get();
@@ -132,6 +137,9 @@ void Scheduler::Run(const std::vector<std::function<void(int)>>& bodies) {
   g_running = nullptr;
   active_ = false;
   bodies_ = nullptr;
+  for (auto& f : fibers_) {
+    stack_pool_.push_back(std::move(f->stack));
+  }
   fibers_.clear();
 }
 

@@ -4,10 +4,19 @@
 
 namespace graysim {
 
-EventQueue::EventId EventQueue::ScheduleAt(Nanos when, Band band, std::function<void()> fn) {
+EventQueue::EventId EventQueue::ScheduleAt(Nanos when, Band band, EventFn fn) {
   const EventId id = next_id_++;
   ++scheduled_total_;
-  heap_.push_back(Event{when, tie_rng_.Next(), id, band, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_fn_slots_.empty()) {
+    slot = free_fn_slots_.back();
+    free_fn_slots_.pop_back();
+    fns_[slot] = fn;
+  } else {
+    slot = static_cast<std::uint32_t>(fns_.size());
+    fns_.push_back(fn);
+  }
+  heap_.push_back(HeapKey{when, tie_rng_.Next(), id, slot, band});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   return id;
 }
@@ -15,9 +24,13 @@ EventQueue::EventId EventQueue::ScheduleAt(Nanos when, Band band, std::function<
 void EventQueue::RunDue(Nanos now) {
   while (!heap_.empty() && heap_.front().when <= now) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event ev = std::move(heap_.back());
+    const HeapKey key = heap_.back();
     heap_.pop_back();
-    ev.fn();
+    // Copy the closure out before running it: the body may schedule events,
+    // which can grow the pool and move fns_ underneath an in-place call.
+    EventFn fn = fns_[key.slot];
+    free_fn_slots_.push_back(key.slot);
+    fn();
   }
 }
 

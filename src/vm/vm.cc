@@ -1,50 +1,50 @@
 #include "src/vm/vm.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace graysim {
 
 VmAreaId Vm::Alloc(Pid pid, std::uint64_t pages) {
-  ProcessSpace& space = spaces_[pid];
+  ProcessSpace& space = SpaceFor(pid);
   const VmAreaId id = next_area_++;
-  space.areas.emplace(id, Area{space.next_vpage, pages});
+  space.areas.push_back(Area{id, space.next_vpage, pages});
   space.next_vpage += pages;
+  space.table.resize(space.next_vpage);
   return id;
 }
 
 void Vm::Free(Pid pid, VmAreaId area_id) {
-  ProcessSpace& space = spaces_[pid];
-  const auto it = space.areas.find(area_id);
-  assert(it != space.areas.end());
-  const Area area = it->second;
+  ProcessSpace& space = SpaceFor(pid);
+  const Area* area_ptr = FindArea(space, area_id);
+  assert(area_ptr != nullptr);
+  const Area area = *area_ptr;
   for (std::uint64_t i = 0; i < area.pages; ++i) {
-    const std::uint64_t vpage = area.base_vpage + i;
-    const auto pte_it = space.table.find(vpage);
-    if (pte_it == space.table.end()) {
-      continue;
+    Pte& pte = space.table[area.base_vpage + i];
+    if (pte.state() == PteState::kResident) {
+      mem_->Remove(pte.ref());
+    } else if (pte.state() == PteState::kSwapped) {
+      FreeSwapSlot(pte.swap_slot());
     }
-    if (pte_it->second.state == PteState::kResident) {
-      mem_->Remove(pte_it->second.ref);
-    } else if (pte_it->second.state == PteState::kSwapped) {
-      FreeSwapSlot(pte_it->second.swap_slot);
-    }
-    space.table.erase(pte_it);
+    pte = Pte{};
   }
-  space.areas.erase(it);
+  space.areas.erase(
+      std::find_if(space.areas.begin(), space.areas.end(),
+                   [area_id](const Area& a) { return a.id == area_id; }));
 }
 
 VmTouchResult Vm::Touch(Pid pid, VmAreaId area_id, std::uint64_t index, bool write) {
-  ProcessSpace& space = spaces_[pid];
-  const auto area_it = space.areas.find(area_id);
-  assert(area_it != space.areas.end());
-  assert(index < area_it->second.pages);
-  const std::uint64_t vpage = area_it->second.base_vpage + index;
+  ProcessSpace& space = SpaceFor(pid);
+  const Area* area = FindArea(space, area_id);
+  assert(area != nullptr);
+  assert(index < area->pages);
+  const std::uint64_t vpage = area->base_vpage + index;
 
   VmTouchResult result;
   Pte& pte = space.table[vpage];
-  switch (pte.state) {
+  switch (pte.state()) {
     case PteState::kResident:
-      mem_->Touch(pte.ref);
+      mem_->Touch(pte.ref());
       result.outcome = TouchOutcome::kResident;
       return result;
     case PteState::kUnmapped: {
@@ -53,28 +53,26 @@ VmTouchResult Vm::Touch(Pid pid, VmAreaId area_id, std::uint64_t index, bool wri
         result.outcome = TouchOutcome::kZeroRead;
         return result;
       }
-      const auto ref =
+      const FrameId ref =
           mem_->Insert(Page{PageKind::kAnon, pid, vpage, /*dirty=*/true}, &result.evict_cost);
-      if (!ref.has_value()) {
+      if (ref == kNoFrame) {
         result.outcome = TouchOutcome::kDenied;
         return result;
       }
-      pte.state = PteState::kResident;
-      pte.ref = *ref;
+      pte.SetResident(ref);
       result.outcome = TouchOutcome::kZeroFill;
       return result;
     }
     case PteState::kSwapped: {
-      const std::uint64_t slot = pte.swap_slot;
-      const auto ref =
+      const std::uint64_t slot = pte.swap_slot();
+      const FrameId ref =
           mem_->Insert(Page{PageKind::kAnon, pid, vpage, /*dirty=*/true}, &result.evict_cost);
-      if (!ref.has_value()) {
+      if (ref == kNoFrame) {
         result.outcome = TouchOutcome::kDenied;
         return result;
       }
       FreeSwapSlot(slot);
-      pte.state = PteState::kResident;
-      pte.ref = *ref;
+      pte.SetResident(ref);
       result.outcome = TouchOutcome::kSwapIn;
       result.swap_slot = slot;
       return result;
@@ -86,24 +84,22 @@ VmTouchResult Vm::Touch(Pid pid, VmAreaId area_id, std::uint64_t index, bool wri
 std::uint64_t Vm::OnEvicted(const Page& page) {
   const Pid pid = static_cast<Pid>(page.key1);
   const std::uint64_t vpage = page.key2;
-  ProcessSpace& space = spaces_.at(pid);
-  const auto it = space.table.find(vpage);
-  assert(it != space.table.end());
-  assert(it->second.state == PteState::kResident);
+  assert(pid < spaces_.size() && vpage < spaces_[pid].table.size());
+  Pte& pte = spaces_[pid].table[vpage];
+  assert(pte.state() == PteState::kResident);
   const std::uint64_t slot = AllocSwapSlot();
-  it->second.state = PteState::kSwapped;
-  it->second.swap_slot = slot;
+  pte.SetSwapped(slot);
   return slot;
 }
 
 std::uint64_t Vm::ResidentPages(Pid pid) const {
-  const auto it = spaces_.find(pid);
-  if (it == spaces_.end()) {
+  const ProcessSpace* space = FindSpace(pid);
+  if (space == nullptr) {
     return 0;
   }
   std::uint64_t n = 0;
-  for (const auto& [vpage, pte] : it->second.table) {
-    if (pte.state == PteState::kResident) {
+  for (const Pte& pte : space->table) {
+    if (pte.state() == PteState::kResident) {
       ++n;
     }
   }
@@ -111,40 +107,42 @@ std::uint64_t Vm::ResidentPages(Pid pid) const {
 }
 
 std::uint64_t Vm::AreaPages(Pid pid, VmAreaId area) const {
-  const auto it = spaces_.find(pid);
-  if (it == spaces_.end()) {
+  const ProcessSpace* space = FindSpace(pid);
+  if (space == nullptr) {
     return 0;
   }
-  const auto area_it = it->second.areas.find(area);
-  return area_it == it->second.areas.end() ? 0 : area_it->second.pages;
+  const Area* a = FindArea(*space, area);
+  return a == nullptr ? 0 : a->pages;
 }
 
 bool Vm::PageResident(Pid pid, VmAreaId area, std::uint64_t index) const {
-  const auto it = spaces_.find(pid);
-  if (it == spaces_.end()) {
+  const ProcessSpace* space = FindSpace(pid);
+  if (space == nullptr) {
     return false;
   }
-  const auto area_it = it->second.areas.find(area);
-  if (area_it == it->second.areas.end()) {
+  const Area* a = FindArea(*space, area);
+  if (a == nullptr) {
     return false;
   }
-  const auto pte_it = it->second.table.find(area_it->second.base_vpage + index);
-  return pte_it != it->second.table.end() && pte_it->second.state == PteState::kResident;
+  const Pte& pte = space->table[a->base_vpage + index];
+  return pte.state() == PteState::kResident;
 }
 
 void Vm::ReleaseProcess(Pid pid) {
-  const auto it = spaces_.find(pid);
-  if (it == spaces_.end()) {
+  if (pid >= spaces_.size()) {
     return;
   }
-  for (auto& [vpage, pte] : it->second.table) {
-    if (pte.state == PteState::kResident) {
-      mem_->Remove(pte.ref);
-    } else if (pte.state == PteState::kSwapped) {
-      FreeSwapSlot(pte.swap_slot);
+  ProcessSpace& space = spaces_[pid];
+  // Walk the table in vpage order: frame releases and swap-slot frees happen
+  // in a fixed order regardless of how the pages were faulted in.
+  for (const Pte& pte : space.table) {
+    if (pte.state() == PteState::kResident) {
+      mem_->Remove(pte.ref());
+    } else if (pte.state() == PteState::kSwapped) {
+      FreeSwapSlot(pte.swap_slot());
     }
   }
-  spaces_.erase(it);
+  space = ProcessSpace{};
 }
 
 std::uint64_t Vm::AllocSwapSlot() {

@@ -7,11 +7,18 @@
 //  * a write to a swapped-out page pays a swap-in disk read (slow);
 //  * frames come from the shared MemSystem pool, so anonymous demand
 //    competes with the file cache exactly as in a unified VM system.
+//
+// Hot-path layout: process spaces live in a vector indexed by pid (pids are
+// small and densely assigned by the Os), and because vpages are handed out
+// sequentially per process, the page table is a dense vector indexed by
+// vpage — the touch path, the single most frequent operation in MAC's probe
+// loops, is two array indexes and no hashing at all. Areas are a short
+// inline list (processes map a handful of regions) searched linearly.
 #ifndef SRC_VM_VM_H_
 #define SRC_VM_VM_H_
 
+#include <cassert>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/mem/mem_system.h"
@@ -68,28 +75,69 @@ class Vm {
  private:
   enum class PteState : std::uint8_t { kUnmapped, kResident, kSwapped };
 
-  struct Pte {
-    PteState state = PteState::kUnmapped;
-    MemSystem::PageRef ref;       // valid when kResident
-    std::uint64_t swap_slot = 0;  // valid when kSwapped
+  // Packed to 8 bytes — [63:62] state, [61:32] swap slot, [31:0] frame id —
+  // so a page-table cache line covers 8 entries; the touch path reads
+  // exactly one line per access. 2^30 swap slots bounds the swap device at
+  // 4 TB of 4 KB slots, far beyond any simulated machine.
+  class Pte {
+   public:
+    [[nodiscard]] PteState state() const { return static_cast<PteState>(bits_ >> 62); }
+    [[nodiscard]] MemSystem::PageRef ref() const {
+      return static_cast<MemSystem::PageRef>(bits_ & 0xFFFFFFFFULL);
+    }
+    [[nodiscard]] std::uint64_t swap_slot() const { return (bits_ >> 32) & kSlotMask; }
+
+    void SetResident(MemSystem::PageRef ref) {
+      bits_ = (static_cast<std::uint64_t>(PteState::kResident) << 62) | ref;
+    }
+    void SetSwapped(std::uint64_t slot) {
+      assert(slot <= kSlotMask);
+      bits_ = (static_cast<std::uint64_t>(PteState::kSwapped) << 62) | (slot << 32);
+    }
+
+   private:
+    static constexpr std::uint64_t kSlotMask = (1ULL << 30) - 1;
+    std::uint64_t bits_ = 0;  // kUnmapped == 0: fresh entries are unmapped
   };
 
   struct Area {
+    VmAreaId id = 0;
     std::uint64_t base_vpage = 0;
     std::uint64_t pages = 0;
   };
 
   struct ProcessSpace {
     std::uint64_t next_vpage = 1;
-    std::unordered_map<VmAreaId, Area> areas;
-    std::unordered_map<std::uint64_t, Pte> table;  // vpage -> pte
+    std::vector<Area> areas;  // short; searched linearly by id
+    std::vector<Pte> table;   // dense, indexed by vpage; sized by Alloc
   };
+
+  // Grows the space vector on first touch of a pid (matching the previous
+  // create-on-use map semantics).
+  [[nodiscard]] ProcessSpace& SpaceFor(Pid pid) {
+    if (pid >= spaces_.size()) {
+      spaces_.resize(pid + 1);
+    }
+    return spaces_[pid];
+  }
+  [[nodiscard]] const ProcessSpace* FindSpace(Pid pid) const {
+    return pid < spaces_.size() ? &spaces_[pid] : nullptr;
+  }
+
+  [[nodiscard]] static const Area* FindArea(const ProcessSpace& space, VmAreaId id) {
+    for (const Area& a : space.areas) {
+      if (a.id == id) {
+        return &a;
+      }
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] std::uint64_t AllocSwapSlot();
   void FreeSwapSlot(std::uint64_t slot);
 
   MemSystem* mem_;
-  std::unordered_map<Pid, ProcessSpace> spaces_;
+  std::vector<ProcessSpace> spaces_;  // indexed by pid
   VmAreaId next_area_ = 1;
   std::uint64_t next_swap_slot_ = 0;
   std::vector<std::uint64_t> free_swap_slots_;

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "tests/test_util.h"
+
 namespace graysim {
 namespace {
 
@@ -14,71 +16,77 @@ MemSystem::Config UnifiedConfig(std::uint64_t pages) {
 TEST(MemSystemTest, InsertUntilFullThenEvictsLru) {
   MemSystem mem(UnifiedConfig(3));
   std::vector<Page> evicted;
-  mem.set_evict_handler([&](const Page& p) {
+  FnEviction handler([&](const Page& p) {
     evicted.push_back(p);
     return Nanos{0};
   });
+  mem.set_evict_handler(&handler);
   Nanos cost = 0;
   auto a = mem.Insert(Page{PageKind::kFile, 1, 0}, &cost);
   auto b = mem.Insert(Page{PageKind::kFile, 1, 1}, &cost);
   auto c = mem.Insert(Page{PageKind::kFile, 1, 2}, &cost);
-  ASSERT_TRUE(a && b && c);
+  ASSERT_NE(a, kNoFrame);
+  ASSERT_NE(b, kNoFrame);
+  ASSERT_NE(c, kNoFrame);
   EXPECT_EQ(mem.free_pages(), 0u);
 
   // Touch page 0 so page 1 becomes LRU.
-  mem.Touch(*a);
+  mem.Touch(a);
   auto d = mem.Insert(Page{PageKind::kFile, 1, 3}, &cost);
-  ASSERT_TRUE(d);
+  ASSERT_NE(d, kNoFrame);
   ASSERT_EQ(evicted.size(), 1u);
   EXPECT_EQ(evicted[0].key2, 1u);  // page 1 was least recently used
 }
 
 TEST(MemSystemTest, EvictionCostPropagates) {
   MemSystem mem(UnifiedConfig(1));
-  mem.set_evict_handler([](const Page&) { return Millis(5.0); });
+  FnEviction handler([](const Page&) { return Millis(5.0); });
+  mem.set_evict_handler(&handler);
   Nanos cost = 0;
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kAnon, 7, 0}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kAnon, 7, 0}, &cost), kNoFrame);
   EXPECT_EQ(cost, 0u);
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kAnon, 7, 1}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kAnon, 7, 1}, &cost), kNoFrame);
   EXPECT_EQ(cost, Millis(5.0));
 }
 
 TEST(MemSystemTest, PartitionedFileCacheIsCapped) {
   MemSystem mem(MemSystem::Config{10, MemPolicy::kPartitionedFixedFile, 2});
   std::vector<Page> evicted;
-  mem.set_evict_handler([&](const Page& p) {
+  FnEviction handler([&](const Page& p) {
     evicted.push_back(p);
     return Nanos{0};
   });
+  mem.set_evict_handler(&handler);
   Nanos cost = 0;
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, 0}, &cost));
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, 1}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, 0}, &cost), kNoFrame);
+  ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, 1}, &cost), kNoFrame);
   // Third file page evicts within the file partition even though the pool
   // has free frames.
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, 2}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, 2}, &cost), kNoFrame);
   ASSERT_EQ(evicted.size(), 1u);
   EXPECT_EQ(evicted[0].key2, 0u);
   EXPECT_EQ(mem.file_pages(), 2u);
   // Anon pages can fill the rest.
   for (std::uint64_t i = 0; i < 8; ++i) {
-    ASSERT_TRUE(mem.Insert(Page{PageKind::kAnon, 9, i}, &cost));
+    ASSERT_NE(mem.Insert(Page{PageKind::kAnon, 9, i}, &cost), kNoFrame);
   }
   EXPECT_EQ(mem.anon_pages(), 8u);
   // Ninth anon page evicts an anon page, not a file page.
   evicted.clear();
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kAnon, 9, 100}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kAnon, 9, 100}, &cost), kNoFrame);
   ASSERT_EQ(evicted.size(), 1u);
   EXPECT_EQ(evicted[0].kind, PageKind::kAnon);
 }
 
 TEST(MemSystemTest, StickyPolicyRefusesFileAdmissionWhenFull) {
   MemSystem mem(MemSystem::Config{2, MemPolicy::kStickyFile, 0});
-  mem.set_evict_handler([](const Page&) { return Nanos{0}; });
+  FnEviction handler([](const Page&) { return Nanos{0}; });
+  mem.set_evict_handler(&handler);
   Nanos cost = 0;
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, 0}, &cost));
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, 1}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, 0}, &cost), kNoFrame);
+  ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, 1}, &cost), kNoFrame);
   // Pool full: new file page is refused, existing pages stay.
-  EXPECT_FALSE(mem.Insert(Page{PageKind::kFile, 2, 0}, &cost).has_value());
+  EXPECT_EQ(mem.Insert(Page{PageKind::kFile, 2, 0}, &cost), kNoFrame);
   EXPECT_EQ(mem.stats().admissions_denied, 1u);
   EXPECT_EQ(mem.file_pages(), 2u);
 }
@@ -86,15 +94,16 @@ TEST(MemSystemTest, StickyPolicyRefusesFileAdmissionWhenFull) {
 TEST(MemSystemTest, StickyPolicyYieldsToAnonDemand) {
   MemSystem mem(MemSystem::Config{2, MemPolicy::kStickyFile, 0});
   std::vector<Page> evicted;
-  mem.set_evict_handler([&](const Page& p) {
+  FnEviction handler([&](const Page& p) {
     evicted.push_back(p);
     return Nanos{0};
   });
+  mem.set_evict_handler(&handler);
   Nanos cost = 0;
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, 0}, &cost));
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, 1}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, 0}, &cost), kNoFrame);
+  ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, 1}, &cost), kNoFrame);
   // Anonymous page evicts a file page.
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kAnon, 5, 0}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kAnon, 5, 0}, &cost), kNoFrame);
   ASSERT_EQ(evicted.size(), 1u);
   EXPECT_EQ(evicted[0].kind, PageKind::kFile);
   EXPECT_EQ(mem.anon_pages(), 1u);
@@ -104,18 +113,19 @@ TEST(MemSystemTest, RemoveFreesFrame) {
   MemSystem mem(UnifiedConfig(2));
   Nanos cost = 0;
   auto a = mem.Insert(Page{PageKind::kAnon, 1, 0}, &cost);
-  ASSERT_TRUE(a);
+  ASSERT_NE(a, kNoFrame);
   EXPECT_EQ(mem.used_pages(), 1u);
-  mem.Remove(*a);
+  mem.Remove(a);
   EXPECT_EQ(mem.used_pages(), 0u);
 }
 
 TEST(MemSystemTest, ReclaimEvictsRequestedCount) {
   MemSystem mem(UnifiedConfig(4));
-  mem.set_evict_handler([](const Page&) { return Millis(1.0); });
+  FnEviction handler([](const Page&) { return Millis(1.0); });
+  mem.set_evict_handler(&handler);
   Nanos cost = 0;
   for (std::uint64_t i = 0; i < 4; ++i) {
-    ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, i}, &cost));
+    ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, i}, &cost), kNoFrame);
   }
   const Nanos reclaim_cost = mem.Reclaim(2);
   EXPECT_EQ(mem.used_pages(), 2u);
@@ -128,16 +138,17 @@ TEST(MemSystemTest, UnifiedPolicyPrefersFileVictims) {
   // is older.
   MemSystem mem(UnifiedConfig(16));
   std::vector<Page> evicted;
-  mem.set_evict_handler([&](const Page& p) {
+  FnEviction handler([&](const Page& p) {
     evicted.push_back(p);
     return Nanos{0};
   });
+  mem.set_evict_handler(&handler);
   Nanos cost = 0;
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kAnon, 9, 0}, &cost));  // oldest page
+  ASSERT_NE(mem.Insert(Page{PageKind::kAnon, 9, 0}, &cost), kNoFrame);  // oldest page
   for (std::uint64_t i = 0; i < 15; ++i) {
-    ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, i}, &cost));
+    ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, i}, &cost), kNoFrame);
   }
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, 100}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, 100}, &cost), kNoFrame);
   ASSERT_EQ(evicted.size(), 1u);
   EXPECT_EQ(evicted[0].kind, PageKind::kFile);
   EXPECT_EQ(evicted[0].key2, 0u);  // oldest file page
@@ -149,21 +160,22 @@ TEST(MemSystemTest, UnifiedPolicySwapsAnonOnceFileShareExhausted) {
   // global LRU and starts evicting (swapping) anonymous pages.
   MemSystem mem(UnifiedConfig(32));  // min file share = 2 pages
   std::vector<Page> evicted;
-  mem.set_evict_handler([&](const Page& p) {
+  FnEviction handler([&](const Page& p) {
     evicted.push_back(p);
     return Nanos{0};
   });
+  mem.set_evict_handler(&handler);
   Nanos cost = 0;
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kFile, 1, 0}, &cost));  // 1 file page only
+  ASSERT_NE(mem.Insert(Page{PageKind::kFile, 1, 0}, &cost), kNoFrame);  // 1 file page only
   for (std::uint64_t i = 0; i < 31; ++i) {
-    ASSERT_TRUE(mem.Insert(Page{PageKind::kAnon, 9, i}, &cost));
+    ASSERT_NE(mem.Insert(Page{PageKind::kAnon, 9, i}, &cost), kNoFrame);
   }
   // file share (1) < minimum (2): global LRU wins — the file page is the
   // globally oldest here, then anon pages follow.
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kAnon, 9, 100}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kAnon, 9, 100}, &cost), kNoFrame);
   ASSERT_EQ(evicted.size(), 1u);
   EXPECT_EQ(evicted[0].kind, PageKind::kFile);
-  ASSERT_TRUE(mem.Insert(Page{PageKind::kAnon, 9, 101}, &cost));
+  ASSERT_NE(mem.Insert(Page{PageKind::kAnon, 9, 101}, &cost), kNoFrame);
   ASSERT_EQ(evicted.size(), 2u);
   EXPECT_EQ(evicted[1].kind, PageKind::kAnon);
   EXPECT_EQ(evicted[1].key2, 0u);  // oldest anon page

@@ -4,24 +4,29 @@
 
 #include <vector>
 
+#include "tests/test_util.h"
+
 namespace graysim {
 namespace {
 
 class PageCacheTest : public ::testing::Test {
  protected:
   PageCacheTest()
-      : mem_(MemSystem::Config{64, MemPolicy::kUnifiedLru, 0}), cache_(&mem_) {
-    mem_.set_evict_handler([this](const Page& page) {
-      if (page.kind == PageKind::kFile) {
-        evicted_dirty_ += cache_.OnEvicted(page) ? 1 : 0;
-        ++evicted_;
-      }
-      return Nanos{0};
-    });
+      : mem_(MemSystem::Config{64, MemPolicy::kUnifiedLru, 0}),
+        cache_(&mem_),
+        handler_([this](const Page& page) {
+          if (page.kind == PageKind::kFile) {
+            evicted_dirty_ += cache_.OnEvicted(page) ? 1 : 0;
+            ++evicted_;
+          }
+          return Nanos{0};
+        }) {
+    mem_.set_evict_handler(&handler_);
   }
 
   MemSystem mem_;
   PageCache cache_;
+  FnEviction handler_;
   std::uint64_t evicted_ = 0;
   std::uint64_t evicted_dirty_ = 0;
   Nanos cost_ = 0;

@@ -13,6 +13,7 @@
 #include "src/gray/toolbox/stats.h"
 #include "src/mem/mem_system.h"
 #include "src/sim/rng.h"
+#include "tests/test_util.h"
 
 namespace graysim {
 namespace {
@@ -25,10 +26,11 @@ TEST_P(MemPolicyProperty, AccountingSurvivesRandomOperations) {
   MemSystem::Config config{128, GetParam(), 32};
   MemSystem mem(config);
   std::uint64_t evicted = 0;
-  mem.set_evict_handler([&](const Page&) {
+  FnEviction handler([&](const Page&) {
     ++evicted;
     return Nanos{0};
   });
+  mem.set_evict_handler(&handler);
 
   // Phase 1 — below capacity: insert/touch/remove with live references; no
   // evictions may occur, and accounting must balance exactly.
@@ -42,8 +44,8 @@ TEST_P(MemPolicyProperty, AccountingSurvivesRandomOperations) {
       const PageKind kind = rng.Chance(0.5) ? PageKind::kFile : PageKind::kAnon;
       Nanos cost = 0;
       auto ref = mem.Insert(Page{kind, rng.Below(4), seq++}, &cost);
-      ASSERT_TRUE(ref.has_value());
-      live.push_back(*ref);
+      ASSERT_NE(ref, kNoFrame);
+      live.push_back(ref);
     } else if (op < 8 && !live.empty()) {
       mem.Touch(live[rng.Below(live.size())]);
     } else if (!live.empty()) {
@@ -67,7 +69,7 @@ TEST_P(MemPolicyProperty, AccountingSurvivesRandomOperations) {
   for (int step = 0; step < 2000; ++step) {
     const PageKind kind = rng.Chance(0.5) ? PageKind::kFile : PageKind::kAnon;
     Nanos cost = 0;
-    if (mem.Insert(Page{kind, rng.Below(4), seq++}, &cost).has_value()) {
+    if (mem.Insert(Page{kind, rng.Below(4), seq++}, &cost) != kNoFrame) {
       ++inserted;
     } else {
       ++denied;

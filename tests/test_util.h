@@ -1,0 +1,26 @@
+// Shared helpers for unit tests.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/mem/mem_system.h"
+
+namespace graysim {
+
+// Adapts a callable to the EvictionHandler interface so tests can keep using
+// inline lambdas. The adapter must outlive the MemSystem it is attached to
+// (declare it before calling set_evict_handler, or as a fixture member).
+class FnEviction : public EvictionHandler {
+ public:
+  explicit FnEviction(std::function<Nanos(const Page&)> fn) : fn_(std::move(fn)) {}
+  Nanos OnEvict(const Page& page) override { return fn_(page); }
+
+ private:
+  std::function<Nanos(const Page&)> fn_;
+};
+
+}  // namespace graysim
+
+#endif  // TESTS_TEST_UTIL_H_

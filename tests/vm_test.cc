@@ -2,23 +2,29 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/test_util.h"
+
 namespace graysim {
 namespace {
 
 class VmTest : public ::testing::Test {
  protected:
-  VmTest() : mem_(MemSystem::Config{32, MemPolicy::kUnifiedLru, 0}), vm_(&mem_) {
-    mem_.set_evict_handler([this](const Page& page) {
-      if (page.kind == PageKind::kAnon) {
-        last_slot_ = vm_.OnEvicted(page);
-        ++swap_outs_;
-      }
-      return Nanos{0};
-    });
+  VmTest()
+      : mem_(MemSystem::Config{32, MemPolicy::kUnifiedLru, 0}),
+        vm_(&mem_),
+        handler_([this](const Page& page) {
+          if (page.kind == PageKind::kAnon) {
+            last_slot_ = vm_.OnEvicted(page);
+            ++swap_outs_;
+          }
+          return Nanos{0};
+        }) {
+    mem_.set_evict_handler(&handler_);
   }
 
   MemSystem mem_;
   Vm vm_;
+  FnEviction handler_;
   std::uint64_t swap_outs_ = 0;
   std::uint64_t last_slot_ = 0;
 };
