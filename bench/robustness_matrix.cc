@@ -1,0 +1,452 @@
+// Robustness matrix: interference intensity x ICL, hardened vs legacy.
+//
+// Each cell arms the chaos layer (FaultPlan::Interference) at one intensity
+// and runs one ICL's signature scenario twice — once with the interference
+// hardening on (the default) and once with the legacy flag-gated behavior —
+// measuring inference accuracy, the win over the naive strategy, and probe
+// overhead. The headline numbers are the "retained" ratios at the mid
+// intensity: hardened ICLs must keep >= 80% of their no-interference win,
+// and the legacy paths demonstrably do not. The retained metrics land in
+// results/BENCH_robustness_matrix.json with unit "retained", which
+// scripts/check_perf.py gates with an additive slack — a PR that erodes
+// interference robustness fails the perf-smoke job.
+//
+// Every cell is its own simulated machine with its own chaos schedule, so
+// the whole matrix is deterministic: identical numbers on every host.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gray/fccd/fccd.h"
+#include "src/gray/fldc/fldc.h"
+#include "src/gray/mac/mac.h"
+#include "src/gray/sim_sys.h"
+#include "src/sim/rng.h"
+#include "src/workloads/filegen.h"
+
+using graysim::FaultPlan;
+using graysim::MachineConfig;
+using graysim::Nanos;
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+namespace {
+
+constexpr double kMidIntensity = 0.5;
+
+struct Cell {
+  double accuracy = 0.0;  // inference quality in [0, 1]
+  double win = 1.0;       // naive time / (probe + guided time)
+  double probe_s = 0.0;   // virtual seconds spent probing
+};
+
+// ---- FCCD: plan a 400 MB file with alternate 20 MB units warm ----
+
+constexpr std::uint64_t kFccdFileMb = 400;
+
+void FccdWarmAlternateUnits(Os& os, Pid pid) {
+  os.FlushFileCache();
+  const int fd = os.Open(pid, "/d0/big");
+  for (std::uint64_t u = 0; u < kFccdFileMb / 20; u += 2) {
+    (void)os.Pread(pid, fd, {}, 20 * gbench::kMb, u * 20 * gbench::kMb);
+  }
+  (void)os.Close(pid, fd);
+}
+
+// Reads the first `count` plan units, 2 MB at a time, tolerating injected
+// EIO; returns the virtual time spent.
+Nanos FccdScanUnits(Os& os, Pid pid, const std::vector<gray::UnitPlan>& units,
+                    std::size_t count) {
+  constexpr std::uint64_t kChunk = 2 * gbench::kMb;
+  const int fd = os.Open(pid, "/d0/big");
+  const Nanos t0 = os.Now();
+  for (std::size_t i = 0; i < count && i < units.size(); ++i) {
+    const gray::Extent& e = units[i].extent;
+    for (std::uint64_t off = 0; off < e.length; off += kChunk) {
+      (void)os.Pread(pid, fd, {}, std::min<std::uint64_t>(kChunk, e.length - off),
+                     e.offset + off);
+    }
+  }
+  const Nanos elapsed = os.Now() - t0;
+  (void)os.Close(pid, fd);
+  return elapsed;
+}
+
+// One fresh machine per measurement so the guided and naive scans see the
+// same warm state and an identical chaos schedule.
+Os* FccdMachine(std::unique_ptr<Os>& holder, double intensity) {
+  holder = std::make_unique<Os>(PlatformProfile::Linux22());
+  const Pid pid = holder->default_pid();
+  (void)graywork::MakeFile(*holder, pid, "/d0/big", kFccdFileMb * gbench::kMb);
+  FccdWarmAlternateUnits(*holder, pid);
+  holder->ArmChaos(FaultPlan::Interference(intensity));
+  return holder.get();
+}
+
+Cell RunFccdCell(double intensity, bool hardened) {
+  Cell cell;
+  std::unique_ptr<Os> holder;
+
+  // Guided run: probe, then read the plan's first half.
+  {
+    Os& os = *FccdMachine(holder, intensity);
+    const Pid pid = os.default_pid();
+    gray::SimSys sys(&os, pid);
+    gray::FccdOptions options;
+    options.hardened = hardened;
+    gray::Fccd fccd(&sys, options);
+    const Nanos t0 = os.Now();
+    const auto plan = fccd.PlanFile("/d0/big");
+    const Nanos probe = os.Now() - t0;
+    if (!plan.has_value()) {
+      return cell;
+    }
+    const std::size_t half = plan->units.size() / 2;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < half; ++i) {
+      const std::uint64_t page = plan->units[i].extent.offset / 4096;
+      if (os.PageResidentPath("/d0/big", page + 1)) {
+        ++correct;
+      }
+    }
+    cell.accuracy = half > 0 ? static_cast<double>(correct) / half : 0.0;
+    cell.probe_s = gbench::ToSec(probe);
+    const Nanos guided = probe + FccdScanUnits(os, pid, plan->units, half);
+
+    // Naive run on a twin machine: same warm state, file-order units.
+    std::unique_ptr<Os> naive_holder;
+    Os& naive_os = *FccdMachine(naive_holder, intensity);
+    const Pid naive_pid = naive_os.default_pid();
+    std::vector<gray::UnitPlan> file_order;
+    for (std::uint64_t start = 0; start < kFccdFileMb * gbench::kMb;
+         start += 20 * gbench::kMb) {
+      file_order.push_back(gray::UnitPlan{gray::Extent{start, 20 * gbench::kMb}, 0, 0});
+    }
+    const Nanos naive = FccdScanUnits(naive_os, naive_pid, file_order, half);
+    cell.win = guided > 0 ? static_cast<double>(naive) / static_cast<double>(guided) : 1.0;
+  }
+  return cell;
+}
+
+// ---- MAC: scratch-buffer rounds vs a memory-oblivious competitor ----
+//
+// The app wants the biggest scratch buffer it can get, up to 320 MB, and
+// needs at least 192 MB to be worth running. gb rounds size the buffer with
+// GbAllocBlocking; naive rounds allocate ~80% of physical memory blindly
+// (the classic "physical memory is mine" heuristic) and pay swap I/O for
+// the overcommit. Win is the round rate over the naive rate measured on a
+// quiet twin machine — a fixed denominator, so the "retained" ratios track
+// exactly how much admission throughput each variant keeps under chaos,
+// with no credit for the naive strategy collapsing even harder.
+
+constexpr std::uint64_t kMacMinBytes = 192 * gbench::kMb;
+constexpr std::uint64_t kMacMaxBytes = 320 * gbench::kMb;
+constexpr std::uint64_t kMacNaiveBytes = 480 * gbench::kMb;
+constexpr Nanos kMacBudget = graysim::Millis(60'000.0);  // 60 virtual seconds
+
+Os* MacMachine(std::unique_ptr<Os>& holder, double intensity) {
+  MachineConfig cfg;
+  cfg.phys_mem_bytes = 512 * gbench::kMb;
+  holder = std::make_unique<Os>(PlatformProfile::Linux22(), cfg);
+  holder->ArmChaos(FaultPlan::Interference(intensity));
+  return holder.get();
+}
+
+// Rounds per virtual second of the oblivious allocator on a quiet machine.
+double MacNaiveRate() {
+  static double cached = -1.0;
+  if (cached >= 0.0) {
+    return cached;
+  }
+  std::unique_ptr<Os> holder;
+  Os& os = *MacMachine(holder, /*intensity=*/0.0);
+  std::uint64_t rounds = 0;
+  Nanos t0 = 0;
+  Nanos last = 0;
+  os.RunProcesses({[&](Pid pid) {
+    t0 = os.Now();
+    const Nanos end = t0 + kMacBudget;
+    while (os.Now() < end) {
+      const graysim::VmAreaId area = os.VmAlloc(pid, kMacNaiveBytes);
+      for (std::uint64_t p = 0; p < kMacNaiveBytes / 4096; ++p) {
+        os.VmTouch(pid, area, p, /*write=*/true);
+      }
+      os.VmFree(pid, area);
+      ++rounds;
+      last = os.Now();
+      os.Sleep(pid, graysim::Millis(20.0));
+    }
+  }});
+  cached = static_cast<double>(rounds) / gbench::ToSec(last - t0);
+  return cached;
+}
+
+Cell RunMacCell(double intensity, bool hardened) {
+  std::unique_ptr<Os> holder;
+  Os& os = *MacMachine(holder, intensity);
+
+  Cell cell;
+  std::uint64_t passes = 0;
+  std::uint64_t pass_bytes = 0;
+  Nanos probe_time = 0;
+  Nanos t0 = 0;
+  Nanos last = 0;
+  os.RunProcesses({[&](Pid pid) {
+    gray::SimSys sys(&os, pid);
+    gray::MacOptions options;
+    options.hardened = hardened;
+    gray::Mac mac(&sys, options);
+    t0 = os.Now();
+    const Nanos end = t0 + kMacBudget;
+    while (os.Now() < end) {
+      auto alloc = mac.GbAllocBlocking(kMacMinBytes, kMacMaxBytes, gbench::kMb);
+      if (!alloc.has_value()) {
+        break;
+      }
+      // The "useful work": touch every admitted page once.
+      for (std::uint64_t p = 0; p < alloc->PageCount(); ++p) {
+        alloc->Touch(p, /*write=*/true);
+      }
+      ++passes;
+      pass_bytes += alloc->bytes();
+      alloc->Release();
+      last = os.Now();
+      os.Sleep(pid, graysim::Millis(20.0));
+    }
+    probe_time = mac.metrics().probe_time;
+  }});
+
+  if (passes == 0 || last <= t0) {
+    return cell;  // win 1.0 by convention, accuracy 0: admission never succeeded
+  }
+  const double rate = static_cast<double>(passes) / gbench::ToSec(last - t0);
+  cell.win = rate / MacNaiveRate();
+  cell.accuracy = static_cast<double>(pass_bytes) / passes / kMacMaxBytes;
+  cell.probe_s = gbench::ToSec(probe_time);
+  return cell;
+}
+
+// ---- FLDC: order an aged directory of files under stat faults ----
+
+// Many small files: reading them is seek-dominated, so the layout order is
+// most of the win and a misplaced file costs a visible fraction of it. The
+// set lives on disk 1, away from the antagonist daemons on disk 0: queue
+// contention adds the same wait to every request regardless of order, which
+// would compress the ordered/unordered ratio toward 1 and measure the
+// neighbors' traffic instead of the detector's inference.
+constexpr int kFldcFiles = 96;
+constexpr std::uint64_t kFldcFileBytes = 128 * 1024;
+
+std::vector<std::string> FldcCreateAgedSet(Os& os, Pid pid) {
+  // Create files in a shuffled order so name order != creation (layout)
+  // order: the detector has real work to do.
+  std::vector<int> creation(kFldcFiles);
+  for (int i = 0; i < kFldcFiles; ++i) {
+    creation[i] = i;
+  }
+  graysim::Rng rng(0xA6ED);
+  for (int i = kFldcFiles - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng.Below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(creation[i], creation[j]);
+  }
+  (void)os.Mkdir(pid, "/d1/set");
+  for (const int idx : creation) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/d1/set/f%02d", idx);
+    (void)graywork::MakeFile(os, pid, name, kFldcFileBytes);
+  }
+  std::vector<std::string> paths;
+  for (int i = 0; i < kFldcFiles; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/d1/set/f%02d", i);
+    paths.push_back(name);
+  }
+  return paths;
+}
+
+// Several cold rounds so the measurement integrates over many interference
+// periods (a single pass vs a 2 s shock period is a coin flip on whether a
+// window lands inside it).
+constexpr int kFldcRounds = 4;
+
+Nanos FldcReadAll(Os& os, Pid pid, const std::vector<std::string>& order) {
+  Nanos total = 0;
+  for (int round = 0; round < kFldcRounds; ++round) {
+    os.FlushFileCache();
+    const Nanos t0 = os.Now();
+    for (const std::string& path : order) {
+      const int fd = os.Open(pid, path);
+      if (fd < 0) {
+        continue;
+      }
+      for (std::uint64_t off = 0; off < kFldcFileBytes; off += gbench::kMb) {
+        (void)os.Pread(pid, fd, {}, gbench::kMb, off);
+      }
+      (void)os.Close(pid, fd);
+    }
+    total += os.Now() - t0;
+  }
+  return total;
+}
+
+Cell RunFldcCell(double intensity, bool hardened) {
+  Cell cell;
+  // True layout order, observed on a clean machine before any chaos.
+  std::vector<std::uint64_t> true_inum(kFldcFiles, 0);
+  std::vector<std::string> ordered_paths;
+
+  auto make_machine = [&](std::unique_ptr<Os>& holder) -> Os& {
+    holder = std::make_unique<Os>(PlatformProfile::Linux22());
+    const Pid pid = holder->default_pid();
+    std::vector<std::string> paths = FldcCreateAgedSet(*holder, pid);
+    for (int i = 0; i < kFldcFiles; ++i) {
+      graysim::InodeAttr attr;
+      if (holder->Stat(pid, paths[i], &attr) == 0) {
+        true_inum[i] = attr.inum;
+      }
+    }
+    holder->FlushFileCache();
+    holder->ArmChaos(FaultPlan::Interference(intensity));
+    return *holder;
+  };
+
+  std::unique_ptr<Os> holder;
+  Os& os = make_machine(holder);
+  const Pid pid = os.default_pid();
+  gray::SimSys sys(&os, pid);
+  gray::FldcOptions options;
+  options.hardened = hardened;
+  gray::Fldc fldc(&sys, options);
+
+  std::vector<std::string> paths;
+  for (int i = 0; i < kFldcFiles; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/d1/set/f%02d", i);
+    paths.push_back(name);
+  }
+  const Nanos t0 = os.Now();
+  const std::vector<gray::StatOrderEntry> order = fldc.OrderByInode(paths);
+  const Nanos probe = os.Now() - t0;
+  cell.probe_s = gbench::ToSec(probe);
+
+  // Accuracy: fraction of adjacent pairs in the returned order whose TRUE
+  // i-numbers ascend (1.0 = the exact layout order despite the faults).
+  auto index_of = [&](const std::string& path) {
+    for (int i = 0; i < kFldcFiles; ++i) {
+      if (paths[i] == path) {
+        return i;
+      }
+    }
+    return -1;
+  };
+  std::size_t good_pairs = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const int a = index_of(order[i].path);
+    const int b = index_of(order[i + 1].path);
+    if (a >= 0 && b >= 0 && true_inum[a] < true_inum[b]) {
+      ++good_pairs;
+    }
+  }
+  cell.accuracy =
+      order.size() > 1 ? static_cast<double>(good_pairs) / (order.size() - 1) : 0.0;
+
+  // Guided read in the detector's order (probe time charged to the ICL)...
+  ordered_paths.clear();
+  for (const gray::StatOrderEntry& e : order) {
+    ordered_paths.push_back(e.path);
+  }
+  const Nanos guided = probe + FldcReadAll(os, pid, ordered_paths);
+  // ...vs the naive name-order read on a twin machine.
+  std::unique_ptr<Os> naive_holder;
+  Os& naive_os = make_machine(naive_holder);
+  const Nanos naive = FldcReadAll(naive_os, naive_os.default_pid(), paths);
+  cell.win = guided > 0 ? static_cast<double>(naive) / static_cast<double>(guided) : 1.0;
+  return cell;
+}
+
+// ---- the matrix ----
+
+struct Row {
+  const char* icl;
+  std::function<Cell(double, bool)> run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = gbench::FlagBool(argc, argv, "quick");
+  gbench::JsonResults json("robustness_matrix");
+
+  std::vector<double> intensities = {0.0, 0.25, 0.5, 0.75, 1.0};
+  if (quick) {
+    intensities = {0.0, kMidIntensity};
+  }
+
+  const std::vector<Row> rows = {
+      {"fccd", RunFccdCell},
+      {"mac", RunMacCell},
+      {"fldc", RunFldcCell},
+  };
+
+  gbench::PrintHeader(
+      "Robustness matrix: interference intensity x ICL (hardened vs legacy)");
+  std::printf("%-6s %-9s %10s %10s %10s %10s\n", "icl", "variant", "intensity",
+              "accuracy", "win", "probe(s)");
+
+  for (const Row& row : rows) {
+    Cell clean_hardened;
+    Cell clean_legacy;
+    Cell mid_hardened;
+    Cell mid_legacy;
+    for (const double intensity : intensities) {
+      for (const bool hardened : {true, false}) {
+        const Cell cell = row.run(intensity, hardened);
+        const char* variant = hardened ? "hardened" : "legacy";
+        std::printf("%-6s %-9s %10.2f %10.3f %10.3f %10.3f\n", row.icl, variant,
+                    intensity, cell.accuracy, cell.win, cell.probe_s);
+        const std::string tag = std::string(row.icl) + "_" + variant + "_i" +
+                                std::to_string(static_cast<int>(intensity * 100));
+        json.Add(tag + "_accuracy", cell.accuracy);
+        json.Add(tag + "_win", cell.win);
+        json.Add(tag + "_probe", cell.probe_s, "s");
+        if (intensity == 0.0) {
+          (hardened ? clean_hardened : clean_legacy) = cell;
+        }
+        if (intensity == kMidIntensity) {
+          (hardened ? mid_hardened : mid_legacy) = cell;
+        }
+      }
+    }
+    // The headline ratios, gated by scripts/check_perf.py (unit "retained"):
+    // what fraction of the no-interference win/accuracy survives at the mid
+    // intensity. The legacy ratios are recorded for the A/B claim but not
+    // gated — they are SUPPOSED to be bad.
+    auto ratio = [](double num, double den) { return den > 0.0 ? num / den : 0.0; };
+    const double hardened_win_kept = ratio(mid_hardened.win, clean_hardened.win);
+    const double hardened_acc_kept = ratio(mid_hardened.accuracy, clean_hardened.accuracy);
+    const double legacy_win_kept = ratio(mid_legacy.win, clean_legacy.win);
+    const double legacy_acc_kept = ratio(mid_legacy.accuracy, clean_legacy.accuracy);
+    json.Add(std::string(row.icl) + "_hardened_win_retained", hardened_win_kept,
+             "retained");
+    json.Add(std::string(row.icl) + "_hardened_accuracy_retained", hardened_acc_kept,
+             "retained");
+    json.Add(std::string(row.icl) + "_legacy_win_retained", legacy_win_kept, "ratio");
+    json.Add(std::string(row.icl) + "_legacy_accuracy_retained", legacy_acc_kept,
+             "ratio");
+    std::printf(
+        "  -> %s at intensity %.2f: hardened keeps %.0f%% win / %.0f%% accuracy; "
+        "legacy keeps %.0f%% / %.0f%%\n",
+        row.icl, kMidIntensity, 100.0 * hardened_win_kept, 100.0 * hardened_acc_kept,
+        100.0 * legacy_win_kept, 100.0 * legacy_acc_kept);
+  }
+
+  json.Write();
+  return 0;
+}

@@ -14,6 +14,9 @@ Nanos DiskQueue::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write
   if (jitter_) {
     service = jitter_(service);
   }
+  if (service_scale_) {
+    service = service_scale_(service);
+  }
   const Nanos start = std::max(clock_->now(), busy_until_);
   const Nanos completion = start + service;
   busy_until_ = completion;

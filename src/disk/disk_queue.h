@@ -32,6 +32,11 @@ class DiskQueue {
   // its seeded timing jitter through it. Installed once at setup, so the
   // std::function indirection costs nothing per request.
   using Jitter = std::function<Nanos(Nanos)>;
+  // `service_scale` (optional) rescales the already-jittered service time;
+  // the chaos layer wires degraded-window / latency-spike multipliers
+  // through it. Installed only while a FaultPlan is armed, so the unarmed
+  // hot path pays a single null check.
+  using ServiceScale = std::function<Nanos(Nanos)>;
 
   // Completion callbacks are stored inline (nested inside the completion
   // event), so submitting a request never allocates. 48 bytes fits the Os's
@@ -45,6 +50,7 @@ class DiskQueue {
   DiskQueue& operator=(const DiskQueue&) = delete;
 
   void set_jitter(Jitter jitter) { jitter_ = std::move(jitter); }
+  void set_service_scale(ServiceScale scale) { service_scale_ = std::move(scale); }
 
   // Enqueues a contiguous request of `bytes` at byte `offset`. Returns its
   // completion time; `on_complete` (may be null) runs at that instant in
@@ -64,6 +70,7 @@ class DiskQueue {
   SimClock* clock_;
   EventQueue* events_;
   Jitter jitter_;
+  ServiceScale service_scale_;
   Nanos busy_until_ = 0;
   // End offset + direction of the tail request, for coalescing.
   std::uint64_t tail_end_offset_ = 0;

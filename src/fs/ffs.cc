@@ -23,6 +23,8 @@ std::string_view FsErrName(FsErr err) {
       return "not-empty";
     case FsErr::kInvalid:
       return "invalid";
+    case FsErr::kIo:
+      return "io-error";
   }
   return "unknown";
 }

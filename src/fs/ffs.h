@@ -37,6 +37,11 @@ enum class FsErr : int {
   kNoSpace,
   kNotEmpty,
   kInvalid,
+  // Transient device error (EIO). Never produced by the file system itself;
+  // injected by the chaos layer (src/os/chaos_engine.h) to model media
+  // retries and flaky transport. Appended last: FsErr values are wire-frozen
+  // in negated-errno form across the SysApi boundary.
+  kIo,
 };
 
 [[nodiscard]] std::string_view FsErrName(FsErr err);

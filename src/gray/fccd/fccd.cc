@@ -13,11 +13,24 @@ std::uint64_t FilePlan::TotalBytes() const {
   return total;
 }
 
+namespace {
+
+ProbeEngineOptions EngineOptionsFor(const FccdOptions& options) {
+  ProbeEngineOptions eo;
+  eo.strategy = options.probe_strategy;
+  if (!options.hardened) {
+    eo.max_retries = 0;  // legacy behavior: fire once, fold whatever came back
+  }
+  return eo;
+}
+
+}  // namespace
+
 Fccd::Fccd(SysApi* sys, FccdOptions options, const ParamRepository* repo)
     : sys_(sys),
       options_(options),
       rng_state_((options.seed != 0 ? options.seed : sys->Now() ^ 0x5eedULL) | 1),
-      engine_(sys, ProbeEngineOptions{options.probe_strategy}) {
+      engine_(sys, EngineOptionsFor(options)) {
   if (repo != nullptr) {
     // The calibrated access unit from the microbenchmark repository; an
     // explicitly non-default option wins.
@@ -153,12 +166,29 @@ std::optional<FilePlan> Fccd::PlanFile(const std::string& path) {
     plan.units.push_back(unit);
   }
   const std::vector<ProbeSample> samples = RunProbes(reqs);
+  plan.degraded = engine_.last_run_degraded();
   std::size_t next = 0;
   for (UnitPlan& unit : plan.units) {
+    int counted = 0;
+    Nanos total = 0;
     for (int i = 0; i < unit.probes; ++i) {
-      unit.probe_time += samples[next++].latency_ns;
+      const ProbeSample& s = samples[next++];
+      if (options_.hardened && s.rc < 0) {
+        continue;  // a failed probe timed the error path, not the cache
+      }
+      total += s.latency_ns;
+      ++counted;
+    }
+    if (options_.hardened) {
+      unit.probes = counted;
+      // Every probe of the unit failed: no observation survives, so assume
+      // the worst (on-disk) instead of ranking on error-path latency.
+      unit.probe_time = counted > 0 ? total : options_.fake_high_time;
+    } else {
+      unit.probe_time = total;
     }
   }
+  streak_ = 0;  // fresh plan, fresh staleness budget
   (void)sys_->Close(fd);
 
   // The sort IS the classifier: no in-cache threshold needed, and a
@@ -210,11 +240,19 @@ std::vector<RankedFile> Fccd::OrderFiles(std::span<const std::string> paths) {
       reqs.push_back(ProbeRequest(fd, p, std::min(info.size, p + options_.prediction_unit)));
     }
     for (const ProbeSample& s : RunProbes(reqs)) {
+      if (options_.hardened && s.rc < 0) {
+        continue;
+      }
       rf.total_probe_time += s.latency_ns;
       ++rf.probes;
     }
     (void)sys_->Close(fd);
-    rf.avg_probe_time = rf.probes > 0 ? rf.total_probe_time / rf.probes : 0;
+    if (rf.probes > 0) {
+      rf.avg_probe_time = rf.total_probe_time / rf.probes;
+    } else {
+      // Hardened with every probe failed: assume cold rather than rank 0.
+      rf.avg_probe_time = options_.hardened ? options_.fake_high_time : 0;
+    }
     ranked.push_back(rf);
   }
   usage_.Record(Technique::kStatistics);

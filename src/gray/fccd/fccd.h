@@ -53,6 +53,18 @@ struct FccdOptions {
   // How the probe plan is executed (see ProbeEngine); offsets and probe
   // order are identical either way, so the inference is too.
   ProbeStrategy probe_strategy = ProbeStrategy::kBatched;
+  // Interference hardening. When true: transiently failed probes are
+  // retried with backoff (ProbeEngine), samples that still fail are excluded
+  // from unit totals (a unit with no surviving probe gets fake_high_time
+  // instead of an error-path latency), and NoteUnitOutcome/ShouldReplan
+  // track a misprediction streak so a stale ranking triggers a re-probe.
+  // When false the detector reproduces the legacy behavior — every latency
+  // folds in, failures and all — for A/B comparison under chaos.
+  bool hardened = true;
+  // Consecutive mispredicted units before ShouldReplan() reports the plan
+  // stale. Small: three wrong-in-a-row is already past coincidence for a
+  // sorted plan, and a re-probe costs little.
+  int misprediction_streak = 3;
 };
 
 struct Extent {
@@ -73,6 +85,10 @@ struct FilePlan {
   std::uint64_t file_size = 0;
   // Access units in recommended order (fastest probes first).
   std::vector<UnitPlan> units;
+  // True when the probe run behind this plan saw a high failure fraction
+  // (ProbeEngine::last_run_degraded): the ordering is best-effort and the
+  // application should expect mispredictions.
+  bool degraded = false;
 
   // Total bytes covered (== file_size).
   [[nodiscard]] std::uint64_t TotalBytes() const;
@@ -112,6 +128,24 @@ class Fccd {
   // Heisenberg effect).
   [[nodiscard]] bool last_plan_used_mincore() const { return last_used_mincore_; }
 
+  // Staleness detection (hardened mode). The application reports, unit by
+  // unit, whether the plan's prediction held up — e.g. "the unit ranked
+  // resident read at memory speed". A streak of mispredictions means the
+  // cache has moved on since probing; ShouldReplan() then tells the caller
+  // to PlanFile again (which resets the streak) instead of trusting a cold
+  // ranking to the end.
+  void NoteUnitOutcome(bool as_predicted) {
+    if (as_predicted) {
+      streak_ = 0;
+    } else {
+      ++streak_;
+    }
+  }
+  [[nodiscard]] bool ShouldReplan() const {
+    return options_.hardened && streak_ >= options_.misprediction_streak;
+  }
+  [[nodiscard]] int current_misprediction_streak() const { return streak_; }
+
  private:
   // Plans a timed 1-byte read at a random offset within [lo, hi).
   [[nodiscard]] TimedPread ProbeRequest(int fd, std::uint64_t lo, std::uint64_t hi);
@@ -130,6 +164,7 @@ class Fccd {
   ProbeEngine engine_;
   std::uint64_t probes_issued_ = 0;
   bool last_used_mincore_ = false;
+  int streak_ = 0;
   TechniqueUsage usage_;
 };
 

@@ -12,10 +12,23 @@ std::string DirnameOf(const std::string& path) {
   return path.substr(0, slash);
 }
 
+namespace {
+
+ProbeEngineOptions EngineOptionsFor(const FldcOptions& options) {
+  ProbeEngineOptions eo;
+  eo.strategy = options.probe_strategy;
+  if (!options.hardened) {
+    eo.max_retries = 0;  // legacy behavior: fire once, take what came back
+  }
+  return eo;
+}
+
+}  // namespace
+
 Fldc::Fldc(SysApi* sys, FldcOptions options)
     : sys_(sys),
       options_(std::move(options)),
-      engine_(sys, ProbeEngineOptions{options_.probe_strategy}) {
+      engine_(sys, EngineOptionsFor(options_)) {
   usage_.Record(Technique::kAlgorithmicKnowledge);
   usage_.Describe(Technique::kAlgorithmicKnowledge,
                   "FFS: same-dir files share a cylinder group; creation order "
@@ -34,17 +47,70 @@ std::vector<StatOrderEntry> Fldc::StatAll(std::span<const std::string> paths) {
   usage_.Record(Technique::kProbes, paths.size());
   std::vector<FileInfo> infos;
   const std::vector<ProbeSample> samples = engine_.RunStats(reqs, &infos);
+  auto fill = [](StatOrderEntry& entry, const FileInfo& info) {
+    entry.inum = info.inum;
+    entry.size = info.size;
+    entry.mtime = info.mtime;
+    entry.stat_ok = true;
+  };
   std::vector<StatOrderEntry> entries(paths.size());
+  std::vector<std::size_t> failed;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     entries[i].path = paths[i];
     if (samples[i].rc == 0 && !infos[i].is_dir) {
-      entries[i].inum = infos[i].inum;
-      entries[i].size = infos[i].size;
-      entries[i].mtime = infos[i].mtime;
-      entries[i].stat_ok = true;
+      fill(entries[i], infos[i]);
+    } else if (samples[i].rc < 0) {
+      failed.push_back(i);
+    }
+  }
+  if (options_.hardened && !failed.empty()) {
+    // Second chance for the failures only: a transient EIO that survived the
+    // engine's short backoffs may clear over a full extra sweep's worth of
+    // time, and a file wrongly marked stat-failed sorts dead last. Clean
+    // sweeps never reach this, so the hardening is free when nothing fails.
+    std::vector<TimedStat> again(failed.size());
+    for (std::size_t j = 0; j < failed.size(); ++j) {
+      again[j].path = paths[failed[j]];
+    }
+    stats_issued_ += failed.size();
+    usage_.Record(Technique::kProbes, failed.size());
+    std::vector<FileInfo> retry_infos;
+    const std::vector<ProbeSample> retried = engine_.RunStats(again, &retry_infos);
+    for (std::size_t j = 0; j < failed.size(); ++j) {
+      if (retried[j].rc == 0 && !retry_infos[j].is_dir) {
+        fill(entries[failed[j]], retry_infos[j]);
+      }
     }
   }
   return entries;
+}
+
+bool Fldc::LayoutChanged(std::span<const StatOrderEntry> entries) {
+  if (!options_.hardened || entries.empty() || options_.verify_sample <= 0) {
+    return false;
+  }
+  const std::size_t n = entries.size();
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(options_.verify_sample), n);
+  std::vector<std::size_t> idx(k);
+  std::vector<TimedStat> reqs(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    idx[j] = j * n / k;  // even spread, front included
+    reqs[j].path = entries[idx[j]].path;
+  }
+  stats_issued_ += k;
+  usage_.Record(Technique::kProbes, k);
+  std::vector<FileInfo> infos;
+  const std::vector<ProbeSample> samples = engine_.RunStats(reqs, &infos);
+  for (std::size_t j = 0; j < k; ++j) {
+    const StatOrderEntry& e = entries[idx[j]];
+    const bool ok = samples[j].rc == 0 && !infos[j].is_dir;
+    if (ok != e.stat_ok || (ok && infos[j].inum != e.inum)) {
+      ++redetections_;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<StatOrderEntry> Fldc::OrderByInode(std::span<const std::string> paths) {

@@ -32,6 +32,15 @@ struct FldcOptions {
   std::string refresh_suffix = ".gbrefresh";
   // How the stat sweep is executed (see ProbeEngine).
   ProbeStrategy probe_strategy = ProbeStrategy::kBatched;
+  // Interference hardening. When true: transiently failed stats are retried
+  // with backoff (ProbeEngine), a sweep that still saw failures re-stats
+  // just the failed paths once more (a transient EIO would otherwise dump
+  // that file at the back of the order), and LayoutChanged() is available
+  // for staleness checks. Costs nothing on a clean sweep. When false, the
+  // legacy fire-once sweep runs for A/B comparison.
+  bool hardened = true;
+  // Paths LayoutChanged() re-stats, spread evenly across the order.
+  int verify_sample = 4;
 };
 
 struct StatOrderEntry {
@@ -67,6 +76,16 @@ class Fldc {
   // copied first (paper §4.2.1). The original timestamps are preserved.
   int RefreshDirectory(const std::string& dir);
 
+  // Staleness check (hardened mode): re-stats a small, evenly spread sample
+  // of a previously computed order and reports whether the observed
+  // i-numbers still back it. A directory refresh, a rename sweep, or a
+  // restore-from-backup underneath the application reassigns inums and the
+  // cached order becomes worthless; on true, re-run OrderByInode instead of
+  // trusting it. Costs verify_sample stats. Always false when unhardened.
+  [[nodiscard]] bool LayoutChanged(std::span<const StatOrderEntry> entries);
+  // Times LayoutChanged() found the layout moved underneath a cached order.
+  [[nodiscard]] std::uint64_t redetections() const { return redetections_; }
+
   [[nodiscard]] const TechniqueUsage& usage() const { return usage_; }
   [[nodiscard]] std::uint64_t stats_issued() const { return stats_issued_; }
   // Observation-overhead accounting for the stat sweeps.
@@ -84,6 +103,7 @@ class Fldc {
   FldcOptions options_;
   ProbeEngine engine_;
   std::uint64_t stats_issued_ = 0;
+  std::uint64_t redetections_ = 0;
   TechniqueUsage usage_;
 };
 

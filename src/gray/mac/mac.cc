@@ -84,17 +84,16 @@ Mac::Mac(SysApi* sys, MacOptions options, const ParamRepository* repo)
 
   if (options_.slow_threshold > 0) {
     slow_threshold_ = options_.slow_threshold;
-    return;
-  }
-  if (repo != nullptr && repo->Has(params::kMemZeroFillNs)) {
+  } else if (repo != nullptr && repo->Has(params::kMemZeroFillNs)) {
     // Anything much slower than an allocate+zero means the page daemon did
     // I/O on our behalf.
     slow_threshold_ =
         static_cast<Nanos>(repo->GetOr(params::kMemZeroFillNs, 3000.0) * 30.0);
     usage_.Record(Technique::kMicrobenchmarks);
-    return;
+  } else {
+    SelfCalibrate();
   }
-  SelfCalibrate();
+  base_threshold_ = slow_threshold_;
 }
 
 void Mac::SelfCalibrate() {
@@ -116,6 +115,18 @@ void Mac::SelfCalibrate() {
   usage_.Record(Technique::kStatistics);
   const double med = Median(kept);
   slow_threshold_ = static_cast<Nanos>(std::max(med * 30.0, 20'000.0));
+}
+
+void Mac::Recalibrate() {
+  // Consecutive aborted verifications suggest the threshold no longer
+  // matches reality — e.g. chaos jitter shifted the baseline touch cost so
+  // honest fast touches read as "slow". Re-sample, but clamp against the
+  // construction-time threshold: calibrating in the middle of a thrash
+  // produces an inflated median, and accepting it unclamped would blind the
+  // detector permanently.
+  ++metrics_.recalibrations;
+  SelfCalibrate();
+  slow_threshold_ = std::clamp(slow_threshold_, base_threshold_, base_threshold_ * 4);
 }
 
 bool Mac::ProbeFits(GbAllocation& allocation) {
@@ -174,6 +185,8 @@ bool Mac::ProbeFits(GbAllocation& allocation) {
   });
   metrics_.probe_time += sys_->Now() - start;
   if (aborted) {
+    ++metrics_.aborted_verifications;
+    last_alloc_aborted_ = true;
     return false;
   }
   // No consecutive-slow run: isolated slow touches are tolerated unless
@@ -198,6 +211,7 @@ std::optional<GbAllocation> Mac::GbAlloc(std::uint64_t min, std::uint64_t max,
   GbAllocation result;
   result.sys_ = sys_;
   result.page_size_ = ps;
+  last_alloc_aborted_ = false;
 
   std::uint64_t increment = round_up(options_.initial_increment);
   bool failed_at_initial = false;
@@ -240,14 +254,45 @@ std::optional<GbAllocation> Mac::GbAlloc(std::uint64_t min, std::uint64_t max,
 
 std::optional<GbAllocation> Mac::GbAllocBlocking(std::uint64_t min, std::uint64_t max,
                                                  std::uint64_t multiple) {
+  if (!options_.hardened) {
+    // Legacy fixed-period loop, kept for A/B comparison under interference.
+    // Its failure mode: a fixed 500 ms sleep can lock step with periodic
+    // pressure so every retry lands inside the next burst.
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      if (auto result = GbAlloc(min, max, multiple); result.has_value()) {
+        return result;
+      }
+      ++metrics_.retries;
+      const Nanos t0 = sys_->Now();
+      sys_->SleepNs(options_.retry_sleep);
+      metrics_.wait_time += sys_->Now() - t0;
+    }
+    return std::nullopt;
+  }
+
+  Nanos sleep = options_.backoff_initial;
+  int abort_streak = 0;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (auto result = GbAlloc(min, max, multiple); result.has_value()) {
       return result;
     }
+    if (last_alloc_aborted_) {
+      // The estimate collapsed hard (verification thrashed), not a mere
+      // shortfall: after a streak, suspect the threshold itself.
+      if (++abort_streak >= options_.abort_streak_backoff) {
+        Recalibrate();
+        abort_streak = 0;
+      }
+    } else {
+      abort_streak = 0;
+    }
     ++metrics_.retries;
+    ++metrics_.backoffs;
     const Nanos t0 = sys_->Now();
-    sys_->SleepNs(options_.retry_sleep);
+    sys_->SleepNs(sleep);
     metrics_.wait_time += sys_->Now() - t0;
+    sleep = std::min(static_cast<Nanos>(static_cast<double>(sleep) * options_.backoff_growth),
+                     options_.backoff_max);
   }
   return std::nullopt;
 }

@@ -54,6 +54,22 @@ struct MacOptions {
   // decides whether the next probe is issued (early skip/abort), and probing
   // past the abort point would keep dirtying pages mid-thrash.
   ProbeStrategy probe_strategy = ProbeStrategy::kBatched;
+  // Interference hardening for the blocking path. Consecutive verification
+  // aborts mean the memory estimate collapsed under interference (a shock,
+  // a competitor's burst); hammering at a fixed period then thrashes — and
+  // can lock step with periodic interference so every retry lands inside
+  // the next burst. When true, GbAllocBlocking backs off exponentially
+  // (backoff_initial × backoff_growth^k, capped at backoff_max — growth 1.5
+  // deliberately breaks period-divisibility lockstep) and re-calibrates the
+  // slow threshold after abort_streak_backoff consecutive aborted attempts,
+  // clamped to [1x, 4x] of the construction-time threshold so a calibration
+  // taken mid-thrash cannot blind the detector. When false, the legacy
+  // fixed-retry_sleep loop runs for A/B comparison.
+  bool hardened = true;
+  int abort_streak_backoff = 2;
+  Nanos backoff_initial = 100ULL * 1000 * 1000;  // 100 ms
+  Nanos backoff_max = 2000ULL * 1000 * 1000;     // 2 s
+  double backoff_growth = 1.5;
 };
 
 struct MacMetrics {
@@ -62,6 +78,9 @@ struct MacMetrics {
   std::uint64_t early_skips = 0;       // loop-1 early exits
   std::uint64_t failed_iterations = 0;
   std::uint64_t retries = 0;           // blocking-admission sleeps
+  std::uint64_t aborted_verifications = 0;  // loop-2 consecutive-slow aborts
+  std::uint64_t backoffs = 0;          // hardened exponential-backoff sleeps
+  std::uint64_t recalibrations = 0;    // threshold re-calibrations
   Nanos probe_time = 0;                // time inside probing loops
   Nanos wait_time = 0;                 // time sleeping for admission
 };
@@ -131,11 +150,16 @@ class Mac {
   // the footprint fits in available memory.
   [[nodiscard]] bool ProbeFits(GbAllocation& allocation);
   void SelfCalibrate();
+  // Re-runs self-calibration mid-flight, clamped against the construction
+  // threshold (hardened blocking path only).
+  void Recalibrate();
 
   SysApi* sys_;
   MacOptions options_;
   ProbeEngine engine_;
   Nanos slow_threshold_ = 0;
+  Nanos base_threshold_ = 0;  // threshold at construction; recalibration clamp
+  bool last_alloc_aborted_ = false;  // any verification abort in the last GbAlloc
   MacMetrics metrics_;
   TechniqueUsage usage_;
 };

@@ -18,6 +18,7 @@
 #ifndef SRC_GRAY_POSIX_SYS_H_
 #define SRC_GRAY_POSIX_SYS_H_
 
+#include <cerrno>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -36,6 +37,12 @@ class PosixSys final : public SysApi {
 
   [[nodiscard]] Nanos Now() override;
   void SleepNs(Nanos duration) override;
+
+  // Real kernels surface flaky media and interrupted calls as EIO/EAGAIN/
+  // EINTR; those are worth a retry. ENOENT and friends are definitive.
+  [[nodiscard]] bool IsTransientError(std::int64_t rc) const override {
+    return rc == -EIO || rc == -EAGAIN || rc == -EINTR;
+  }
 
   [[nodiscard]] int Open(const std::string& path) override;
   int Close(int fd) override;

@@ -11,6 +11,7 @@ void ProbeReport::Merge(const ProbeReport& other) {
   memtouch_probes += other.memtouch_probes;
   stat_probes += other.stat_probes;
   failed_probes += other.failed_probes;
+  retried_probes += other.retried_probes;
   bytes_touched += other.bytes_touched;
   probe_time += other.probe_time;
 }
@@ -24,16 +25,63 @@ ProbeEngine::ProbeEngine(SysApi* sys, ProbeEngineOptions options)
 
 Nanos ProbeEngine::lifetime() const { return sys_->Now() - created_at_; }
 
+ProbeSample ProbeEngine::RetryPread(const TimedPread& req, ProbeSample sample) {
+  Nanos backoff = options_.retry_backoff;
+  for (std::size_t attempt = 0; attempt < options_.max_retries && ShouldRetry(sample);
+       ++attempt) {
+    sys_->SleepNs(backoff);  // let the interference burst pass; not timed
+    backoff *= 2;
+    ++report_.retried_probes;
+    const Nanos t0 = sys_->Now();
+    const std::int64_t rc = sys_->Pread(req.fd, {}, req.len, req.offset);
+    sample = ProbeSample{sys_->Now() - t0, rc};
+  }
+  return sample;
+}
+
+ProbeSample ProbeEngine::RetryStat(const TimedStat& req, FileInfo* info,
+                                   ProbeSample sample) {
+  Nanos backoff = options_.retry_backoff;
+  for (std::size_t attempt = 0; attempt < options_.max_retries && ShouldRetry(sample);
+       ++attempt) {
+    sys_->SleepNs(backoff);
+    backoff *= 2;
+    ++report_.retried_probes;
+    const Nanos t0 = sys_->Now();
+    const int rc = sys_->Stat(req.path, info);
+    sample = ProbeSample{sys_->Now() - t0, rc};
+  }
+  return sample;
+}
+
+void ProbeEngine::NoteRunOutcome(std::span<const ProbeSample> samples) {
+  if (samples.empty()) {
+    last_run_degraded_ = false;
+    return;
+  }
+  std::size_t failed = 0;
+  for (const ProbeSample& s : samples) {
+    failed += s.rc < 0 ? 1 : 0;
+  }
+  last_run_degraded_ = static_cast<double>(failed) >
+                       options_.degraded_failure_fraction * static_cast<double>(samples.size());
+}
+
 void ProbeEngine::Reset() {
   report_ = ProbeReport{};
   latency_stats_ = RunningStats{};
   created_at_ = sys_->Now();
+  last_run_degraded_ = false;
 }
 
 void ProbeEngine::Account(Kind kind, const ProbeSample& sample) {
   ++report_.probes;
   report_.probe_time += sample.latency_ns;
-  latency_stats_.Add(static_cast<double>(sample.latency_ns));
+  if (sample.rc >= 0) {
+    // Only successful observations feed the statistics: a failed probe's
+    // latency times the error path, not the state being inferred.
+    latency_stats_.Add(static_cast<double>(sample.latency_ns));
+  }
   switch (kind) {
     case Kind::kPread:
       ++report_.pread_probes;
@@ -60,9 +108,10 @@ std::vector<ProbeSample> ProbeEngine::RunPreads(std::span<const TimedPread> reqs
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       const Nanos t0 = sys_->Now();
       const std::int64_t rc = sys_->Pread(reqs[i].fd, {}, reqs[i].len, reqs[i].offset);
-      samples[i] = ProbeSample{sys_->Now() - t0, rc};
+      samples[i] = RetryPread(reqs[i], ProbeSample{sys_->Now() - t0, rc});
       Account(Kind::kPread, samples[i]);
     }
+    NoteRunOutcome(samples);
     return samples;
   }
   std::vector<PreadOp> ops;
@@ -77,10 +126,12 @@ std::vector<ProbeSample> ProbeEngine::RunPreads(std::span<const TimedPread> reqs
     sys_->PreadBatch(ops, results);
     ++report_.batches;
     for (std::size_t i = 0; i < n; ++i) {
-      samples[start + i] = ProbeSample{results[i].latency_ns, results[i].rc};
+      samples[start + i] =
+          RetryPread(reqs[start + i], ProbeSample{results[i].latency_ns, results[i].rc});
       Account(Kind::kPread, samples[start + i]);
     }
   }
+  NoteRunOutcome(samples);
   return samples;
 }
 
@@ -93,6 +144,7 @@ std::vector<ProbeSample> ProbeEngine::RunMemTouches(std::span<const TimedMemTouc
       samples[i] = ProbeSample{sys_->Now() - t0, 0};
       Account(Kind::kMemTouch, samples[i]);
     }
+    last_run_degraded_ = false;  // memory touches cannot fail
     return samples;
   }
   std::vector<MemTouchOp> ops;
@@ -112,6 +164,7 @@ std::vector<ProbeSample> ProbeEngine::RunMemTouches(std::span<const TimedMemTouc
       Account(Kind::kMemTouch, samples[start + i]);
     }
   }
+  last_run_degraded_ = false;
   return samples;
 }
 
@@ -123,9 +176,10 @@ std::vector<ProbeSample> ProbeEngine::RunStats(std::span<const TimedStat> reqs,
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       const Nanos t0 = sys_->Now();
       const int rc = sys_->Stat(reqs[i].path, &(*infos)[i]);
-      samples[i] = ProbeSample{sys_->Now() - t0, rc};
+      samples[i] = RetryStat(reqs[i], &(*infos)[i], ProbeSample{sys_->Now() - t0, rc});
       Account(Kind::kStat, samples[i]);
     }
+    NoteRunOutcome(samples);
     return samples;
   }
   std::vector<std::string> paths;
@@ -140,10 +194,13 @@ std::vector<ProbeSample> ProbeEngine::RunStats(std::span<const TimedStat> reqs,
     sys_->StatBatch(paths, std::span<FileInfo>(infos->data() + start, n), results);
     ++report_.batches;
     for (std::size_t i = 0; i < n; ++i) {
-      samples[start + i] = ProbeSample{results[i].latency_ns, results[i].rc};
+      samples[start + i] =
+          RetryStat(reqs[start + i], &(*infos)[start + i],
+                    ProbeSample{results[i].latency_ns, results[i].rc});
       Account(Kind::kStat, samples[start + i]);
     }
   }
+  NoteRunOutcome(samples);
   return samples;
 }
 

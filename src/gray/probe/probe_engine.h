@@ -73,6 +73,18 @@ struct ProbeEngineOptions {
   // Requests per SysApi batch call; bounds per-batch memory and lets long
   // plans interleave with competitors at sub-batch boundaries.
   std::size_t max_batch = 256;
+  // Failure-aware retry: a sample whose rc the backend classifies as
+  // transient (SysApi::IsTransientError) is re-issued scalar up to this many
+  // times, sleeping retry_backoff, 2*retry_backoff, ... between attempts so
+  // a burst of interference can pass. The backoff sleep is NOT part of the
+  // sample latency — only the operation itself is timed. 0 restores the
+  // legacy fire-once behavior.
+  std::size_t max_retries = 2;
+  Nanos retry_backoff = 200'000;  // 200 us
+  // A run whose (post-retry) failure fraction exceeds this marks the engine
+  // degraded for that run — the ICL's cue to distrust the batch wholesale
+  // rather than dissect poisoned samples.
+  double degraded_failure_fraction = 0.25;
 };
 
 // Per-layer accounting of observation overhead. Everything an ICL needs to
@@ -84,7 +96,8 @@ struct ProbeReport {
   std::uint64_t pread_probes = 0;
   std::uint64_t memtouch_probes = 0;
   std::uint64_t stat_probes = 0;
-  std::uint64_t failed_probes = 0;   // rc < 0
+  std::uint64_t failed_probes = 0;   // rc < 0 after retries
+  std::uint64_t retried_probes = 0;  // extra attempts issued by retry
   std::uint64_t bytes_touched = 0;   // bytes read + pages touched * page size
   Nanos probe_time = 0;              // virtual time spent inside probes
 
@@ -119,8 +132,15 @@ class ProbeEngine {
       const std::function<bool(std::size_t, const ProbeSample&)>& visit);
 
   [[nodiscard]] const ProbeReport& report() const { return report_; }
-  // Incremental statistics over every sample since construction/reset.
+  // Incremental statistics over every SUCCESSFUL sample since
+  // construction/reset. Failed probes (rc < 0) are excluded: an injected
+  // EIO's latency measures the kernel's retry loop, not cache state, and
+  // folding it in would poison every mean/percentile downstream.
   [[nodiscard]] const RunningStats& latency_stats() const { return latency_stats_; }
+  // True when the last Run* call's failure fraction exceeded
+  // degraded_failure_fraction — the per-batch "don't trust this ranking"
+  // signal hardened ICLs consult.
+  [[nodiscard]] bool last_run_degraded() const { return last_run_degraded_; }
   // Virtual time since construction/reset; report().ProbeShare(lifetime())
   // is the probe-time share of this engine's owner.
   [[nodiscard]] Nanos lifetime() const;
@@ -135,11 +155,23 @@ class ProbeEngine {
   // Accounts one executed sample into the report and incremental stats.
   void Account(Kind kind, const ProbeSample& sample);
 
+  // Re-issues a transiently failed pread/stat scalar with exponential
+  // backoff; returns the final sample (retry disabled => the input).
+  ProbeSample RetryPread(const TimedPread& req, ProbeSample sample);
+  ProbeSample RetryStat(const TimedStat& req, FileInfo* info, ProbeSample sample);
+  [[nodiscard]] bool ShouldRetry(const ProbeSample& sample) const {
+    return options_.max_retries > 0 && sample.rc < 0 && sys_->IsTransientError(sample.rc);
+  }
+
+  // Updates last_run_degraded_ from one run's final samples.
+  void NoteRunOutcome(std::span<const ProbeSample> samples);
+
   SysApi* sys_;
   ProbeEngineOptions options_;
   ProbeReport report_;
   RunningStats latency_stats_;
   Nanos created_at_ = 0;
+  bool last_run_degraded_ = false;
 };
 
 }  // namespace gray

@@ -19,6 +19,13 @@ class SimSys final : public SysApi {
   [[nodiscard]] Nanos Now() override { return os_->Now(); }
   void SleepNs(Nanos duration) override { os_->Sleep(pid_, duration); }
 
+  // The simulated kernel's only transient failure is the chaos layer's
+  // injected device error; everything else (ENOENT, EISDIR, ...) is a
+  // definitive answer.
+  [[nodiscard]] bool IsTransientError(std::int64_t rc) const override {
+    return rc == -static_cast<std::int64_t>(graysim::FsErr::kIo);
+  }
+
   [[nodiscard]] int Open(const std::string& path) override { return os_->Open(pid_, path); }
   int Close(int fd) override { return os_->Close(pid_, fd); }
   std::int64_t Pread(int fd, std::span<std::uint8_t> buf, std::uint64_t len,

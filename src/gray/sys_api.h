@@ -71,6 +71,15 @@ class SysApi {
   [[nodiscard]] virtual Nanos Now() = 0;
   virtual void SleepNs(Nanos duration) = 0;
 
+  // True when a negative return code is a *transient* failure (an EIO-style
+  // hiccup) that a retry may clear, as opposed to a definitive answer like
+  // ENOENT that a robust ICL must take at face value. Conservative default:
+  // nothing is transient, so layers never spin on deterministic errors.
+  [[nodiscard]] virtual bool IsTransientError(std::int64_t rc) const {
+    (void)rc;
+    return false;
+  }
+
   // --- files ---
   // All calls return >= 0 on success and a negative errno-style value on
   // failure.

@@ -6,21 +6,28 @@
 
 namespace gray {
 
-std::string ParamRepository::Serialize() const {
-  std::ostringstream out;
-  out.precision(17);
-  for (const auto& [key, value] : values_) {
-    out << key << ' ' << value << '\n';
-  }
-  return out.str();
-}
+namespace {
 
-bool ParamRepository::Deserialize(const std::string& text) {
+// Parses "key value" lines into `out`. '#' lines are comments; the
+// "# gbparams-end n=<count>" trailer, when present, is captured in
+// `declared`. False on any malformed line or on entries after the trailer.
+bool ParseLines(const std::string& text, std::map<std::string, double>* out,
+                std::optional<std::size_t>* declared) {
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') {
+    if (line.empty()) {
       continue;
+    }
+    if (line[0] == '#') {
+      std::size_t n = 0;
+      if (std::sscanf(line.c_str(), "# gbparams-end n=%zu", &n) == 1) {
+        *declared = n;
+      }
+      continue;
+    }
+    if (declared->has_value()) {
+      return false;  // data after the trailer: spliced or corrupt
     }
     std::istringstream ls(line);
     std::string key;
@@ -28,18 +35,59 @@ bool ParamRepository::Deserialize(const std::string& text) {
     if (!(ls >> key >> value)) {
       return false;
     }
+    (*out)[key] = value;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ParamRepository::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& [key, value] : values_) {
+    out << key << ' ' << value << '\n';
+  }
+  out << "# gbparams-end n=" << values_.size() << '\n';
+  return out.str();
+}
+
+bool ParamRepository::Deserialize(const std::string& text) {
+  std::map<std::string, double> parsed;
+  std::optional<std::size_t> declared;
+  if (!ParseLines(text, &parsed, &declared)) {
+    return false;
+  }
+  if (declared.has_value() && *declared != parsed.size()) {
+    return false;
+  }
+  for (const auto& [key, value] : parsed) {
     values_[key] = value;
   }
   return true;
 }
 
 bool ParamRepository::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
+  // Write-then-rename: readers either see the old complete file or the new
+  // complete file, never a truncated mix.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << Serialize();
+    out.flush();
+    if (!out) {
+      (void)std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
     return false;
   }
-  out << Serialize();
-  return static_cast<bool>(out);
+  return true;
 }
 
 bool ParamRepository::LoadFromFile(const std::string& path) {
@@ -49,7 +97,22 @@ bool ParamRepository::LoadFromFile(const std::string& path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Deserialize(buf.str());
+  std::map<std::string, double> parsed;
+  std::optional<std::size_t> declared;
+  if (!ParseLines(buf.str(), &parsed, &declared)) {
+    return false;
+  }
+  // Files on disk must carry the trailer with a matching count: anything
+  // else is a truncated or corrupted save, and half a calibration table is
+  // worse than none (an ICL trusting a partial repository would mix
+  // measured and default thresholds).
+  if (!declared.has_value() || *declared != parsed.size()) {
+    return false;
+  }
+  for (const auto& [key, value] : parsed) {
+    values_[key] = value;
+  }
+  return true;
 }
 
 }  // namespace gray

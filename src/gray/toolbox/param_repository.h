@@ -47,14 +47,23 @@ class ParamRepository {
   [[nodiscard]] std::size_t size() const { return values_.size(); }
   [[nodiscard]] const std::map<std::string, double>& values() const { return values_; }
 
-  // Serialization: "key value\n" lines, sorted by key.
+  // Serialization: "key value\n" lines, sorted by key, closed by a
+  // "# gbparams-end n=<count>" trailer so readers can tell a complete file
+  // from one cut off mid-write. '#' lines are comments to Deserialize, so
+  // the trailer is backward compatible.
   [[nodiscard]] std::string Serialize() const;
-  // Parses Serialize() output; returns false on malformed input (partial
-  // entries before the error are kept).
+  // Parses Serialize() output. All-or-nothing: malformed input returns
+  // false and leaves the repository unchanged. A missing trailer is
+  // tolerated (embedded snippets, hand-written files).
   bool Deserialize(const std::string& text);
 
   // Host-file persistence (the simulated machine has no host filesystem; the
   // repository lives beside the experiment like the paper's advertised file).
+  // SaveToFile writes "<path>.tmp" and renames it into place, so a crash
+  // mid-save never leaves a half-written repository at `path`. LoadFromFile
+  // is strict: it requires the end trailer with a matching entry count, and
+  // returns false on truncated or corrupt files without touching the current
+  // values — the caller keeps its defaults.
   bool SaveToFile(const std::string& path) const;
   bool LoadFromFile(const std::string& path);
 

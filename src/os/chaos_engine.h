@@ -1,0 +1,145 @@
+// ChaosEngine: executes a FaultPlan against the simulated kernel.
+//
+// The engine owns the plan, a dedicated RNG stream (seeded from the plan, so
+// fault decisions never perturb the kernel's jitter or tie-break streams),
+// and the injected-fault counters. It is pure decision logic: the Os asks it
+// "should this Pread fail?" / "how slow is disk d right now?" and applies
+// the answer itself. Keeping all randomness here gives the replay guarantee:
+// with the same plan and the same (deterministic) syscall/request sequence,
+// every injected fault lands at the same virtual instant, run after run.
+#ifndef SRC_OS_CHAOS_ENGINE_H_
+#define SRC_OS_CHAOS_ENGINE_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/rng.h"
+
+namespace graysim {
+
+// Counts of injected interference, exposed through Os::chaos_stats(). The
+// determinism tests snapshot this next to OsStats: two runs of the same plan
+// must agree on every counter, not just on the virtual clock.
+struct ChaosStats {
+  std::uint64_t injected_read_errors = 0;
+  std::uint64_t injected_stat_errors = 0;
+  std::uint64_t injected_write_errors = 0;
+  std::uint64_t short_writes = 0;
+  std::uint64_t disk_spikes = 0;
+  std::uint64_t degraded_requests = 0;  // disk requests inside a degraded window
+  std::uint64_t reader_ticks = 0;
+  std::uint64_t dirtier_ticks = 0;
+  std::uint64_t antagonist_pages = 0;  // cache pages touched by antagonists
+  std::uint64_t pressure_shocks = 0;
+  std::uint64_t stalled_allocs = 0;  // zero-fills stalled inside shock windows
+
+  friend bool operator==(const ChaosStats&, const ChaosStats&) = default;
+};
+
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {}
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const ChaosStats& stats() const { return stats_; }
+  // The Os-side antagonist/shock tick bodies record their work here.
+  [[nodiscard]] ChaosStats& stats_mutable() { return stats_; }
+
+  // Per-operation fault decisions. Each draws from the chaos RNG only when
+  // its probability is non-zero, so the draw sequence is a pure function of
+  // the operation sequence.
+  [[nodiscard]] bool InjectReadError() {
+    return Roll(plan_.read_eio_prob, &stats_.injected_read_errors);
+  }
+  [[nodiscard]] bool InjectStatError() {
+    return Roll(plan_.stat_eio_prob, &stats_.injected_stat_errors);
+  }
+  [[nodiscard]] bool InjectWriteError() {
+    return Roll(plan_.write_enospc_prob, &stats_.injected_write_errors);
+  }
+
+  // Possibly truncates a write to a strict non-empty prefix (POSIX short
+  // write). Returns `len` unchanged when no fault fires.
+  [[nodiscard]] std::uint64_t MaybeShortWrite(std::uint64_t len) {
+    if (len <= 1 || !Roll(plan_.short_write_prob, &stats_.short_writes)) {
+      return len;
+    }
+    return rng_.Range(1, len - 1);
+  }
+
+  // Jitter amplitude at virtual time `now`: the burst square wave replaces
+  // the configured base amplitude inside its duty window. Draw-free.
+  [[nodiscard]] double JitterAmplitude(Nanos now, double base) const {
+    if (plan_.jitter_burst_period == 0) {
+      return base;
+    }
+    return InWindow(now, plan_.jitter_burst_period, plan_.jitter_burst_duty)
+               ? plan_.jitter_burst_amplitude
+               : base;
+  }
+
+  // Extra latency for a zero-fill page allocation at virtual time `now`:
+  // inside a shock window (the same square wave that paces ShockTick's
+  // grabs) the shock competitor contends for free lists and LRU locks, so
+  // fresh pages are slow machine-wide. Draw-free.
+  [[nodiscard]] Nanos AllocStall(Nanos now) {
+    if (plan_.shock_period == 0 || plan_.shock_alloc_stall == 0 ||
+        plan_.shock_duration == 0) {
+      return 0;
+    }
+    // The first window opens with the first ShockTick grab at t = period,
+    // not at t = 0: an ICL calibrating on first contact must see the clean
+    // machine, exactly as a process starting before the competitor would.
+    if (now < plan_.shock_period || now % plan_.shock_period >= plan_.shock_duration) {
+      return 0;
+    }
+    ++stats_.stalled_allocs;
+    return plan_.shock_alloc_stall;
+  }
+
+  // Scales one disk request's service time: degraded-window multiplier
+  // (draw-free square wave) times an occasional random spike.
+  [[nodiscard]] Nanos ScaleService(int disk, Nanos now, Nanos service) {
+    double scale = 1.0;
+    if (plan_.degraded_period > 0 &&
+        (plan_.degraded_disk < 0 || plan_.degraded_disk == disk) &&
+        InWindow(now, plan_.degraded_period, plan_.degraded_duty)) {
+      scale *= plan_.degraded_scale;
+      ++stats_.degraded_requests;
+    }
+    if (plan_.spike_prob > 0.0 && rng_.Chance(plan_.spike_prob)) {
+      scale *= plan_.spike_scale;
+      ++stats_.disk_spikes;
+    }
+    if (scale == 1.0) {
+      return service;
+    }
+    return static_cast<Nanos>(static_cast<double>(service) * scale);
+  }
+
+ private:
+  [[nodiscard]] bool Roll(double prob, std::uint64_t* counter) {
+    if (prob <= 0.0 || !rng_.Chance(prob)) {
+      return false;
+    }
+    ++*counter;
+    return true;
+  }
+
+  [[nodiscard]] static bool InWindow(Nanos now, Nanos period, double duty) {
+    const Nanos phase = now % period;
+    return static_cast<double>(phase) < duty * static_cast<double>(period);
+  }
+
+  FaultPlan plan_;
+  Rng rng_;
+  ChaosStats stats_;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_OS_CHAOS_ENGINE_H_

@@ -66,6 +66,150 @@ Os::Os(PlatformProfile profile, MachineConfig config)
   mem_.set_evict_handler(this);
 
   fd_tables_.resize(1);  // default pid 0
+
+  if (config_.chaos.enabled) {
+    ArmChaos(config_.chaos);
+  }
+}
+
+// ---- chaos layer ----
+
+void Os::ArmChaos(const FaultPlan& plan) {
+  DisarmChaos();
+  if (!plan.enabled) {
+    return;
+  }
+  chaos_ = std::make_unique<ChaosEngine>(plan);
+  const std::uint64_t epoch = ++chaos_epoch_;
+  antagonist_reader_pos_ = 0;
+  antagonist_dirty_pos_ = 0;
+  if (plan.degraded_period > 0 || plan.spike_prob > 0.0) {
+    for (std::size_t d = 0; d < disk_queues_.size(); ++d) {
+      const int disk = static_cast<int>(d);
+      disk_queues_[d]->set_service_scale([this, disk](Nanos service) {
+        return chaos_->ScaleService(disk, clock_.now(), service);
+      });
+    }
+  }
+  if (plan.antagonist_period > 0 &&
+      (plan.reader_burst_pages > 0 || plan.dirtier_burst_pages > 0)) {
+    events_.ScheduleAt(clock_.now() + plan.antagonist_period, EventQueue::Band::kCompletion,
+                       [this, epoch] { AntagonistTick(epoch); });
+  }
+  if (plan.shock_period > 0 && plan.shock_mem_fraction > 0.0) {
+    events_.ScheduleAt(clock_.now() + plan.shock_period, EventQueue::Band::kCompletion,
+                       [this, epoch] { ShockTick(epoch); });
+  }
+}
+
+void Os::DisarmChaos() {
+  if (chaos_ == nullptr) {
+    return;
+  }
+  ++chaos_epoch_;  // orphans pending antagonist/shock ticks
+  for (auto& q : disk_queues_) {
+    q->set_service_scale(nullptr);
+  }
+  const int disk = std::clamp(chaos_->plan().antagonist_disk, 0, num_disks() - 1);
+  cache_.DropFile(Tag(disk, kAntagonistLocalInum));
+  cache_.DropFile(Tag(0, kShockLocalInum));
+  chaos_.reset();
+}
+
+void Os::AntagonistTick(std::uint64_t epoch) {
+  if (chaos_ == nullptr || epoch != chaos_epoch_) {
+    return;
+  }
+  BackgroundScope background(this);  // antagonists are daemons, not processes
+  const FaultPlan& plan = chaos_->plan();
+  ChaosStats& cs = chaos_->stats_mutable();
+  const int disk = std::clamp(plan.antagonist_disk, 0, num_disks() - 1);
+  const Inum tagged = Tag(disk, kAntagonistLocalInum);
+  // Pseudo-file page keys double as disk blocks; keep them in the (always
+  // file-system-backed) lower half of the device. Reader and dirtier work
+  // disjoint halves of that range so they never collide.
+  const std::uint64_t blocks = config_.disk_geometry.capacity_bytes / config_.page_size / 2;
+  const std::uint64_t half = blocks / 2;
+
+  Nanos io_done = 0;  // antagonists self-clock on their own I/O (below)
+  if (plan.reader_burst_pages > 0) {
+    ++cs.reader_ticks;
+    const std::uint64_t start = antagonist_reader_pos_ % half;
+    const std::uint64_t run = std::min<std::uint64_t>(plan.reader_burst_pages, half - start);
+    antagonist_reader_pos_ = (start + run) % half;
+    // One streaming read on the device (queue contention)...
+    io_done = std::max(io_done, SubmitDiskIo(disk, start, run, /*is_write=*/false, nullptr));
+    // ...whose pages land in the cache (LRU pollution).
+    for (std::uint64_t k = 0; k < run; ++k) {
+      if (!cache_.Resident(tagged, start + k)) {
+        Nanos evict_cost = 0;
+        (void)cache_.Insert(tagged, start + k, /*dirty=*/false, &evict_cost);
+        ++cs.antagonist_pages;
+      }
+    }
+  }
+
+  // Dirtiers are throttled at the dirty limit, as real kernels throttle any
+  // writer: an open-loop dirty source would outrun writeback bandwidth and
+  // grow the disk queue (and virtual time) without bound.
+  if (plan.dirtier_burst_pages > 0 && cache_.dirty_pages() < dirty_limit_pages_) {
+    ++cs.dirtier_ticks;
+    for (std::uint32_t k = 0; k < plan.dirtier_burst_pages; ++k) {
+      const std::uint64_t block = half + (antagonist_dirty_pos_++ % half);
+      Nanos evict_cost = 0;
+      if (cache_.Resident(tagged, block)) {
+        cache_.MarkDirty(tagged, block);
+      } else if (!cache_.Insert(tagged, block, /*dirty=*/true, &evict_cost)) {
+        // Sticky cache refused admission: write through.
+        io_done = std::max(io_done, SubmitDiskIo(disk, block, 1, /*is_write=*/true, nullptr));
+      }
+      ++cs.antagonist_pages;
+    }
+    MaybeWakeFlushDaemon();
+  }
+
+  MaybeWakePageDaemon();
+  // Self-clocking, like a real streaming process: the next burst cannot be
+  // issued before this one's I/O completes. Without this the antagonist
+  // outruns a degraded disk and the queue — and virtual time — diverge.
+  const Nanos next = std::max(clock_.now() + plan.antagonist_period, io_done);
+  events_.ScheduleAt(next, EventQueue::Band::kCompletion,
+                     [this, epoch] { AntagonistTick(epoch); });
+}
+
+void Os::ShockTick(std::uint64_t epoch) {
+  if (chaos_ == nullptr || epoch != chaos_epoch_) {
+    return;
+  }
+  BackgroundScope background(this);
+  const FaultPlan& plan = chaos_->plan();
+  ++chaos_->stats_mutable().pressure_shocks;
+  const Inum tagged = Tag(0, kShockLocalInum);
+  const std::uint64_t grab = static_cast<std::uint64_t>(
+      plan.shock_mem_fraction * static_cast<double>(mem_.total_pages()));
+  for (std::uint64_t k = 0; k < grab; ++k) {
+    // Clean pages: the grab's job is cache displacement. The competitor's
+    // contention cost is charged separately — every zero-fill inside the
+    // shock window pays plan.shock_alloc_stall (see ChaosEngine::AllocStall)
+    // — because an eviction-side charge would be absorbed by the background
+    // page daemon and never reach a foreground prober's touch timings.
+    if (!cache_.Resident(tagged, k)) {
+      Nanos evict_cost = 0;
+      (void)cache_.Insert(tagged, k, /*dirty=*/false, &evict_cost);
+    }
+  }
+  MaybeWakePageDaemon();
+  // Release the grabbed memory when the shock subsides.
+  if (plan.shock_duration > 0) {
+    events_.ScheduleAt(clock_.now() + plan.shock_duration, EventQueue::Band::kCompletion,
+                       [this, epoch] {
+                         if (chaos_ != nullptr && epoch == chaos_epoch_) {
+                           cache_.DropFile(Tag(0, kShockLocalInum));
+                         }
+                       });
+  }
+  events_.ScheduleAt(clock_.now() + plan.shock_period, EventQueue::Band::kCompletion,
+                     [this, epoch] { ShockTick(epoch); });
 }
 
 Nanos Os::OnEvict(const Page& page) {
@@ -84,7 +228,7 @@ Nanos Os::OnEvict(const Page& page) {
     }
     const int disk = DiskOfInum(tagged);
     std::uint64_t block = page.key2;
-    if (!IsMetaInum(tagged)) {
+    if (!IsPseudoInum(tagged)) {
       if (filesystems_[disk]->BlockOf(LocalInum(tagged), page.key2, &block) != FsErr::kOk) {
         return 0;  // file vanished concurrently; nothing to write
       }
@@ -133,11 +277,16 @@ bool Os::ParsePath(std::string_view path, PathRef* out) const {
 }
 
 Nanos Os::Jittered(Nanos cost) {
-  if (config_.timing_jitter <= 0.0 || cost == 0) {
+  double amplitude = config_.timing_jitter;
+  if (chaos_ != nullptr) {
+    // Jitter bursts are a square wave over virtual time, not a draw, so the
+    // jitter stream consumes exactly one draw per charged cost either way.
+    amplitude = chaos_->JitterAmplitude(clock_.now(), amplitude);
+  }
+  if (amplitude <= 0.0 || cost == 0) {
     return cost;
   }
-  const double factor =
-      1.0 + config_.timing_jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
+  const double factor = 1.0 + amplitude * (2.0 * jitter_rng_.NextDouble() - 1.0);
   return static_cast<Nanos>(static_cast<double>(cost) * factor);
 }
 
@@ -431,6 +580,13 @@ std::int64_t Os::PreadImpl(Pid pid, int fd, std::span<std::uint8_t> buf, std::ui
   if (e == nullptr) {
     return ToErr(FsErr::kInvalid);
   }
+  if (chaos_ != nullptr && chaos_->InjectReadError()) {
+    // Transient media error. The kernel burned time on command retries
+    // before giving up, so the failure is slow — naive probe statistics that
+    // fold failed samples in get badly skewed, which is the point.
+    Charge(pid, chaos_->plan().eio_latency);
+    return ToErr(FsErr::kIo);
+  }
   Ffs& f = *filesystems_[e->disk];
   InodeAttr attr;
   if (f.GetAttr(e->inum, &attr) != FsErr::kOk) {
@@ -545,6 +701,15 @@ std::int64_t Os::Pwrite(Pid pid, int fd, std::uint64_t len, std::uint64_t offset
   }
   if (len == 0) {
     return 0;
+  }
+  if (chaos_ != nullptr) {
+    if (chaos_->InjectWriteError()) {
+      Charge(pid, chaos_->plan().eio_latency);
+      return ToErr(FsErr::kNoSpace);
+    }
+    // A short write persists a non-empty prefix: the call below proceeds
+    // with the truncated length and returns it, exactly as POSIX allows.
+    len = chaos_->MaybeShortWrite(len);
   }
   Ffs& f = *filesystems_[e->disk];
   InodeAttr attr;
@@ -785,6 +950,10 @@ int Os::StatImpl(Pid pid, std::string_view path, InodeAttr* out) {
   if (!ParsePath(path, &ref)) {
     return ToErr(FsErr::kInvalid);
   }
+  if (chaos_ != nullptr && chaos_->InjectStatError()) {
+    Charge(pid, chaos_->plan().stat_eio_latency);
+    return ToErr(FsErr::kIo);
+  }
   Ffs& f = *filesystems_[ref.disk];
   if (const FsErr err = f.GetAttrPath(ref.sub, out); err != FsErr::kOk) {
     return ToErr(err);
@@ -991,11 +1160,16 @@ void Os::VmTouch(Pid pid, VmAreaId area, std::uint64_t page_index, bool write) {
     case TouchOutcome::kZeroRead:
       Charge(pid, config_.costs.mem_touch);
       return;
-    case TouchOutcome::kZeroFill:
+    case TouchOutcome::kZeroFill: {
       DrainDirectReclaim(pid);  // reclaim writeback/swap-out triggered by the fill
-      Charge(pid, config_.costs.zero_fill_page);
+      Nanos cost = config_.costs.zero_fill_page;
+      if (chaos_ != nullptr) {
+        cost += chaos_->AllocStall(clock_.now());
+      }
+      Charge(pid, cost);
       MaybeWakePageDaemon();
       return;
+    }
     case TouchOutcome::kSwapIn: {
       ++os_stats_.swap_ins;
       DrainDirectReclaim(pid);
@@ -1082,7 +1256,7 @@ Nanos Os::SubmitWritebackRuns(std::vector<std::pair<Inum, std::uint64_t>> pages)
   for (const auto& [tagged, page] : pages) {
     const int disk = DiskOfInum(tagged);
     std::uint64_t block = page;
-    if (!IsMetaInum(tagged)) {
+    if (!IsPseudoInum(tagged)) {
       if (filesystems_[disk]->BlockOf(LocalInum(tagged), page, &block) != FsErr::kOk) {
         continue;  // truncated/unlinked since dirtying
       }

@@ -34,6 +34,7 @@
 #include "src/disk/disk_queue.h"
 #include "src/fs/ffs.h"
 #include "src/mem/mem_system.h"
+#include "src/os/chaos_engine.h"
 #include "src/os/platform.h"
 #include "src/os/scheduler.h"
 #include "src/sim/clock.h"
@@ -172,6 +173,21 @@ class Os : private EvictionHandler {
   // In-flight readahead fills are invalidated so stale data cannot land.
   void FlushFileCache();
 
+  // Arms the chaos layer with `plan` (replacing any armed plan) starting at
+  // the current virtual time. A disabled plan is equivalent to DisarmChaos.
+  // Benches arm after building their file sets so setup stays fault-free;
+  // MachineConfig::chaos arms at construction for whole-run interference.
+  void ArmChaos(const FaultPlan& plan);
+  // Disarms injection, cancels antagonist/shock ticks, and drops the pages
+  // the antagonists held (their interference stops, not lingers).
+  void DisarmChaos();
+  [[nodiscard]] bool chaos_armed() const { return chaos_ != nullptr; }
+  // Injected-fault counters of the armed plan (zeros when disarmed). By
+  // value: determinism tests snapshot it next to OsStats.
+  [[nodiscard]] ChaosStats chaos_stats() const {
+    return chaos_ != nullptr ? chaos_->stats() : ChaosStats{};
+  }
+
   // ---- ground truth introspection (tests & benches only) ----
   [[nodiscard]] bool PageResidentPath(std::string_view path, std::uint64_t page_index) const;
   [[nodiscard]] double ResidentFraction(std::string_view path) const;
@@ -306,10 +322,14 @@ class Os : private EvictionHandler {
   Nanos SubmitWritebackRuns(std::vector<std::pair<Inum, std::uint64_t>> pages);
 
   // Page-cache keys tag the fs-local inum with its disk so files on
-  // different disks never collide: tagged = (disk << 24) | inum. The
-  // reserved local value 0xFFFFFF denotes that disk's metadata pseudo-file
-  // (inode table and directory blocks, keyed by disk block number).
+  // different disks never collide: tagged = (disk << 24) | inum. The top of
+  // the local range is reserved for pseudo-files whose page index is a raw
+  // disk block number, not a file page: 0xFFFFFF is that disk's metadata
+  // (inode table and directory blocks), 0xFFFFFE holds antagonist-daemon
+  // pages, and 0xFFFFFD holds memory-pressure-shock pages.
   static constexpr Inum kMetaLocalInum = 0xFFFFFF;
+  static constexpr Inum kAntagonistLocalInum = 0xFFFFFE;
+  static constexpr Inum kShockLocalInum = 0xFFFFFD;
   [[nodiscard]] static Inum Tag(int disk, Inum inum) {
     return (static_cast<Inum>(disk) << 24) | inum;
   }
@@ -317,6 +337,11 @@ class Os : private EvictionHandler {
   [[nodiscard]] static int DiskOfInum(Inum tagged) { return static_cast<int>(tagged >> 24); }
   [[nodiscard]] static bool IsMetaInum(Inum tagged) {
     return LocalInum(tagged) == kMetaLocalInum;
+  }
+  // True for every reserved pseudo-file: their dirty pages write back to the
+  // block named by the page key directly, with no Ffs::BlockOf translation.
+  [[nodiscard]] static bool IsPseudoInum(Inum tagged) {
+    return LocalInum(tagged) >= kShockLocalInum;
   }
   // Same packing as PageCache::Key, for the in-flight read map.
   [[nodiscard]] static std::uint64_t PageKey(Inum tagged, std::uint64_t page) {
@@ -330,6 +355,12 @@ class Os : private EvictionHandler {
   std::int64_t PreadImpl(Pid pid, int fd, std::span<std::uint8_t> buf, std::uint64_t len,
                          std::uint64_t offset);
   int StatImpl(Pid pid, std::string_view path, InodeAttr* out);
+
+  // Chaos-layer tick bodies, self-rescheduling on the event queue while
+  // their arming epoch is current (DisarmChaos bumps the epoch, orphaning
+  // any in-flight ticks instead of hunting them down in the heap).
+  void AntagonistTick(std::uint64_t epoch);
+  void ShockTick(std::uint64_t epoch);
 
   PlatformProfile profile_;
   MachineConfig config_;
@@ -364,6 +395,13 @@ class Os : private EvictionHandler {
   Pid next_pid_ = 1;
   Rng jitter_rng_;
   OsStats os_stats_;
+  // Chaos layer (null when disarmed — the common case; every hook starts
+  // with a null check so an unarmed kernel takes no chaos branches beyond
+  // that).
+  std::unique_ptr<ChaosEngine> chaos_;
+  std::uint64_t chaos_epoch_ = 0;
+  std::uint64_t antagonist_reader_pos_ = 0;
+  std::uint64_t antagonist_dirty_pos_ = 0;
 };
 
 }  // namespace graysim

@@ -14,6 +14,7 @@
 #include "src/fs/ffs.h"
 #include "src/mem/mem_system.h"
 #include "src/sim/clock.h"
+#include "src/sim/fault_plan.h"
 
 namespace graysim {
 
@@ -113,6 +114,9 @@ struct MachineConfig {
   double dirty_ratio = 0.125;
   std::uint32_t readahead_min_pages = 8;
   std::uint32_t readahead_max_pages = 64;
+  // Fault & interference schedule (disabled by default). When enabled the Os
+  // arms a ChaosEngine at construction; see Os::ArmChaos for late arming.
+  FaultPlan chaos;
 };
 
 }  // namespace graysim

@@ -243,5 +243,119 @@ TEST(InterposerBatchTest, EngineRunsThroughInterposer) {
   EXPECT_EQ(engine.report().probes, reqs.size());
 }
 
+// --- failure-aware probing (chaos hardening) ---
+//
+// These pin the contract every hardened ICL leans on: failed probes never
+// reach the latency statistics, transient failures are retried with backoff,
+// and a mostly-failed run raises the per-run degraded signal.
+
+class FailureAwareProbeTest : public ::testing::Test {
+ protected:
+  FailureAwareProbeTest()
+      : os_(graysim::PlatformProfile::Linux22()), sys_(&os_, os_.default_pid()) {
+    EXPECT_TRUE(graywork::MakeFile(os_, os_.default_pid(), "/d0/file", 4 * kMb));
+    fd_ = sys_.Open("/d0/file");
+    EXPECT_GE(fd_, 0);
+  }
+
+  void ArmAllReadsFail() {
+    graysim::FaultPlan plan;
+    plan.enabled = true;
+    plan.read_eio_prob = 1.0;
+    plan.eio_latency = graysim::Millis(25.0);
+    os_.ArmChaos(plan);
+  }
+
+  std::vector<TimedPread> PageProbes(std::size_t n) {
+    std::vector<TimedPread> reqs;
+    for (std::size_t p = 0; p < n; ++p) {
+      reqs.push_back(TimedPread{fd_, 1, p * sys_.PageSize()});
+    }
+    return reqs;
+  }
+
+  Os os_;
+  SimSys sys_;
+  int fd_ = -1;
+};
+
+TEST_F(FailureAwareProbeTest, FailedProbesAreExcludedFromLatencyStats) {
+  ArmAllReadsFail();
+  ProbeEngineOptions options;
+  options.max_retries = 0;  // all failures are final
+  ProbeEngine engine(&sys_, options);
+  const auto samples = engine.RunPreads(PageProbes(16));
+  for (const ProbeSample& s : samples) {
+    EXPECT_LT(s.rc, 0);
+  }
+  // The error path is SLOW by design (25 ms each) — folding it into the
+  // stats would bury every real hit/miss signal. Nothing may land there.
+  EXPECT_EQ(engine.latency_stats().count(), 0u);
+  EXPECT_EQ(engine.report().failed_probes, 16u);
+  EXPECT_EQ(engine.report().probes, 16u);
+  EXPECT_GT(engine.report().probe_time, 0u) << "failures still cost probe time";
+}
+
+TEST_F(FailureAwareProbeTest, TransientFailuresAreRetriedWithBackoff) {
+  graysim::FaultPlan plan;
+  plan.enabled = true;
+  plan.read_eio_prob = 0.5;  // every probe recovers within a few attempts
+  plan.eio_latency = graysim::Millis(1.0);
+  os_.ArmChaos(plan);
+  ProbeEngine engine(&sys_);  // default: max_retries = 2
+  const auto samples = engine.RunPreads(PageProbes(64));
+  EXPECT_GT(engine.report().retried_probes, 0u);
+  std::size_t failed = 0;
+  for (const ProbeSample& s : samples) {
+    failed += s.rc < 0 ? 1 : 0;
+  }
+  // p(fail) after retries is 0.5^3 per probe; the run overwhelmingly
+  // recovers, and the stats see exactly the successes.
+  EXPECT_LT(failed, 16u);
+  EXPECT_EQ(engine.report().failed_probes, failed);
+  EXPECT_EQ(engine.latency_stats().count(), samples.size() - failed);
+}
+
+TEST_F(FailureAwareProbeTest, RetryDisabledReproducesLegacySingleShot) {
+  ArmAllReadsFail();
+  ProbeEngineOptions options;
+  options.max_retries = 0;
+  ProbeEngine engine(&sys_, options);
+  (void)engine.RunPreads(PageProbes(8));
+  EXPECT_EQ(engine.report().retried_probes, 0u);
+  EXPECT_EQ(engine.report().probes, 8u);
+}
+
+TEST_F(FailureAwareProbeTest, DegradedSignalRaisesAndClears) {
+  ArmAllReadsFail();
+  ProbeEngineOptions options;
+  options.max_retries = 0;
+  ProbeEngine engine(&sys_, options);
+  (void)engine.RunPreads(PageProbes(8));
+  EXPECT_TRUE(engine.last_run_degraded());
+  os_.DisarmChaos();
+  (void)engine.RunPreads(PageProbes(8));
+  EXPECT_FALSE(engine.last_run_degraded());
+}
+
+TEST_F(FailureAwareProbeTest, SimSysClassifiesOnlyIoAsTransient) {
+  EXPECT_TRUE(sys_.IsTransientError(
+      -static_cast<std::int64_t>(graysim::FsErr::kIo)));
+  EXPECT_FALSE(sys_.IsTransientError(
+      -static_cast<std::int64_t>(graysim::FsErr::kNotFound)));
+  EXPECT_FALSE(sys_.IsTransientError(0));
+  // A definitive error must never be retried: stats on absent paths fail
+  // once, with zero retry attempts burned.
+  ProbeEngine engine(&sys_);
+  std::vector<TimedStat> reqs(3);
+  for (auto& r : reqs) {
+    r.path = "/d0/definitely-absent";
+  }
+  std::vector<FileInfo> infos;
+  (void)engine.RunStats(reqs, &infos);
+  EXPECT_EQ(engine.report().retried_probes, 0u);
+  EXPECT_EQ(engine.report().failed_probes, 3u);
+}
+
 }  // namespace
 }  // namespace gray

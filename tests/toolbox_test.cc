@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/gray/sim_sys.h"
@@ -50,6 +52,87 @@ TEST(ParamRepositoryTest, FileRoundTrip) {
   ASSERT_TRUE(loaded.LoadFromFile(path));
   EXPECT_DOUBLE_EQ(loaded.Get("a.b").value(), 42.0);
   std::remove(path.c_str());
+}
+
+TEST(ParamRepositoryTest, SaveLeavesNoTempFileBehind) {
+  const std::string path = ::testing::TempDir() + "/gb_params_atomic.txt";
+  ParamRepository repo;
+  repo.Set("k", 1.0);
+  ASSERT_TRUE(repo.SaveToFile(path));
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file must be renamed away";
+  std::remove(path.c_str());
+}
+
+// The corruption-recovery contract: a truncated or mangled repository file
+// (crash mid-save before SaveToFile was atomic, disk error, stray editor)
+// must never half-load. LoadFromFile reports failure and leaves the
+// in-memory repository exactly as it was, so the ICLs fall back to their
+// built-in defaults instead of mixing measured and garbage thresholds.
+TEST(ParamRepositoryTest, LoadRejectsTruncatedFileAndKeepsDefaults) {
+  const std::string path = ::testing::TempDir() + "/gb_params_trunc.txt";
+  ParamRepository repo;
+  repo.Set("disk.seq_bandwidth_mbs", 19.75);
+  repo.Set("mem.touch_ns", 150.0);
+  ASSERT_TRUE(repo.SaveToFile(path));
+
+  // Simulate a crash mid-write: keep only the first half of the bytes
+  // (which also cuts off the end trailer).
+  std::string full;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    full = buf.str();
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << full.substr(0, full.size() / 2);
+  }
+
+  ParamRepository loaded;
+  loaded.Set("preexisting", 7.0);
+  EXPECT_FALSE(loaded.LoadFromFile(path));
+  EXPECT_EQ(loaded.size(), 1u) << "failed load must not leak partial entries";
+  EXPECT_DOUBLE_EQ(loaded.GetOr("preexisting", 0.0), 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(ParamRepositoryTest, LoadRejectsMissingTrailerAndGarbage) {
+  const std::string path = ::testing::TempDir() + "/gb_params_bad.txt";
+  // Legacy-style file without the trailer: complete-looking but unverifiable.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "a.b 1.5\n";
+  }
+  ParamRepository repo;
+  EXPECT_FALSE(repo.LoadFromFile(path));
+  EXPECT_EQ(repo.size(), 0u);
+  // Trailer present but the count disagrees (a spliced file).
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "a.b 1.5\n# gbparams-end n=2\n";
+  }
+  EXPECT_FALSE(repo.LoadFromFile(path));
+  // A malformed value line fails even with a correct trailer.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "a.b notanumber\n# gbparams-end n=1\n";
+  }
+  EXPECT_FALSE(repo.LoadFromFile(path));
+  EXPECT_EQ(repo.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ParamRepositoryTest, DeserializeIsAllOrNothing) {
+  ParamRepository repo;
+  repo.Set("keep", 1.0);
+  EXPECT_FALSE(repo.Deserialize("good 2.0\nbad line here x\n"));
+  EXPECT_EQ(repo.size(), 1u);
+  EXPECT_FALSE(repo.Has("good")) << "entries before the error must not leak in";
+  // Trailer/count mismatch is rejected too (Serialize always writes one).
+  EXPECT_FALSE(repo.Deserialize("good 2.0\n# gbparams-end n=5\n"));
+  EXPECT_FALSE(repo.Has("good"));
 }
 
 TEST(StopwatchTest, MeasuresVirtualTime) {
