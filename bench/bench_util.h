@@ -18,6 +18,7 @@
 
 #include "bench/alloc_hook.h"
 #include "src/gray/toolbox/stats.h"
+#include "src/obs/metrics.h"
 #include "src/os/os.h"
 
 namespace gbench {
@@ -147,6 +148,16 @@ class JsonResults {
   graysim::Nanos virtual_ns_ = 0;
   std::vector<Entry> entries_;
 };
+
+// Drains every sample of `registry` into `results`, one JSON metric per
+// sample. This is how a bench ships the kernel/probe-side story (cache
+// hits, disk service-time percentiles, chaos injections) next to its
+// timings without hand-picking counters.
+inline void AddMetrics(JsonResults* results, const obs::MetricsRegistry& registry) {
+  for (const obs::MetricsRegistry::Sample& s : registry.Collect()) {
+    results->Add(s.name, s.value, s.unit);
+  }
+}
 
 }  // namespace gbench
 

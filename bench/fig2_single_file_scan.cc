@@ -85,7 +85,8 @@ int main(int argc, char** argv) {
       const Pid pid = os.default_pid();
       const std::uint64_t bytes = mb * gbench::kMb;
       if (!graywork::MakeFile(os, pid, "/d0/big", bytes)) {
-        std::fprintf(stderr, "file creation failed at %llu MB\n", static_cast<unsigned long long>(mb));
+        std::fprintf(stderr, "file creation failed at %llu MB\n",
+                     static_cast<unsigned long long>(mb));
         return 1;
       }
       os.FlushFileCache();
@@ -114,8 +115,8 @@ int main(int argc, char** argv) {
     const gbench::Sample gry = gbench::Sample::Of(gray_times);
     const gbench::Sample sled = gbench::Sample::Of(sled_times);
     std::printf("%9llu %9.2f +/- %5.2f %9.2f +/- %5.2f %9.2f +/- %5.2f %12.2f %12.2f\n",
-                static_cast<unsigned long long>(mb), lin.mean, lin.stddev, gry.mean, gry.stddev, sled.mean, sled.stddev,
-                worst, ideal);
+                static_cast<unsigned long long>(mb), lin.mean, lin.stddev, gry.mean,
+                gry.stddev, sled.mean, sled.stddev, worst, ideal);
     const std::string suffix = "_" + std::to_string(mb) + "mb";
     json.Add("linear" + suffix, lin.mean, "s");
     json.Add("gray" + suffix, gry.mean, "s");

@@ -85,8 +85,8 @@ void RunScan(const ScanSetup& setup, int runs) {
   const gbench::Sample w = gbench::Sample::Of(warm);
   const gbench::Sample g = gbench::Sample::Of(gray_times);
   std::printf("%-10s scan %5lluMB  cold=%6.2fs  warm=%5.2f  gray=%5.2f   (normalized to cold)\n",
-              setup.profile.name.c_str(), static_cast<unsigned long long>(setup.file_mb), cold, w.mean / cold,
-              g.mean / cold);
+              setup.profile.name.c_str(), static_cast<unsigned long long>(setup.file_mb), cold,
+              w.mean / cold, g.mean / cold);
 }
 
 void RunSearch(const ScanSetup& setup, int runs) {
@@ -118,9 +118,11 @@ void RunSearch(const ScanSetup& setup, int runs) {
   }
   const gbench::Sample w = gbench::Sample::Of(warm);
   const gbench::Sample g = gbench::Sample::Of(gray_times);
-  std::printf("%-10s search %3dx%lluMB cold=%6.2fs  warm=%5.2f  gray=%5.2f   (normalized to cold)\n",
-              setup.profile.name.c_str(), setup.search_files, static_cast<unsigned long long>(setup.search_file_mb),
-              cold, w.mean / cold, g.mean / cold);
+  std::printf("%-10s search %3dx%lluMB cold=%6.2fs  warm=%5.2f  gray=%5.2f   "
+              "(normalized to cold)\n",
+              setup.profile.name.c_str(), setup.search_files,
+              static_cast<unsigned long long>(setup.search_file_mb), cold, w.mean / cold,
+              g.mean / cold);
 }
 
 }  // namespace

@@ -129,7 +129,8 @@ void RunAvailabilityCheck() {
       done = true;
     });
     os.RunProcesses(bodies);
-    std::printf("%16llu %18llu %18llu\n", static_cast<unsigned long long>(x_mb), static_cast<unsigned long long>(got / gbench::kMb),
+    std::printf("%16llu %18llu %18llu\n", static_cast<unsigned long long>(x_mb),
+                static_cast<unsigned long long>(got / gbench::kMb),
                 static_cast<unsigned long long>(830 - x_mb));
   }
 }
@@ -152,8 +153,9 @@ int main(int argc, char** argv) {
   for (const std::uint64_t mb : static_sizes) {
     const ConfigResult r = RunConfig(/*use_mac=*/false, mb);
     std::printf("%4lluMB static %7.1f +/- %5.1f %8.1f %8.1f %8.1f %8.1f %8.1f %10.0f %9llu\n",
-                static_cast<unsigned long long>(mb), r.total.mean, r.total.stddev, r.read, r.sort, r.write, r.probe,
-                r.wait, r.avg_pass_mb, static_cast<unsigned long long>(r.swap_ins));
+                static_cast<unsigned long long>(mb), r.total.mean, r.total.stddev, r.read,
+                r.sort, r.write, r.probe, r.wait, r.avg_pass_mb,
+                static_cast<unsigned long long>(r.swap_ins));
     json.Add("static_" + std::to_string(mb) + "mb_total", r.total.mean, "s");
     json.Add("static_" + std::to_string(mb) + "mb_swap_ins",
              static_cast<double>(r.swap_ins));

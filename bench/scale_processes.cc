@@ -40,7 +40,12 @@ struct ScaleResult {
   std::uint64_t heap_allocs = 0;  // operator new calls during the run
 };
 
-ScaleResult RunScale(int nprocs) {
+// With `trace` set, the run records an execution trace and writes it to
+// results/trace.json (Chrome trace_event JSON — load in Perfetto or
+// chrome://tracing); `json` (optional) additionally receives the full
+// kernel metrics registry of the traced run. Tracing must not change the
+// simulation: the virtual-time results stay bit-identical either way.
+ScaleResult RunScale(int nprocs, bool trace = false, gbench::JsonResults* json = nullptr) {
   const gbench::AllocCounts alloc_start = gbench::AllocSnapshot();
   const auto host_start = std::chrono::steady_clock::now();
   Os os(PlatformProfile::Linux22());
@@ -53,6 +58,10 @@ ScaleResult RunScale(int nprocs) {
     }
   }
   os.FlushFileCache();
+  if (trace) {
+    // Trace the measured phase only; setup I/O would just bury it.
+    os.StartTrace(1 << 20);
+  }
 
   std::vector<graywork::FastsortReport> reports(nprocs);
   std::vector<std::function<void(Pid)>> bodies;
@@ -87,6 +96,21 @@ ScaleResult RunScale(int nprocs) {
   for (int d = 0; d < os.num_disks(); ++d) {
     r.max_queue_depth = std::max(r.max_queue_depth, os.MaxDiskQueueDepth(d));
   }
+  if (trace) {
+    os.StopTrace();
+    ::mkdir("results", 0755);  // best effort, as in JsonResults::Write
+    const char* path = "results/trace.json";
+    if (os.trace().WriteChromeJson(path)) {
+      std::printf("wrote %s (%zu events, %llu dropped, %zu tracks)\n", path,
+                  os.trace().size(), static_cast<unsigned long long>(os.trace().dropped()),
+                  os.trace().track_names().size());
+    }
+    if (json != nullptr) {
+      obs::MetricsRegistry registry;
+      os.BindMetrics(&registry);
+      gbench::AddMetrics(json, registry);
+    }
+  }
   return r;
 }
 
@@ -94,6 +118,7 @@ ScaleResult RunScale(int nprocs) {
 
 int main(int argc, char** argv) {
   const bool quick = gbench::FlagBool(argc, argv, "quick");
+  const bool trace = gbench::FlagBool(argc, argv, "trace");
 
   gbench::PrintHeader(
       "Scale: N competing 24 MB gb-fastsorts on one machine (event-kernel scheduler)");
@@ -102,10 +127,11 @@ int main(int argc, char** argv) {
               "Mops/s", "allocs/op");
 
   gbench::JsonResults json("scale_processes");
+  ScaleResult last;  // result of the largest configuration (traced if --trace)
   std::vector<int> sizes =
       quick ? std::vector<int>{16, 64} : std::vector<int>{16, 32, 64, 256};
   for (const int n : sizes) {
-    const ScaleResult r = RunScale(n);
+    const ScaleResult r = RunScale(n, trace && n == sizes.back(), &json);
     // Throughput denominator: kernel events scheduled plus syscalls served
     // (each syscall exercises the cache/VM hot path at least once).
     // Allocations-per-op should sit near zero once per-process setup is
@@ -127,14 +153,19 @@ int main(int argc, char** argv) {
     json.Add("allocs_per_op" + suffix, allocs_per_op);
     if (n == sizes.back()) {
       json.set_virtual_ns(r.virtual_time);
+      last = r;
     }
   }
 
   // Determinism at the largest scale: a second run must be bit-identical.
+  // Under --trace the loop run above was traced and these reruns are not,
+  // so the comparison doubles as a tracing-is-passive check.
   const ScaleResult again = RunScale(sizes.back());
   const ScaleResult first = RunScale(sizes.back());
   const bool deterministic = again.virtual_time == first.virtual_time &&
+                             again.virtual_time == last.virtual_time &&
                              again.swap_ins == first.swap_ins &&
+                             again.swap_ins == last.swap_ins &&
                              again.daemon_wakeups == first.daemon_wakeups &&
                              again.max_queue_depth == first.max_queue_depth;
   std::printf("\n%d-process rerun: %s (virtual time %.6fs both runs)\n", sizes.back(),

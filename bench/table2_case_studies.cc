@@ -36,38 +36,21 @@ void PrintUsage(const char* name, const gray::TechniqueUsage& usage) {
   }
 }
 
-// The cost of observation, from the shared ProbeEngine's accounting: how
-// many probes the ICL issued, how much data they dragged through the
-// system, and what share of the ICL's lifetime went to probing.
-void PrintProbeReport(const gray::ProbeReport& report, gray::Nanos lifetime) {
-  std::printf(
-      "  probe overhead: %llu probes (%llu pread / %llu touch / %llu stat, "
-      "%llu failed) in %llu batches\n",
-      static_cast<unsigned long long>(report.probes),
-      static_cast<unsigned long long>(report.pread_probes),
-      static_cast<unsigned long long>(report.memtouch_probes),
-      static_cast<unsigned long long>(report.stat_probes),
-      static_cast<unsigned long long>(report.failed_probes),
-      static_cast<unsigned long long>(report.batches));
-  std::printf("  probe cost:     %llu bytes touched, %.3f ms probing (%.1f%% of lifetime)\n",
-              static_cast<unsigned long long>(report.bytes_touched),
-              static_cast<double>(report.probe_time) / 1e6,
-              100.0 * report.ProbeShare(lifetime));
+// The cost of observation, registry-driven: every Run* and every
+// BindMetrics source prints through the same named-sample path the JSON
+// output uses, so the table and the artifact cannot drift apart.
+void PrintSection(const obs::MetricsRegistry& registry, const std::string& prefix) {
+  for (const obs::MetricsRegistry::Sample& s : registry.Collect()) {
+    if (s.name.rfind(prefix + ".", 0) != 0) {
+      continue;
+    }
+    std::printf("  %-28s %14.6g %s\n", s.name.c_str(), s.value, s.unit.c_str());
+  }
 }
 
-// What the probes cost the simulated kernel, from the event-kernel side:
-// queued device requests and background daemon activity driven so far.
-void PrintKernelCounters(const Os& os) {
-  std::uint64_t max_depth = 0;
-  for (int d = 0; d < os.num_disks(); ++d) {
-    max_depth = std::max(max_depth, os.MaxDiskQueueDepth(d));
-  }
-  std::printf(
-      "  kernel side:    %llu disk requests queued, %llu daemon wakeups, "
-      "max queue depth %llu\n",
-      static_cast<unsigned long long>(os.stats().queued_disk_requests),
-      static_cast<unsigned long long>(os.stats().daemon_wakeups),
-      static_cast<unsigned long long>(max_depth));
+void PrintProbeShare(const gray::ProbeReport& report, gray::Nanos lifetime) {
+  std::printf("  %-28s %14.1f %%\n", "probe_share_of_lifetime",
+              100.0 * report.ProbeShare(lifetime));
 }
 
 }  // namespace
@@ -87,30 +70,47 @@ int main() {
   gray::ParamRepository repo;
   repo.Set(gray::params::kFccdAccessUnitBytes, 20.0 * 1024 * 1024);
   repo.Set(gray::params::kMemZeroFillNs, 3000.0);
+  // One registry views every layer: each ICL's ProbeEngine binds under its
+  // own prefix, the kernel's counters under "os."/"disk<N>.". Collect()
+  // reads the live sources, so binding early and printing late is safe.
+  obs::MetricsRegistry registry;
+  os.BindMetrics(&registry);
+
   gray::Fccd fccd(&sys, gray::FccdOptions{}, &repo);
   (void)fccd.PlanFile("/d0/big");
   (void)fccd.OrderFiles(set);
+  fccd.probe_engine().BindMetrics(&registry, "fccd");
   PrintUsage("FCCD (file-cache content detector)", fccd.usage());
-  PrintProbeReport(fccd.probe_report(), fccd.probe_engine().lifetime());
-  PrintKernelCounters(os);
+  PrintSection(registry, "fccd");
+  PrintProbeShare(fccd.probe_report(), fccd.probe_engine().lifetime());
 
   // FLDC: order by i-number and refresh a directory.
   gray::Fldc fldc(&sys);
   (void)fldc.OrderByInode(set);
   (void)fldc.RefreshDirectory("/d0/set");
+  fldc.probe_engine().BindMetrics(&registry, "fldc");
   PrintUsage("FLDC (file layout detector & controller)", fldc.usage());
-  PrintProbeReport(fldc.probe_report(), fldc.probe_engine().lifetime());
-  PrintKernelCounters(os);
+  PrintSection(registry, "fldc");
+  PrintProbeShare(fldc.probe_report(), fldc.probe_engine().lifetime());
 
   // MAC: one admission-controlled allocation.
   gray::Mac mac(&sys, gray::MacOptions{}, &repo);
   auto alloc = mac.GbAlloc(64 * gbench::kMb, 256 * gbench::kMb, 4096);
+  mac.probe_engine().BindMetrics(&registry, "mac");
   PrintUsage("MAC (memory-based admission controller)", mac.usage());
-  PrintProbeReport(mac.probe_report(), mac.probe_engine().lifetime());
-  PrintKernelCounters(os);
+  PrintSection(registry, "mac");
+  PrintProbeShare(mac.probe_report(), mac.probe_engine().lifetime());
   if (alloc.has_value()) {
     alloc->Release();
   }
+
+  std::printf("\nKernel side (cumulative across all three ICLs)\n");
+  PrintSection(registry, "os");
+
+  gbench::JsonResults json("table2_case_studies");
+  json.set_virtual_ns(os.Now());
+  gbench::AddMetrics(&json, registry);
+  json.Write();
 
   std::printf(
       "\nAll three combine algorithmic knowledge with timed observations; FCCD\n"

@@ -27,6 +27,14 @@ Nanos DiskQueue::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write
   if (coalesce) {
     ++coalesced_requests_;
   }
+  service_hist_.Record(service);
+  if (trace_ != nullptr) {
+    if (start > clock_->now()) {
+      // Queued behind the device: record how long this request waited.
+      trace_->Instant(track_, "queue", clock_->now(), "wait_ns", start - clock_->now());
+    }
+    trace_->Complete(track_, is_write ? "write" : "read", start, service, "bytes", bytes);
+  }
   ++depth_;
   max_depth_ = std::max(max_depth_, depth_);
   events_->ScheduleAt(completion, EventQueue::Band::kCompletion,

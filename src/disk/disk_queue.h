@@ -20,6 +20,8 @@
 #include <functional>
 
 #include "src/disk/disk.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/inline_fn.h"
@@ -65,12 +67,27 @@ class DiskQueue {
   [[nodiscard]] std::uint64_t total_requests() const { return total_requests_; }
   [[nodiscard]] std::uint64_t coalesced_requests() const { return coalesced_requests_; }
 
+  // Optional trace sink + the track ("disk/N" row) this device's request
+  // lifecycle events land on. Each request becomes an "X" span over its
+  // service window, plus a "queue" instant when it had to wait behind the
+  // device's busy timeline.
+  void set_trace(obs::TraceSink* trace, std::uint32_t track) {
+    trace_ = trace;
+    track_ = track;
+  }
+
+  // Per-request service times (ns), recorded on every Submit. Alloc-free.
+  [[nodiscard]] const obs::Histogram& service_hist() const { return service_hist_; }
+
  private:
   Disk* disk_;
   SimClock* clock_;
   EventQueue* events_;
   Jitter jitter_;
   ServiceScale service_scale_;
+  obs::TraceSink* trace_ = nullptr;
+  std::uint32_t track_ = 0;
+  obs::Histogram service_hist_;
   Nanos busy_until_ = 0;
   // End offset + direction of the tail request, for coalescing.
   std::uint64_t tail_end_offset_ = 0;

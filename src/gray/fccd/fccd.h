@@ -139,6 +139,12 @@ class Fccd {
       streak_ = 0;
     } else {
       ++streak_;
+      if (obs::TraceSink* t = sys_->Trace();
+          t != nullptr && options_.hardened && streak_ == options_.misprediction_streak) {
+        // The exact moment the detector loses faith in its plan.
+        t->Instant(obs::kTrackIcl, "fccd.replan_signal", sys_->Now(), "streak",
+                   static_cast<std::uint64_t>(streak_));
+      }
     }
   }
   [[nodiscard]] bool ShouldReplan() const {

@@ -107,6 +107,9 @@ bool Fldc::LayoutChanged(std::span<const StatOrderEntry> entries) {
     const bool ok = samples[j].rc == 0 && !infos[j].is_dir;
     if (ok != e.stat_ok || (ok && infos[j].inum != e.inum)) {
       ++redetections_;
+      if (obs::TraceSink* t = sys_->Trace(); t != nullptr) {
+        t->Instant(obs::kTrackIcl, "fldc.redetect", sys_->Now());
+      }
       return true;
     }
   }

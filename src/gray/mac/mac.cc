@@ -127,6 +127,10 @@ void Mac::Recalibrate() {
   ++metrics_.recalibrations;
   SelfCalibrate();
   slow_threshold_ = std::clamp(slow_threshold_, base_threshold_, base_threshold_ * 4);
+  if (obs::TraceSink* t = sys_->Trace(); t != nullptr) {
+    t->Instant(obs::kTrackIcl, "mac.recalibrate", sys_->Now(), "threshold_ns",
+               slow_threshold_);
+  }
 }
 
 bool Mac::ProbeFits(GbAllocation& allocation) {
@@ -153,6 +157,9 @@ bool Mac::ProbeFits(GbAllocation& allocation) {
       if (++consecutive_slow >= options_.consecutive_slow_skip) {
         suspicious = true;
         ++metrics_.early_skips;
+        if (obs::TraceSink* t = sys_->Trace(); t != nullptr) {
+          t->Instant(obs::kTrackIcl, "mac.early_skip", sys_->Now());
+        }
         return false;  // skip straight to the verification loop
       }
     } else {
@@ -187,6 +194,9 @@ bool Mac::ProbeFits(GbAllocation& allocation) {
   if (aborted) {
     ++metrics_.aborted_verifications;
     last_alloc_aborted_ = true;
+    if (obs::TraceSink* t = sys_->Trace(); t != nullptr) {
+      t->Instant(obs::kTrackIcl, "mac.abort", sys_->Now(), "pages", pages);
+    }
     return false;
   }
   // No consecutive-slow run: isolated slow touches are tolerated unless
@@ -288,6 +298,9 @@ std::optional<GbAllocation> Mac::GbAllocBlocking(std::uint64_t min, std::uint64_
     }
     ++metrics_.retries;
     ++metrics_.backoffs;
+    if (obs::TraceSink* t = sys_->Trace(); t != nullptr) {
+      t->Instant(obs::kTrackIcl, "mac.backoff", sys_->Now(), "sleep_ns", sleep);
+    }
     const Nanos t0 = sys_->Now();
     sys_->SleepNs(sleep);
     metrics_.wait_time += sys_->Now() - t0;

@@ -17,10 +17,25 @@ void ProbeReport::Merge(const ProbeReport& other) {
 }
 
 ProbeEngine::ProbeEngine(SysApi* sys, ProbeEngineOptions options)
-    : sys_(sys), options_(options), created_at_(sys->Now()) {
+    : sys_(sys), options_(options), trace_(sys->Trace()), created_at_(sys->Now()) {
   if (options_.max_batch == 0) {
     options_.max_batch = 1;
   }
+}
+
+void ProbeEngine::BindMetrics(obs::MetricsRegistry* registry,
+                              const std::string& prefix) const {
+  obs::MetricsRegistry& r = *registry;
+  r.AddCounter(prefix + ".probes", &report_.probes);
+  r.AddCounter(prefix + ".batches", &report_.batches);
+  r.AddCounter(prefix + ".pread_probes", &report_.pread_probes);
+  r.AddCounter(prefix + ".memtouch_probes", &report_.memtouch_probes);
+  r.AddCounter(prefix + ".stat_probes", &report_.stat_probes);
+  r.AddCounter(prefix + ".failed_probes", &report_.failed_probes);
+  r.AddCounter(prefix + ".retried_probes", &report_.retried_probes);
+  r.AddCounter(prefix + ".bytes_touched", &report_.bytes_touched, "bytes");
+  r.AddCounter(prefix + ".probe_time_ns", &report_.probe_time, "ns");
+  r.AddHistogram(prefix + ".probe_latency_ns", "ns", &latency_hist_);
 }
 
 Nanos ProbeEngine::lifetime() const { return sys_->Now() - created_at_; }
@@ -70,6 +85,7 @@ void ProbeEngine::NoteRunOutcome(std::span<const ProbeSample> samples) {
 void ProbeEngine::Reset() {
   report_ = ProbeReport{};
   latency_stats_ = RunningStats{};
+  latency_hist_.Reset();
   created_at_ = sys_->Now();
   last_run_degraded_ = false;
 }
@@ -81,6 +97,7 @@ void ProbeEngine::Account(Kind kind, const ProbeSample& sample) {
     // Only successful observations feed the statistics: a failed probe's
     // latency times the error path, not the state being inferred.
     latency_stats_.Add(static_cast<double>(sample.latency_ns));
+    latency_hist_.Record(sample.latency_ns);
   }
   switch (kind) {
     case Kind::kPread:
@@ -123,8 +140,13 @@ std::vector<ProbeSample> ProbeEngine::RunPreads(std::span<const TimedPread> reqs
     for (std::size_t i = 0; i < n; ++i) {
       ops[i] = PreadOp{reqs[start + i].fd, reqs[start + i].len, reqs[start + i].offset};
     }
+    const bool traced = trace_ != nullptr && trace_->enabled();
+    const Nanos t0 = traced ? sys_->Now() : 0;
     sys_->PreadBatch(ops, results);
     ++report_.batches;
+    if (traced) {
+      trace_->Complete(obs::kTrackProbe, "pread.batch", t0, sys_->Now() - t0, "probes", n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       samples[start + i] =
           RetryPread(reqs[start + i], ProbeSample{results[i].latency_ns, results[i].rc});
@@ -157,8 +179,13 @@ std::vector<ProbeSample> ProbeEngine::RunMemTouches(std::span<const TimedMemTouc
       ops[i] = MemTouchOp{reqs[start + i].handle, reqs[start + i].page_index,
                           reqs[start + i].write};
     }
+    const bool traced = trace_ != nullptr && trace_->enabled();
+    const Nanos t0 = traced ? sys_->Now() : 0;
     sys_->MemTouchBatch(ops, results);
     ++report_.batches;
+    if (traced) {
+      trace_->Complete(obs::kTrackProbe, "memtouch.batch", t0, sys_->Now() - t0, "probes", n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       samples[start + i] = ProbeSample{results[i].latency_ns, results[i].rc};
       Account(Kind::kMemTouch, samples[start + i]);
@@ -191,8 +218,13 @@ std::vector<ProbeSample> ProbeEngine::RunStats(std::span<const TimedStat> reqs,
     for (std::size_t i = 0; i < n; ++i) {
       paths[i] = reqs[start + i].path;
     }
+    const bool traced = trace_ != nullptr && trace_->enabled();
+    const Nanos t0 = traced ? sys_->Now() : 0;
     sys_->StatBatch(paths, std::span<FileInfo>(infos->data() + start, n), results);
     ++report_.batches;
+    if (traced) {
+      trace_->Complete(obs::kTrackProbe, "stat.batch", t0, sys_->Now() - t0, "probes", n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       samples[start + i] =
           RetryStat(reqs[start + i], &(*infos)[start + i],

@@ -29,6 +29,7 @@
 
 #include "src/gray/sys_api.h"
 #include "src/gray/toolbox/stats.h"
+#include "src/obs/metrics.h"
 
 namespace gray {
 
@@ -149,6 +150,14 @@ class ProbeEngine {
   [[nodiscard]] SysApi* sys() const { return sys_; }
   [[nodiscard]] const ProbeEngineOptions& options() const { return options_; }
 
+  // Log-bucketed distribution of every successful sample latency — the
+  // richer sibling of latency_stats() (which keeps only moments).
+  [[nodiscard]] const obs::Histogram& latency_hist() const { return latency_hist_; }
+
+  // Binds this engine's report counters and latency histogram into
+  // `registry` under "<prefix>." names (e.g. "fccd.probes").
+  void BindMetrics(obs::MetricsRegistry* registry, const std::string& prefix) const;
+
  private:
   enum class Kind { kPread, kMemTouch, kStat };
 
@@ -170,6 +179,10 @@ class ProbeEngine {
   ProbeEngineOptions options_;
   ProbeReport report_;
   RunningStats latency_stats_;
+  obs::Histogram latency_hist_;
+  // Backend trace sink (nullptr on real-OS backends); batch spans land on
+  // obs::kTrackProbe. Write-only — see SysApi::Trace().
+  obs::TraceSink* trace_ = nullptr;
   Nanos created_at_ = 0;
   bool last_run_degraded_ = false;
 };

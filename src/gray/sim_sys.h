@@ -19,6 +19,8 @@ class SimSys final : public SysApi {
   [[nodiscard]] Nanos Now() override { return os_->Now(); }
   void SleepNs(Nanos duration) override { os_->Sleep(pid_, duration); }
 
+  [[nodiscard]] obs::TraceSink* Trace() override { return &os_->trace(); }
+
   // The simulated kernel's only transient failure is the chaos layer's
   // injected device error; everything else (ENOENT, EISDIR, ...) is a
   // definitive answer.

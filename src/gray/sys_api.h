@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
+
 namespace gray {
 
 using Nanos = std::uint64_t;
@@ -70,6 +72,13 @@ class SysApi {
   // --- timing (the covert channel) ---
   [[nodiscard]] virtual Nanos Now() = 0;
   virtual void SleepNs(Nanos duration) = 0;
+
+  // Optional trace sink for the executing system, or nullptr (the default:
+  // a real OS offers none). STRICTLY write-only for gray-box code: layers
+  // may annotate the trace with their decisions (probe batches, replans,
+  // backoffs) but must never read it back — reading would pierce the
+  // gray-box boundary this interface exists to enforce.
+  [[nodiscard]] virtual obs::TraceSink* Trace() { return nullptr; }
 
   // True when a negative return code is a *transient* failure (an EIO-style
   // hiccup) that a retry may clear, as opposed to a definitive answer like

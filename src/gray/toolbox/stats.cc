@@ -65,7 +65,8 @@ double Median(std::span<const double> xs) {
     return copy[mid];
   }
   const double hi = copy[mid];
-  const double lo = *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  const double lo =
+      *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
   return (lo + hi) / 2.0;
 }
 

@@ -1,0 +1,83 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <utility>
+
+namespace obs {
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const double target = q * static_cast<double>(count_ - 1);
+  double seen = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const double n = static_cast<double>(buckets_[i]);
+    if (n == 0.0) {
+      continue;
+    }
+    if (seen + n > target) {
+      // Interpolate inside [lo, hi), clamped to the observed min/max so a
+      // single-bucket distribution reports its true extremes.
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i);
+      const double frac = n <= 1.0 ? 0.0 : (target - seen) / n;
+      double v = lo + frac * (hi - lo);
+      v = std::max(v, static_cast<double>(min()));
+      v = std::min(v, static_cast<double>(max_));
+      return v;
+    }
+    seen += n;
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+  }
+}
+
+void MetricsRegistry::AddGauge(std::string name, std::string unit,
+                               std::function<double()> read) {
+  entries_.push_back(Entry{std::move(name), std::move(unit), std::move(read), nullptr});
+}
+
+void MetricsRegistry::AddCounter(std::string name, const std::uint64_t* source,
+                                 std::string unit) {
+  entries_.push_back(Entry{std::move(name), std::move(unit),
+                           [source] { return static_cast<double>(*source); }, nullptr});
+}
+
+void MetricsRegistry::AddHistogram(std::string name, std::string unit,
+                                   const Histogram* source) {
+  entries_.push_back(Entry{std::move(name), std::move(unit), nullptr, source});
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Collect() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size() * 2);
+  for (const Entry& e : entries_) {
+    if (e.histogram != nullptr) {
+      const Histogram& h = *e.histogram;
+      out.push_back(Sample{e.name + ".count", static_cast<double>(h.count()), ""});
+      out.push_back(Sample{e.name + ".mean", h.mean(), e.unit});
+      out.push_back(Sample{e.name + ".p50", h.Quantile(0.50), e.unit});
+      out.push_back(Sample{e.name + ".p90", h.Quantile(0.90), e.unit});
+      out.push_back(Sample{e.name + ".p99", h.Quantile(0.99), e.unit});
+      out.push_back(Sample{e.name + ".max", static_cast<double>(h.max()), e.unit});
+    } else {
+      out.push_back(Sample{e.name, e.read(), e.unit});
+    }
+  }
+  return out;
+}
+
+}  // namespace obs

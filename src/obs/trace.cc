@@ -1,0 +1,133 @@
+#include "src/obs/trace.h"
+
+namespace obs {
+
+TraceSink::TraceSink() : host_epoch_(std::chrono::steady_clock::now()) {
+  track_names_.reserve(kNumWellKnownTracks);
+  track_names_.emplace_back("kernel/events");
+  track_names_.emplace_back("daemon/flush");
+  track_names_.emplace_back("daemon/page");
+  track_names_.emplace_back("chaos");
+  track_names_.emplace_back("probe");
+  track_names_.emplace_back("icl");
+}
+
+std::uint32_t TraceSink::RegisterTrack(const std::string& name) {
+  for (std::size_t i = 0; i < track_names_.size(); ++i) {
+    if (track_names_[i] == name) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  track_names_.push_back(name);
+  return static_cast<std::uint32_t>(track_names_.size() - 1);
+}
+
+void TraceSink::Enable(std::size_t capacity) {
+  ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+  host_epoch_ = std::chrono::steady_clock::now();
+  enabled_ = true;
+}
+
+void TraceSink::Disable() { enabled_ = false; }
+
+void TraceSink::Snapshot(std::vector<TraceEvent>* out) const {
+  out->clear();
+  out->reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    std::size_t at = head_ + i;
+    if (at >= ring_.size()) {
+      at -= ring_.size();
+    }
+    out->push_back(ring_[at]);
+  }
+}
+
+namespace {
+
+char PhaseLetter(Phase phase) {
+  switch (phase) {
+    case Phase::kBegin:
+      return 'B';
+    case Phase::kEnd:
+      return 'E';
+    case Phase::kInstant:
+      return 'i';
+    case Phase::kComplete:
+      return 'X';
+    case Phase::kCounter:
+      return 'C';
+  }
+  return 'i';
+}
+
+// Timestamps are microseconds in the trace_event format; three decimals
+// keep full nanosecond precision.
+double ToUs(Nanos t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace
+
+bool TraceSink::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  WriteChromeJson(f);
+  std::fclose(f);
+  return true;
+}
+
+void TraceSink::WriteChromeJson(std::FILE* f) const {
+  std::fprintf(f, "{\"traceEvents\": [\n");
+  std::fprintf(f,
+               "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+               "\"args\": {\"name\": \"graysim\"}}");
+  for (std::size_t t = 0; t < track_names_.size(); ++t) {
+    std::fprintf(f,
+                 ",\n  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+                 "\"tid\": %zu, \"args\": {\"name\": \"%s\"}}",
+                 t, track_names_[t].c_str());
+    // Row order in the viewer follows sort_index, not registration order:
+    // keep kernel/daemons on top, then disks/fibers as registered.
+    std::fprintf(f,
+                 ",\n  {\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": 1, "
+                 "\"tid\": %zu, \"args\": {\"sort_index\": %zu}}",
+                 t, t);
+  }
+  for (std::size_t i = 0; i < count_; ++i) {
+    std::size_t at = head_ + i;
+    if (at >= ring_.size()) {
+      at -= ring_.size();
+    }
+    const TraceEvent& e = ring_[at];
+    std::fprintf(f,
+                 ",\n  {\"ph\": \"%c\", \"name\": \"%s\", \"pid\": 1, \"tid\": %u, "
+                 "\"ts\": %.3f",
+                 PhaseLetter(e.phase), e.name == nullptr ? "?" : e.name, e.track,
+                 ToUs(e.virtual_ns));
+    if (e.phase == Phase::kComplete) {
+      std::fprintf(f, ", \"dur\": %.3f", ToUs(e.dur_ns));
+    }
+    if (e.phase == Phase::kInstant) {
+      std::fprintf(f, ", \"s\": \"t\"");
+    }
+    // args always carry the host-time stamp; the optional typed arg and the
+    // counter value ride alongside it.
+    std::fprintf(f, ", \"args\": {\"host_us\": %.3f", ToUs(e.host_ns));
+    if (e.arg_name != nullptr) {
+      std::fprintf(f, ", \"%s\": %llu", e.arg_name,
+                   static_cast<unsigned long long>(e.arg));
+    }
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "\n]");
+  std::fprintf(f,
+               ",\n\"displayTimeUnit\": \"ms\",\n"
+               "\"otherData\": {\"dropped_events\": \"%llu\", \"retained_events\": \"%zu\"}\n",
+               static_cast<unsigned long long>(dropped_), count_);
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace obs

@@ -65,10 +65,94 @@ Os::Os(PlatformProfile profile, MachineConfig config)
 
   mem_.set_evict_handler(this);
 
+  // Wire the trace sink through the kernel components at construction so
+  // StartTrace() later is a pure enable — no re-plumbing, and the track ids
+  // are stable whether or not tracing is ever turned on.
+  events_.set_trace(&trace_);
+  scheduler_.set_trace(&trace_);
+  for (int d = 0; d < config_.num_disks; ++d) {
+    const std::uint32_t track = trace_.RegisterTrack("disk/" + std::to_string(d));
+    disk_queues_[d]->set_trace(&trace_, track);
+  }
+
   fd_tables_.resize(1);  // default pid 0
 
   if (config_.chaos.enabled) {
     ArmChaos(config_.chaos);
+  }
+}
+
+// ---- observability ----
+
+void Os::StartTrace(std::size_t capacity) { trace_.Enable(capacity); }
+
+void Os::BindMetrics(obs::MetricsRegistry* registry) const {
+  obs::MetricsRegistry& r = *registry;
+  r.AddCounter("os.syscalls", &os_stats_.syscalls);
+  r.AddCounter("os.batch_syscalls", &os_stats_.batch_syscalls);
+  r.AddCounter("os.batched_ops", &os_stats_.batched_ops);
+  r.AddCounter("os.cache_hits", &os_stats_.cache_hits);
+  r.AddCounter("os.cache_misses", &os_stats_.cache_misses);
+  r.AddCounter("os.disk_reads", &os_stats_.disk_reads);
+  r.AddCounter("os.disk_writes", &os_stats_.disk_writes);
+  r.AddCounter("os.swap_ins", &os_stats_.swap_ins);
+  r.AddCounter("os.swap_outs", &os_stats_.swap_outs);
+  r.AddCounter("os.readahead_pages", &os_stats_.readahead_pages);
+  r.AddCounter("os.writeback_pages", &os_stats_.writeback_pages);
+  r.AddCounter("os.daemon_wakeups", &os_stats_.daemon_wakeups);
+  r.AddCounter("os.queued_disk_requests", &os_stats_.queued_disk_requests);
+  r.AddGauge("os.events_scheduled", "", [this] {
+    return static_cast<double>(events_.scheduled_total());
+  });
+  r.AddGauge("os.virtual_time_ns", "ns", [this] { return static_cast<double>(clock_.now()); });
+  r.AddGauge("os.file_cache_pages", "pages", [this] {
+    return static_cast<double>(cache_.resident_pages());
+  });
+  r.AddGauge("os.free_mem_bytes", "bytes", [this] {
+    return static_cast<double>(FreeMemBytes());
+  });
+  // Chaos counters read through chaos_stats(): zeros when disarmed, and the
+  // ChaosStats struct itself stays untouched for the determinism snapshots.
+  r.AddGauge("chaos.injected_read_errors", "", [this] {
+    return static_cast<double>(chaos_stats().injected_read_errors);
+  });
+  r.AddGauge("chaos.injected_write_errors", "", [this] {
+    return static_cast<double>(chaos_stats().injected_write_errors);
+  });
+  r.AddGauge("chaos.injected_stat_errors", "", [this] {
+    return static_cast<double>(chaos_stats().injected_stat_errors);
+  });
+  r.AddGauge("chaos.short_writes", "", [this] {
+    return static_cast<double>(chaos_stats().short_writes);
+  });
+  r.AddGauge("chaos.disk_spikes", "", [this] {
+    return static_cast<double>(chaos_stats().disk_spikes);
+  });
+  r.AddGauge("chaos.degraded_requests", "", [this] {
+    return static_cast<double>(chaos_stats().degraded_requests);
+  });
+  r.AddGauge("chaos.antagonist_pages", "pages", [this] {
+    return static_cast<double>(chaos_stats().antagonist_pages);
+  });
+  r.AddGauge("chaos.pressure_shocks", "", [this] {
+    return static_cast<double>(chaos_stats().pressure_shocks);
+  });
+  r.AddGauge("chaos.stalled_allocs", "", [this] {
+    return static_cast<double>(chaos_stats().stalled_allocs);
+  });
+  for (int d = 0; d < num_disks(); ++d) {
+    const std::string prefix = "disk" + std::to_string(d);
+    const DiskStats& ds = disks_[d].stats();
+    r.AddCounter(prefix + ".requests", &ds.requests);
+    r.AddCounter(prefix + ".seeks", &ds.seeks);
+    r.AddCounter(prefix + ".bytes_read", &ds.bytes_read, "bytes");
+    r.AddCounter(prefix + ".bytes_written", &ds.bytes_written, "bytes");
+    const DiskQueue* q = disk_queues_[d].get();
+    r.AddGauge(prefix + ".coalesced_requests", "",
+               [q] { return static_cast<double>(q->coalesced_requests()); });
+    r.AddGauge(prefix + ".max_depth", "", [q] { return static_cast<double>(q->max_depth()); });
+    r.AddGauge(prefix + ".busy_ns", "ns", [q] { return static_cast<double>(q->busy_until()); });
+    r.AddHistogram(prefix + ".service_ns", "ns", &q->service_hist());
   }
 }
 
@@ -121,6 +205,7 @@ void Os::AntagonistTick(std::uint64_t epoch) {
     return;
   }
   BackgroundScope background(this);  // antagonists are daemons, not processes
+  trace_.Instant(obs::kTrackChaos, "antagonist", clock_.now());
   const FaultPlan& plan = chaos_->plan();
   ChaosStats& cs = chaos_->stats_mutable();
   const int disk = std::clamp(plan.antagonist_disk, 0, num_disks() - 1);
@@ -184,6 +269,9 @@ void Os::ShockTick(std::uint64_t epoch) {
   BackgroundScope background(this);
   const FaultPlan& plan = chaos_->plan();
   ++chaos_->stats_mutable().pressure_shocks;
+  trace_.Instant(obs::kTrackChaos, "shock", clock_.now(), "grab_pages",
+                 static_cast<std::uint64_t>(plan.shock_mem_fraction *
+                                            static_cast<double>(mem_.total_pages())));
   const Inum tagged = Tag(0, kShockLocalInum);
   const std::uint64_t grab = static_cast<std::uint64_t>(
       plan.shock_mem_fraction * static_cast<double>(mem_.total_pages()));
@@ -584,6 +672,7 @@ std::int64_t Os::PreadImpl(Pid pid, int fd, std::span<std::uint8_t> buf, std::ui
     // Transient media error. The kernel burned time on command retries
     // before giving up, so the failure is slow — naive probe statistics that
     // fold failed samples in get badly skewed, which is the point.
+    trace_.Instant(obs::kTrackChaos, "eio.read", clock_.now());
     Charge(pid, chaos_->plan().eio_latency);
     return ToErr(FsErr::kIo);
   }
@@ -704,12 +793,17 @@ std::int64_t Os::Pwrite(Pid pid, int fd, std::uint64_t len, std::uint64_t offset
   }
   if (chaos_ != nullptr) {
     if (chaos_->InjectWriteError()) {
+      trace_.Instant(obs::kTrackChaos, "enospc.write", clock_.now());
       Charge(pid, chaos_->plan().eio_latency);
       return ToErr(FsErr::kNoSpace);
     }
     // A short write persists a non-empty prefix: the call below proceeds
     // with the truncated length and returns it, exactly as POSIX allows.
+    const std::uint64_t want = len;
     len = chaos_->MaybeShortWrite(len);
+    if (len != want) {
+      trace_.Instant(obs::kTrackChaos, "short_write", clock_.now(), "len", len);
+    }
   }
   Ffs& f = *filesystems_[e->disk];
   InodeAttr attr;
@@ -951,6 +1045,7 @@ int Os::StatImpl(Pid pid, std::string_view path, InodeAttr* out) {
     return ToErr(FsErr::kInvalid);
   }
   if (chaos_ != nullptr && chaos_->InjectStatError()) {
+    trace_.Instant(obs::kTrackChaos, "eio.stat", clock_.now());
     Charge(pid, chaos_->plan().stat_eio_latency);
     return ToErr(FsErr::kIo);
   }
@@ -1204,9 +1299,11 @@ void Os::FlushDaemonRun() {
   if (cache_.dirty_pages() <= dirty_limit_pages_) {
     return;
   }
+  trace_.Begin(obs::kTrackFlushDaemon, "flush", clock_.now());
   const std::uint64_t target = dirty_limit_pages_ / 2;
   const std::uint64_t excess = cache_.dirty_pages() - target;
   (void)SubmitWritebackRuns(cache_.TakeOldestDirty(excess));
+  trace_.End(obs::kTrackFlushDaemon, "flush", clock_.now());
 }
 
 void Os::MaybeWakePageDaemon() {
@@ -1228,8 +1325,10 @@ void Os::PageDaemonRun() {
     page_daemon_scheduled_ = false;
     return;
   }
+  trace_.Begin(obs::kTrackPageDaemon, "reclaim", clock_.now());
   const std::uint64_t evicted =
       mem_.ReclaimToFree(page_daemon_high_pages_, kPageDaemonBatch);
+  trace_.End(obs::kTrackPageDaemon, "reclaim", clock_.now());
   if (evicted == 0) {
     // Nothing clean to take. Dirty and anonymous reclaim costs I/O, which
     // stays in process context (direct reclaim) so the allocator pays the

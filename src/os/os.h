@@ -34,6 +34,8 @@
 #include "src/disk/disk_queue.h"
 #include "src/fs/ffs.h"
 #include "src/mem/mem_system.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/os/chaos_engine.h"
 #include "src/os/platform.h"
 #include "src/os/scheduler.h"
@@ -187,6 +189,26 @@ class Os : private EvictionHandler {
   [[nodiscard]] ChaosStats chaos_stats() const {
     return chaos_ != nullptr ? chaos_->stats() : ChaosStats{};
   }
+
+  // ---- observability (tests & benches only; never part of the gray-box
+  // interface — an ICL that read the trace would be an X-ray, not a gray
+  // box) ----
+  // Starts recording trace events into a ring of `capacity` events.
+  // Tracing is passive: it never touches the virtual clock, the jitter
+  // stream, or event ordering, so a traced run is bit-identical in virtual
+  // time and OsStats to an untraced one (pinned by tests/trace_test.cc).
+  void StartTrace(std::size_t capacity = obs::TraceSink::kDefaultCapacity);
+  void StopTrace() { trace_.Disable(); }
+  [[nodiscard]] bool TraceEnabled() const {
+    return obs::TraceSink::compiled_in() && trace_.enabled();
+  }
+  [[nodiscard]] obs::TraceSink& trace() { return trace_; }
+  [[nodiscard]] const obs::TraceSink& trace() const { return trace_; }
+
+  // Binds this kernel's counters, chaos stats, and per-disk service-time
+  // histograms into `registry` (pull model: values are read at Collect
+  // time). Names are prefixed "os." / "chaos." / "disk<N>.".
+  void BindMetrics(obs::MetricsRegistry* registry) const;
 
   // ---- ground truth introspection (tests & benches only) ----
   [[nodiscard]] bool PageResidentPath(std::string_view path, std::uint64_t page_index) const;
@@ -395,6 +417,9 @@ class Os : private EvictionHandler {
   Pid next_pid_ = 1;
   Rng jitter_rng_;
   OsStats os_stats_;
+  // Trace sink, wired into events_/scheduler_/disk queues by the
+  // constructor. Inert (one disabled-branch per emitter) until StartTrace.
+  obs::TraceSink trace_;
   // Chaos layer (null when disarmed — the common case; every hook starts
   // with a null check so an unarmed kernel takes no chaos branches beyond
   // that).

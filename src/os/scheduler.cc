@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 // ASan must be told about every stack switch or it reports false positives
 // (and its fake-stack GC frees frames that are still live on other fibers).
@@ -64,10 +65,17 @@ void Scheduler::SwitchToFiber(int i) {
 #if defined(GRAYSIM_ASAN_FIBERS)
   __sanitizer_start_switch_fiber(&main_fake_stack_, f.stack.get(), f.stack_size);
 #endif
+  const bool traced = trace_ != nullptr && static_cast<std::size_t>(i) < fiber_tracks_.size();
+  if (traced) {
+    trace_->Begin(fiber_tracks_[i], "run", clock_->now());
+  }
   swapcontext(&main_ctx_, &f.ctx);
 #if defined(GRAYSIM_ASAN_FIBERS)
   __sanitizer_finish_switch_fiber(main_fake_stack_, nullptr, nullptr);
 #endif
+  if (traced) {
+    trace_->End(fiber_tracks_[i], "run", clock_->now());
+  }
   current_ = -1;
 }
 
@@ -110,6 +118,14 @@ void Scheduler::Run(const std::vector<std::function<void(int)>>& bodies) {
     f->ctx.uc_link = nullptr;  // fibers exit via SwitchToMain, never return
     makecontext(&f->ctx, &Scheduler::Trampoline, 0);
     fibers_.push_back(std::move(f));
+  }
+  if (trace_ != nullptr) {
+    // One "thread" row per fiber. RegisterTrack is idempotent by name, so
+    // repeated Run() batches reuse the same rows.
+    fiber_tracks_.resize(n);
+    for (int i = 0; i < n; ++i) {
+      fiber_tracks_[i] = trace_->RegisterTrack("fiber/" + std::to_string(i));
+    }
   }
   done_count_ = 0;
   active_ = true;

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
 
@@ -57,6 +58,10 @@ class Scheduler {
 
   [[nodiscard]] Nanos slice() const { return slice_; }
 
+  // Optional trace sink: each fiber gets its own "fiber/N" track carrying
+  // B/E "run" spans around every dispatch (one span per scheduling turn).
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   enum class State : std::uint8_t { kReady, kSleeping, kDone };
 
@@ -86,6 +91,8 @@ class Scheduler {
   SimClock* clock_;
   EventQueue* events_;
   Nanos slice_;
+  obs::TraceSink* trace_ = nullptr;
+  std::vector<std::uint32_t> fiber_tracks_;  // trace track id per fiber index
   std::vector<std::unique_ptr<Fiber>> fibers_;
   // Fiber stacks recycled across Run() calls: repeated process batches
   // (experiment trials, benchmark rounds) reuse warm stacks instead of

@@ -30,7 +30,13 @@ void EventQueue::RunDue(Nanos now) {
     // which can grow the pool and move fns_ underneath an in-place call.
     EventFn fn = fns_[key.slot];
     free_fn_slots_.push_back(key.slot);
-    fn();
+    if (trace_ != nullptr) {
+      trace_->Begin(obs::kTrackKernel, "dispatch", key.when);
+      fn();
+      trace_->End(obs::kTrackKernel, "dispatch", key.when);
+    } else {
+      fn();
+    }
   }
 }
 

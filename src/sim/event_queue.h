@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/clock.h"
 #include "src/sim/inline_fn.h"
 #include "src/sim/rng.h"
@@ -66,6 +67,10 @@ class EventQueue {
 
   [[nodiscard]] std::uint64_t scheduled_total() const { return scheduled_total_; }
 
+  // Optional trace sink; dispatch spans land on obs::kTrackKernel. Tracing
+  // observes the already-decided execution order — it never perturbs it.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+
  private:
   // Enough for any workload's steady-state pending-event population; the
   // vector only allocates beyond this under extreme fan-out.
@@ -104,6 +109,7 @@ class EventQueue {
   std::vector<EventFn> fns_;                   // closure pool, slot-addressed
   std::vector<std::uint32_t> free_fn_slots_;   // recycled pool slots (LIFO)
   Rng tie_rng_;
+  obs::TraceSink* trace_ = nullptr;
   EventId next_id_ = 1;
   std::uint64_t scheduled_total_ = 0;
 };
