@@ -11,20 +11,63 @@
 
 namespace {
 
-// Relaxed atomics: Google Benchmark spins up helper threads, and the
-// counters only need a consistent total, not ordering.
-std::atomic<std::uint64_t> g_allocs{0};
-std::atomic<std::uint64_t> g_bytes{0};
+// One tally per host thread, padded to a cacheline so neighboring threads
+// never false-share. The owning thread is the only writer (plain
+// load-then-store, no RMW); the fields are atomics solely so AllocSnapshot
+// on another thread reads them without a data race. Nodes are pushed onto a
+// lock-free registry list at first allocation and never freed — a thread
+// that exits keeps its contribution in the process-wide aggregate, matching
+// the "since process start" contract.
+struct alignas(64) ThreadTally {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> bytes{0};
+  ThreadTally* next = nullptr;
+};
+
+std::atomic<ThreadTally*> g_tally_list{nullptr};
+
+ThreadTally* RegisterTally() {
+  // malloc, not operator new: the counting operators below would recurse
+  // into this registration.
+  void* raw = std::malloc(sizeof(ThreadTally));
+  if (raw == nullptr) {
+    std::abort();
+  }
+  auto* tally = new (raw) ThreadTally();
+  ThreadTally* head = g_tally_list.load(std::memory_order_relaxed);
+  do {
+    tally->next = head;
+  } while (!g_tally_list.compare_exchange_weak(head, tally, std::memory_order_release,
+                                               std::memory_order_relaxed));
+  return tally;
+}
+
+thread_local ThreadTally* t_tally = nullptr;
+
+inline ThreadTally& Tally() {
+  if (t_tally == nullptr) {
+    t_tally = RegisterTally();
+  }
+  return *t_tally;
+}
+
+inline void Count(std::size_t n) {
+  ThreadTally& tally = Tally();
+  // Owner-only writer: load+store instead of fetch_add keeps the fast path
+  // a pair of plain moves even on architectures with expensive RMWs.
+  tally.allocs.store(tally.allocs.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  tally.bytes.store(tally.bytes.load(std::memory_order_relaxed) + n,
+                    std::memory_order_relaxed);
+}
 
 void* CountedAlloc(std::size_t n) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  Count(n);
   return std::malloc(n != 0 ? n : 1);
 }
 
 void* CountedAllocAligned(std::size_t n, std::size_t align) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  Count(n);
   // aligned_alloc requires the size to be a multiple of the alignment.
   const std::size_t rounded = (n + align - 1) / align * align;
   return std::aligned_alloc(align, rounded != 0 ? rounded : align);
@@ -35,8 +78,19 @@ void* CountedAllocAligned(std::size_t n, std::size_t align) {
 namespace gbench {
 
 AllocCounts AllocSnapshot() {
-  return AllocCounts{g_allocs.load(std::memory_order_relaxed),
-                     g_bytes.load(std::memory_order_relaxed)};
+  AllocCounts total;
+  for (const ThreadTally* t = g_tally_list.load(std::memory_order_acquire); t != nullptr;
+       t = t->next) {
+    total.allocs += t->allocs.load(std::memory_order_relaxed);
+    total.bytes += t->bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+AllocCounts ThreadAllocSnapshot() {
+  const ThreadTally& tally = Tally();
+  return AllocCounts{tally.allocs.load(std::memory_order_relaxed),
+                     tally.bytes.load(std::memory_order_relaxed)};
 }
 
 }  // namespace gbench

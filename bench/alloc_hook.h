@@ -6,6 +6,13 @@
 // so the simulation itself never pays for the counters outside a bench.
 // The counters let a bench report allocations-per-operation — the
 // regression signal for the allocation-free hot path.
+//
+// Counting is per host thread: each thread tallies into its own cacheline,
+// so the fleet bench's N machine threads never contend on a shared atomic
+// (a fetch_add storm on one counter would serialize exactly the hot path
+// the number exists to protect). AllocSnapshot() aggregates every thread
+// that ever allocated; ThreadAllocSnapshot() reads just the calling
+// thread's tally — the right denominator inside a fleet worker.
 #ifndef BENCH_ALLOC_HOOK_H_
 #define BENCH_ALLOC_HOOK_H_
 
@@ -18,9 +25,14 @@ struct AllocCounts {
   std::uint64_t bytes = 0;   // total bytes requested
 };
 
-// Counter values since process start. Take two snapshots and subtract to
-// measure a region.
+// Process-wide counter values since start, aggregated over every thread
+// that has allocated (threads that exited stay counted). Take two snapshots
+// and subtract to measure a region; for a region confined to one thread,
+// prefer ThreadAllocSnapshot.
 [[nodiscard]] AllocCounts AllocSnapshot();
+
+// The calling thread's own tally since that thread first allocated.
+[[nodiscard]] AllocCounts ThreadAllocSnapshot();
 
 }  // namespace gbench
 

@@ -11,8 +11,11 @@
 // scripts/check_perf.py gates with an additive slack — a PR that erodes
 // interference robustness fails the perf-smoke job.
 //
-// Every cell is its own simulated machine with its own chaos schedule, so
-// the whole matrix is deterministic: identical numbers on every host.
+// Every cell is its own graysim::Machine with its own chaos schedule, so
+// the whole matrix is deterministic: identical numbers on every host. The
+// machines are config-seeded (Machine(profile, config)), which simulates
+// bit-identically to the hand-assembled Os this bench used before the
+// facade existed — the committed baselines did not move.
 
 #include <algorithm>
 #include <cstdio>
@@ -27,10 +30,12 @@
 #include "src/gray/fldc/fldc.h"
 #include "src/gray/mac/mac.h"
 #include "src/gray/sim_sys.h"
+#include "src/os/machine.h"
 #include "src/sim/rng.h"
 #include "src/workloads/filegen.h"
 
 using graysim::FaultPlan;
+using graysim::Machine;
 using graysim::MachineConfig;
 using graysim::Nanos;
 using graysim::Os;
@@ -81,18 +86,19 @@ Nanos FccdScanUnits(Os& os, Pid pid, const std::vector<gray::UnitPlan>& units,
 
 // One fresh machine per measurement so the guided and naive scans see the
 // same warm state and an identical chaos schedule.
-Os* FccdMachine(std::unique_ptr<Os>& holder, double intensity) {
-  holder = std::make_unique<Os>(PlatformProfile::Linux22());
-  const Pid pid = holder->default_pid();
-  (void)graywork::MakeFile(*holder, pid, "/d0/big", kFccdFileMb * gbench::kMb);
-  FccdWarmAlternateUnits(*holder, pid);
-  holder->ArmChaos(FaultPlan::Interference(intensity));
-  return holder.get();
+Os* FccdMachine(std::unique_ptr<Machine>& holder, double intensity) {
+  holder = std::make_unique<Machine>(PlatformProfile::Linux22());
+  Os& os = holder->os();
+  const Pid pid = os.default_pid();
+  (void)graywork::MakeFile(os, pid, "/d0/big", kFccdFileMb * gbench::kMb);
+  FccdWarmAlternateUnits(os, pid);
+  os.ArmChaos(FaultPlan::Interference(intensity));
+  return &os;
 }
 
 Cell RunFccdCell(double intensity, bool hardened) {
   Cell cell;
-  std::unique_ptr<Os> holder;
+  std::unique_ptr<Machine> holder;
 
   // Guided run: probe, then read the plan's first half.
   {
@@ -121,7 +127,7 @@ Cell RunFccdCell(double intensity, bool hardened) {
     const Nanos guided = probe + FccdScanUnits(os, pid, plan->units, half);
 
     // Naive run on a twin machine: same warm state, file-order units.
-    std::unique_ptr<Os> naive_holder;
+    std::unique_ptr<Machine> naive_holder;
     Os& naive_os = *FccdMachine(naive_holder, intensity);
     const Pid naive_pid = naive_os.default_pid();
     std::vector<gray::UnitPlan> file_order;
@@ -151,12 +157,12 @@ constexpr std::uint64_t kMacMaxBytes = 320 * gbench::kMb;
 constexpr std::uint64_t kMacNaiveBytes = 480 * gbench::kMb;
 constexpr Nanos kMacBudget = graysim::Millis(60'000.0);  // 60 virtual seconds
 
-Os* MacMachine(std::unique_ptr<Os>& holder, double intensity) {
+Os* MacMachine(std::unique_ptr<Machine>& holder, double intensity) {
   MachineConfig cfg;
   cfg.phys_mem_bytes = 512 * gbench::kMb;
-  holder = std::make_unique<Os>(PlatformProfile::Linux22(), cfg);
-  holder->ArmChaos(FaultPlan::Interference(intensity));
-  return holder.get();
+  holder = std::make_unique<Machine>(PlatformProfile::Linux22(), cfg);
+  holder->os().ArmChaos(FaultPlan::Interference(intensity));
+  return &holder->os();
 }
 
 // Rounds per virtual second of the oblivious allocator on a quiet machine.
@@ -165,7 +171,7 @@ double MacNaiveRate() {
   if (cached >= 0.0) {
     return cached;
   }
-  std::unique_ptr<Os> holder;
+  std::unique_ptr<Machine> holder;
   Os& os = *MacMachine(holder, /*intensity=*/0.0);
   std::uint64_t rounds = 0;
   Nanos t0 = 0;
@@ -189,7 +195,7 @@ double MacNaiveRate() {
 }
 
 Cell RunMacCell(double intensity, bool hardened) {
-  std::unique_ptr<Os> holder;
+  std::unique_ptr<Machine> holder;
   Os& os = *MacMachine(holder, intensity);
 
   Cell cell;
@@ -302,22 +308,23 @@ Cell RunFldcCell(double intensity, bool hardened) {
   std::vector<std::uint64_t> true_inum(kFldcFiles, 0);
   std::vector<std::string> ordered_paths;
 
-  auto make_machine = [&](std::unique_ptr<Os>& holder) -> Os& {
-    holder = std::make_unique<Os>(PlatformProfile::Linux22());
-    const Pid pid = holder->default_pid();
-    std::vector<std::string> paths = FldcCreateAgedSet(*holder, pid);
+  auto make_machine = [&](std::unique_ptr<Machine>& holder) -> Os& {
+    holder = std::make_unique<Machine>(PlatformProfile::Linux22());
+    Os& os = holder->os();
+    const Pid pid = os.default_pid();
+    std::vector<std::string> paths = FldcCreateAgedSet(os, pid);
     for (int i = 0; i < kFldcFiles; ++i) {
       graysim::InodeAttr attr;
-      if (holder->Stat(pid, paths[i], &attr) == 0) {
+      if (os.Stat(pid, paths[i], &attr) == 0) {
         true_inum[i] = attr.inum;
       }
     }
-    holder->FlushFileCache();
-    holder->ArmChaos(FaultPlan::Interference(intensity));
-    return *holder;
+    os.FlushFileCache();
+    os.ArmChaos(FaultPlan::Interference(intensity));
+    return os;
   };
 
-  std::unique_ptr<Os> holder;
+  std::unique_ptr<Machine> holder;
   Os& os = make_machine(holder);
   const Pid pid = os.default_pid();
   gray::SimSys sys(&os, pid);
@@ -364,7 +371,7 @@ Cell RunFldcCell(double intensity, bool hardened) {
   }
   const Nanos guided = probe + FldcReadAll(os, pid, ordered_paths);
   // ...vs the naive name-order read on a twin machine.
-  std::unique_ptr<Os> naive_holder;
+  std::unique_ptr<Machine> naive_holder;
   Os& naive_os = make_machine(naive_holder);
   const Nanos naive = FldcReadAll(naive_os, naive_os.default_pid(), paths);
   cell.win = guided > 0 ? static_cast<double>(naive) / static_cast<double>(guided) : 1.0;

@@ -1,0 +1,274 @@
+// scale_fleet — the fleet-parallel scaling bench.
+//
+// Drives N isolated graysim::Machine instances from a pool of T host
+// threads (one machine on one thread at a time; threads pull machine ids
+// from a shared counter). Each machine runs P simulated processes in a
+// fastsort/grep/aging mix, so the default 256 machines x 4096 procs put
+// ~1M simulated processes through the kernel in one run. Because machines
+// share nothing, the fleet is embarrassingly parallel — which this bench
+// both exploits (machines/sec throughput) and *checks*: after the parallel
+// phase it re-runs a subset of machines on one thread and requires
+// bit-identical {virtual time, OsStats, MemStats, queue totals} digests.
+//
+// Observability rolls up without averaging percentiles: every machine
+// snapshots its MetricsRegistry, each shard (thread) merges its machines'
+// snapshots, and the driver merges shard snapshots, so the fleet-wide
+// p50/p99 in results/BENCH_scale_fleet.json come from genuinely merged
+// histogram buckets (obs::MetricsSnapshot).
+//
+//   --machines=N   fleet size                  (default 256; --quick: 16)
+//   --procs=P      simulated procs per machine (default 4096; --quick: 64)
+//   --threads=T    host threads               (default: hardware concurrency)
+//   --verify=V     machines re-run sequentially for the determinism
+//                  cross-check and the parallel-efficiency denominator
+//                  (default 4; --quick verifies the whole fleet)
+//   --seed=S       fleet seed (machine i runs Machine(profile, cfg, i, S))
+//   --quick        CI tier: small fleet, full verification
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/obs/metrics.h"
+#include "src/os/machine.h"
+#include "src/os/os.h"
+#include "src/workloads/aging.h"
+#include "src/workloads/fastsort.h"
+#include "src/workloads/filegen.h"
+#include "src/workloads/grep.h"
+
+namespace {
+
+using gbench::kMb;
+using graysim::Machine;
+using graysim::MachineConfig;
+using graysim::Os;
+using graysim::Pid;
+using graysim::PlatformProfile;
+
+constexpr std::uint64_t kFleetSeed = 0xF1EE7;
+// Fibers cost 512KB of stack each while runnable; running procs in waves
+// bounds a machine's peak to kWave stacks regardless of P.
+constexpr int kWave = 32;
+
+// One machine of the fleet is a small host: the point is process count
+// across machines, not memory pressure within one.
+MachineConfig FleetConfig() {
+  MachineConfig cfg;
+  cfg.phys_mem_bytes = 64 * kMb;
+  cfg.kernel_reserved_bytes = 16 * kMb;
+  cfg.num_disks = 2;
+  return cfg;
+}
+
+// Everything a machine's run can deterministically disagree on — compared
+// bit-for-bit between the parallel fleet and the sequential re-run.
+struct MachineDigest {
+  graysim::Nanos virtual_time = 0;
+  graysim::OsStats stats;
+  graysim::MemStats mem;
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t cache_pages = 0;
+  std::vector<std::uint64_t> queue_totals;
+
+  friend bool operator==(const MachineDigest&, const MachineDigest&) = default;
+};
+
+struct MachineResult {
+  MachineDigest digest;
+  obs::MetricsSnapshot metrics;
+};
+
+// Builds this machine's file population: a sort input and a grep set per
+// host, plus a directory for the ager to churn.
+void SetupMachine(Machine& m, std::vector<std::string>* grep_paths) {
+  Os& os = m.os();
+  const Pid pid = os.default_pid();
+  graywork::MakeFile(os, pid, "/d0/sort_in", 256 * 1024);
+  *grep_paths = graywork::MakeFileSet(os, pid, "/d1/src", 4, 64 * 1024);
+  (void)graywork::MakeFileSet(os, pid, "/d0/age", 4, 32 * 1024);
+  os.FlushFileCache();
+}
+
+MachineResult RunMachine(const PlatformProfile& profile, std::uint32_t id,
+                         std::uint64_t seed, int procs) {
+  Machine m(profile, FleetConfig(), id, seed);
+  std::vector<std::string> grep_paths;
+  SetupMachine(m, &grep_paths);
+
+  Os& os = m.os();
+  for (int done = 0; done < procs; done += kWave) {
+    const int batch = std::min(kWave, procs - done);
+    std::vector<std::function<void(Pid)>> bodies;
+    bodies.reserve(batch);
+    for (int k = 0; k < batch; ++k) {
+      const int j = done + k;
+      switch (j % 3) {
+        case 0:
+          bodies.push_back([&os](Pid pid) {
+            graywork::FastsortOptions opt;
+            opt.input = "/d0/sort_in";
+            opt.record_bytes = 128;
+            opt.write_runs = false;  // read phase only; no run files to age the FS
+            (void)graywork::Fastsort(&os, pid).Run(opt);
+          });
+          break;
+        case 1:
+          bodies.push_back([&os, &grep_paths](Pid pid) {
+            (void)graywork::Grep(&os, pid).Run(grep_paths);
+          });
+          break;
+        default:
+          bodies.push_back([&os, &m, j](Pid pid) {
+            graywork::DirectoryAger ager(&os, pid, "/d0/age", 32 * 1024,
+                                         m.DeriveSeed(1000 + static_cast<std::uint64_t>(j)));
+            ager.RunEpoch(2);
+          });
+          break;
+      }
+    }
+    m.RunProcesses(bodies);
+  }
+
+  MachineResult result;
+  result.digest.virtual_time = os.Now();
+  result.digest.stats = os.stats();
+  result.digest.mem = os.mem_stats();
+  result.digest.events_scheduled = os.events_scheduled();
+  result.digest.cache_pages = os.FileCachePages();
+  for (int d = 0; d < os.num_disks(); ++d) {
+    result.digest.queue_totals.push_back(os.disk_queue(d).total_requests());
+  }
+  result.metrics = m.SnapshotMetrics();
+  return result;
+}
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+int Run(int argc, char** argv) {
+  const bool quick = gbench::FlagBool(argc, argv, "quick");
+  const int machines = gbench::FlagInt(argc, argv, "machines", quick ? 16 : 256);
+  const int procs = gbench::FlagInt(argc, argv, "procs", quick ? 64 : 4096);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int threads = std::min(
+      machines, gbench::FlagInt(argc, argv, "threads", static_cast<int>(hw)));
+  const int verify = std::min(
+      machines, gbench::FlagInt(argc, argv, "verify", quick ? machines : 4));
+  const auto seed = static_cast<std::uint64_t>(
+      gbench::FlagInt(argc, argv, "seed", static_cast<int>(kFleetSeed)));
+  const PlatformProfile profile = PlatformProfile::Linux22();
+
+  gbench::JsonResults results("scale_fleet");
+  std::printf("scale_fleet: %d machines x %d procs (%d total) on %d threads%s\n",
+              machines, procs, machines * procs, threads, quick ? " [quick]" : "");
+
+  // ---- parallel phase: T threads drain the machine-id counter ----
+  std::vector<MachineDigest> digests(machines);
+  std::vector<obs::MetricsSnapshot> shard_metrics(threads);
+  std::vector<int> shard_machines(threads, 0);
+  std::atomic<int> next{0};
+  const auto par_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int id = next.fetch_add(1, std::memory_order_relaxed); id < machines;
+             id = next.fetch_add(1, std::memory_order_relaxed)) {
+          MachineResult r =
+              RunMachine(profile, static_cast<std::uint32_t>(id), seed, procs);
+          digests[id] = std::move(r.digest);
+          shard_metrics[t].Merge(r.metrics);
+          ++shard_machines[t];
+        }
+      });
+    }
+    for (std::thread& th : pool) {
+      th.join();
+    }
+  }
+  const double par_s = Seconds(par_start, std::chrono::steady_clock::now());
+
+  // ---- shard + fleet roll-up (bucket-merged, not percentile-averaged) ----
+  obs::MetricsSnapshot fleet;
+  std::printf("\n%-8s %10s %16s %16s\n", "shard", "machines", "disk0 p50 (ns)",
+              "disk0 p99 (ns)");
+  for (int t = 0; t < threads; ++t) {
+    const obs::Histogram* h = shard_metrics[t].FindHistogram("disk0.service_ns");
+    std::printf("%-8d %10d %16.0f %16.0f\n", t, shard_machines[t],
+                h != nullptr ? h->Quantile(0.50) : 0.0,
+                h != nullptr ? h->Quantile(0.99) : 0.0);
+    fleet.Merge(shard_metrics[t]);
+  }
+
+  // ---- determinism cross-check: first V machines again, one thread ----
+  const auto seq_start = std::chrono::steady_clock::now();
+  int mismatches = 0;
+  for (int id = 0; id < verify; ++id) {
+    const MachineResult r =
+        RunMachine(profile, static_cast<std::uint32_t>(id), seed, procs);
+    if (!(r.digest == digests[id])) {
+      std::fprintf(stderr,
+                   "FAIL: machine %d diverged between the %d-thread fleet and the "
+                   "sequential re-run\n",
+                   id, threads);
+      ++mismatches;
+    }
+  }
+  const double seq_s = Seconds(seq_start, std::chrono::steady_clock::now());
+
+  // ---- throughput + scaling ----
+  const double total_procs = static_cast<double>(machines) * procs;
+  const double par_rate = machines / par_s;
+  const double seq_rate = verify > 0 ? verify / seq_s : 0.0;
+  // Fraction of ideal linear scaling the thread pool achieved, with the
+  // single-thread rate measured on this same host in this same run.
+  const double efficiency =
+      seq_rate > 0.0 ? par_rate / (seq_rate * threads) : 0.0;
+
+  std::printf("\nparallel: %.2fs (%.1f machines/s, %.0f procs/s)\n", par_s, par_rate,
+              total_procs / par_s);
+  if (verify > 0) {
+    std::printf("sequential x%d: %.2fs (%.1f machines/s) -> efficiency %.2f on %d "
+                "threads\n",
+                verify, seq_s, seq_rate, efficiency, threads);
+  }
+
+  graysim::Nanos fleet_virtual = 0;
+  for (const MachineDigest& d : digests) {
+    fleet_virtual += d.virtual_time;
+  }
+  results.set_virtual_ns(fleet_virtual);
+  results.Add("fleet.machines", machines);
+  results.Add("fleet.procs_total", total_procs);
+  results.Add("fleet.threads", threads);
+  results.Add("machines_per_host_s", par_rate, "ops/s");
+  results.Add("procs_per_host_s", total_procs / par_s, "ops/s");
+  results.Add("parallel_efficiency", efficiency, "efficiency");
+  const gbench::AllocCounts allocs = gbench::AllocSnapshot();
+  results.Add("allocs_per_proc", static_cast<double>(allocs.allocs) / total_procs);
+  // The merged fleet story: kernel counters summed across machines, disk
+  // latency percentiles computed from fleet-wide merged buckets.
+  for (const obs::MetricsSnapshot::Scalar& s : fleet.Samples()) {
+    results.Add("fleet." + s.name, s.value, s.unit);
+  }
+  results.Write();
+
+  if (mismatches > 0) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

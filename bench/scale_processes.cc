@@ -17,9 +17,11 @@
 
 #include "bench/alloc_hook.h"
 #include "bench/bench_util.h"
+#include "src/os/machine.h"
 #include "src/workloads/fastsort.h"
 #include "src/workloads/filegen.h"
 
+using graysim::Machine;
 using graysim::Os;
 using graysim::Pid;
 using graysim::PlatformProfile;
@@ -48,7 +50,10 @@ struct ScaleResult {
 ScaleResult RunScale(int nprocs, bool trace = false, gbench::JsonResults* json = nullptr) {
   const gbench::AllocCounts alloc_start = gbench::AllocSnapshot();
   const auto host_start = std::chrono::steady_clock::now();
-  Os os(PlatformProfile::Linux22());
+  // Config-seeded Machine: simulates bit-identically to the historical
+  // hand-assembled Os, with the metrics registry pre-bound.
+  Machine machine(PlatformProfile::Linux22());
+  Os& os = machine.os();
   const Pid setup_pid = os.default_pid();
   for (int i = 0; i < nprocs; ++i) {
     const std::string input = "/d" + std::to_string(i % os.num_disks()) + "/in" + std::to_string(i);
@@ -106,9 +111,7 @@ ScaleResult RunScale(int nprocs, bool trace = false, gbench::JsonResults* json =
                   os.trace().track_names().size());
     }
     if (json != nullptr) {
-      obs::MetricsRegistry registry;
-      os.BindMetrics(&registry);
-      gbench::AddMetrics(json, registry);
+      gbench::AddMetrics(json, machine.metrics());
     }
   }
   return r;

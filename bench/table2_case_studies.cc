@@ -15,9 +15,11 @@
 #include "src/gray/fldc/fldc.h"
 #include "src/gray/mac/mac.h"
 #include "src/gray/sim_sys.h"
+#include "src/os/machine.h"
 #include "src/workloads/filegen.h"
 
 using gray::Technique;
+using graysim::Machine;
 using graysim::Os;
 using graysim::Pid;
 using graysim::PlatformProfile;
@@ -58,7 +60,8 @@ void PrintProbeShare(const gray::ProbeReport& report, gray::Nanos lifetime) {
 int main() {
   gbench::PrintHeader("Table 2: techniques used by the case-study ICLs (live counters)");
 
-  Os os(PlatformProfile::Linux22());
+  Machine machine(PlatformProfile::Linux22());
+  Os& os = machine.os();
   const Pid pid = os.default_pid();
   gray::SimSys sys(&os, pid);
 
@@ -70,11 +73,11 @@ int main() {
   gray::ParamRepository repo;
   repo.Set(gray::params::kFccdAccessUnitBytes, 20.0 * 1024 * 1024);
   repo.Set(gray::params::kMemZeroFillNs, 3000.0);
-  // One registry views every layer: each ICL's ProbeEngine binds under its
-  // own prefix, the kernel's counters under "os."/"disk<N>.". Collect()
-  // reads the live sources, so binding early and printing late is safe.
-  obs::MetricsRegistry registry;
-  os.BindMetrics(&registry);
+  // One registry views every layer: the Machine pre-bound the kernel's
+  // counters under "os."/"disk<N>." at construction, and each ICL's
+  // ProbeEngine binds under its own prefix. Collect() reads the live
+  // sources, so binding early and printing late is safe.
+  obs::MetricsRegistry& registry = machine.metrics();
 
   gray::Fccd fccd(&sys, gray::FccdOptions{}, &repo);
   (void)fccd.PlanFile("/d0/big");

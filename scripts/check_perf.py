@@ -2,7 +2,7 @@
 """Perf smoke gate: compare fresh bench JSON against committed baselines.
 
 Usage: check_perf.py <fresh_results_dir> <baseline_dir> [--factor=5]
-                     [--retained-slack=0.15]
+                     [--retained-slack=0.15] [--efficiency-slack=0.25]
 
 For every BENCH_*.json present in BOTH directories, every metric with unit
 "ops/s" must be no more than `factor` times slower than the committed
@@ -19,6 +19,13 @@ baseline - retained_slack. These come from a deterministic simulation, so
 they are bit-stable across hosts; the slack only absorbs deliberate
 re-tunings of the interference preset, not machine noise. A PR that erodes
 how much of its win a hardened ICL keeps under interference fails here.
+
+Metrics with unit "efficiency" (scale_fleet's parallel-scaling fraction:
+achieved machines/sec over threads x single-thread machines/sec) are also
+gated additively, with a wider slack: scaling on a shared CI runner is
+noisy, but a reintroduced cross-machine global (a contended atomic, a lock
+in the hot path) collapses efficiency far below any plausible noise floor,
+which is exactly the regression this gate exists to catch.
 
 Exit status: 0 when every common metric passes, 1 otherwise.
 """
@@ -42,11 +49,11 @@ def ops_metrics(doc: dict) -> dict:
     }
 
 
-def retained_metrics(doc: dict) -> dict:
+def unit_metrics(doc: dict, unit: str) -> dict:
     return {
         m["metric"]: m["value"]
         for m in doc.get("metrics", [])
-        if m.get("unit") == "retained"
+        if m.get("unit") == unit
     }
 
 
@@ -56,6 +63,7 @@ def main() -> int:
     parser.add_argument("baseline", type=pathlib.Path)
     parser.add_argument("--factor", type=float, default=5.0)
     parser.add_argument("--retained-slack", type=float, default=0.15)
+    parser.add_argument("--efficiency-slack", type=float, default=0.25)
     args = parser.parse_args()
 
     failures = []
@@ -78,16 +86,19 @@ def main() -> int:
             if fresh_ops[name] < floor:
                 failures.append(f"{base_path.name}:{name}")
 
-        base_ret, fresh_ret = retained_metrics(base), retained_metrics(fresh)
-        for name in sorted(base_ret.keys() & fresh_ret.keys()):
-            compared += 1
-            floor = base_ret[name] - args.retained_slack
-            status = "ok" if fresh_ret[name] >= floor else "FAIL"
-            print(f"{status:4} {base_path.name}:{name}: "
-                  f"{fresh_ret[name]:.3f} retained vs baseline {base_ret[name]:.3f} "
-                  f"(floor {floor:.3f})")
-            if fresh_ret[name] < floor:
-                failures.append(f"{base_path.name}:{name}")
+        for unit, slack in (("retained", args.retained_slack),
+                            ("efficiency", args.efficiency_slack)):
+            base_add = unit_metrics(base, unit)
+            fresh_add = unit_metrics(fresh, unit)
+            for name in sorted(base_add.keys() & fresh_add.keys()):
+                compared += 1
+                floor = base_add[name] - slack
+                status = "ok" if fresh_add[name] >= floor else "FAIL"
+                print(f"{status:4} {base_path.name}:{name}: "
+                      f"{fresh_add[name]:.3f} {unit} vs baseline "
+                      f"{base_add[name]:.3f} (floor {floor:.3f})")
+                if fresh_add[name] < floor:
+                    failures.append(f"{base_path.name}:{name}")
 
         base_host = base.get("host_time_s", 0.0)
         fresh_host = fresh.get("host_time_s", 0.0)
@@ -109,7 +120,8 @@ def main() -> int:
               file=sys.stderr)
         return 1
     print(f"\nperf smoke passed: {compared} metrics within bounds "
-          f"(factor {args.factor}x, retained slack {args.retained_slack})")
+          f"(factor {args.factor}x, retained slack {args.retained_slack}, "
+          f"efficiency slack {args.efficiency_slack})")
     return 0
 
 

@@ -80,4 +80,80 @@ std::vector<MetricsRegistry::Sample> MetricsRegistry::Collect() const {
   return out;
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const Entry& e : entries_) {
+    if (e.histogram != nullptr) {
+      snap.histograms_.push_back(
+          MetricsSnapshot::NamedHistogram{e.name, e.unit, *e.histogram});
+    } else {
+      snap.scalars_.push_back(MetricsSnapshot::Scalar{e.name, e.read(), e.unit});
+    }
+  }
+  return snap;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const Scalar& theirs : other.scalars_) {
+    bool found = false;
+    for (Scalar& mine : scalars_) {
+      if (mine.name == theirs.name) {
+        mine.value += theirs.value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      scalars_.push_back(theirs);
+    }
+  }
+  for (const NamedHistogram& theirs : other.histograms_) {
+    bool found = false;
+    for (NamedHistogram& mine : histograms_) {
+      if (mine.name == theirs.name) {
+        mine.histogram.Merge(theirs.histogram);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      histograms_.push_back(theirs);
+    }
+  }
+}
+
+std::vector<MetricsSnapshot::Scalar> MetricsSnapshot::Samples() const {
+  std::vector<Scalar> out;
+  out.reserve(scalars_.size() + histograms_.size() * 6);
+  out = scalars_;
+  for (const NamedHistogram& h : histograms_) {
+    const Histogram& hist = h.histogram;
+    out.push_back(Scalar{h.name + ".count", static_cast<double>(hist.count()), ""});
+    out.push_back(Scalar{h.name + ".mean", hist.mean(), h.unit});
+    out.push_back(Scalar{h.name + ".p50", hist.Quantile(0.50), h.unit});
+    out.push_back(Scalar{h.name + ".p90", hist.Quantile(0.90), h.unit});
+    out.push_back(Scalar{h.name + ".p99", hist.Quantile(0.99), h.unit});
+    out.push_back(Scalar{h.name + ".max", static_cast<double>(hist.max()), h.unit});
+  }
+  return out;
+}
+
+const Histogram* MetricsSnapshot::FindHistogram(std::string_view name) const {
+  for (const NamedHistogram& h : histograms_) {
+    if (h.name == name) {
+      return &h.histogram;
+    }
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::ScalarValue(std::string_view name, double fallback) const {
+  for (const Scalar& s : scalars_) {
+    if (s.name == name) {
+      return s.value;
+    }
+  }
+  return fallback;
+}
+
 }  // namespace obs

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace obs {
@@ -68,6 +69,53 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
+class MetricsRegistry;
+
+// A self-contained, mergeable copy of a registry's state at one instant:
+// scalar values by value and histograms with their full bucket arrays (not
+// just pre-computed percentiles, which cannot be combined). This is the
+// fleet roll-up unit — each machine snapshots its registry when it
+// finishes, the owning shard merges machine snapshots, and the driver
+// merges shard snapshots, so fleet-wide p50/p99 come from genuinely merged
+// buckets rather than averaged per-machine quantiles.
+class MetricsSnapshot {
+ public:
+  struct Scalar {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+  };
+  struct NamedHistogram {
+    std::string name;
+    std::string unit;
+    Histogram histogram;
+  };
+
+  // Combines `other` into this snapshot, matching entries by name: scalar
+  // values add (counters and gauges both roll up to fleet totals) and
+  // histograms merge bucket-wise. Names present only in `other` are
+  // appended, so merging heterogeneous machines (different disk counts,
+  // chaos on/off) keeps every series.
+  void Merge(const MetricsSnapshot& other);
+
+  // Flattens to named samples, histograms expanded exactly like
+  // MetricsRegistry::Collect (<name>.count/.mean/.p50/.p90/.p99/.max).
+  [[nodiscard]] std::vector<Scalar> Samples() const;
+
+  [[nodiscard]] const Histogram* FindHistogram(std::string_view name) const;
+  [[nodiscard]] double ScalarValue(std::string_view name, double fallback = 0.0) const;
+
+  [[nodiscard]] const std::vector<Scalar>& scalars() const { return scalars_; }
+  [[nodiscard]] const std::vector<NamedHistogram>& histograms() const { return histograms_; }
+  [[nodiscard]] bool empty() const { return scalars_.empty() && histograms_.empty(); }
+
+ private:
+  friend class MetricsRegistry;
+
+  std::vector<Scalar> scalars_;
+  std::vector<NamedHistogram> histograms_;
+};
+
 // A named view over metrics owned elsewhere. Sources are read lazily at
 // Collect() time, so one registry bound once stays current run after run.
 // Registration allocates (names, closures); binding happens at setup or
@@ -89,6 +137,12 @@ class MetricsRegistry {
   void AddHistogram(std::string name, std::string unit, const Histogram* source);
 
   [[nodiscard]] std::vector<Sample> Collect() const;
+
+  // Reads every source once into an owned, mergeable snapshot (see
+  // MetricsSnapshot). Safe to take on the machine's own thread and ship
+  // across threads by value.
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:

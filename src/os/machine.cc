@@ -1,0 +1,55 @@
+#include "src/os/machine.h"
+
+#include <utility>
+
+#include "src/sim/rng.h"
+
+namespace graysim {
+
+namespace {
+
+// Mixes the fleet seed with the machine id into one splitmix64 state. The
+// +1 keeps machine 0 from collapsing to the bare fleet seed, and the odd
+// golden-ratio multiplier spreads consecutive ids across the state space.
+[[nodiscard]] std::uint64_t MachineState(std::uint64_t seed, std::uint32_t machine_id) {
+  return seed ^ ((static_cast<std::uint64_t>(machine_id) + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+MachineConfig Machine::DeriveConfig(MachineConfig config, std::uint32_t machine_id,
+                                    std::uint64_t seed) {
+  std::uint64_t state = MachineState(seed, machine_id);
+  // Fixed draw order — jitter, tie-break, chaos — so a machine's streams
+  // are a pure function of (seed, id) regardless of which are consumed.
+  config.jitter_seed = SplitMix64(state);
+  config.event_tie_seed = SplitMix64(state);
+  const std::uint64_t chaos_seed = SplitMix64(state);
+  if (config.chaos.enabled) {
+    config.chaos.seed = chaos_seed;
+  }
+  return config;
+}
+
+Machine::Machine(PlatformProfile profile, MachineConfig config, std::uint32_t machine_id,
+                 std::uint64_t seed)
+    : id_(machine_id),
+      root_seed_(seed),
+      os_(std::move(profile), DeriveConfig(config, machine_id, seed)) {
+  os_.BindMetrics(&metrics_);
+}
+
+Machine::Machine(PlatformProfile profile, MachineConfig config)
+    : id_(0), root_seed_(config.jitter_seed), os_(std::move(profile), config) {
+  os_.BindMetrics(&metrics_);
+}
+
+std::uint64_t Machine::DeriveSeed(std::uint64_t stream) const {
+  // A distinct mixing constant keeps caller streams clear of the three
+  // kernel draws in DeriveConfig even for small `stream` tags.
+  std::uint64_t state =
+      MachineState(root_seed_, id_) ^ ((stream + 1) * 0xbf58476d1ce4e5b9ULL);
+  return SplitMix64(state);
+}
+
+}  // namespace graysim

@@ -1,0 +1,104 @@
+// graysim::Machine — the facade over one complete simulated host.
+//
+// A Machine owns everything one simulated computer needs: the Os (which in
+// turn owns the event queue, scheduler, disks, file systems, page cache,
+// VM, and chaos engine), the Os-bound MetricsRegistry, a machine id, and a
+// root seed from which every per-subsystem random stream derives. It is
+// constructed from pure data — {PlatformProfile, MachineConfig, machine_id,
+// seed} — so any machine in a fleet is reconstructible anywhere and
+// bit-identical on replay: same arguments, same virtual timeline, same
+// stats, wherever and whenever it runs.
+//
+// Machines share NOTHING. The Os has no globals, the scheduler's
+// running-slot is thread_local, each RNG stream is owned by its subsystem,
+// and the trace sink and metrics registry live inside the machine. That
+// makes machines embarrassingly parallel: a fleet is N Machine instances
+// driven by N host threads (one machine runs on one thread at a time — the
+// kernel inside is still deterministic single-threaded discrete-event
+// simulation), and is exactly how bench/scale_fleet reaches millions of
+// simulated processes.
+//
+// Two construction modes:
+//  * fleet (id + seed): jitter, event tie-break, and chaos seeds are all
+//    derived from (seed, machine_id), so distinct machines get distinct
+//    decorrelated streams and a (seed, id) pair names a reproducible
+//    machine;
+//  * config-seeded: uses the seeds already in MachineConfig verbatim —
+//    bit-compatible with the historical hand-assembled `Os os(profile,
+//    config)` pattern, which keeps every committed single-machine baseline
+//    unchanged.
+#ifndef SRC_OS_MACHINE_H_
+#define SRC_OS_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/os/os.h"
+#include "src/os/platform.h"
+
+namespace graysim {
+
+class Machine {
+ public:
+  // Fleet mode: derives every per-subsystem seed from (seed, machine_id).
+  Machine(PlatformProfile profile, MachineConfig config, std::uint32_t machine_id,
+          std::uint64_t seed);
+
+  // Config-seeded mode: machine 0, streams seeded exactly as `config` says.
+  // `Machine m(profile, config)` simulates bit-identically to the
+  // historical `Os os(profile, config)`.
+  explicit Machine(PlatformProfile profile, MachineConfig config = MachineConfig{});
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // ---- the simulated host ----
+  [[nodiscard]] Os& os() { return os_; }
+  [[nodiscard]] const Os& os() const { return os_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] std::uint64_t root_seed() const { return root_seed_; }
+
+  // Derives a deterministic seed for a caller-owned stream (workload RNGs,
+  // file-set shuffles) from this machine's identity. Distinct `stream`
+  // tags give decorrelated streams; the same (machine seed, id, tag) always
+  // yields the same value, preserving replay.
+  [[nodiscard]] std::uint64_t DeriveSeed(std::uint64_t stream) const;
+
+  // ---- observability ----
+  // Registry pre-bound to the kernel (Os::BindMetrics ran at construction).
+  // ICLs add their probe-engine sections here; benches collect or snapshot.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+  // Owned, mergeable copy of the current metric values — the fleet roll-up
+  // unit (see obs::MetricsSnapshot).
+  [[nodiscard]] obs::MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
+  [[nodiscard]] obs::TraceSink& trace() { return os_.trace(); }
+
+  // ---- convenience passthroughs (the common bench/test surface) ----
+  [[nodiscard]] Pid default_pid() const { return os_.default_pid(); }
+  void RunProcesses(const std::vector<std::function<void(Pid)>>& bodies) {
+    os_.RunProcesses(bodies);
+  }
+  [[nodiscard]] Nanos Now() const { return os_.Now(); }
+  [[nodiscard]] const PlatformProfile& profile() const { return os_.profile(); }
+  [[nodiscard]] const MachineConfig& config() const { return os_.config(); }
+
+ private:
+  // Rewrites config's jitter/event-tie/chaos seeds from (seed, machine_id).
+  [[nodiscard]] static MachineConfig DeriveConfig(MachineConfig config,
+                                                  std::uint32_t machine_id,
+                                                  std::uint64_t seed);
+
+  std::uint32_t id_;
+  std::uint64_t root_seed_;
+  Os os_;
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_OS_MACHINE_H_

@@ -24,6 +24,27 @@ void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_
 }
 #endif
 
+// TSan likewise needs explicit fiber bookkeeping: a ucontext switch moves
+// the stack pointer out of the range it associates with the host thread,
+// which it otherwise reports as a corrupted stack. Each fiber gets a TSan
+// fiber object; switches are announced right before the swapcontext.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GRAYSIM_TSAN_FIBERS 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define GRAYSIM_TSAN_FIBERS 1
+#endif
+
+#if defined(GRAYSIM_TSAN_FIBERS)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace graysim {
 
 namespace {
@@ -34,13 +55,16 @@ namespace {
 constexpr std::size_t kFiberStackBytes = 512 * 1024;
 
 // The trampoline installed by makecontext takes no arguments, so the
-// scheduler whose Run() is executing parks itself here. Single host thread,
-// and nested Run() calls are not allowed, so a single slot suffices.
-Scheduler* g_running = nullptr;
+// scheduler whose Run() is executing parks itself here. thread_local, not
+// global: every machine runs its fibers wholly on one host thread, so N
+// machines on N threads each get their own slot and never observe a
+// neighbor's scheduler — the one cross-machine global the fleet refactor
+// removed. Nested Run() calls remain forbidden per thread.
+thread_local Scheduler* t_running = nullptr;
 
 }  // namespace
 
-void Scheduler::Trampoline() { g_running->FiberMain(); }
+void Scheduler::Trampoline() { t_running->FiberMain(); }
 
 void Scheduler::FiberMain() {
   const int me = current_;
@@ -65,6 +89,9 @@ void Scheduler::SwitchToFiber(int i) {
 #if defined(GRAYSIM_ASAN_FIBERS)
   __sanitizer_start_switch_fiber(&main_fake_stack_, f.stack.get(), f.stack_size);
 #endif
+#if defined(GRAYSIM_TSAN_FIBERS)
+  __tsan_switch_to_fiber(f.tsan_fiber, 0);
+#endif
   const bool traced = trace_ != nullptr && static_cast<std::size_t>(i) < fiber_tracks_.size();
   if (traced) {
     trace_->Begin(fiber_tracks_[i], "run", clock_->now());
@@ -87,6 +114,9 @@ void Scheduler::SwitchToMain(bool dying) {
 #else
   (void)dying;
 #endif
+#if defined(GRAYSIM_TSAN_FIBERS)
+  __tsan_switch_to_fiber(main_tsan_fiber_, 0);
+#endif
   swapcontext(&f.ctx, &main_ctx_);
   // Resumed (never reached when dying).
 #if defined(GRAYSIM_ASAN_FIBERS)
@@ -99,7 +129,7 @@ void Scheduler::Run(const std::vector<std::function<void(int)>>& bodies) {
   if (n == 0) {
     return;  // nothing to schedule
   }
-  assert(!active_ && g_running == nullptr && "nested Scheduler::Run");
+  assert(!active_ && t_running == nullptr && "nested Scheduler::Run on this thread");
   bodies_ = &bodies;
   fibers_.clear();
   fibers_.reserve(n);
@@ -117,8 +147,14 @@ void Scheduler::Run(const std::vector<std::function<void(int)>>& bodies) {
     f->ctx.uc_stack.ss_size = f->stack_size;
     f->ctx.uc_link = nullptr;  // fibers exit via SwitchToMain, never return
     makecontext(&f->ctx, &Scheduler::Trampoline, 0);
+#if defined(GRAYSIM_TSAN_FIBERS)
+    f->tsan_fiber = __tsan_create_fiber(0);
+#endif
     fibers_.push_back(std::move(f));
   }
+#if defined(GRAYSIM_TSAN_FIBERS)
+  main_tsan_fiber_ = __tsan_get_current_fiber();
+#endif
   if (trace_ != nullptr) {
     // One "thread" row per fiber. RegisterTrack is idempotent by name, so
     // repeated Run() batches reuse the same rows.
@@ -129,7 +165,7 @@ void Scheduler::Run(const std::vector<std::function<void(int)>>& bodies) {
   }
   done_count_ = 0;
   active_ = true;
-  g_running = this;
+  t_running = this;
 
   int last = n - 1;  // round-robin starts at proc 0
   while (done_count_ < n) {
@@ -150,10 +186,13 @@ void Scheduler::Run(const std::vector<std::function<void(int)>>& bodies) {
     events_->RunDue(clock_->now());
   }
 
-  g_running = nullptr;
+  t_running = nullptr;
   active_ = false;
   bodies_ = nullptr;
   for (auto& f : fibers_) {
+#if defined(GRAYSIM_TSAN_FIBERS)
+    __tsan_destroy_fiber(f->tsan_fiber);
+#endif
     stack_pool_.push_back(std::move(f->stack));
   }
   fibers_.clear();

@@ -12,6 +12,11 @@
 // the dispatch loop advances the clock to the next pending event. Device
 // completions and background daemons therefore interleave with process
 // execution on one deterministic timeline.
+//
+// Each scheduler is confined to whichever host thread calls its Run(): the
+// running-scheduler slot consulted by the makecontext trampoline is
+// thread_local, so N independent machines may run on N host threads
+// concurrently (the fleet model) with zero shared state between them.
 #ifndef SRC_OS_SCHEDULER_H_
 #define SRC_OS_SCHEDULER_H_
 
@@ -74,6 +79,9 @@ class Scheduler {
     // ASan bookkeeping: the fake-stack handle saved across switches away
     // from this fiber (see __sanitizer_start_switch_fiber).
     void* fake_stack = nullptr;
+    // TSan bookkeeping: the __tsan_create_fiber handle announced before
+    // every swapcontext into this fiber. Null outside TSan builds.
+    void* tsan_fiber = nullptr;
   };
 
   // Entry point for every fiber (runs bodies_[current_]; never returns).
@@ -101,6 +109,8 @@ class Scheduler {
   const std::vector<std::function<void(int)>>* bodies_ = nullptr;
   ucontext_t main_ctx_{};
   void* main_fake_stack_ = nullptr;
+  // TSan handle of the dispatch loop's host thread, captured at Run() entry.
+  void* main_tsan_fiber_ = nullptr;
   // Host-stack bounds of the dispatch loop, captured at first fiber entry.
   const void* main_stack_bottom_ = nullptr;
   std::size_t main_stack_size_ = 0;

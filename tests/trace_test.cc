@@ -16,6 +16,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/os/machine.h"
 #include "src/os/os.h"
 
 namespace graysim {
@@ -101,7 +102,10 @@ Snapshot RunWorkload(const PlatformProfile& profile, bool traced,
   MachineConfig cfg;
   cfg.phys_mem_bytes = 160 * kMb;
   cfg.kernel_reserved_bytes = 32 * kMb;
-  Os os(profile, cfg);
+  // Config-seeded Machine: bit-identical to the bare Os this test used to
+  // assemble by hand (pinned by FleetSeeding.ConfigSeededMachineMatchesBareOs).
+  Machine machine(profile, cfg);
+  Os& os = machine.os();
   if (traced) {
     os.StartTrace(1 << 16);
   }
@@ -223,8 +227,8 @@ TEST(Trace, ChromeJsonExportIsMinimallyValid) {
   if (!obs::TraceSink::compiled_in()) {
     GTEST_SKIP() << "tracing compiled out (GRAYSIM_TRACE=OFF)";
   }
-  MachineConfig cfg;
-  Os os(PlatformProfile::Linux22(), cfg);
+  Machine machine(PlatformProfile::Linux22());
+  Os& os = machine.os();
   os.StartTrace(1 << 14);
   const Pid pid = os.default_pid();
   MakeFile(os, pid, "/d0/f", 4 * kMb);
@@ -384,15 +388,16 @@ TEST(Metrics, RegistryCollectsLiveSources) {
   EXPECT_EQ(find(samples, "h.count"), 2.0);
 }
 
-TEST(Metrics, OsBindMetricsExportsKernelAndDiskCounters) {
-  Os os(PlatformProfile::Linux22());
+TEST(Metrics, MachineRegistryExportsKernelAndDiskCounters) {
+  // The Machine pre-binds its Os into its registry at construction; the
+  // kernel and per-disk series must be live in it after real work.
+  Machine machine(PlatformProfile::Linux22());
+  Os& os = machine.os();
   const Pid pid = os.default_pid();
   MakeFile(os, pid, "/d0/f", 2 * kMb);
-  obs::MetricsRegistry r;
-  os.BindMetrics(&r);
   bool saw_syscalls = false;
   bool saw_disk_hist = false;
-  for (const auto& s : r.Collect()) {
+  for (const auto& s : machine.metrics().Collect()) {
     if (s.name == "os.syscalls") {
       saw_syscalls = true;
       EXPECT_GT(s.value, 0.0);
