@@ -3,6 +3,7 @@
 
 Usage: check_perf.py <fresh_results_dir> <baseline_dir> [--factor=5]
                      [--retained-slack=0.15] [--efficiency-slack=0.25]
+                     [--ratio-slack=0.10]
 
 For every BENCH_*.json present in BOTH directories, every metric with unit
 "ops/s" must be no more than `factor` times slower than the committed
@@ -19,6 +20,13 @@ baseline - retained_slack. These come from a deterministic simulation, so
 they are bit-stable across hosts; the slack only absorbs deliberate
 re-tunings of the interference preset, not machine noise. A PR that erodes
 how much of its win a hardened ICL keeps under interference fails here.
+
+Metrics with unit "ratio" (the Table 1 goodput/fairness/utilization
+fractions from bench/table1_prior_systems) are likewise additive: the
+classic scenarios run on the deterministic simulator, so a fresh value more
+than ratio_slack below the committed baseline means the ICL itself got
+worse — a regressed congestion response, a spin policy that starves local
+jobs — not a noisy machine.
 
 Metrics with unit "efficiency" (scale_fleet's parallel-scaling fraction:
 achieved machines/sec over threads x single-thread machines/sec) are also
@@ -64,6 +72,7 @@ def main() -> int:
     parser.add_argument("--factor", type=float, default=5.0)
     parser.add_argument("--retained-slack", type=float, default=0.15)
     parser.add_argument("--efficiency-slack", type=float, default=0.25)
+    parser.add_argument("--ratio-slack", type=float, default=0.10)
     args = parser.parse_args()
 
     failures = []
@@ -87,7 +96,8 @@ def main() -> int:
                 failures.append(f"{base_path.name}:{name}")
 
         for unit, slack in (("retained", args.retained_slack),
-                            ("efficiency", args.efficiency_slack)):
+                            ("efficiency", args.efficiency_slack),
+                            ("ratio", args.ratio_slack)):
             base_add = unit_metrics(base, unit)
             fresh_add = unit_metrics(fresh, unit)
             for name in sorted(base_add.keys() & fresh_add.keys()):
@@ -121,7 +131,8 @@ def main() -> int:
         return 1
     print(f"\nperf smoke passed: {compared} metrics within bounds "
           f"(factor {args.factor}x, retained slack {args.retained_slack}, "
-          f"efficiency slack {args.efficiency_slack})")
+          f"efficiency slack {args.efficiency_slack}, "
+          f"ratio slack {args.ratio_slack})")
     return 0
 
 

@@ -1,101 +1,71 @@
-// Per-device FCFS request queue with completion events.
+// Per-disk FCFS request queue: the generic SimDevice queueing discipline
+// bound to the mechanical disk model.
 //
-// Submit() computes the request's service time against the mechanical model,
-// appends it to the device's busy timeline (requests to one device
-// serialize; different devices proceed in parallel), and schedules a
-// completion event on the simulation's event queue. The submitter decides
-// whether to block on the returned completion time (demand reads) or walk
-// away (write-behind, readahead, swap-out) — that split is what makes
-// eviction and prefetch I/O truly asynchronous.
-//
-// Contiguous-run coalescing: a request that starts exactly where the queue's
-// tail request ends, in the same transfer direction, is merged into that
-// tail — the controller keeps streaming, charging transfer time only. This
-// models command queuing absorbing back-to-back sequential submissions
-// (readahead chains, clustered writeback).
+// All queueing behavior (busy-timeline serialization, contiguous-run
+// coalescing, completion events in Band::kCompletion, trace spans, the
+// service histogram) lives in SimDevice. DiskQueue contributes only the
+// physics: a coalesced request extends the current sequential stream
+// (transfer time only), anything else pays the full seek+rotate+transfer
+// Access() cost.
 #ifndef SRC_DISK_DISK_QUEUE_H_
 #define SRC_DISK_DISK_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "src/disk/disk.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
-#include "src/sim/inline_fn.h"
+#include "src/sim/sim_device.h"
 
 namespace graysim {
 
-class DiskQueue {
+class DiskQueue : private SimDevice::ServiceModel {
  public:
-  // `jitter` (optional) perturbs each request's service time; the Os wires
-  // its seeded timing jitter through it. Installed once at setup, so the
-  // std::function indirection costs nothing per request.
-  using Jitter = std::function<Nanos(Nanos)>;
-  // `service_scale` (optional) rescales the already-jittered service time;
-  // the chaos layer wires degraded-window / latency-spike multipliers
-  // through it. Installed only while a FaultPlan is armed, so the unarmed
-  // hot path pays a single null check.
-  using ServiceScale = std::function<Nanos(Nanos)>;
-
-  // Completion callbacks are stored inline (nested inside the completion
-  // event), so submitting a request never allocates. 48 bytes fits the Os's
-  // read-fill closure (this + inum + page range + token + flag).
-  using CompletionFn = InlineFn<48>;
+  using Jitter = SimDevice::Jitter;
+  using ServiceScale = SimDevice::ServiceScale;
+  using CompletionFn = SimDevice::CompletionFn;
 
   DiskQueue(Disk* disk, SimClock* clock, EventQueue* events)
-      : disk_(disk), clock_(clock), events_(events) {}
+      : disk_(disk), device_(this, clock, events) {}
 
   DiskQueue(const DiskQueue&) = delete;
   DiskQueue& operator=(const DiskQueue&) = delete;
 
-  void set_jitter(Jitter jitter) { jitter_ = std::move(jitter); }
-  void set_service_scale(ServiceScale scale) { service_scale_ = std::move(scale); }
+  void set_jitter(Jitter jitter) { device_.set_jitter(std::move(jitter)); }
+  void set_service_scale(ServiceScale scale) { device_.set_service_scale(std::move(scale)); }
 
   // Enqueues a contiguous request of `bytes` at byte `offset`. Returns its
   // completion time; `on_complete` (may be null) runs at that instant in
   // Band::kCompletion — before any process waking at the same time.
   Nanos Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
-               CompletionFn on_complete);
-
-  // Timeline position after the last queued request completes.
-  [[nodiscard]] Nanos busy_until() const { return busy_until_; }
-  [[nodiscard]] std::uint64_t depth() const { return depth_; }
-  [[nodiscard]] std::uint64_t max_depth() const { return max_depth_; }
-  [[nodiscard]] std::uint64_t total_requests() const { return total_requests_; }
-  [[nodiscard]] std::uint64_t coalesced_requests() const { return coalesced_requests_; }
-
-  // Optional trace sink + the track ("disk/N" row) this device's request
-  // lifecycle events land on. Each request becomes an "X" span over its
-  // service window, plus a "queue" instant when it had to wait behind the
-  // device's busy timeline.
-  void set_trace(obs::TraceSink* trace, std::uint32_t track) {
-    trace_ = trace;
-    track_ = track;
+               CompletionFn on_complete) {
+    return device_.Submit(offset, bytes, is_write, std::move(on_complete));
   }
 
+  // Timeline position after the last queued request completes.
+  [[nodiscard]] Nanos busy_until() const { return device_.busy_until(); }
+  [[nodiscard]] std::uint64_t depth() const { return device_.depth(); }
+  [[nodiscard]] std::uint64_t max_depth() const { return device_.max_depth(); }
+  [[nodiscard]] std::uint64_t total_requests() const { return device_.total_requests(); }
+  [[nodiscard]] std::uint64_t coalesced_requests() const { return device_.coalesced_requests(); }
+
+  void set_trace(obs::TraceSink* trace, std::uint32_t track) { device_.set_trace(trace, track); }
+
   // Per-request service times (ns), recorded on every Submit. Alloc-free.
-  [[nodiscard]] const obs::Histogram& service_hist() const { return service_hist_; }
+  [[nodiscard]] const obs::Histogram& service_hist() const { return device_.service_hist(); }
 
  private:
+  [[nodiscard]] Nanos Service(std::uint64_t offset, std::uint64_t bytes, bool is_write,
+                              bool coalesce) override {
+    return coalesce ? disk_->SequentialExtend(offset, bytes, is_write)
+                    : disk_->Access(offset, bytes, is_write);
+  }
+
   Disk* disk_;
-  SimClock* clock_;
-  EventQueue* events_;
-  Jitter jitter_;
-  ServiceScale service_scale_;
-  obs::TraceSink* trace_ = nullptr;
-  std::uint32_t track_ = 0;
-  obs::Histogram service_hist_;
-  Nanos busy_until_ = 0;
-  // End offset + direction of the tail request, for coalescing.
-  std::uint64_t tail_end_offset_ = 0;
-  bool tail_is_write_ = false;
-  std::uint64_t depth_ = 0;
-  std::uint64_t max_depth_ = 0;
-  std::uint64_t total_requests_ = 0;
-  std::uint64_t coalesced_requests_ = 0;
+  SimDevice device_;
 };
 
 }  // namespace graysim

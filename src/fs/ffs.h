@@ -39,9 +39,12 @@ enum class FsErr : int {
   kInvalid,
   // Transient device error (EIO). Never produced by the file system itself;
   // injected by the chaos layer (src/os/chaos_engine.h) to model media
-  // retries and flaky transport. Appended last: FsErr values are wire-frozen
-  // in negated-errno form across the SysApi boundary.
+  // retries and flaky transport. Appended after kInvalid: FsErr values are
+  // wire-frozen in negated-errno form across the SysApi boundary.
   kIo,
+  // Blocking deadline expired (ETIMEDOUT): NetRecv with no arrival in time.
+  // Like kIo, appended last to keep earlier values wire-frozen.
+  kTimedOut,
 };
 
 [[nodiscard]] std::string_view FsErrName(FsErr err);

@@ -1,0 +1,194 @@
+#include "src/gray/classic/cosched.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace grayclassic {
+
+namespace {
+
+// Datagram protocol: the low bits carry the iteration, the high bits say
+// request or response. Probe pings keep their own marker bit.
+constexpr std::uint64_t kReqBit = 1ULL << 40;
+constexpr std::uint64_t kRespBit = 1ULL << 41;
+constexpr std::uint64_t kIterMask = kReqBit - 1;
+constexpr std::uint64_t kMsgBytes = 64;
+
+}  // namespace
+
+bool CoschedIcl::Handle(const gray::NetMessage& msg, std::uint64_t want) {
+  if ((msg.tag & gray::ProbeEngine::kPingTagMarker) != 0) {
+    (void)sys_->NetSend(options_.endpoint, msg.from, msg.bytes, msg.tag);
+    return false;
+  }
+  if ((msg.tag & kReqBit) != 0) {
+    // Serve the predecessor immediately — this promptness is exactly the
+    // signal implicit coscheduling reads on the other side.
+    (void)sys_->NetSend(options_.endpoint, msg.from, kMsgBytes,
+                        kRespBit | (msg.tag & kIterMask));
+    ++result_.served;
+    return false;
+  }
+  return msg.tag == want;  // stale responses (earlier iterations) fall out
+}
+
+void CoschedIcl::DrainInbox(std::uint64_t want, bool* got) {
+  gray::NetMessage msg;
+  while (!*got && sys_->NetPoll(options_.endpoint) > 0) {
+    if (sys_->NetRecv(options_.endpoint, 0, &msg) >= 0) {
+      *got = Handle(msg, want);
+    }
+  }
+}
+
+CoschedIclResult CoschedIcl::Run() {
+  const gray::Nanos start = sys_->Now();
+
+  // Benchmark the coordinated-case round trip against the echo fiber. The
+  // echo fiber blocks in receive, so it is scheduled the moment the ping
+  // lands — the "known state" the benchmark requires.
+  gray::ProbeEngine engine(sys_);
+  {
+    std::vector<gray::TimedNetPing> pings(
+        static_cast<std::size_t>(std::max(1, options_.benchmark_pings)),
+        gray::TimedNetPing{options_.endpoint, options_.echo_peer, kMsgBytes,
+                           options_.ping_timeout});
+    engine.RunNetPings(pings);
+  }
+  gray::Nanos rtt = engine.latency_stats().count() > 0
+                        ? static_cast<gray::Nanos>(engine.latency_stats().mean())
+                        : options_.ping_timeout / 8;
+  result_.benchmark_rtt = rtt;
+  gap_ewma_ = static_cast<double>(rtt);
+  spin_limit_ = std::min(options_.spin_cap,
+                         std::max(rtt, static_cast<gray::Nanos>(
+                                           options_.spin_multiplier *
+                                           static_cast<double>(rtt))));
+
+  if (options_.settle > 0) {
+    sys_->SleepNs(options_.settle);  // let every peer finish calibrating
+  }
+
+  obs::TraceSink* trace = sys_->Trace();
+  gray::NetMessage msg;
+  for (int iter = 1; iter <= options_.iterations; ++iter) {
+    // Serve anything that queued up while we were away, then compute.
+    bool got = false;
+    DrainInbox(0, &got);
+    sys_->Compute(options_.compute);
+
+    const std::uint64_t tag = kReqBit | static_cast<std::uint64_t>(iter);
+    const std::uint64_t want = kRespBit | static_cast<std::uint64_t>(iter);
+    gray::Nanos sent_at = sys_->Now();
+    (void)sys_->NetSend(options_.endpoint, options_.partner, kMsgBytes, tag);
+    int resends = 0;
+    bool abandoned = false;  // this wait exhausted max_resend
+    got = false;
+
+    // Phase 1: spin. Stay on the CPU polling so a prompt response is
+    // consumed the instant it lands.
+    if (options_.policy != WaitPolicy::kBlockImmediate) {
+      const bool forever = options_.policy == WaitPolicy::kSpinForever;
+      const gray::Nanos spin_deadline = sys_->Now() + spin_limit_;
+      gray::Nanos resend_at = sent_at + options_.block_timeout;
+      while (!got) {
+        const gray::Nanos now = sys_->Now();
+        if (!forever && now >= spin_deadline) {
+          break;
+        }
+        DrainInbox(want, &got);
+        if (got) {
+          break;
+        }
+        if (forever && now >= resend_at) {
+          // Spin-forever still needs a liveness bound: a dropped request
+          // would otherwise spin the fiber to the end of time.
+          if (++resends > options_.max_resend) {
+            abandoned = true;
+            break;
+          }
+          if (options_.hardened) {
+            ++result_.resends;
+            if (trace != nullptr) {
+              trace->Instant(obs::kTrackIcl, "cosched.retry", now, "iter",
+                             static_cast<std::uint64_t>(iter));
+            }
+            sent_at = sys_->Now();
+            (void)sys_->NetSend(options_.endpoint, options_.partner, kMsgBytes, tag);
+          }
+          resend_at = sys_->Now() + options_.block_timeout;
+        }
+        sys_->Compute(options_.spin_grain);
+        result_.spin_time += options_.spin_grain;
+      }
+      if (got) {
+        ++result_.fast_waits;
+        if (options_.hardened) {
+          // Recalibrate the spin limit from gaps actually caught spinning —
+          // the coordinated-case response time, the only gap worth the burn.
+          const double sample = static_cast<double>(sys_->Now() - sent_at);
+          gap_ewma_ = options_.ewma_alpha * sample + (1.0 - options_.ewma_alpha) * gap_ewma_;
+          spin_limit_ = std::min(
+              options_.spin_cap,
+              std::max(gray::Nanos{1},
+                       static_cast<gray::Nanos>(options_.spin_multiplier * gap_ewma_)));
+        }
+      }
+    }
+
+    // Phase 2: block. Release the CPU; the kernel wakes us on delivery.
+    if (!got && !abandoned) {
+      ++result_.blocks;
+      if (trace != nullptr) {
+        trace->Instant(obs::kTrackIcl, "cosched.block", sys_->Now(), "iter",
+                       static_cast<std::uint64_t>(iter));
+      }
+      while (!got) {
+        if (sys_->NetRecv(options_.endpoint, options_.block_timeout, &msg) >= 0) {
+          got = Handle(msg, want);
+          continue;
+        }
+        if (++resends > options_.max_resend) {
+          abandoned = true;
+          break;
+        }
+        if (options_.hardened) {
+          ++result_.resends;
+          if (trace != nullptr) {
+            trace->Instant(obs::kTrackIcl, "cosched.retry", sys_->Now(), "iter",
+                           static_cast<std::uint64_t>(iter));
+          }
+          (void)sys_->NetSend(options_.endpoint, options_.partner, kMsgBytes, tag);
+        }
+      }
+    }
+    result_.gave_up = result_.gave_up || abandoned;
+    ++result_.iterations_done;
+  }
+
+  result_.elapsed = sys_->Now() - start;
+  result_.rtt_estimate = static_cast<gray::Nanos>(gap_ewma_);
+  result_.probe_report = engine.report();
+  return result_;
+}
+
+void CoschedIcl::Linger() {
+  gray::NetMessage msg;
+  while (sys_->NetRecv(options_.endpoint, options_.block_timeout, &msg) >= 0) {
+    (void)Handle(msg, 0);
+  }
+}
+
+std::uint64_t RunCoschedEcho(gray::SysApi* sys, int endpoint, gray::Nanos idle_timeout) {
+  std::uint64_t echoed = 0;
+  gray::NetMessage msg;
+  while (sys->NetRecv(endpoint, idle_timeout, &msg) >= 0) {
+    if ((msg.tag & gray::ProbeEngine::kPingTagMarker) != 0) {
+      (void)sys->NetSend(endpoint, msg.from, msg.bytes, msg.tag);
+      ++echoed;
+    }
+  }
+  return echoed;
+}
+
+}  // namespace grayclassic

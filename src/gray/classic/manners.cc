@@ -1,0 +1,127 @@
+#include "src/gray/classic/manners.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/gray/toolbox/stats.h"
+
+namespace grayclassic {
+
+void MannersIcl::DoUnit(gray::ProbeEngine* engine, gray::MemHandle buffer) {
+  std::vector<gray::TimedMemTouch> touches(
+      static_cast<std::size_t>(std::max(1, options_.touches_per_unit)));
+  for (auto& t : touches) {
+    t = gray::TimedMemTouch{buffer, next_page_, true};
+    next_page_ = (next_page_ + 1) % std::max<std::uint64_t>(1, options_.buffer_pages);
+  }
+  engine->RunMemTouches(touches);
+  sys_->Compute(options_.unit_compute);
+}
+
+MannersIclResult MannersIcl::Run() {
+  MannersIclResult result;
+  gray::ProbeEngine engine(sys_);
+  const gray::MemHandle buffer =
+      sys_->MemAlloc(options_.buffer_pages * sys_->PageSize());
+
+  const gray::Nanos start = sys_->Now();
+  const gray::Nanos end = start + options_.run_for;
+  obs::TraceSink* trace = sys_->Trace();
+
+  gray::ExponentialAverage progress(options_.ewma_alpha);
+  std::vector<double> recent;    // recent progress samples
+  std::vector<double> expected;  // paired threshold samples
+  double baseline = 0.0;
+  int backoff_windows = options_.initial_backoff_windows;
+  int below_streak = 0;
+  int calibrated = 0;
+  double calibration_sum = 0.0;
+
+  while (sys_->Now() < end) {
+    // One measurement window of work.
+    const gray::Nanos w0 = sys_->Now();
+    const gray::Nanos w_end = std::min(end, w0 + options_.window);
+    std::uint64_t units = 0;
+    while (sys_->Now() < w_end) {
+      DoUnit(&engine, buffer);
+      ++units;
+    }
+    result.bg_units += units;
+    ++result.windows;
+    // Normalize short final windows to a full-window rate.
+    const gray::Nanos w_len = std::max<gray::Nanos>(1, sys_->Now() - w0);
+    const double sample = static_cast<double>(units) *
+                          static_cast<double>(options_.window) /
+                          static_cast<double>(w_len);
+
+    if (calibrated < options_.calibrate_windows) {
+      // Known state by construction: the scenario starts the background
+      // process before any foreground burst, so the first windows measure
+      // the uncontended rate.
+      calibration_sum += sample;
+      if (++calibrated == options_.calibrate_windows) {
+        baseline = calibration_sum / static_cast<double>(calibrated);
+        result.baseline_rate = baseline;
+        result.unit_cost_ns =
+            baseline > 0.0 ? static_cast<double>(options_.window) / baseline : 0.0;
+      }
+      continue;
+    }
+    if (!options_.governed) {
+      continue;  // greedy baseline: measure, never yield
+    }
+
+    progress.Add(sample);
+    recent.push_back(sample);
+    expected.push_back(baseline * options_.suspend_threshold);
+    if (recent.size() > static_cast<std::size_t>(options_.sign_window)) {
+      recent.erase(recent.begin());
+      expected.erase(expected.begin());
+    }
+
+    // Contention inference: smoothed progress below the threshold. The
+    // hardened variant demands statistical confirmation (sign test) plus a
+    // second consecutive bad window before giving up the CPU.
+    const bool below = progress.value() < baseline * options_.suspend_threshold;
+    bool suspend = false;
+    if (below) {
+      ++below_streak;
+      if (options_.hardened) {
+        const gray::SignTestResult sign = gray::SignTest(expected, recent);
+        result.sign_test_fired = result.sign_test_fired || sign.significant;
+        suspend = below_streak >= 2 && sign.plus > sign.minus;
+      } else {
+        suspend = true;
+      }
+    } else {
+      below_streak = 0;
+      backoff_windows = options_.initial_backoff_windows;  // healthy again
+    }
+
+    if (suspend) {
+      ++result.suspensions;
+      result.suspended_windows += static_cast<std::uint64_t>(backoff_windows);
+      if (trace != nullptr) {
+        trace->Instant(obs::kTrackIcl, "manners.suspend", sys_->Now(), "backoff_windows",
+                       static_cast<std::uint64_t>(backoff_windows));
+      }
+      sys_->SleepNs(static_cast<gray::Nanos>(backoff_windows) * options_.window);
+      if (trace != nullptr) {
+        trace->Instant(obs::kTrackIcl, "manners.resume", sys_->Now());
+      }
+      backoff_windows = std::min(backoff_windows * 2, options_.max_backoff_windows);
+      // Measurements taken before the suspension describe a contended
+      // world that may be gone; start the statistics fresh.
+      progress = gray::ExponentialAverage(options_.ewma_alpha);
+      recent.clear();
+      expected.clear();
+      below_streak = 0;
+    }
+  }
+
+  sys_->MemFree(buffer);
+  result.probe_report = engine.report();
+  return result;
+}
+
+}  // namespace grayclassic

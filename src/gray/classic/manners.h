@@ -1,0 +1,79 @@
+// MS Manners as a gray-box ICL (paper §3, Table 1).
+//
+// A low-importance background process regulates itself so it only consumes
+// resources that are otherwise idle. Gray-box knowledge: "one process
+// competing with another usually degrades the progress of the other
+// symmetrically to its own" — so by measuring its OWN progress rate against
+// a calibrated uncontended baseline, the background process infers that
+// someone important is running and suspends itself.
+//
+// Rebuilt as a kernel citizen: the work units are real scheduler-charged
+// computation plus ProbeEngine-timed page touches over a resident buffer,
+// progress windows are measured on the virtual clock, and suspension is a
+// real sleep that hands the CPU back. Statistics from the original system
+// (Table 1): exponential averaging of progress samples and a paired-sample
+// sign test against the baseline.
+#ifndef SRC_GRAY_CLASSIC_MANNERS_H_
+#define SRC_GRAY_CLASSIC_MANNERS_H_
+
+#include <cstdint>
+
+#include "src/gray/probe/probe_engine.h"
+#include "src/gray/sys_api.h"
+
+namespace grayclassic {
+
+struct MannersIclOptions {
+  gray::Nanos run_for = 4'000'000'000;  // 4 s of virtual time
+  // Progress-measurement window; must exceed the scheduler slice or a
+  // window sees only its own turn and contention is invisible.
+  gray::Nanos window = 40'000'000;  // 40 ms
+  gray::Nanos unit_compute = 200'000;  // CPU burn per work unit
+  std::uint64_t buffer_pages = 32;     // resident working set
+  int touches_per_unit = 8;            // ProbeEngine-timed page touches
+  int calibrate_windows = 4;           // uncontended baseline measurement
+  double suspend_threshold = 0.8;      // suspect contention below this fraction
+  int initial_backoff_windows = 2;
+  int max_backoff_windows = 32;
+  double ewma_alpha = 0.3;
+  int sign_window = 8;  // recent samples kept for the sign test
+  // Hardened variant: the EWMA dip must be confirmed by the paired-sample
+  // sign test AND hold for two consecutive windows before suspending —
+  // robust to one noisy window (a chaos shock, a jitter spike). Legacy
+  // suspends on the raw threshold immediately.
+  bool hardened = true;
+  // When false, the controller never suspends: the greedy baseline every
+  // comparison runs against.
+  bool governed = true;
+};
+
+struct MannersIclResult {
+  std::uint64_t bg_units = 0;           // work units completed
+  std::uint64_t windows = 0;            // measurement windows executed
+  std::uint64_t suspensions = 0;
+  std::uint64_t suspended_windows = 0;  // windows' worth of backoff slept
+  bool sign_test_fired = false;         // the statistics confirmed contention
+  double baseline_rate = 0.0;           // calibrated units per window
+  double unit_cost_ns = 0.0;            // calibrated uncontended cost of one unit
+  gray::ProbeReport probe_report;
+};
+
+class MannersIcl {
+ public:
+  MannersIcl(gray::SysApi* sys, const MannersIclOptions& options)
+      : sys_(sys), options_(options) {}
+
+  [[nodiscard]] MannersIclResult Run();
+
+ private:
+  // One unit of background work: timed page touches + a compute burn.
+  void DoUnit(gray::ProbeEngine* engine, gray::MemHandle buffer);
+
+  gray::SysApi* sys_;
+  MannersIclOptions options_;
+  std::uint64_t next_page_ = 0;
+};
+
+}  // namespace grayclassic
+
+#endif  // SRC_GRAY_CLASSIC_MANNERS_H_

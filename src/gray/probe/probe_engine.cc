@@ -10,6 +10,7 @@ void ProbeReport::Merge(const ProbeReport& other) {
   pread_probes += other.pread_probes;
   memtouch_probes += other.memtouch_probes;
   stat_probes += other.stat_probes;
+  net_probes += other.net_probes;
   failed_probes += other.failed_probes;
   retried_probes += other.retried_probes;
   bytes_touched += other.bytes_touched;
@@ -31,6 +32,7 @@ void ProbeEngine::BindMetrics(obs::MetricsRegistry* registry,
   r.AddCounter(prefix + ".pread_probes", &report_.pread_probes);
   r.AddCounter(prefix + ".memtouch_probes", &report_.memtouch_probes);
   r.AddCounter(prefix + ".stat_probes", &report_.stat_probes);
+  r.AddCounter(prefix + ".net_probes", &report_.net_probes);
   r.AddCounter(prefix + ".failed_probes", &report_.failed_probes);
   r.AddCounter(prefix + ".retried_probes", &report_.retried_probes);
   r.AddCounter(prefix + ".bytes_touched", &report_.bytes_touched, "bytes");
@@ -112,6 +114,13 @@ void ProbeEngine::Account(Kind kind, const ProbeSample& sample) {
       break;
     case Kind::kStat:
       ++report_.stat_probes;
+      break;
+    case Kind::kNetPing:
+      ++report_.net_probes;
+      if (sample.rc > 0) {
+        // Echo received: the payload crossed the wire both ways.
+        report_.bytes_touched += 2 * static_cast<std::uint64_t>(sample.rc);
+      }
       break;
   }
   if (sample.rc < 0) {
@@ -231,6 +240,51 @@ std::vector<ProbeSample> ProbeEngine::RunStats(std::span<const TimedStat> reqs,
                     ProbeSample{results[i].latency_ns, results[i].rc});
       Account(Kind::kStat, samples[start + i]);
     }
+  }
+  NoteRunOutcome(samples);
+  return samples;
+}
+
+ProbeSample ProbeEngine::PingOnce(const TimedNetPing& req) {
+  const std::uint64_t tag = kPingTagMarker | next_ping_tag_++;
+  const Nanos t0 = sys_->Now();
+  std::int64_t rc = sys_->NetSend(req.endpoint, req.peer, req.bytes, tag);
+  if (rc < 0) {
+    return ProbeSample{sys_->Now() - t0, rc};
+  }
+  const Nanos deadline = t0 + req.timeout;
+  NetMessage msg;
+  while (true) {
+    const Nanos now = sys_->Now();
+    rc = sys_->NetRecv(req.endpoint, now < deadline ? deadline - now : 0, &msg);
+    if (rc < 0 || msg.tag == tag) {
+      return ProbeSample{sys_->Now() - t0, rc};
+    }
+    // A stale echo of an earlier, abandoned ping: discard and keep waiting
+    // on the same deadline.
+  }
+}
+
+std::vector<ProbeSample> ProbeEngine::RunNetPings(std::span<const TimedNetPing> reqs) {
+  std::vector<ProbeSample> samples(reqs.size());
+  const bool traced = trace_ != nullptr && trace_->enabled();
+  const Nanos run_t0 = traced ? sys_->Now() : 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ProbeSample sample = PingOnce(reqs[i]);
+    Nanos backoff = options_.retry_backoff;
+    for (std::size_t attempt = 0; attempt < options_.max_retries && ShouldRetry(sample);
+         ++attempt) {
+      sys_->SleepNs(backoff);  // let the loss burst pass; not timed
+      backoff *= 2;
+      ++report_.retried_probes;
+      sample = PingOnce(reqs[i]);
+    }
+    samples[i] = sample;
+    Account(Kind::kNetPing, sample);
+  }
+  if (traced && !reqs.empty()) {
+    trace_->Complete(obs::kTrackProbe, "netping.run", run_t0, sys_->Now() - run_t0, "probes",
+                     reqs.size());
   }
   NoteRunOutcome(samples);
   return samples;

@@ -55,6 +55,17 @@ struct TimedStat {
   std::string path;
 };
 
+// Time one network round trip: send `bytes` from `endpoint` to `peer` and
+// wait (up to `timeout`) for the peer to echo the same tag back. Requires a
+// cooperating echo peer; the sample latency is the full RTT the application
+// would see, which is what congestion and co-scheduling inference feed on.
+struct TimedNetPing {
+  int endpoint = -1;  // our endpoint (the echo lands here)
+  int peer = -1;      // echo server's endpoint
+  std::uint64_t bytes = 64;
+  Nanos timeout = 5'000'000;  // 5 ms
+};
+
 // --- results ---
 
 // One timed observation: the elapsed time of the operation (the covert
@@ -97,6 +108,7 @@ struct ProbeReport {
   std::uint64_t pread_probes = 0;
   std::uint64_t memtouch_probes = 0;
   std::uint64_t stat_probes = 0;
+  std::uint64_t net_probes = 0;  // round-trip pings issued
   std::uint64_t failed_probes = 0;   // rc < 0 after retries
   std::uint64_t retried_probes = 0;  // extra attempts issued by retry
   std::uint64_t bytes_touched = 0;   // bytes read + pages touched * page size
@@ -123,6 +135,11 @@ class ProbeEngine {
   // infos->at(i) is filled when samples[i].rc == 0.
   std::vector<ProbeSample> RunStats(std::span<const TimedStat> reqs,
                                     std::vector<FileInfo>* infos);
+  // Round-trip pings, inherently sequential (each ping is an RPC): a timed-
+  // out ping is retried with fresh tags under the usual backoff schedule,
+  // and stale echoes of abandoned pings are discarded by tag. Requires the
+  // backend to support SysApi's net calls; without one, every sample fails.
+  std::vector<ProbeSample> RunNetPings(std::span<const TimedNetPing> reqs);
 
   // Early-exit streaming: issues requests one at a time and calls `visit`
   // with each sample; stops (and stops probing) when visit returns false.
@@ -158,8 +175,17 @@ class ProbeEngine {
   // `registry` under "<prefix>." names (e.g. "fccd.probes").
   void BindMetrics(obs::MetricsRegistry* registry, const std::string& prefix) const;
 
+  // Ping tags carry this marker so application protocols sharing an
+  // endpoint can tell probe echoes from their own traffic — and so echo
+  // peers (any loop willing to reflect messages) can tell which incoming
+  // tags to bounce straight back.
+  static constexpr std::uint64_t kPingTagMarker = 1ULL << 62;
+
  private:
-  enum class Kind { kPread, kMemTouch, kStat };
+  enum class Kind { kPread, kMemTouch, kStat, kNetPing };
+
+  // One send + echo-wait round trip with a fresh tag.
+  ProbeSample PingOnce(const TimedNetPing& req);
 
   // Accounts one executed sample into the report and incremental stats.
   void Account(Kind kind, const ProbeSample& sample);
@@ -184,6 +210,7 @@ class ProbeEngine {
   // obs::kTrackProbe. Write-only — see SysApi::Trace().
   obs::TraceSink* trace_ = nullptr;
   Nanos created_at_ = 0;
+  std::uint64_t next_ping_tag_ = 1;
   bool last_run_degraded_ = false;
 };
 

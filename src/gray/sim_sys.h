@@ -1,7 +1,9 @@
 // Binding of the gray-box SysApi to the graysim simulated OS.
 //
 // One SimSys represents one process's view of the system: the (os, pid)
-// pair. This is the only file in src/gray that knows graysim exists.
+// pair. Apart from the classic-scenario harness (src/gray/classic/scenario.h,
+// which is driver code, not a layer), this is the only file in src/gray that
+// knows graysim exists.
 #ifndef SRC_GRAY_SIM_SYS_H_
 #define SRC_GRAY_SIM_SYS_H_
 
@@ -21,11 +23,13 @@ class SimSys final : public SysApi {
 
   [[nodiscard]] obs::TraceSink* Trace() override { return &os_->trace(); }
 
-  // The simulated kernel's only transient failure is the chaos layer's
-  // injected device error; everything else (ENOENT, EISDIR, ...) is a
-  // definitive answer.
+  // The simulated kernel's transient failures are the chaos layer's
+  // injected device error and a network receive timeout (the peer may just
+  // be slow or the message dropped — retry is the right reflex); everything
+  // else (ENOENT, EISDIR, ...) is a definitive answer.
   [[nodiscard]] bool IsTransientError(std::int64_t rc) const override {
-    return rc == -static_cast<std::int64_t>(graysim::FsErr::kIo);
+    return rc == -static_cast<std::int64_t>(graysim::FsErr::kIo) ||
+           rc == -static_cast<std::int64_t>(graysim::FsErr::kTimedOut);
   }
 
   [[nodiscard]] int Open(const std::string& path) override { return os_->Open(pid_, path); }
@@ -123,6 +127,29 @@ class SimSys final : public SysApi {
       out[i] = BatchResult{os_out[i].latency_ns, os_out[i].rc};
     }
   }
+
+  [[nodiscard]] int NetEndpoint() override { return os_->NetEndpoint(pid_); }
+  std::int64_t NetSend(int from, int to, std::uint64_t bytes, std::uint64_t tag) override {
+    return os_->NetSend(pid_, from, to, bytes, tag);
+  }
+  std::int64_t NetRecv(int endpoint, Nanos timeout, NetMessage* out) override {
+    graysim::NetMessage msg;
+    const std::int64_t rc = os_->NetRecv(pid_, endpoint, timeout, &msg);
+    if (rc >= 0) {
+      out->from = msg.from;
+      out->bytes = msg.bytes;
+      out->tag = msg.tag;
+      out->seq = msg.seq;
+      out->sent_at = msg.sent_at;
+    }
+    return rc;
+  }
+  std::int64_t NetPoll(int endpoint) override { return os_->NetPoll(pid_, endpoint); }
+
+  // A simulated spin must charge virtual time (the clock only moves when
+  // charged); Os::Compute stays preemptible in slice quanta, exactly like a
+  // runnable busy-loop under the real scheduler.
+  void Compute(Nanos duration) override { os_->Compute(pid_, duration); }
 
   [[nodiscard]] MemHandle MemAlloc(std::uint64_t bytes) override {
     const graysim::VmAreaId area = os_->VmAlloc(pid_, bytes);

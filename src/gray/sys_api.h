@@ -65,6 +65,17 @@ struct BatchResult {
   std::int64_t rc = 0;
 };
 
+// One received network datagram. `tag` is opaque application data (sequence
+// or ack numbers); `sent_at` is in the receiver's clock domain (the
+// simulated machine has one clock, as does a single host's loopback).
+struct NetMessage {
+  std::int32_t from = -1;
+  std::uint64_t bytes = 0;
+  std::uint64_t tag = 0;
+  std::uint64_t seq = 0;
+  Nanos sent_at = 0;
+};
+
 class SysApi {
  public:
   virtual ~SysApi() = default;
@@ -149,6 +160,47 @@ class SysApi {
       const Nanos t0 = Now();
       const int rc = Stat(paths[i], &infos[i]);
       out[i] = BatchResult{Now() - t0, rc};
+    }
+  }
+
+  // --- network ---
+  // Datagram messaging over the host's link. Defaults return -1: a backend
+  // without a network (or a port that has not wired one) is a valid SysApi,
+  // and portable layers must check NetEndpoint() before relying on the rest.
+  // Semantics when supported: endpoints are small non-negative handles;
+  // NetSend queues `bytes` from `from` to `to` and returns `bytes` (loss is
+  // silent — inferring why a message vanished is the gray-box layer's job);
+  // NetRecv blocks up to `timeout` ns (0 = non-blocking) and returns the
+  // received byte count or a negative timeout/error code; NetPoll returns
+  // the delivered-and-unread count without blocking.
+  [[nodiscard]] virtual int NetEndpoint() { return -1; }
+  virtual std::int64_t NetSend(int from, int to, std::uint64_t bytes, std::uint64_t tag) {
+    (void)from;
+    (void)to;
+    (void)bytes;
+    (void)tag;
+    return -1;
+  }
+  virtual std::int64_t NetRecv(int endpoint, Nanos timeout, NetMessage* out) {
+    (void)endpoint;
+    (void)timeout;
+    (void)out;
+    return -1;
+  }
+  virtual std::int64_t NetPoll(int endpoint) {
+    (void)endpoint;
+    return -1;
+  }
+
+  // --- CPU ---
+  // Burns `duration` of CPU (preemptible). Spin-wait layers (two-phase
+  // co-scheduling) use this instead of SleepNs so they stay runnable and
+  // keep consuming their scheduler slot — that is what makes spinning
+  // observable. Default: spin on the clock, which is exactly what a real
+  // userland busy-loop does.
+  virtual void Compute(Nanos duration) {
+    const Nanos end = Now() + duration;
+    while (Now() < end) {
     }
   }
 

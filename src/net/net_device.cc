@@ -1,0 +1,134 @@
+#include "src/net/net_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace graysim {
+
+NetDevice::NetDevice(const NetSchedule& schedule, SimClock* clock, EventQueue* events)
+    : schedule_(schedule),
+      clock_(clock),
+      events_(events),
+      link_(this, clock, events),
+      rng_(schedule.seed) {
+  // Back-to-back messages never merge on a wire, and both directions are
+  // the same serialization operation.
+  link_.set_coalescing(false);
+  link_.set_op_names("xmit", "xmit");
+}
+
+int NetDevice::CreateEndpoint() {
+  endpoints_.emplace_back();
+  return static_cast<int>(endpoints_.size()) - 1;
+}
+
+Nanos NetDevice::Service(std::uint64_t /*offset*/, std::uint64_t bytes, bool /*is_write*/,
+                         bool /*coalesce*/) {
+  const double wire = static_cast<double>(bytes) * kSecond / schedule_.bytes_per_sec;
+  return schedule_.send_overhead + static_cast<Nanos>(wire);
+}
+
+Nanos NetDevice::Send(int from, int to, std::uint64_t bytes, std::uint64_t tag) {
+  assert(from >= 0 && from < num_endpoints());
+  assert(to >= 0 && to < num_endpoints());
+  ++sent_;
+  // Fixed draw order per Send, regardless of outcome: the loss, RED, and
+  // reorder uniforms are always consumed so one dropped message never
+  // shifts every later decision (bit-identical replay under sweeps).
+  const double u_loss = rng_.NextDouble();
+  const double u_red = rng_.NextDouble();
+  const double u_reorder = rng_.NextDouble();
+
+  const NetMessage msg{from, bytes, tag, next_seq_++, clock_->now()};
+
+  const char* drop_reason = nullptr;
+  if (u_loss < schedule_.drop_prob) {
+    ++loss_drops_;
+    drop_reason = "net.loss";
+  } else if (schedule_.queue_capacity > 0) {
+    const std::uint64_t depth = link_.depth();
+    if (depth >= schedule_.queue_capacity) {
+      ++congestion_drops_;
+      drop_reason = "net.tail_drop";
+    } else if (schedule_.red) {
+      const double frac = static_cast<double>(depth) /
+                          static_cast<double>(schedule_.queue_capacity);
+      if (frac > schedule_.red_max_fraction) {
+        ++red_drops_;
+        drop_reason = "net.red_drop";
+      } else if (frac > schedule_.red_min_fraction) {
+        const double ramp = (frac - schedule_.red_min_fraction) /
+                            (schedule_.red_max_fraction - schedule_.red_min_fraction);
+        if (u_red < ramp * schedule_.red_max_prob) {
+          ++red_drops_;
+          drop_reason = "net.red_drop";
+        }
+      }
+    }
+  }
+  if (drop_reason == nullptr && drop_hook_ && drop_hook_()) {
+    ++chaos_drops_;
+    drop_reason = "net.chaos_drop";
+  }
+  if (drop_reason != nullptr) {
+    if (trace_ != nullptr) {
+      trace_->Instant(track_, drop_reason, clock_->now(), "seq", msg.seq);
+    }
+    return 0;
+  }
+
+  // Serialize through the link, then fly for the propagation latency
+  // (chaos may stretch it), plus the reorder penalty when drawn.
+  const Nanos serialized = link_.Submit(msg.seq, bytes, true, nullptr);
+  double scale = 1.0;
+  if (delay_scale_) {
+    scale = delay_scale_(clock_->now());
+  }
+  Nanos arrival = serialized + static_cast<Nanos>(static_cast<double>(schedule_.latency) * scale);
+  if (u_reorder < schedule_.reorder_prob) {
+    ++reordered_;
+    arrival += schedule_.reorder_delay;
+  }
+
+  endpoints_[static_cast<std::size_t>(to)].in_flight.push_back(arrival);
+  events_->ScheduleAt(arrival, EventQueue::Band::kCompletion,
+                      [this, to, msg, arrival]() { Deliver(to, msg, arrival); });
+  return arrival;
+}
+
+void NetDevice::Deliver(int to, const NetMessage& msg, Nanos arrival) {
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(to)];
+  auto it = std::find(ep.in_flight.begin(), ep.in_flight.end(), arrival);
+  if (it != ep.in_flight.end()) {
+    // Swap-and-pop: in_flight is unordered by design.
+    *it = ep.in_flight.back();
+    ep.in_flight.pop_back();
+  }
+  ep.inbox.push_back(msg);
+  ++delivered_;
+  delivery_hist_.Record(arrival - msg.sent_at);
+  if (trace_ != nullptr) {
+    trace_->Instant(track_, "net.deliver", clock_->now(), "seq", msg.seq);
+  }
+}
+
+bool NetDevice::Recv(int endpoint, NetMessage* out) {
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(endpoint)];
+  if (ep.inbox.empty()) {
+    return false;
+  }
+  *out = ep.inbox.front();
+  ep.inbox.pop_front();
+  return true;
+}
+
+Nanos NetDevice::EarliestArrival(int endpoint) const {
+  const Endpoint& ep = endpoints_[static_cast<std::size_t>(endpoint)];
+  Nanos earliest = EventQueue::kNever;
+  for (const Nanos t : ep.in_flight) {
+    earliest = std::min(earliest, t);
+  }
+  return earliest;
+}
+
+}  // namespace graysim

@@ -33,6 +33,8 @@ struct ChaosStats {
   std::uint64_t antagonist_pages = 0;  // cache pages touched by antagonists
   std::uint64_t pressure_shocks = 0;
   std::uint64_t stalled_allocs = 0;  // zero-fills stalled inside shock windows
+  std::uint64_t injected_net_drops = 0;
+  std::uint64_t delayed_net_messages = 0;  // sends inside a net-delay window
 
   friend bool operator==(const ChaosStats&, const ChaosStats&) = default;
 };
@@ -60,6 +62,22 @@ class ChaosEngine {
   }
   [[nodiscard]] bool InjectWriteError() {
     return Roll(plan_.write_enospc_prob, &stats_.injected_write_errors);
+  }
+
+  [[nodiscard]] bool InjectNetDrop() {
+    return Roll(plan_.net_drop_prob, &stats_.injected_net_drops);
+  }
+
+  // Latency multiplier for a message sent at virtual time `now`: the
+  // congestion square wave stretches propagation inside its duty window.
+  // Draw-free.
+  [[nodiscard]] double NetDelayScale(Nanos now) {
+    if (plan_.net_delay_period == 0 ||
+        !InWindow(now, plan_.net_delay_period, plan_.net_delay_duty)) {
+      return 1.0;
+    }
+    ++stats_.delayed_net_messages;
+    return plan_.net_delay_scale;
   }
 
   // Possibly truncates a write to a strict non-empty prefix (POSIX short

@@ -20,14 +20,16 @@ namespace {
 MachineConfig Machine::DeriveConfig(MachineConfig config, std::uint32_t machine_id,
                                     std::uint64_t seed) {
   std::uint64_t state = MachineState(seed, machine_id);
-  // Fixed draw order — jitter, tie-break, chaos — so a machine's streams
-  // are a pure function of (seed, id) regardless of which are consumed.
+  // Fixed draw order — jitter, tie-break, chaos, net — so a machine's
+  // streams are a pure function of (seed, id) regardless of which are
+  // consumed. New streams append; the existing draws must never shift.
   config.jitter_seed = SplitMix64(state);
   config.event_tie_seed = SplitMix64(state);
   const std::uint64_t chaos_seed = SplitMix64(state);
   if (config.chaos.enabled) {
     config.chaos.seed = chaos_seed;
   }
+  config.net.seed = SplitMix64(state);
   return config;
 }
 

@@ -19,8 +19,8 @@
 // simulated processes.
 //
 // Two construction modes:
-//  * fleet (id + seed): jitter, event tie-break, and chaos seeds are all
-//    derived from (seed, machine_id), so distinct machines get distinct
+//  * fleet (id + seed): jitter, event tie-break, chaos, and net seeds are
+//    all derived from (seed, machine_id), so distinct machines get distinct
 //    decorrelated streams and a (seed, id) pair names a reproducible
 //    machine;
 //  * config-seeded: uses the seeds already in MachineConfig verbatim —
@@ -88,7 +88,8 @@ class Machine {
   [[nodiscard]] const MachineConfig& config() const { return os_.config(); }
 
  private:
-  // Rewrites config's jitter/event-tie/chaos seeds from (seed, machine_id).
+  // Rewrites config's jitter/event-tie/chaos/net seeds from (seed,
+  // machine_id).
   [[nodiscard]] static MachineConfig DeriveConfig(MachineConfig config,
                                                   std::uint32_t machine_id,
                                                   std::uint64_t seed);

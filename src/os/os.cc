@@ -74,6 +74,11 @@ Os::Os(PlatformProfile profile, MachineConfig config)
     const std::uint32_t track = trace_.RegisterTrack("disk/" + std::to_string(d));
     disk_queues_[d]->set_trace(&trace_, track);
   }
+  // The link is always constructed (an idle one schedules nothing and draws
+  // nothing); timing noise on round trips comes from the jittered syscall
+  // charges, so the link itself stays a pure function of NetSchedule::seed.
+  net_ = std::make_unique<NetDevice>(config_.net, &clock_, &events_);
+  net_->set_trace(&trace_, trace_.RegisterTrack("net/0"));
 
   fd_tables_.resize(1);  // default pid 0
 
@@ -101,6 +106,8 @@ void Os::BindMetrics(obs::MetricsRegistry* registry) const {
   r.AddCounter("os.writeback_pages", &os_stats_.writeback_pages);
   r.AddCounter("os.daemon_wakeups", &os_stats_.daemon_wakeups);
   r.AddCounter("os.queued_disk_requests", &os_stats_.queued_disk_requests);
+  r.AddCounter("os.net_sends", &os_stats_.net_sends);
+  r.AddCounter("os.net_recvs", &os_stats_.net_recvs);
   r.AddGauge("os.events_scheduled", "", [this] {
     return static_cast<double>(events_.scheduled_total());
   });
@@ -140,6 +147,23 @@ void Os::BindMetrics(obs::MetricsRegistry* registry) const {
   r.AddGauge("chaos.stalled_allocs", "", [this] {
     return static_cast<double>(chaos_stats().stalled_allocs);
   });
+  r.AddGauge("chaos.injected_net_drops", "", [this] {
+    return static_cast<double>(chaos_stats().injected_net_drops);
+  });
+  r.AddGauge("chaos.delayed_net_messages", "", [this] {
+    return static_cast<double>(chaos_stats().delayed_net_messages);
+  });
+  const NetDevice* net = net_.get();
+  r.AddGauge("net0.sent", "", [net] { return static_cast<double>(net->sent()); });
+  r.AddGauge("net0.delivered", "", [net] { return static_cast<double>(net->delivered()); });
+  r.AddGauge("net0.dropped", "", [net] { return static_cast<double>(net->dropped()); });
+  r.AddGauge("net0.congestion_drops", "",
+             [net] { return static_cast<double>(net->congestion_drops()); });
+  r.AddGauge("net0.reordered", "", [net] { return static_cast<double>(net->reordered()); });
+  r.AddGauge("net0.link_busy_ns", "ns",
+             [net] { return static_cast<double>(net->link().busy_until()); });
+  r.AddHistogram("net0.delivery_ns", "ns", &net_->delivery_hist());
+  r.AddHistogram("net0.service_ns", "ns", &net_->link().service_hist());
   for (int d = 0; d < num_disks(); ++d) {
     const std::string prefix = "disk" + std::to_string(d);
     const DiskStats& ds = disks_[d].stats();
@@ -175,6 +199,12 @@ void Os::ArmChaos(const FaultPlan& plan) {
       });
     }
   }
+  if (plan.net_drop_prob > 0.0) {
+    net_->set_drop_hook([this] { return chaos_->InjectNetDrop(); });
+  }
+  if (plan.net_delay_period > 0) {
+    net_->set_delay_scale([this](Nanos now) { return chaos_->NetDelayScale(now); });
+  }
   if (plan.antagonist_period > 0 &&
       (plan.reader_burst_pages > 0 || plan.dirtier_burst_pages > 0)) {
     events_.ScheduleAt(clock_.now() + plan.antagonist_period, EventQueue::Band::kCompletion,
@@ -194,6 +224,8 @@ void Os::DisarmChaos() {
   for (auto& q : disk_queues_) {
     q->set_service_scale(nullptr);
   }
+  net_->set_drop_hook(nullptr);
+  net_->set_delay_scale(nullptr);
   const int disk = std::clamp(chaos_->plan().antagonist_disk, 0, num_disks() - 1);
   cache_.DropFile(Tag(disk, kAntagonistLocalInum));
   cache_.DropFile(Tag(0, kShockLocalInum));
@@ -599,6 +631,65 @@ void Os::RunProcesses(const std::vector<std::function<void(Pid)>>& bodies) {
 }
 
 void Os::Sleep(Pid pid, Nanos duration) { WaitUntil(pid, clock_.now() + duration); }
+
+// ---- network ----
+
+int Os::NetEndpoint(Pid pid) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  return net_->CreateEndpoint();
+}
+
+std::int64_t Os::NetSend(Pid pid, int from, int to, std::uint64_t bytes, std::uint64_t tag) {
+  ++os_stats_.syscalls;
+  ++os_stats_.net_sends;
+  // Charged like a write: syscall entry plus the user->kernel copy; the
+  // wire time is the link's, not the caller's.
+  Charge(pid, config_.costs.syscall_overhead + config_.costs.CopyCost(bytes));
+  if (from < 0 || from >= net_->num_endpoints() || to < 0 || to >= net_->num_endpoints()) {
+    return ToErr(FsErr::kInvalid);
+  }
+  (void)net_->Send(from, to, bytes, tag);
+  return static_cast<std::int64_t>(bytes);
+}
+
+std::int64_t Os::NetRecv(Pid pid, int endpoint, Nanos timeout, NetMessage* out) {
+  ++os_stats_.syscalls;
+  ++os_stats_.net_recvs;
+  Charge(pid, config_.costs.syscall_overhead);
+  if (endpoint < 0 || endpoint >= net_->num_endpoints()) {
+    return ToErr(FsErr::kInvalid);
+  }
+  // Saturating: a "forever" timeout must not wrap past the clock.
+  const Nanos deadline = timeout > EventQueue::kNever - clock_.now()
+                             ? EventQueue::kNever
+                             : clock_.now() + timeout;
+  while (true) {
+    if (net_->Recv(endpoint, out)) {
+      Charge(pid, config_.costs.CopyCost(out->bytes));
+      return static_cast<std::int64_t>(out->bytes);
+    }
+    if (clock_.now() >= deadline) {
+      return ToErr(FsErr::kTimedOut);
+    }
+    // Sleep to the earliest known arrival when one is in flight (the
+    // delivery event runs in Band::kCompletion before this wake), else in
+    // recv_poll increments so a not-yet-sent message is still noticed.
+    const Nanos arrival = net_->EarliestArrival(endpoint);
+    Nanos wake = arrival == EventQueue::kNever ? clock_.now() + config_.net.recv_poll : arrival;
+    wake = std::min(std::max(wake, clock_.now() + 1), deadline);
+    WaitUntil(pid, wake);
+  }
+}
+
+std::int64_t Os::NetPoll(Pid pid, int endpoint) {
+  ++os_stats_.syscalls;
+  Charge(pid, config_.costs.syscall_overhead);
+  if (endpoint < 0 || endpoint >= net_->num_endpoints()) {
+    return ToErr(FsErr::kInvalid);
+  }
+  return static_cast<std::int64_t>(net_->Pending(endpoint));
+}
 
 void Os::Compute(Pid pid, Nanos duration) {
   while (duration > 0) {

@@ -34,6 +34,7 @@
 #include "src/disk/disk_queue.h"
 #include "src/fs/ffs.h"
 #include "src/mem/mem_system.h"
+#include "src/net/net_device.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/os/chaos_engine.h"
@@ -61,6 +62,8 @@ struct OsStats {
   std::uint64_t writeback_pages = 0;
   std::uint64_t daemon_wakeups = 0;        // page-daemon + flusher activations
   std::uint64_t queued_disk_requests = 0;  // requests submitted to device queues
+  std::uint64_t net_sends = 0;
+  std::uint64_t net_recvs = 0;  // NetRecv syscalls (including timeouts)
 
   friend bool operator==(const OsStats&, const OsStats&) = default;
 };
@@ -135,6 +138,25 @@ class Os : private EvictionHandler {
 
   int Creat(Pid pid, std::string_view path);  // returns fd; truncates
   int Stat(Pid pid, std::string_view path, InodeAttr* out);
+
+  // ---- network ----
+  // The machine has one simulated link (MachineConfig::net). Endpoints are
+  // small integer handles shared machine-wide — communicating fibers
+  // exchange datagrams with an opaque tag, and loss is silent to the sender
+  // (inferring why a message vanished is the gray-box layers' job).
+  [[nodiscard]] int NetEndpoint(Pid pid);
+  // Queues `bytes` from endpoint `from` to `to`. Returns `bytes`, or
+  // -kInvalid for a bad endpoint. Charged like a write: syscall overhead
+  // plus the user->kernel copy.
+  std::int64_t NetSend(Pid pid, int from, int to, std::uint64_t bytes, std::uint64_t tag);
+  // Blocks until a message lands at `endpoint` or `timeout` elapses
+  // (timeout 0 = non-blocking try-recv). Returns the message's byte count
+  // and fills *out, or -kTimedOut. While blocked the process sleeps on the
+  // scheduler in arrival-time increments, so other fibers run.
+  std::int64_t NetRecv(Pid pid, int endpoint, Nanos timeout, NetMessage* out);
+  // Delivered-and-unread message count at `endpoint` (the cheap spin-wait
+  // primitive: a poll costs one syscall, not a blocking slot).
+  std::int64_t NetPoll(Pid pid, int endpoint);
 
   // ---- batched syscalls ----
   // Each executes min(ops.size(), out.size()) operations in request order,
@@ -230,6 +252,7 @@ class Os : private EvictionHandler {
   [[nodiscard]] std::uint64_t MaxDiskQueueDepth(int disk) const {
     return disk_queues_[disk]->max_depth();
   }
+  [[nodiscard]] const NetDevice& net() const { return *net_; }
   [[nodiscard]] const Ffs& fs(int disk) const { return *filesystems_[disk]; }
   [[nodiscard]] Ffs& fs_mutable(int disk) { return *filesystems_[disk]; }
   [[nodiscard]] int num_disks() const { return static_cast<int>(disks_.size()); }
@@ -394,6 +417,7 @@ class Os : private EvictionHandler {
   Vm vm_;
   std::vector<Disk> disks_;
   std::vector<std::unique_ptr<DiskQueue>> disk_queues_;
+  std::unique_ptr<NetDevice> net_;
   std::vector<std::unique_ptr<Ffs>> filesystems_;
   std::vector<std::vector<FdEntry>> fd_tables_;  // per pid
   // pid -> scheduler slot (-1 when not scheduled); dense because pids are

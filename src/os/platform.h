@@ -13,6 +13,7 @@
 #include "src/disk/disk.h"
 #include "src/fs/ffs.h"
 #include "src/mem/mem_system.h"
+#include "src/net/net_schedule.h"
 #include "src/sim/clock.h"
 #include "src/sim/fault_plan.h"
 
@@ -117,6 +118,9 @@ struct MachineConfig {
   // Fault & interference schedule (disabled by default). When enabled the Os
   // arms a ChaosEngine at construction; see Os::ArmChaos for late arming.
   FaultPlan chaos;
+  // Simulated network link (NetSend/NetRecv/NetPoll). Always constructed —
+  // an idle link costs nothing; `net.seed` is machine-derived in fleets.
+  NetSchedule net;
 };
 
 }  // namespace graysim

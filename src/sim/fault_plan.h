@@ -67,6 +67,16 @@ struct FaultPlan {
   std::uint32_t dirtier_burst_pages = 0;  // dirtier: dirty pages per tick
   int antagonist_disk = 0;                // disk their I/O lands on
 
+  // --- network interference ---
+  // Per-message chaos drop, on top of the schedule's own loss/congestion
+  // drops (models flaky middleboxes rather than the link itself).
+  double net_drop_prob = 0.0;
+  // Congestion square wave: inside the window every message's propagation
+  // latency is multiplied by net_delay_scale. Draw-free.
+  Nanos net_delay_period = 0;  // 0 disables the wave
+  double net_delay_duty = 0.0;
+  double net_delay_scale = 1.0;
+
   // --- memory-pressure shocks ---
   Nanos shock_period = 0;      // 0 disables shocks
   Nanos shock_duration = 0;    // grabbed memory is released after this long
@@ -111,6 +121,10 @@ struct FaultPlan {
     p.jitter_burst_period = Millis(50.0);
     p.jitter_burst_duty = 0.4;
     p.jitter_burst_amplitude = 0.10 + 0.50 * intensity;
+    p.net_drop_prob = 0.08 * intensity;
+    p.net_delay_period = Millis(150.0);
+    p.net_delay_duty = 0.3;
+    p.net_delay_scale = 1.0 + 4.0 * intensity;
     p.antagonist_period = Millis(5.0);
     p.reader_burst_pages = static_cast<std::uint32_t>(24.0 * intensity);
     p.dirtier_burst_pages = static_cast<std::uint32_t>(8.0 * intensity);

@@ -1,16 +1,15 @@
-#include "src/disk/disk_queue.h"
+#include "src/sim/sim_device.h"
 
 #include <algorithm>
 #include <utility>
 
 namespace graysim {
 
-Nanos DiskQueue::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
+Nanos SimDevice::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
                         CompletionFn on_complete) {
-  const bool coalesce =
-      depth_ > 0 && is_write == tail_is_write_ && offset == tail_end_offset_;
-  Nanos service = coalesce ? disk_->SequentialExtend(offset, bytes, is_write)
-                           : disk_->Access(offset, bytes, is_write);
+  const bool coalesce = coalescing_ && depth_ > 0 && is_write == tail_is_write_ &&
+                        offset == tail_end_offset_;
+  Nanos service = model_->Service(offset, bytes, is_write, coalesce);
   if (jitter_) {
     service = jitter_(service);
   }
@@ -33,7 +32,7 @@ Nanos DiskQueue::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write
       // Queued behind the device: record how long this request waited.
       trace_->Instant(track_, "queue", clock_->now(), "wait_ns", start - clock_->now());
     }
-    trace_->Complete(track_, is_write ? "write" : "read", start, service, "bytes", bytes);
+    trace_->Complete(track_, is_write ? write_name_ : read_name_, start, service, "bytes", bytes);
   }
   ++depth_;
   max_depth_ = std::max(max_depth_, depth_);

@@ -275,6 +275,97 @@ TEST(FleetSeeding, ConfigSeededMachineMatchesBareOs) {
       << "config-seeded Machine diverged from the hand-assembled Os it replaces";
 }
 
+// ---- net traffic across the fleet ----
+
+// A lossy ring of processes exchanging datagrams through the machine's
+// simulated link. The NetDevice draws from machine-derived RNG streams
+// (loss, RED, reorder), so this pins that net traffic obeys the same
+// isolation contract as the disk and chaos streams.
+struct NetSnapshot {
+  Snapshot machine;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t reordered = 0;
+  Nanos link_busy_until = 0;
+
+  friend bool operator==(const NetSnapshot&, const NetSnapshot&) = default;
+};
+
+NetSnapshot RunNetMachine(const PlatformProfile& profile, const MachineConfig& cfg,
+                          std::uint32_t id, std::uint64_t seed) {
+  Machine m(profile, cfg, id, seed);
+  Os& os = m.os();
+  constexpr int kProcs = 3;
+  std::vector<int> eps(kProcs);
+  for (int& ep : eps) {
+    ep = os.NetEndpoint(os.default_pid());
+  }
+  std::vector<std::function<void(Pid)>> bodies;
+  for (int i = 0; i < kProcs; ++i) {
+    bodies.push_back([&os, &eps, i](Pid pid) {
+      NetMessage msg;
+      for (int k = 0; k < 40; ++k) {
+        (void)os.NetSend(pid, eps[i], eps[(i + 1) % kProcs], 512,
+                         static_cast<std::uint64_t>(k));
+        os.Compute(pid, Micros(20.0));
+        (void)os.NetRecv(pid, eps[i], Millis(2.0), &msg);
+      }
+      while (os.NetRecv(pid, eps[i], Millis(1.0), &msg) >= 0) {
+      }
+    });
+  }
+  os.RunProcesses(bodies);
+
+  NetSnapshot s;
+  s.machine = Snap(os);
+  s.sent = os.net().sent();
+  s.delivered = os.net().delivered();
+  s.dropped = os.net().dropped();
+  s.reordered = os.net().reordered();
+  s.link_busy_until = os.net().link().busy_until();
+  return s;
+}
+
+TEST(FleetNet, ThreadedNetTrafficMatchesSequential) {
+  const PlatformProfile profile = PlatformProfile::Linux22();
+  MachineConfig cfg = SmallConfig(/*with_chaos=*/true);
+  cfg.net.drop_prob = 0.05;
+  cfg.net.queue_capacity = 8;
+  cfg.net.reorder_prob = 0.05;
+  constexpr int kMachines = 3;
+
+  std::vector<NetSnapshot> sequential(kMachines);
+  for (int i = 0; i < kMachines; ++i) {
+    sequential[i] =
+        RunNetMachine(profile, cfg, static_cast<std::uint32_t>(i), kFleetSeed);
+  }
+  // The scenario must actually exercise the link's loss machinery.
+  EXPECT_GT(sequential[0].delivered, 0u);
+  EXPECT_GT(sequential[0].dropped, 0u);
+  EXPECT_GT(sequential[0].machine.stats.net_sends, 0u);
+  EXPECT_GT(sequential[0].machine.stats.net_recvs, 0u);
+  ASSERT_FALSE(sequential[0] == sequential[1])
+      << "distinct machine ids should draw distinct loss streams";
+
+  std::vector<NetSnapshot> threaded(kMachines);
+  std::vector<std::thread> threads;
+  threads.reserve(kMachines);
+  for (int i = 0; i < kMachines; ++i) {
+    threads.emplace_back([&, i] {
+      threaded[i] =
+          RunNetMachine(profile, cfg, static_cast<std::uint32_t>(i), kFleetSeed);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (int i = 0; i < kMachines; ++i) {
+    EXPECT_TRUE(threaded[i] == sequential[i])
+        << "machine " << i << " net traffic diverged under threading";
+  }
+}
+
 // ---- fleet metrics roll-up ----
 
 TEST(FleetMetrics, SnapshotsMergeAcrossMachines) {
