@@ -86,6 +86,14 @@ class JsonResults {
 
   void set_virtual_ns(graysim::Nanos t) { virtual_ns_ = t; }
 
+  // Host seconds since construction. Benches that gate their wall time in
+  // CI emit this as an explicit metric (unit "host_s") so check_perf can
+  // hold it to an absolute ceiling rather than the loose ops/s factor.
+  [[nodiscard]] double HostSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start_)
+        .count();
+  }
+
   // Writes results/BENCH_<name>.json (creating the directory if needed)
   // relative to the current working directory. Returns false on I/O error.
   bool Write(const char* dir = "results") {

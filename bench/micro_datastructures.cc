@@ -6,12 +6,21 @@
 // steady state) so a regression that reintroduces per-op allocation fails
 // the perf-smoke gate loudly rather than showing up as a diffuse slowdown.
 //
+// The event-queue section races the timer wheel against the reference
+// binary heap (src/sim/ref_event_heap.h) at 1K, 100K, and 1M pending
+// events: the wheel's schedule+dispatch cost should be flat across the
+// three depths (O(1)) while the heap degrades logarithmically. A final
+// section prices Machine::Snapshot/Fork — nanoseconds per fork and bytes
+// per image on a warmed machine — the costs the robustness-matrix
+// warm-once/fork-per-cell pattern depends on.
+//
 // Loops are deterministic (fixed xorshift seed) and sized to run long
 // enough to dominate timer noise while keeping the whole binary under a
 // few seconds.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,19 +28,26 @@
 #include "bench/bench_util.h"
 #include "src/cache/page_cache.h"
 #include "src/mem/mem_system.h"
+#include "src/os/machine.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/ref_event_heap.h"
+#include "src/workloads/filegen.h"
 
 namespace {
 
 using graysim::EventQueue;
 using graysim::FrameId;
 using graysim::kNoFrame;
+using graysim::Machine;
+using graysim::MachineImage;
 using graysim::MemPolicy;
 using graysim::MemSystem;
 using graysim::Nanos;
 using graysim::Page;
 using graysim::PageCache;
 using graysim::PageKind;
+using graysim::PlatformProfile;
+using graysim::RefEventHeap;
 
 // Deterministic 64-bit xorshift; seeded per-loop so runs are reproducible.
 struct XorShift {
@@ -159,6 +175,94 @@ LoopResult BenchEventQueue() {
   return scaled;
 }
 
+// Steady-state schedule+dispatch with `backlog` events pending: the queue
+// carries a standing population of far-future events while the loop pushes
+// and drains near-term ones. The backlog is what separates O(1) from
+// O(log n) — the heap sifts every push/pop through log2(backlog) levels,
+// the wheel never looks at the parked events at all.
+template <typename Queue>
+LoopResult BenchEventQueueAtDepth(std::uint64_t backlog) {
+  Queue queue(0x5555AAAA5555AAAAULL);
+  XorShift rng{0xFEDCBA9876543210ULL};
+  std::uint64_t sink = 0;
+  // Park the backlog far enough out that the working loop never reaches it
+  // (the wheel keeps them in high levels / overflow; the heap carries them
+  // in every sift).
+  constexpr Nanos kParkBase = Nanos{1} << 50;
+  for (std::uint64_t i = 0; i < backlog; ++i) {
+    queue.ScheduleAt(kParkBase + (rng.Next() % (Nanos{1} << 30)),
+                     EventQueue::Band::kCompletion,
+                     graysim::EventFn([&sink] { ++sink; }));
+  }
+  Nanos now = 0;
+  constexpr std::uint64_t kBatch = 64;
+  const std::uint64_t batches = (backlog >= 1'000'000 ? 1'000'000 : 2'000'000) / kBatch;
+  const LoopResult r = TimeLoop(batches, [&](std::uint64_t) {
+    for (std::uint64_t k = 0; k < kBatch; ++k) {
+      const Nanos when = now + 1 + rng.Next() % 1000;
+      queue.ScheduleAt(when, EventQueue::Band::kCompletion,
+                       graysim::EventFn([&sink] { ++sink; }));
+    }
+    now += 1000;
+    queue.RunDue(now);
+  });
+  LoopResult scaled = r;
+  scaled.mops = r.mops * static_cast<double>(kBatch);
+  scaled.allocs_per_op = r.allocs_per_op / static_cast<double>(kBatch);
+  return scaled;
+}
+
+// Prices Machine::Snapshot and Machine::Fork on a machine with real state:
+// a 32 MB warmed file, dirty pages, and pending events. Forking is the
+// robustness-matrix inner loop, so its cost lands in the BENCH JSON both
+// as a gated rate (ops/s) and as human-scale ns/bytes metrics.
+void BenchSnapshotFork(gbench::JsonResults& json) {
+  Machine machine(PlatformProfile::Linux22());
+  graysim::Os& os = machine.os();
+  const graysim::Pid pid = os.default_pid();
+  (void)graywork::MakeFile(os, pid, "/d0/img", 32 * gbench::kMb);
+  const int fd = os.Open(pid, "/d0/img");
+  for (std::uint64_t off = 0; off < 16 * gbench::kMb; off += 256 * 1024) {
+    (void)os.Pread(pid, fd, {}, 256 * 1024, off);
+  }
+  for (std::uint64_t off = 0; off < 4 * gbench::kMb; off += 256 * 1024) {
+    (void)os.Pwrite(pid, fd, 256 * 1024, off);
+  }
+  (void)os.Close(pid, fd);
+
+  constexpr int kIters = 40;
+  const auto snap_start = std::chrono::steady_clock::now();
+  MachineImage image = machine.Snapshot();
+  for (int i = 1; i < kIters; ++i) {
+    image = machine.Snapshot();
+  }
+  const double snap_ns =
+      std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() -
+                                               snap_start)
+          .count() /
+      kIters;
+
+  std::uint64_t sink = 0;
+  const auto fork_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    const std::unique_ptr<Machine> fork = Machine::Fork(image);
+    sink += fork->Now();
+  }
+  const double fork_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - fork_start)
+          .count();
+  const double fork_ns = fork_secs / kIters * 1e9;
+  const double image_mb = static_cast<double>(image.os.ApproxBytes()) / 1e6;
+
+  std::printf("%-28s %10.0f ns/snapshot\n", "machine_snapshot", snap_ns);
+  std::printf("%-28s %10.0f ns/fork %10.1f MB/image (sink %llu)\n", "machine_fork",
+              fork_ns, image_mb, static_cast<unsigned long long>(sink));
+  json.Add("machine_fork_ops_per_s", kIters / fork_secs, "ops/s");
+  json.Add("machine_snapshot_ns", snap_ns, "ns");
+  json.Add("machine_fork_ns", fork_ns, "ns");
+  json.Add("machine_image_bytes", static_cast<double>(image.os.ApproxBytes()), "bytes");
+}
+
 }  // namespace
 
 int main() {
@@ -182,6 +286,22 @@ int main() {
   Report(json, "page_cache_hit", BenchPageCacheHit(cache));
   Report(json, "insert_evict", BenchInsertEvict());
   Report(json, "event_push_pop", BenchEventQueue());
+
+  // Wheel vs reference heap across pending-event depths. The wheel rows
+  // should be flat; the heap rows are the O(log n) yardstick (reported,
+  // not gated — the kernel links only the wheel).
+  for (const std::uint64_t backlog : {std::uint64_t{1'000}, std::uint64_t{100'000},
+                                      std::uint64_t{1'000'000}}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "event_wheel_%lluk_pending",
+                  static_cast<unsigned long long>(backlog / 1000));
+    Report(json, name, BenchEventQueueAtDepth<EventQueue>(backlog));
+    std::snprintf(name, sizeof(name), "event_heap_%lluk_pending",
+                  static_cast<unsigned long long>(backlog / 1000));
+    Report(json, name, BenchEventQueueAtDepth<RefEventHeap>(backlog));
+  }
+
+  BenchSnapshotFork(json);
 
   json.Write();
   return 0;

@@ -3,7 +3,7 @@
 
 Usage: check_perf.py <fresh_results_dir> <baseline_dir> [--factor=5]
                      [--retained-slack=0.15] [--efficiency-slack=0.25]
-                     [--ratio-slack=0.10]
+                     [--ratio-slack=0.10] [--host-slack=0.75]
 
 For every BENCH_*.json present in BOTH directories, every metric with unit
 "ops/s" must be no more than `factor` times slower than the committed
@@ -34,6 +34,14 @@ gated additively, with a wider slack: scaling on a shared CI runner is
 noisy, but a reintroduced cross-machine global (a contended atomic, a lock
 in the hot path) collapses efficiency far below any plausible noise floor,
 which is exactly the regression this gate exists to catch.
+
+Metrics with unit "host_s" (an explicit absolute wall-time metric a bench
+opts into, e.g. the robustness matrix's sweep_host_s) are ceiling-gated:
+fresh must be at most baseline * (1 + host_slack). This is much tighter
+than the 5x host_time_s factor on purpose — the sweep takes tens of
+seconds, so runner noise is a small fraction, and the regression this
+catches (a reintroduced per-cell machine warm instead of a snapshot fork)
+multiplies the time rather than nudging it.
 
 Exit status: 0 when every common metric passes, 1 otherwise.
 """
@@ -73,6 +81,7 @@ def main() -> int:
     parser.add_argument("--retained-slack", type=float, default=0.15)
     parser.add_argument("--efficiency-slack", type=float, default=0.25)
     parser.add_argument("--ratio-slack", type=float, default=0.10)
+    parser.add_argument("--host-slack", type=float, default=0.75)
     args = parser.parse_args()
 
     failures = []
@@ -110,6 +119,18 @@ def main() -> int:
                 if fresh_add[name] < floor:
                     failures.append(f"{base_path.name}:{name}")
 
+        base_abs = unit_metrics(base, "host_s")
+        fresh_abs = unit_metrics(fresh, "host_s")
+        for name in sorted(base_abs.keys() & fresh_abs.keys()):
+            compared += 1
+            ceiling = base_abs[name] * (1.0 + args.host_slack)
+            status = "ok" if fresh_abs[name] <= ceiling else "FAIL"
+            print(f"{status:4} {base_path.name}:{name}: "
+                  f"{fresh_abs[name]:.3g}s vs baseline {base_abs[name]:.3g}s "
+                  f"(ceiling {ceiling:.3g}s)")
+            if fresh_abs[name] > ceiling:
+                failures.append(f"{base_path.name}:{name}")
+
         base_host = base.get("host_time_s", 0.0)
         fresh_host = fresh.get("host_time_s", 0.0)
         if base_host >= 0.2:
@@ -132,7 +153,7 @@ def main() -> int:
     print(f"\nperf smoke passed: {compared} metrics within bounds "
           f"(factor {args.factor}x, retained slack {args.retained_slack}, "
           f"efficiency slack {args.efficiency_slack}, "
-          f"ratio slack {args.ratio_slack})")
+          f"ratio slack {args.ratio_slack}, host slack {args.host_slack})")
     return 0
 
 

@@ -83,6 +83,21 @@ class PageCache {
   [[nodiscard]] std::uint64_t dirty_pages() const { return dirty_order_.size(); }
   [[nodiscard]] std::uint64_t ResidentPagesOfFile(Inum inum) const;
 
+  // Copies another cache's bookkeeping (machine snapshot/fork). The frame
+  // ids in the maps and the intrusive dirty-chain head refer into the
+  // MemSystem slab, which the owner copies alongside; mem_ stays bound to
+  // this cache's own MemSystem.
+  void CopyStateFrom(const PageCache& other) {
+    pages_ = other.pages_;
+    per_file_count_ = other.per_file_count_;
+    dirty_order_ = other.dirty_order_;
+  }
+
+  // Heap footprint of the residency maps (snapshot-size accounting).
+  [[nodiscard]] std::uint64_t ApproxBytes() const {
+    return sizeof(PageCache) + pages_.capacity_bytes() + per_file_count_.capacity_bytes();
+  }
+
  private:
   // Key packing: the full 32-bit (disk-tagged) inum in the high bits and a
   // 32-bit page index below it. Page indexes stay < 2^32 (that would be a

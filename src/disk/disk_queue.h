@@ -39,11 +39,22 @@ class DiskQueue : private SimDevice::ServiceModel {
 
   // Enqueues a contiguous request of `bytes` at byte `offset`. Returns its
   // completion time; `on_complete` (may be null) runs at that instant in
-  // Band::kCompletion — before any process waking at the same time.
+  // Band::kCompletion — before any process waking at the same time. The
+  // desc overload records a caller-supplied snapshot descriptor for the
+  // completion event (needed when on_complete is non-null).
   Nanos Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
                CompletionFn on_complete) {
     return device_.Submit(offset, bytes, is_write, std::move(on_complete));
   }
+  Nanos Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
+               CompletionFn on_complete, const EventDesc& desc) {
+    return device_.Submit(offset, bytes, is_write, std::move(on_complete), desc);
+  }
+
+  // The underlying generic device, for snapshot capture/restore and event
+  // rebuild (the queueing state lives there, not here).
+  [[nodiscard]] SimDevice& device() { return device_; }
+  [[nodiscard]] const SimDevice& device() const { return device_; }
 
   // Timeline position after the last queued request completes.
   [[nodiscard]] Nanos busy_until() const { return device_.busy_until(); }

@@ -129,6 +129,20 @@ class Ffs {
 
   void set_clock_hint(Nanos now) { now_hint_ = now; }
 
+  // Rough heap footprint in bytes (snapshot-size accounting; directory
+  // payload strings are counted structurally, not byte-exactly).
+  [[nodiscard]] std::uint64_t ApproxBytes() const {
+    std::uint64_t bytes = sizeof(Ffs);
+    for (const Inode& ino : inodes_) {
+      bytes += sizeof(Inode) + ino.blocks.capacity() * sizeof(std::uint64_t) +
+               ino.child_order.capacity() * sizeof(std::string);
+    }
+    for (const CylGroup& g : groups_) {
+      bytes += sizeof(CylGroup) + g.block_used.capacity() / 8 + g.inode_used.capacity() / 8;
+    }
+    return bytes;
+  }
+
  private:
   struct Inode {
     bool in_use = false;

@@ -55,6 +55,17 @@ TimedMemTouch GbAllocation::TouchRequest(std::uint64_t index, bool write) const 
   return TimedMemTouch{};
 }
 
+std::vector<TimedMemTouch> GbAllocation::AllTouchRequests(bool write) const {
+  std::vector<TimedMemTouch> reqs;
+  reqs.reserve(PageCount());
+  for (const Chunk& c : chunks_) {
+    for (std::uint64_t i = 0; i < c.pages; ++i) {
+      reqs.push_back(TimedMemTouch{c.handle, i, write});
+    }
+  }
+  return reqs;
+}
+
 void GbAllocation::Release() {
   if (sys_ != nullptr) {
     for (const Chunk& c : chunks_) {
@@ -139,10 +150,8 @@ bool Mac::ProbeFits(GbAllocation& allocation) {
   usage_.Record(Technique::kProbes, pages);
   usage_.Record(Technique::kKnownState);
 
-  std::vector<TimedMemTouch> reqs(pages);
-  for (std::uint64_t i = 0; i < pages; ++i) {
-    reqs[i] = allocation.TouchRequest(i, true);
-  }
+  const std::vector<TimedMemTouch> reqs = allocation.AllTouchRequests(/*write=*/true);
+  assert(reqs.size() == pages);
 
   // Loop 1: move to a known state. Touch (write) every page. Times here mix
   // zero-fill, reclaim, and swap-in costs; they cannot prove the chunk

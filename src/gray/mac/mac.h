@@ -104,6 +104,10 @@ class GbAllocation {
   void Touch(std::uint64_t index, bool write = true);
   // The same touch as a timed request for a ProbeEngine run.
   [[nodiscard]] TimedMemTouch TouchRequest(std::uint64_t index, bool write = true) const;
+  // All PageCount() touches in logical-page order, one pass over the
+  // chunks — equivalent to TouchRequest(0..pages) without the per-index
+  // chunk walk that made request building quadratic in chunk count.
+  [[nodiscard]] std::vector<TimedMemTouch> AllTouchRequests(bool write = true) const;
 
   void Release();  // explicit gb_free
 

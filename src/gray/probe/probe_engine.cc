@@ -18,7 +18,11 @@ void ProbeReport::Merge(const ProbeReport& other) {
 }
 
 ProbeEngine::ProbeEngine(SysApi* sys, ProbeEngineOptions options)
-    : sys_(sys), options_(options), trace_(sys->Trace()), created_at_(sys->Now()) {
+    : sys_(sys),
+      options_(options),
+      trace_(sys->Trace()),
+      page_size_(sys->PageSize()),
+      created_at_(sys->Now()) {
   if (options_.max_batch == 0) {
     options_.max_batch = 1;
   }
@@ -110,7 +114,7 @@ void ProbeEngine::Account(Kind kind, const ProbeSample& sample) {
       break;
     case Kind::kMemTouch:
       ++report_.memtouch_probes;
-      report_.bytes_touched += sys_->PageSize();
+      report_.bytes_touched += page_size_;
       break;
     case Kind::kStat:
       ++report_.stat_probes;
@@ -170,9 +174,8 @@ std::vector<ProbeSample> ProbeEngine::RunMemTouches(std::span<const TimedMemTouc
   std::vector<ProbeSample> samples(reqs.size());
   if (options_.strategy == ProbeStrategy::kScalar) {
     for (std::size_t i = 0; i < reqs.size(); ++i) {
-      const Nanos t0 = sys_->Now();
-      sys_->MemTouch(reqs[i].handle, reqs[i].page_index, reqs[i].write);
-      samples[i] = ProbeSample{sys_->Now() - t0, 0};
+      samples[i] = ProbeSample{
+          sys_->MemTouchTimed(reqs[i].handle, reqs[i].page_index, reqs[i].write), 0};
       Account(Kind::kMemTouch, samples[i]);
     }
     last_run_degraded_ = false;  // memory touches cannot fail
@@ -288,23 +291,6 @@ std::vector<ProbeSample> ProbeEngine::RunNetPings(std::span<const TimedNetPing> 
   }
   NoteRunOutcome(samples);
   return samples;
-}
-
-std::size_t ProbeEngine::RunMemTouchesUntil(
-    std::span<const TimedMemTouch> reqs,
-    const std::function<bool(std::size_t, const ProbeSample&)>& visit) {
-  std::size_t executed = 0;
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    const Nanos t0 = sys_->Now();
-    sys_->MemTouch(reqs[i].handle, reqs[i].page_index, reqs[i].write);
-    const ProbeSample sample{sys_->Now() - t0, 0};
-    Account(Kind::kMemTouch, sample);
-    ++executed;
-    if (!visit(i, sample)) {
-      break;
-    }
-  }
-  return executed;
 }
 
 }  // namespace gray

@@ -159,6 +159,12 @@ class SimSys final : public SysApi {
   void MemTouch(MemHandle handle, std::uint64_t page_index, bool write) override {
     os_->VmTouch(pid_, handle, page_index, write);
   }
+  [[nodiscard]] Nanos MemTouchTimed(MemHandle handle, std::uint64_t page_index,
+                                    bool write) override {
+    const graysim::Nanos t0 = os_->Now();
+    os_->VmTouch(pid_, handle, page_index, write);
+    return os_->Now() - t0;
+  }
   [[nodiscard]] std::uint32_t PageSize() override { return os_->page_size(); }
 
   [[nodiscard]] graysim::Pid pid() const { return pid_; }

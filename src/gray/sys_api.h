@@ -210,6 +210,16 @@ class SysApi {
   // Touches one page; write=true models a store (reads hit the COW zero
   // page on most systems and do not allocate).
   virtual void MemTouch(MemHandle handle, std::uint64_t page_index, bool write) = 0;
+  // One timed touch in a single dispatch: exactly Now(); MemTouch(); Now()
+  // but one virtual hop instead of three. Probe loops issue hundreds of
+  // millions of these per sweep, so backends with an inlinable clock (the
+  // simulator) override it.
+  [[nodiscard]] virtual Nanos MemTouchTimed(MemHandle handle, std::uint64_t page_index,
+                                            bool write) {
+    const Nanos t0 = Now();
+    MemTouch(handle, page_index, write);
+    return Now() - t0;
+  }
   [[nodiscard]] virtual std::uint32_t PageSize() = 0;
 };
 

@@ -132,6 +132,26 @@ class FrameTable {
 
   [[nodiscard]] std::uint64_t live_frames() const { return hot_.size() - free_.size(); }
 
+  // Heap footprint of the slab arrays (snapshot-size accounting).
+  [[nodiscard]] std::uint64_t ApproxBytes() const {
+    return hot_.capacity() * sizeof(FrameHot) + touch_.capacity() * sizeof(std::uint64_t) +
+           flags_.capacity() + key1_.capacity() * sizeof(std::uint64_t) +
+           key2_.capacity() * sizeof(std::uint64_t) + free_.capacity() * sizeof(FrameId);
+  }
+
+  // Deep-copies another slab (machine snapshot/fork). FrameIds are plain
+  // indices, so they stay valid across the copy — every FrameId-holding
+  // structure (LRU lists, page tables, dirty chains) can be copied verbatim
+  // alongside without translation.
+  void CopyFrom(const FrameTable& other) {
+    hot_ = other.hot_;
+    touch_ = other.touch_;
+    flags_ = other.flags_;
+    key1_ = other.key1_;
+    key2_ = other.key2_;
+    free_ = other.free_;
+  }
+
  private:
   static constexpr std::uint8_t kKindAnon = 1u << 0;
   static constexpr std::uint8_t kDirty = 1u << 1;

@@ -122,6 +122,21 @@ class MemSystem {
   [[nodiscard]] const FrameTable& frames() const { return frames_; }
   [[nodiscard]] Page page(PageRef ref) const { return frames_.PageOf(ref); }
 
+  // Copies another MemSystem's simulation state (machine snapshot/fork):
+  // the frame slab plus the intrusive list heads and counters. FrameIds are
+  // stable across the slab copy, so the list heads transfer verbatim. The
+  // config must already match (same profile); the eviction handler is
+  // identity, not state — the restoring owner keeps its own.
+  void CopyStateFrom(const MemSystem& other) {
+    frames_.CopyFrom(other.frames_);
+    file_lru_ = other.file_lru_;
+    anon_lru_ = other.anon_lru_;
+    file_pages_ = other.file_pages_;
+    anon_pages_ = other.anon_pages_;
+    touch_seq_ = other.touch_seq_;
+    stats_ = other.stats_;
+  }
+
  private:
   // Evicts one page to make room for a page of `incoming` kind. Returns
   // false if nothing can be evicted (admission must be denied).

@@ -15,6 +15,7 @@ NetDevice::NetDevice(const NetSchedule& schedule, SimClock* clock, EventQueue* e
   // the same serialization operation.
   link_.set_coalescing(false);
   link_.set_op_names("xmit", "xmit");
+  link_.set_snapshot_dev(-1);  // -1 = the net link in event descriptors
 }
 
 int NetDevice::CreateEndpoint() {
@@ -91,8 +92,13 @@ Nanos NetDevice::Send(int from, int to, std::uint64_t bytes, std::uint64_t tag) 
   }
 
   endpoints_[static_cast<std::size_t>(to)].in_flight.push_back(arrival);
-  events_->ScheduleAt(arrival, EventQueue::Band::kCompletion,
-                      [this, to, msg, arrival]() { Deliver(to, msg, arrival); });
+  EventDesc desc;
+  desc.kind = static_cast<std::uint32_t>(EventKind::kNetDeliver);
+  desc.dev = to;
+  desc.arg = {arrival, static_cast<std::uint64_t>(msg.from), msg.bytes,
+              msg.tag, msg.seq,  msg.sent_at};
+  events_->ScheduleAt(arrival, EventQueue::Band::kCompletion, RebuildDeliver(to, msg, arrival),
+                      desc);
   return arrival;
 }
 
@@ -120,6 +126,38 @@ bool NetDevice::Recv(int endpoint, NetMessage* out) {
   *out = ep.inbox.front();
   ep.inbox.pop_front();
   return true;
+}
+
+NetDevice::State NetDevice::CaptureState() const {
+  State s;
+  s.link = link_.CaptureState();
+  s.rng = rng_.state();
+  s.endpoints = endpoints_;
+  s.delivery_hist = delivery_hist_;
+  s.next_seq = next_seq_;
+  s.sent = sent_;
+  s.delivered = delivered_;
+  s.loss_drops = loss_drops_;
+  s.congestion_drops = congestion_drops_;
+  s.red_drops = red_drops_;
+  s.chaos_drops = chaos_drops_;
+  s.reordered = reordered_;
+  return s;
+}
+
+void NetDevice::RestoreState(const State& s) {
+  link_.RestoreState(s.link);
+  rng_.set_state(s.rng);
+  endpoints_ = s.endpoints;
+  delivery_hist_ = s.delivery_hist;
+  next_seq_ = s.next_seq;
+  sent_ = s.sent;
+  delivered_ = s.delivered;
+  loss_drops_ = s.loss_drops;
+  congestion_drops_ = s.congestion_drops;
+  red_drops_ = s.red_drops;
+  chaos_drops_ = s.chaos_drops;
+  reordered_ = s.reordered;
 }
 
 Nanos NetDevice::EarliestArrival(int endpoint) const {

@@ -49,6 +49,11 @@ class NetDevice : private SimDevice::ServiceModel {
   using DropHook = std::function<bool()>;
   using DelayScale = std::function<double(Nanos)>;
 
+  struct Endpoint {
+    std::deque<NetMessage> inbox;
+    std::vector<Nanos> in_flight;  // scheduled arrival times, unsorted
+  };
+
   NetDevice(const NetSchedule& schedule, SimClock* clock, EventQueue* events);
 
   NetDevice(const NetDevice&) = delete;
@@ -93,6 +98,9 @@ class NetDevice : private SimDevice::ServiceModel {
 
   // The underlying link queue (busy timeline, depth, service histogram).
   [[nodiscard]] const SimDevice& link() const { return link_; }
+  // Mutable access for snapshot restore: a captured link completion event
+  // (kDeviceCompletion, dev == -1) is rebuilt against this device.
+  [[nodiscard]] SimDevice& link_mutable() { return link_; }
 
   void set_trace(obs::TraceSink* trace, std::uint32_t track) {
     trace_ = trace;
@@ -105,16 +113,42 @@ class NetDevice : private SimDevice::ServiceModel {
 
   [[nodiscard]] const NetSchedule& schedule() const { return schedule_; }
 
+  // --- Snapshot surface ----------------------------------------------
+  // Everything simulation-visible as pure data: the link-device timeline,
+  // the mid-sequence RNG (the fixed three-draw-per-Send order means a
+  // reseeded stream would re-decide every later loss/RED/reorder), inboxes
+  // and in-flight arrival times, and the counters. In-flight deliveries
+  // themselves live in the event image as kNetDeliver descriptors —
+  // RestoreState must therefore never re-push in_flight entries (the copied
+  // endpoints already hold them).
+  struct State {
+    SimDevice::State link;
+    Rng::State rng;
+    std::vector<Endpoint> endpoints;
+    obs::Histogram delivery_hist;
+    std::uint64_t next_seq = 1;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t loss_drops = 0;
+    std::uint64_t congestion_drops = 0;
+    std::uint64_t red_drops = 0;
+    std::uint64_t chaos_drops = 0;
+    std::uint64_t reordered = 0;
+  };
+
+  [[nodiscard]] State CaptureState() const;
+  void RestoreState(const State& s);
+
+  // Rebuilds a captured in-flight delivery event bound to this device.
+  [[nodiscard]] EventFn RebuildDeliver(int to, const NetMessage& msg, Nanos arrival) {
+    return EventFn([this, to, msg, arrival]() { Deliver(to, msg, arrival); });
+  }
+
  private:
   // Link physics: every message pays controller overhead plus wire time.
   // Coalescing is off — back-to-back messages don't merge on a link.
   [[nodiscard]] Nanos Service(std::uint64_t offset, std::uint64_t bytes, bool is_write,
                               bool coalesce) override;
-
-  struct Endpoint {
-    std::deque<NetMessage> inbox;
-    std::vector<Nanos> in_flight;  // scheduled arrival times, unsorted
-  };
 
   void Deliver(int to, const NetMessage& msg, Nanos arrival);
 

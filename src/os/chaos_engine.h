@@ -51,6 +51,13 @@ class ChaosEngine {
   // The Os-side antagonist/shock tick bodies record their work here.
   [[nodiscard]] ChaosStats& stats_mutable() { return stats_; }
 
+  // Snapshot support: a forked machine rebuilds the engine from the plan,
+  // then restores the RNG mid-sequence (fault decisions must continue the
+  // original draw stream, not restart it) and the counters.
+  [[nodiscard]] Rng::State rng_state() const { return rng_.state(); }
+  void set_rng_state(const Rng::State& s) { rng_.set_state(s); }
+  void set_stats(const ChaosStats& s) { stats_ = s; }
+
   // Per-operation fault decisions. Each draws from the chaos RNG only when
   // its probability is non-zero, so the draw sequence is a pure function of
   // the operation sequence.

@@ -15,6 +15,14 @@ namespace {
   return seed ^ ((static_cast<std::uint64_t>(machine_id) + 1) * 0x9e3779b97f4a7c15ULL);
 }
 
+// Fork-path construction config: chaos is stripped so the Os constructor
+// arms nothing — RestoreImage re-installs the plan, the mid-sequence chaos
+// RNG, and the captured in-flight tick events instead.
+[[nodiscard]] MachineConfig WithoutChaos(MachineConfig config) {
+  config.chaos.enabled = false;
+  return config;
+}
+
 }  // namespace
 
 MachineConfig Machine::DeriveConfig(MachineConfig config, std::uint32_t machine_id,
@@ -43,6 +51,14 @@ Machine::Machine(PlatformProfile profile, MachineConfig config, std::uint32_t ma
 
 Machine::Machine(PlatformProfile profile, MachineConfig config)
     : id_(0), root_seed_(config.jitter_seed), os_(std::move(profile), config) {
+  os_.BindMetrics(&metrics_);
+}
+
+Machine::Machine(const MachineImage& image)
+    : id_(image.id),
+      root_seed_(image.root_seed),
+      os_(image.os.profile, WithoutChaos(image.os.config)) {
+  os_.RestoreImage(image.os);
   os_.BindMetrics(&metrics_);
 }
 

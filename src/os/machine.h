@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,18 @@
 #include "src/os/platform.h"
 
 namespace graysim {
+
+// A machine frozen at one virtual instant: identity plus the Os's complete
+// state image (see Os::Image). Immutable after capture and safe to share
+// across threads — a warmed machine can be snapshotted once and forked into
+// any number of divergent what-if runs, each bit-identical to continuing
+// the original until its own inputs differ. Move-only (the image owns deep
+// copies of the memory hierarchy).
+struct MachineImage {
+  std::uint32_t id = 0;
+  std::uint64_t root_seed = 0;
+  Os::Image os;
+};
 
 class Machine {
  public:
@@ -53,8 +66,27 @@ class Machine {
   // historical `Os os(profile, config)`.
   explicit Machine(PlatformProfile profile, MachineConfig config = MachineConfig{});
 
+  // Fork mode: reconstructs the machine `image` describes, resuming at its
+  // capture instant. The fork's subsequent execution is bit-identical to
+  // the original's (same virtual times, same stats, same trace), so a bench
+  // can warm one machine and fork it per experiment cell instead of
+  // re-warming per cell.
+  explicit Machine(const MachineImage& image);
+
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
+
+  // Captures this machine's complete state at the current virtual instant.
+  // Requires quiescence (no RunProcesses in progress).
+  [[nodiscard]] MachineImage Snapshot() const {
+    return MachineImage{id_, root_seed_, os_.CaptureImage()};
+  }
+
+  // Named fork. Machine is pinned (noncopyable, nonmovable — subsystems
+  // hold raw pointers into each other), so forks come back heap-allocated.
+  [[nodiscard]] static std::unique_ptr<Machine> Fork(const MachineImage& image) {
+    return std::make_unique<Machine>(image);
+  }
 
   // ---- the simulated host ----
   [[nodiscard]] Os& os() { return os_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <initializer_list>
 
 namespace graysim {
 
@@ -15,6 +16,20 @@ constexpr std::uint64_t kPageDaemonBatch = 32;
 // Re-arm interval while below the high watermark and no eviction I/O is
 // outstanding (clean reclaim is CPU-bound).
 constexpr Nanos kPageDaemonTick = Micros(100.0);
+
+// Builds the snapshot descriptor scheduled alongside an event closure, so a
+// machine image can rebuild the closure later (see Os::MaterializeEvent).
+[[nodiscard]] EventDesc Desc(EventKind kind, std::int32_t dev = 0,
+                             std::initializer_list<std::uint64_t> args = {}) {
+  EventDesc d;
+  d.kind = static_cast<std::uint32_t>(kind);
+  d.dev = dev;
+  std::size_t i = 0;
+  for (const std::uint64_t a : args) {
+    d.arg[i++] = a;
+  }
+  return d;
+}
 
 }  // namespace
 
@@ -49,6 +64,7 @@ Os::Os(PlatformProfile profile, MachineConfig config)
   for (int d = 0; d < config_.num_disks; ++d) {
     disk_queues_.push_back(std::make_unique<DiskQueue>(&disks_[d], &clock_, &events_));
     disk_queues_.back()->set_jitter([this](Nanos cost) { return Jittered(cost); });
+    disk_queues_.back()->device().set_snapshot_dev(d);
   }
   swap_disk_ = config_.num_disks - 1;
   swap_base_offset_ = config_.disk_geometry.capacity_bytes / 2;
@@ -182,15 +198,8 @@ void Os::BindMetrics(obs::MetricsRegistry* registry) const {
 
 // ---- chaos layer ----
 
-void Os::ArmChaos(const FaultPlan& plan) {
-  DisarmChaos();
-  if (!plan.enabled) {
-    return;
-  }
+void Os::ArmChaosHooks(const FaultPlan& plan) {
   chaos_ = std::make_unique<ChaosEngine>(plan);
-  const std::uint64_t epoch = ++chaos_epoch_;
-  antagonist_reader_pos_ = 0;
-  antagonist_dirty_pos_ = 0;
   if (plan.degraded_period > 0 || plan.spike_prob > 0.0) {
     for (std::size_t d = 0; d < disk_queues_.size(); ++d) {
       const int disk = static_cast<int>(d);
@@ -205,14 +214,27 @@ void Os::ArmChaos(const FaultPlan& plan) {
   if (plan.net_delay_period > 0) {
     net_->set_delay_scale([this](Nanos now) { return chaos_->NetDelayScale(now); });
   }
+}
+
+void Os::ArmChaos(const FaultPlan& plan) {
+  DisarmChaos();
+  if (!plan.enabled) {
+    return;
+  }
+  const std::uint64_t epoch = ++chaos_epoch_;
+  antagonist_reader_pos_ = 0;
+  antagonist_dirty_pos_ = 0;
+  ArmChaosHooks(plan);
   if (plan.antagonist_period > 0 &&
       (plan.reader_burst_pages > 0 || plan.dirtier_burst_pages > 0)) {
     events_.ScheduleAt(clock_.now() + plan.antagonist_period, EventQueue::Band::kCompletion,
-                       [this, epoch] { AntagonistTick(epoch); });
+                       [this, epoch] { AntagonistTick(epoch); },
+                       Desc(EventKind::kAntagonistTick, 0, {epoch}));
   }
   if (plan.shock_period > 0 && plan.shock_mem_fraction > 0.0) {
     events_.ScheduleAt(clock_.now() + plan.shock_period, EventQueue::Band::kCompletion,
-                       [this, epoch] { ShockTick(epoch); });
+                       [this, epoch] { ShockTick(epoch); },
+                       Desc(EventKind::kShockTick, 0, {epoch}));
   }
 }
 
@@ -291,7 +313,8 @@ void Os::AntagonistTick(std::uint64_t epoch) {
   // outruns a degraded disk and the queue — and virtual time — diverge.
   const Nanos next = std::max(clock_.now() + plan.antagonist_period, io_done);
   events_.ScheduleAt(next, EventQueue::Band::kCompletion,
-                     [this, epoch] { AntagonistTick(epoch); });
+                     [this, epoch] { AntagonistTick(epoch); },
+                     Desc(EventKind::kAntagonistTick, 0, {epoch}));
 }
 
 void Os::ShockTick(std::uint64_t epoch) {
@@ -326,10 +349,12 @@ void Os::ShockTick(std::uint64_t epoch) {
                          if (chaos_ != nullptr && epoch == chaos_epoch_) {
                            cache_.DropFile(Tag(0, kShockLocalInum));
                          }
-                       });
+                       },
+                       Desc(EventKind::kShockRelease, 0, {epoch}));
   }
   events_.ScheduleAt(clock_.now() + plan.shock_period, EventQueue::Band::kCompletion,
-                     [this, epoch] { ShockTick(epoch); });
+                     [this, epoch] { ShockTick(epoch); },
+                     Desc(EventKind::kShockTick, 0, {epoch}));
 }
 
 Nanos Os::OnEvict(const Page& page) {
@@ -455,6 +480,18 @@ Nanos Os::SubmitDiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool 
                                     is_write, on_complete);
 }
 
+Nanos Os::SubmitDiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write,
+                       DiskQueue::CompletionFn on_complete, const EventDesc& desc) {
+  if (is_write) {
+    ++os_stats_.disk_writes;
+  } else {
+    ++os_stats_.disk_reads;
+  }
+  ++os_stats_.queued_disk_requests;
+  return disk_queues_[disk]->Submit(block * config_.page_size, pages * config_.page_size,
+                                    is_write, on_complete, desc);
+}
+
 Nanos Os::SubmitSwapIo(std::uint64_t slot, bool is_write) {
   const std::uint64_t offset = swap_base_offset_ + slot * config_.page_size;
   assert(offset + config_.page_size <= config_.disk_geometry.capacity_bytes);
@@ -474,7 +511,9 @@ Nanos Os::SubmitReadFill(int disk, Inum tagged, std::uint64_t first_page,
       disk, start_block, npages, /*is_write=*/false,
       [this, tagged, first_page, npages, token, readahead] {
         FillPages(tagged, first_page, npages, token, readahead);
-      });
+      },
+      Desc(EventKind::kReadFillCompletion, disk,
+           {tagged, first_page, npages, token, readahead ? 1u : 0u}));
   for (std::uint64_t k = 0; k < npages; ++k) {
     inflight_reads_[PageKey(tagged, first_page + k)] = InflightRead{done, token};
   }
@@ -1380,7 +1419,7 @@ void Os::MaybeWakeFlushDaemon() {
   }
   flush_daemon_scheduled_ = true;
   events_.ScheduleAt(clock_.now(), EventQueue::Band::kCompletion,
-                     [this] { FlushDaemonRun(); });
+                     [this] { FlushDaemonRun(); }, Desc(EventKind::kFlushDaemon));
 }
 
 void Os::FlushDaemonRun() {
@@ -1406,7 +1445,7 @@ void Os::MaybeWakePageDaemon() {
   }
   page_daemon_scheduled_ = true;
   events_.ScheduleAt(clock_.now(), EventQueue::Band::kCompletion,
-                     [this] { PageDaemonRun(); });
+                     [this] { PageDaemonRun(); }, Desc(EventKind::kPageDaemon));
 }
 
 void Os::PageDaemonRun() {
@@ -1428,7 +1467,7 @@ void Os::PageDaemonRun() {
     return;
   }
   events_.ScheduleAt(clock_.now() + kPageDaemonTick, EventQueue::Band::kCompletion,
-                     [this] { PageDaemonRun(); });
+                     [this] { PageDaemonRun(); }, Desc(EventKind::kPageDaemon));
 }
 
 Nanos Os::SubmitWritebackRuns(std::vector<std::pair<Inum, std::uint64_t>> pages) {
@@ -1508,6 +1547,185 @@ double Os::ResidentFraction(std::string_view path) const {
   }
   const std::uint64_t resident = cache_.ResidentPagesOfFile(Tag(ref.disk, inum));
   return static_cast<double>(resident) / static_cast<double>(pages);
+}
+
+// ---- snapshot / fork ----
+
+Os::Image Os::CaptureImage() const {
+  assert(!in_scheduler_run_ && "snapshot requires quiescence (no live fiber stacks)");
+  assert(direct_reclaim_wait_ == 0 && !in_background_);
+  Image img;
+  img.profile = profile_;
+  img.config = config_;
+  img.now = clock_.now();
+  img.events = events_.ExportPending();
+#ifndef NDEBUG
+  for (const EventQueue::RawEvent& ev : img.events) {
+    assert(ev.desc.kind != static_cast<std::uint32_t>(EventKind::kNone) &&
+           "pending event lacks a snapshot descriptor");
+  }
+#endif
+  img.kernel = events_.SnapshotKernelState();
+  img.jitter_rng = jitter_rng_.state();
+  img.filesystems.reserve(filesystems_.size());
+  for (const auto& fs : filesystems_) {
+    img.filesystems.push_back(*fs);
+  }
+  img.disks = disks_;
+  img.disk_devices.reserve(disk_queues_.size());
+  for (const auto& q : disk_queues_) {
+    img.disk_devices.push_back(q->device().CaptureState());
+  }
+  img.net = net_->CaptureState();
+  img.mem = std::make_unique<MemSystem>(mem_.config());
+  img.mem->CopyStateFrom(mem_);
+  img.cache = std::make_unique<PageCache>(img.mem.get());
+  img.cache->CopyStateFrom(cache_);
+  img.vm = std::make_unique<Vm>(img.mem.get());
+  img.vm->CopyStateFrom(vm_);
+  img.fd_tables = fd_tables_;
+  img.inflight_reads = inflight_reads_;
+  img.next_read_token = next_read_token_;
+  img.flush_daemon_scheduled = flush_daemon_scheduled_;
+  img.page_daemon_scheduled = page_daemon_scheduled_;
+  img.next_pid = next_pid_;
+  img.os_stats = os_stats_;
+  img.chaos_epoch = chaos_epoch_;
+  img.antagonist_reader_pos = antagonist_reader_pos_;
+  img.antagonist_dirty_pos = antagonist_dirty_pos_;
+  if (chaos_ != nullptr) {
+    img.chaos_armed = true;
+    img.chaos_plan = chaos_->plan();
+    img.chaos_rng = chaos_->rng_state();
+    img.chaos_stats = chaos_->stats();
+  }
+  return img;
+}
+
+void Os::RestoreImage(const Image& img) {
+  assert(!in_scheduler_run_);
+  assert(events_.empty() && clock_.now() == 0 && chaos_ == nullptr &&
+         "RestoreImage overwrites a freshly constructed, chaos-free Os");
+  // Restore the full config (construction ran with chaos stripped so the
+  // constructor's ArmChaos scheduled nothing; see Machine's fork path).
+  config_.chaos = img.config.chaos;
+  clock_.AdvanceTo(img.now);
+  events_.RestoreKernelState(img.kernel);
+  jitter_rng_.set_state(img.jitter_rng);
+  for (std::size_t d = 0; d < filesystems_.size(); ++d) {
+    *filesystems_[d] = img.filesystems[d];
+    disks_[d] = img.disks[d];
+    disk_queues_[d]->device().RestoreState(img.disk_devices[d]);
+  }
+  net_->RestoreState(img.net);
+  mem_.CopyStateFrom(*img.mem);
+  cache_.CopyStateFrom(*img.cache);
+  vm_.CopyStateFrom(*img.vm);
+  fd_tables_ = img.fd_tables;
+  inflight_reads_ = img.inflight_reads;
+  next_read_token_ = img.next_read_token;
+  flush_daemon_scheduled_ = img.flush_daemon_scheduled;
+  page_daemon_scheduled_ = img.page_daemon_scheduled;
+  next_pid_ = img.next_pid;
+  os_stats_ = img.os_stats;
+  antagonist_reader_pos_ = img.antagonist_reader_pos;
+  antagonist_dirty_pos_ = img.antagonist_dirty_pos;
+  if (img.chaos_armed) {
+    ArmChaosHooks(img.chaos_plan);
+    chaos_->set_rng_state(img.chaos_rng);
+    chaos_->set_stats(img.chaos_stats);
+  }
+  // The epoch transfers verbatim — the captured tick events carry the
+  // original's epoch values and must match (or stay orphaned, if the
+  // original had disarmed a plan with ticks still in flight).
+  chaos_epoch_ = img.chaos_epoch;
+  // Events last: every subsystem a rebuilt closure can touch is in place.
+  for (const EventQueue::RawEvent& ev : img.events) {
+    events_.ImportPending(ev, MaterializeEvent(ev.desc));
+  }
+}
+
+EventFn Os::MaterializeEvent(const EventDesc& d) {
+  switch (static_cast<EventKind>(d.kind)) {
+    case EventKind::kDeviceCompletion: {
+      // A completion with no callback: plain disk I/O, swap, writeback, or
+      // (dev == -1) the net link's serialization slot.
+      SimDevice& dev = d.dev < 0 ? net_->link_mutable() : disk_queues_[d.dev]->device();
+      return dev.MakeCompletionEvent(nullptr);
+    }
+    case EventKind::kReadFillCompletion: {
+      const Inum tagged = static_cast<Inum>(d.arg[0]);
+      const std::uint64_t first_page = d.arg[1];
+      const std::uint64_t npages = d.arg[2];
+      const std::uint64_t token = d.arg[3];
+      const bool readahead = d.arg[4] != 0;
+      return disk_queues_[d.dev]->device().MakeCompletionEvent(
+          [this, tagged, first_page, npages, token, readahead] {
+            FillPages(tagged, first_page, npages, token, readahead);
+          });
+    }
+    case EventKind::kNetDeliver: {
+      NetMessage msg;
+      msg.from = static_cast<std::int32_t>(d.arg[1]);
+      msg.bytes = d.arg[2];
+      msg.tag = d.arg[3];
+      msg.seq = d.arg[4];
+      msg.sent_at = static_cast<Nanos>(d.arg[5]);
+      return net_->RebuildDeliver(d.dev, msg, static_cast<Nanos>(d.arg[0]));
+    }
+    case EventKind::kAntagonistTick: {
+      const std::uint64_t epoch = d.arg[0];
+      return EventFn([this, epoch] { AntagonistTick(epoch); });
+    }
+    case EventKind::kShockTick: {
+      const std::uint64_t epoch = d.arg[0];
+      return EventFn([this, epoch] { ShockTick(epoch); });
+    }
+    case EventKind::kShockRelease: {
+      const std::uint64_t epoch = d.arg[0];
+      return EventFn([this, epoch] {
+        if (chaos_ != nullptr && epoch == chaos_epoch_) {
+          cache_.DropFile(Tag(0, kShockLocalInum));
+        }
+      });
+    }
+    case EventKind::kFlushDaemon:
+      return EventFn([this] { FlushDaemonRun(); });
+    case EventKind::kPageDaemon:
+      return EventFn([this] { PageDaemonRun(); });
+    case EventKind::kNone:
+      break;
+  }
+  assert(false && "unmaterializable event descriptor");
+  return EventFn([] {});
+}
+
+std::uint64_t Os::Image::ApproxBytes() const {
+  std::uint64_t bytes = sizeof(Image);
+  bytes += events.capacity() * sizeof(EventQueue::RawEvent);
+  for (const Ffs& f : filesystems) {
+    bytes += f.ApproxBytes();
+  }
+  bytes += disks.capacity() * sizeof(Disk);
+  bytes += disk_devices.capacity() * sizeof(SimDevice::State);
+  for (const NetDevice::Endpoint& ep : net.endpoints) {
+    bytes += sizeof(ep) + ep.inbox.size() * sizeof(NetMessage) +
+             ep.in_flight.capacity() * sizeof(Nanos);
+  }
+  if (mem != nullptr) {
+    bytes += sizeof(MemSystem) + mem->frames().ApproxBytes();
+  }
+  if (cache != nullptr) {
+    bytes += cache->ApproxBytes();
+  }
+  if (vm != nullptr) {
+    bytes += vm->ApproxBytes();
+  }
+  for (const auto& table : fd_tables) {
+    bytes += table.capacity() * sizeof(FdEntry);
+  }
+  bytes += inflight_reads.capacity_bytes();
+  return bytes;
 }
 
 }  // namespace graysim

@@ -327,6 +327,11 @@ class Os : private EvictionHandler {
   // caller decides whether to wait (demand I/O) or not (background I/O).
   Nanos SubmitDiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write,
                      DiskQueue::CompletionFn on_complete);
+  // Variant with an explicit snapshot descriptor for the completion event —
+  // required when on_complete is non-null, since the closure itself cannot
+  // be captured into a machine image.
+  Nanos SubmitDiskIo(int disk, std::uint64_t block, std::uint64_t pages, bool is_write,
+                     DiskQueue::CompletionFn on_complete, const EventDesc& desc);
   // Disk request to the swap partition (last disk, upper half).
   Nanos SubmitSwapIo(std::uint64_t slot, bool is_write);
 
@@ -407,6 +412,15 @@ class Os : private EvictionHandler {
   void AntagonistTick(std::uint64_t epoch);
   void ShockTick(std::uint64_t epoch);
 
+  // ---- snapshot internals ----
+  // Rebuilds the closure for one captured event descriptor, bound to this
+  // Os's own subsystems (the EventKind registry names every pendable event).
+  [[nodiscard]] EventFn MaterializeEvent(const EventDesc& desc);
+  // Installs the chaos engine and the device/net hooks for `plan` WITHOUT
+  // scheduling the initial antagonist/shock ticks: ArmChaos schedules fresh
+  // ones, RestoreImage re-imports the captured in-flight ticks instead.
+  void ArmChaosHooks(const FaultPlan& plan);
+
   PlatformProfile profile_;
   MachineConfig config_;
   SimClock clock_;
@@ -451,6 +465,68 @@ class Os : private EvictionHandler {
   std::uint64_t chaos_epoch_ = 0;
   std::uint64_t antagonist_reader_pos_ = 0;
   std::uint64_t antagonist_dirty_pos_ = 0;
+
+ public:
+  // ---- snapshot / fork ----
+  // A self-contained copy of one Os's complete simulation state, captured
+  // at quiescence (between RunProcesses calls — ucontext fiber stacks
+  // cannot be serialized, and none exist then). Pending events are pure
+  // data (EventDesc); the noncopyable memory-hierarchy classes are held
+  // behind pointers and state-copied both ways. An Image is immutable after
+  // capture and safe to share across threads, so any number of machines can
+  // fork from one image concurrently. Declared after the private section
+  // because it embeds the private FdEntry/InflightRead table types.
+  struct Image {
+    PlatformProfile profile;
+    MachineConfig config;
+    Nanos now = 0;
+    // Kernel event core: every pending event plus the queue's tie-RNG /
+    // id-counter state (see EventQueue::KernelState for why the tie stream
+    // must survive the fork mid-sequence).
+    std::vector<EventQueue::RawEvent> events;
+    EventQueue::KernelState kernel;
+    Rng::State jitter_rng;
+    // Storage stack: file systems, disk head/stats, device busy timelines.
+    std::vector<Ffs> filesystems;
+    std::vector<Disk> disks;
+    std::vector<SimDevice::State> disk_devices;
+    NetDevice::State net;
+    // Memory hierarchy. FrameIds are indices into the copied slab, so the
+    // cache and VM bookkeeping transfer verbatim, with no id translation.
+    std::unique_ptr<MemSystem> mem;
+    std::unique_ptr<PageCache> cache;
+    std::unique_ptr<Vm> vm;
+    // Process-visible kernel tables.
+    std::vector<std::vector<FdEntry>> fd_tables;
+    FlatMap<InflightRead> inflight_reads;
+    std::uint64_t next_read_token = 1;
+    bool flush_daemon_scheduled = false;
+    bool page_daemon_scheduled = false;
+    Pid next_pid = 1;
+    OsStats os_stats;
+    // Chaos layer: plan + mid-sequence RNG + counters + the arming epoch
+    // (captured tick events carry epochs; the restored kernel must agree).
+    bool chaos_armed = false;
+    FaultPlan chaos_plan;
+    Rng::State chaos_rng;
+    ChaosStats chaos_stats;
+    std::uint64_t chaos_epoch = 0;
+    std::uint64_t antagonist_reader_pos = 0;
+    std::uint64_t antagonist_dirty_pos = 0;
+
+    // Rough in-memory footprint (bytes), for the fork-cost benchmarks.
+    [[nodiscard]] std::uint64_t ApproxBytes() const;
+  };
+
+  // Captures this Os's state. Asserts quiescence: no scheduler run active
+  // and every pending event carries a rebuildable descriptor.
+  [[nodiscard]] Image CaptureImage() const;
+  // Overwrites a FRESHLY CONSTRUCTED Os — built from image.profile and
+  // image.config with chaos disabled, so construction schedules nothing —
+  // with the image's state, materializing event closures from their
+  // descriptors. From the capture instant on, execution is bit-identical to
+  // the original's: same virtual times, same stats, same trace.
+  void RestoreImage(const Image& image);
 };
 
 }  // namespace graysim

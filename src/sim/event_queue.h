@@ -5,15 +5,27 @@
 // completions from process wake-ups at the same instant (completions first,
 // so a process waking at its I/O completion time observes the completion's
 // effects), `tie` is a seeded RNG draw taken at scheduling time (seeded
-// tie-breaking keeps same-band, same-time ordering independent of heap
+// tie-breaking keeps same-band, same-time ordering independent of container
 // internals yet fully reproducible), and `seq` is a monotonic id that makes
 // the order total even on tie collisions.
+//
+// Internally the queue is a hierarchical timer wheel rather than a binary
+// heap: 4 levels x 256 slots over 1024 ns ticks, so schedule and dispatch
+// are O(1) instead of O(log n) at fleet event rates. Events past the
+// wheel's ~73-virtual-minute horizon fall back to a small calendar heap and
+// re-enter the wheel as the cursor advances. The wheel is the non-hashed
+// variant (each level's slots hold disjoint, ordered tick ranges), which is
+// what makes an exact O(1) next_time() and the exact (when, band, tie, seq)
+// order possible — a hashed wheel would interleave near and far ticks in
+// one slot. The dispatch order is bit-identical to the historical binary
+// heap, pinned by a differential test against ref_event_heap.h.
 //
 // Single-threaded by design: closures run inline from RunDue on whichever
 // (fiber) stack called it, and may schedule further events while running.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -24,10 +36,35 @@
 
 namespace graysim {
 
-// Event closures are stored inline in the heap (no per-event heap
+// Event closures are stored inline in the slot pool (no per-event heap
 // allocation). 88 bytes fits the largest kernel closure — a disk completion
 // wrapper carrying a nested CompletionFn — with headroom for new captures.
 using EventFn = InlineFn<88>;
+
+// Closures capture raw pointers into one machine (Os, devices, caches), so
+// they cannot be copied into another machine's address space. A machine
+// snapshot instead exports each pending event as an EventDesc — enough pure
+// data for the restoring Os to rebuild an equivalent closure bound to its
+// own subsystems. The kind registry lives here with the kernel so every
+// layer (disk, net, os) shares one namespace; the queue itself treats the
+// descriptor as an opaque payload.
+enum class EventKind : std::uint32_t {
+  kNone = 0,             // not rebuildable; Snapshot refuses to capture it
+  kDeviceCompletion,     // SimDevice completion, no callback; dev = device id
+  kReadFillCompletion,   // disk completion carrying the Os read-fill callback
+  kNetDeliver,           // NetDevice in-flight packet delivery
+  kAntagonistTick,       // chaos antagonist daemon self-clock
+  kShockTick,            // chaos memory-pressure shock edge
+  kShockRelease,         // chaos shock-window page release
+  kFlushDaemon,          // dirty-page flush daemon run
+  kPageDaemon,           // page daemon run
+};
+
+struct EventDesc {
+  std::uint32_t kind = 0;  // EventKind; default kNone
+  std::int32_t dev = 0;
+  std::array<std::uint64_t, 6> arg{};
+};
 
 class EventQueue {
  public:
@@ -39,23 +76,67 @@ class EventQueue {
     kWake = 1,        // process wake-ups
   };
 
+  // One pending event as pure data: the full ordering key plus the typed
+  // descriptor. `tie` and `id` are preserved verbatim across a snapshot —
+  // replaying them (instead of redrawing) is what keeps a forked machine's
+  // dispatch order bit-identical to the original's.
+  struct RawEvent {
+    Nanos when = 0;
+    std::uint64_t tie = 0;
+    EventId id = 0;
+    EventDesc desc;
+    Band band = Band::kCompletion;
+  };
+
+  // The queue's own mutable kernel state beyond the pending events: the
+  // tie-RNG mid-sequence state (future ScheduleAt calls must draw the same
+  // tie values the original would have drawn — a reseeded stream would
+  // reorder same-instant events and fork divergence would follow), plus the
+  // id and stat counters.
+  struct KernelState {
+    Rng::State tie_rng;
+    EventId next_id = 1;
+    std::uint64_t scheduled_total = 0;
+  };
+
   explicit EventQueue(std::uint64_t tie_seed) : tie_rng_(tie_seed) {
-    heap_.reserve(kInitialCapacity);
+    due_.reserve(kInitialCapacity);
     fns_.reserve(kInitialCapacity);
+    descs_.reserve(kInitialCapacity);
     free_fn_slots_.reserve(kInitialCapacity);
+    for (auto& level : slot_min_) {
+      level.fill(kNever);
+    }
+    for (auto& level : occupied_) {
+      level.fill(0);
+    }
   }
 
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  EventId ScheduleAt(Nanos when, Band band, EventFn fn);
+  EventId ScheduleAt(Nanos when, Band band, EventFn fn) {
+    return ScheduleAt(when, band, fn, EventDesc{});
+  }
+  EventId ScheduleAt(Nanos when, Band band, EventFn fn, const EventDesc& desc);
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
 
-  // Earliest pending event time; kNever when empty. Cheap enough for the
-  // per-charge fast path (one vector-front read, no locks).
-  [[nodiscard]] Nanos next_time() const { return heap_.empty() ? kNever : heap_.front().when; }
+  // Earliest pending event time; kNever when empty. Exact (not
+  // tick-granular) and O(1). Cached: Insert can only lower the minimum, so
+  // a min-update keeps a clean cache exact; dispatch is the sole removal
+  // path and marks it dirty, after which the next read recomputes from the
+  // due_ head / per-slot minima / occupancy bitmaps. Callers (Os::Charge,
+  // Scheduler::Charge) poll this once per charged cost, so the common case
+  // must stay a load and a branch.
+  [[nodiscard]] Nanos next_time() const {
+    if (next_dirty_) {
+      next_cache_ = head_ < due_.size() ? due_[head_].when : WheelMinWhen();
+      next_dirty_ = false;
+    }
+    return next_cache_;
+  }
 
   // Runs every event due at or before `now`, in deterministic order,
   // including events scheduled by the closures themselves.
@@ -71,17 +152,47 @@ class EventQueue {
   // observes the already-decided execution order — it never perturbs it.
   void set_trace(obs::TraceSink* trace) { trace_ = trace; }
 
+  // --- Snapshot surface ----------------------------------------------
+  // Pending events as pure data, sorted by dispatch order (deterministic
+  // image bytes). Closures are NOT exported; callers rebuild them from the
+  // descriptors via ImportPending.
+  [[nodiscard]] std::vector<RawEvent> ExportPending() const;
+
+  // Re-inserts one exported event with a freshly built closure, preserving
+  // its (when, band, tie, id) key verbatim: no tie draw, no id allocation,
+  // no scheduled_total bump (RestoreKernelState carries the counters).
+  void ImportPending(const RawEvent& ev, EventFn fn);
+
+  [[nodiscard]] KernelState SnapshotKernelState() const {
+    return KernelState{tie_rng_.state(), next_id_, scheduled_total_};
+  }
+  void RestoreKernelState(const KernelState& s) {
+    tie_rng_.set_state(s.tie_rng);
+    next_id_ = s.next_id;
+    scheduled_total_ = s.scheduled_total;
+  }
+
  private:
   // Enough for any workload's steady-state pending-event population; the
-  // vector only allocates beyond this under extreme fan-out.
+  // vectors only allocate beyond this under extreme fan-out.
   static constexpr std::size_t kInitialCapacity = 256;
 
-  // The binary heap holds only 32-byte ordering keys; the (much wider)
-  // closure bodies live in a side pool indexed by `slot` and never move.
-  // Heap sifts are the queue's dominant memory traffic, and moving a full
-  // InlineFn-carrying event through every sift level measurably outweighed
-  // the allocation it saved.
-  struct HeapKey {
+  // Wheel geometry: 1024 ns ticks, 4 levels x 256 slots. Level 0 resolves
+  // single ticks; each higher level covers 256x the span below it. Events
+  // whose tick differs from the cursor above bit 32 (~73 virtual minutes
+  // out) wait in the overflow heap.
+  static constexpr int kTickBits = 10;
+  static constexpr int kLevelBits = 8;
+  static constexpr int kLevels = 4;
+  static constexpr std::size_t kSlotsPerLevel = std::size_t{1} << kLevelBits;
+  static constexpr int kWordsPerLevel = 4;  // 256 slots / 64 bits
+  static constexpr int kOverflowShift = kLevels * kLevelBits;
+
+  // 32-byte ordering key; the (much wider) closure bodies live in a side
+  // pool indexed by `slot` and never move. Keeping keys small keeps slot
+  // drains and due_ inserts cheap — the lesson from the binary-heap era,
+  // where sifting full InlineFn-carrying events dominated memory traffic.
+  struct Entry {
     Nanos when = 0;
     std::uint64_t tie = 0;
     EventId id = 0;
@@ -89,25 +200,63 @@ class EventQueue {
     Band band = Band::kCompletion;
   };
 
-  // std::push_heap builds a max-heap; "later" events sink to the back.
-  struct Later {
-    bool operator()(const HeapKey& a, const HeapKey& b) const {
+  // Strict-weak "dispatches earlier" order: the total order on
+  // (when, band, tie, seq).
+  struct EarlierCmp {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) {
-        return a.when > b.when;
+        return a.when < b.when;
       }
       if (a.band != b.band) {
-        return a.band > b.band;
+        return a.band < b.band;
       }
       if (a.tie != b.tie) {
-        return a.tie > b.tie;
+        return a.tie < b.tie;
       }
-      return a.id > b.id;
+      return a.id < b.id;
     }
   };
 
-  std::vector<HeapKey> heap_;
-  std::vector<EventFn> fns_;                   // closure pool, slot-addressed
-  std::vector<std::uint32_t> free_fn_slots_;   // recycled pool slots (LIFO)
+  // std::push_heap builds a max-heap; comparing with "later" puts the
+  // earliest event at the front (min-heap by dispatch order).
+  struct LaterCmp {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return EarlierCmp{}(b, a);
+    }
+  };
+
+  std::uint32_t AllocSlot(const EventFn& fn, const EventDesc& desc);
+  void Insert(const Entry& e);
+  void PlaceInWheel(const Entry& e);  // requires tick > cur_tick_, in horizon
+  [[nodiscard]] Nanos WheelMinWhen() const;
+  // Advances the cursor to the earliest occupied tick (cascading higher
+  // levels and the overflow prefix as needed) and appends that tick's
+  // events, sorted, to due_. Requires WheelMinWhen() != kNever.
+  void PullEarliest();
+  void AppendBatchToDue(std::vector<Entry>* batch);
+  void Dispatch(const Entry& e);
+  // First occupied slot of `level`, or -1. Slots behind the cursor are
+  // always empty (inserts at or before the cursor go to due_), so the
+  // lowest set bit is always the earliest tick range.
+  [[nodiscard]] int FirstOccupiedSlot(int level) const;
+
+  std::vector<Entry> due_;  // sorted by EarlierCmp from head_ onward
+  std::size_t head_ = 0;
+  std::array<std::array<std::vector<Entry>, kSlotsPerLevel>, kLevels> wheel_;
+  std::array<std::array<Nanos, kSlotsPerLevel>, kLevels> slot_min_;
+  std::array<std::array<std::uint64_t, kWordsPerLevel>, kLevels> occupied_;
+  std::vector<Entry> overflow_;  // heap via LaterCmp: front = earliest
+  std::vector<Entry> batch_;     // reusable scratch for slot drains
+  std::uint64_t cur_tick_ = 0;
+  std::size_t count_ = 0;
+  // next_time() cache; mutable because a dirty read-side recompute is
+  // logically const. Exact whenever clean — see next_time().
+  mutable Nanos next_cache_ = kNever;
+  mutable bool next_dirty_ = false;
+
+  std::vector<EventFn> fns_;                  // closure pool, slot-addressed
+  std::vector<EventDesc> descs_;              // parallel typed descriptors
+  std::vector<std::uint32_t> free_fn_slots_;  // recycled pool slots (LIFO)
   Rng tie_rng_;
   obs::TraceSink* trace_ = nullptr;
   EventId next_id_ = 1;

@@ -31,6 +31,8 @@ class FlatMap {
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
+  // Heap footprint of the slot array (snapshot-size accounting).
+  [[nodiscard]] std::size_t capacity_bytes() const { return slots_.size() * sizeof(Slot); }
 
   // Pre-sizes the table for `n` entries so no insert up to that count ever
   // rehashes (the zero-allocation steady state). Sized to keep the load

@@ -1,0 +1,117 @@
+// Reference binary-heap event queue: the pre-timer-wheel EventQueue
+// implementation, kept verbatim as a differential oracle. The timer wheel
+// must dispatch in the exact (when, band, tie, seq) order this heap does —
+// tests/event_queue_test.cc drives both with identical schedules and
+// asserts identical dispatch sequences, and bench/micro_datastructures
+// races the two at 1K/100K/1M pending events.
+//
+// Test- and bench-only: the simulation kernel links the wheel.
+#ifndef SRC_SIM_REF_EVENT_HEAP_H_
+#define SRC_SIM_REF_EVENT_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+
+namespace graysim {
+
+class RefEventHeap {
+ public:
+  using EventId = EventQueue::EventId;
+  using Band = EventQueue::Band;
+  static constexpr Nanos kNever = EventQueue::kNever;
+
+  explicit RefEventHeap(std::uint64_t tie_seed) : tie_rng_(tie_seed) {
+    heap_.reserve(kInitialCapacity);
+    fns_.reserve(kInitialCapacity);
+    free_fn_slots_.reserve(kInitialCapacity);
+  }
+
+  RefEventHeap(const RefEventHeap&) = delete;
+  RefEventHeap& operator=(const RefEventHeap&) = delete;
+
+  EventId ScheduleAt(Nanos when, Band band, EventFn fn) {
+    const EventId id = next_id_++;
+    ++scheduled_total_;
+    std::uint32_t slot;
+    if (!free_fn_slots_.empty()) {
+      slot = free_fn_slots_.back();
+      free_fn_slots_.pop_back();
+      fns_[slot] = fn;
+    } else {
+      slot = static_cast<std::uint32_t>(fns_.size());
+      fns_.push_back(fn);
+    }
+    heap_.push_back(HeapKey{when, tie_rng_.Next(), id, slot, band});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return id;
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] Nanos next_time() const { return heap_.empty() ? kNever : heap_.front().when; }
+
+  void RunDue(Nanos now) {
+    while (!heap_.empty() && heap_.front().when <= now) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      const HeapKey key = heap_.back();
+      heap_.pop_back();
+      EventFn fn = fns_[key.slot];
+      free_fn_slots_.push_back(key.slot);
+      fn();
+    }
+  }
+
+  bool RunNext(SimClock* clock) {
+    if (heap_.empty()) {
+      return false;
+    }
+    const Nanos when = heap_.front().when;
+    clock->AdvanceTo(std::max(clock->now(), when));
+    RunDue(clock->now());
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t scheduled_total() const { return scheduled_total_; }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 256;
+
+  struct HeapKey {
+    Nanos when = 0;
+    std::uint64_t tie = 0;
+    EventId id = 0;
+    std::uint32_t slot = 0;
+    Band band = Band::kCompletion;
+  };
+
+  struct Later {
+    bool operator()(const HeapKey& a, const HeapKey& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      if (a.band != b.band) {
+        return a.band > b.band;
+      }
+      if (a.tie != b.tie) {
+        return a.tie > b.tie;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  std::vector<HeapKey> heap_;
+  std::vector<EventFn> fns_;
+  std::vector<std::uint32_t> free_fn_slots_;
+  Rng tie_rng_;
+  EventId next_id_ = 1;
+  std::uint64_t scheduled_total_ = 0;
+};
+
+}  // namespace graysim
+
+#endif  // SRC_SIM_REF_EVENT_HEAP_H_

@@ -22,6 +22,15 @@ namespace graysim {
 // xoroshiro128++ generator.
 class Rng {
  public:
+  // Raw generator state, exposed so a machine snapshot can serialize every
+  // RNG stream mid-sequence and a forked machine can resume drawing the
+  // exact same values. A stream restored from State is indistinguishable
+  // from one that kept running.
+  struct State {
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+  };
+
   explicit Rng(std::uint64_t seed) {
     std::uint64_t sm = seed;
     s0_ = SplitMix64(sm);
@@ -66,6 +75,12 @@ class Rng {
   }
 
   bool Chance(double p) { return NextDouble() < p; }
+
+  [[nodiscard]] State state() const { return State{s0_, s1_}; }
+  void set_state(const State& s) {
+    s0_ = s.s0;
+    s1_ = s.s1;
+  }
 
  private:
   static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {

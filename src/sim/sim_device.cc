@@ -7,6 +7,14 @@ namespace graysim {
 
 Nanos SimDevice::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
                         CompletionFn on_complete) {
+  EventDesc desc;
+  desc.kind = static_cast<std::uint32_t>(EventKind::kDeviceCompletion);
+  desc.dev = snapshot_dev_;
+  return Submit(offset, bytes, is_write, on_complete, desc);
+}
+
+Nanos SimDevice::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
+                        CompletionFn on_complete, const EventDesc& desc) {
   const bool coalesce = coalescing_ && depth_ > 0 && is_write == tail_is_write_ &&
                         offset == tail_end_offset_;
   Nanos service = model_->Service(offset, bytes, is_write, coalesce);
@@ -36,13 +44,8 @@ Nanos SimDevice::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write
   }
   ++depth_;
   max_depth_ = std::max(max_depth_, depth_);
-  events_->ScheduleAt(completion, EventQueue::Band::kCompletion,
-                      [this, cb = on_complete]() mutable {
-                        --depth_;
-                        if (cb) {
-                          cb();
-                        }
-                      });
+  events_->ScheduleAt(completion, EventQueue::Band::kCompletion, MakeCompletionEvent(on_complete),
+                      desc);
   return completion;
 }
 

@@ -80,6 +80,11 @@ class SimDevice {
   // Enqueues a contiguous request of `bytes` at byte `offset`. Returns its
   // completion time; `on_complete` (may be null) runs at that instant in
   // Band::kCompletion — before any process waking at the same time.
+  // `desc` describes the completion event for machine snapshots; callers
+  // whose on_complete is null can use the overload, which records a plain
+  // kDeviceCompletion against this device's snapshot id.
+  Nanos Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write, CompletionFn on_complete,
+               const EventDesc& desc);
   Nanos Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write,
                CompletionFn on_complete);
 
@@ -102,6 +107,54 @@ class SimDevice {
   // Per-request service times (ns), recorded on every Submit. Alloc-free.
   [[nodiscard]] const obs::Histogram& service_hist() const { return service_hist_; }
 
+  // --- Snapshot surface ----------------------------------------------
+  // The device's simulation-visible state as pure data. The model/clock/
+  // events pointers, jitter and chaos hooks, and trace wiring are identity,
+  // not state — a forked machine rebinds them to its own subsystems.
+  // `depth` counts in-flight requests whose completion events are captured
+  // separately in the event image; restoring it wholesale keeps the
+  // rebuilt events' --depth_ decrements balanced.
+  struct State {
+    obs::Histogram service_hist;
+    Nanos busy_until = 0;
+    std::uint64_t tail_end_offset = 0;
+    bool tail_is_write = false;
+    std::uint64_t depth = 0;
+    std::uint64_t max_depth = 0;
+    std::uint64_t total_requests = 0;
+    std::uint64_t coalesced_requests = 0;
+  };
+
+  [[nodiscard]] State CaptureState() const {
+    return State{service_hist_, busy_until_,    tail_end_offset_, tail_is_write_,
+                 depth_,        max_depth_,     total_requests_,  coalesced_requests_};
+  }
+  void RestoreState(const State& s) {
+    service_hist_ = s.service_hist;
+    busy_until_ = s.busy_until;
+    tail_end_offset_ = s.tail_end_offset;
+    tail_is_write_ = s.tail_is_write;
+    depth_ = s.depth;
+    max_depth_ = s.max_depth;
+    total_requests_ = s.total_requests;
+    coalesced_requests_ = s.coalesced_requests;
+  }
+
+  // Identifies this device inside snapshot event descriptors (disk index,
+  // or -1 for the net link). Set once at machine assembly.
+  void set_snapshot_dev(std::int32_t dev) { snapshot_dev_ = dev; }
+
+  // The completion-event closure Submit schedules, exposed so a restoring
+  // Os can rebuild a captured in-flight completion bound to this device.
+  [[nodiscard]] EventFn MakeCompletionEvent(CompletionFn cb) {
+    return EventFn([this, cb]() mutable {
+      --depth_;
+      if (cb) {
+        cb();
+      }
+    });
+  }
+
  private:
   ServiceModel* model_;
   SimClock* clock_;
@@ -122,6 +175,7 @@ class SimDevice {
   std::uint64_t max_depth_ = 0;
   std::uint64_t total_requests_ = 0;
   std::uint64_t coalesced_requests_ = 0;
+  std::int32_t snapshot_dev_ = 0;
 };
 
 }  // namespace graysim

@@ -72,6 +72,26 @@ class Vm {
   // Releases everything belonging to a process (exit).
   void ReleaseProcess(Pid pid);
 
+  // Copies another Vm's simulation state (machine snapshot/fork): page
+  // tables, area lists, and swap-slot accounting. The PTE frame ids refer
+  // into the MemSystem slab, which the owner copies alongside; mem_ stays
+  // bound to this Vm's own MemSystem.
+  void CopyStateFrom(const Vm& other) {
+    spaces_ = other.spaces_;
+    next_area_ = other.next_area_;
+    next_swap_slot_ = other.next_swap_slot_;
+    free_swap_slots_ = other.free_swap_slots_;
+  }
+
+  // Heap footprint of the page tables (snapshot-size accounting).
+  [[nodiscard]] std::uint64_t ApproxBytes() const {
+    std::uint64_t bytes = sizeof(Vm) + free_swap_slots_.capacity() * sizeof(std::uint64_t);
+    for (const ProcessSpace& s : spaces_) {
+      bytes += s.areas.capacity() * sizeof(Area) + s.table.capacity() * sizeof(Pte);
+    }
+    return bytes;
+  }
+
  private:
   enum class PteState : std::uint8_t { kUnmapped, kResident, kSwapped };
 
@@ -110,6 +130,12 @@ class Vm {
     std::uint64_t next_vpage = 1;
     std::vector<Area> areas;  // short; searched linearly by id
     std::vector<Pte> table;   // dense, indexed by vpage; sized by Alloc
+    // Last-hit index into areas. Touch streams hammer one area at a time
+    // (probe loops walk a chunk page by page), so this turns the per-touch
+    // area lookup into one compare. Validated before use — a stale hint
+    // after Free just falls back to the scan. Derived state: not
+    // snapshotted, never affects results.
+    std::size_t mru_area = 0;
   };
 
   // Grows the space vector on first touch of a pid (matching the previous
@@ -128,6 +154,20 @@ class Vm {
     for (const Area& a : space.areas) {
       if (a.id == id) {
         return &a;
+      }
+    }
+    return nullptr;
+  }
+  // Hot-path variant: remembers the hit so the next lookup of the same
+  // area (the overwhelmingly common case in touch loops) is one compare.
+  [[nodiscard]] static const Area* FindArea(ProcessSpace& space, VmAreaId id) {
+    if (space.mru_area < space.areas.size() && space.areas[space.mru_area].id == id) {
+      return &space.areas[space.mru_area];
+    }
+    for (std::size_t i = 0; i < space.areas.size(); ++i) {
+      if (space.areas[i].id == id) {
+        space.mru_area = i;
+        return &space.areas[i];
       }
     }
     return nullptr;
