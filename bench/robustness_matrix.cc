@@ -11,6 +11,13 @@
 // scripts/check_perf.py gates with an additive slack — a PR that erodes
 // interference robustness fails the perf-smoke job.
 //
+// The crash column extends the matrix with machine restarts: at the mid
+// intensity each hardened ICL's machine is killed by a crash-stop fault
+// (FaultPlan::crash_at), recovered (Os::Recover — page cache gone, fsck
+// run, interference re-armed), and the ICL must re-detect from the
+// restarted machine and recover its win. Reported as <icl>_crash_retained
+// (win after restart / no-crash win), also gated with unit "retained".
+//
 // Every cell is its own graysim::Machine with its own chaos schedule, so
 // the whole matrix is deterministic: identical numbers on every host. The
 // machines are config-seeded (Machine(profile, config)), which simulates
@@ -75,6 +82,25 @@ void CheckTwinsAgree(const Machine& a, const Machine& b, const char* icl) {
   }
 }
 
+// The crash column's machine restart: arms the cell's interference WITH a
+// crash-stop scheduled a few virtual milliseconds out, parks a process past
+// it so the machine dies, then recovers. After Recover() the interference is
+// re-armed (the plan survives; only the one-shot crash is spent), the page
+// cache and every process context are gone, and the ICL must re-detect from
+// the restarted machine's state.
+void CrashAndRecover(Machine& machine, double intensity) {
+  Os& os = machine.os();
+  FaultPlan plan = FaultPlan::Interference(intensity);
+  plan.crash_at = os.Now() + graysim::Millis(5.0);
+  os.ArmChaos(plan);
+  machine.RunProcesses({[&os](Pid pid) { os.Sleep(pid, graysim::Seconds(1.0)); }});
+  if (!os.crashed()) {
+    std::fprintf(stderr, "crash column: crash-stop never fired\n");
+    std::abort();
+  }
+  (void)os.Recover();
+}
+
 // ---- FCCD: plan a 400 MB file with alternate 20 MB units warm ----
 
 constexpr std::uint64_t kFccdFileMb = 400;
@@ -119,17 +145,13 @@ MachineImage FccdImage() {
   return machine.Snapshot();
 }
 
-Cell RunFccdCell(const MachineImage& image, double intensity, bool hardened) {
+// Measures one FCCD cell on already-armed (or already-crashed-and-recovered)
+// guided/naive twin machines.
+Cell MeasureFccd(Machine& holder, Machine& naive_holder, bool hardened) {
   Cell cell;
-  const std::unique_ptr<Machine> holder = Machine::Fork(image);
-  const std::unique_ptr<Machine> naive_holder = Machine::Fork(image);
-  CheckTwinsAgree(*holder, *naive_holder, "fccd");
-  holder->os().ArmChaos(FaultPlan::Interference(intensity));
-  naive_holder->os().ArmChaos(FaultPlan::Interference(intensity));
-
   // Guided run: probe, then read the plan's first half.
   {
-    Os& os = holder->os();
+    Os& os = holder.os();
     const Pid pid = os.default_pid();
     gray::SimSys sys(&os, pid);
     gray::FccdOptions options;
@@ -154,7 +176,7 @@ Cell RunFccdCell(const MachineImage& image, double intensity, bool hardened) {
     const Nanos guided = probe + FccdScanUnits(os, pid, plan->units, half);
 
     // Naive run on the forked twin: same warm state, file-order units.
-    Os& naive_os = naive_holder->os();
+    Os& naive_os = naive_holder.os();
     const Pid naive_pid = naive_os.default_pid();
     std::vector<gray::UnitPlan> file_order;
     for (std::uint64_t start = 0; start < kFccdFileMb * gbench::kMb;
@@ -165,6 +187,36 @@ Cell RunFccdCell(const MachineImage& image, double intensity, bool hardened) {
     cell.win = guided > 0 ? static_cast<double>(naive) / static_cast<double>(guided) : 1.0;
   }
   return cell;
+}
+
+Cell RunFccdCell(const MachineImage& image, double intensity, bool hardened) {
+  const std::unique_ptr<Machine> holder = Machine::Fork(image);
+  const std::unique_ptr<Machine> naive_holder = Machine::Fork(image);
+  CheckTwinsAgree(*holder, *naive_holder, "fccd");
+  holder->os().ArmChaos(FaultPlan::Interference(intensity));
+  naive_holder->os().ArmChaos(FaultPlan::Interference(intensity));
+  return MeasureFccd(*holder, *naive_holder, hardened);
+}
+
+// The crash column: both twins die mid-run and restart. The page cache died
+// with the machine, so the application re-runs its access pattern (the same
+// alternate-unit warm) and the planner must re-detect the rebuilt cache
+// contents from scratch on the recovered machine. The interference pauses
+// for the restart lull (the antagonists died with the machine too) and
+// re-arms for the measurement — otherwise the 200 MB re-warm races the
+// streaming antagonist for cache and the column measures the warm's decay,
+// not the planner's ability to re-detect after a restart.
+Cell CrashFccdCell(const MachineImage& image, double intensity, bool hardened) {
+  const std::unique_ptr<Machine> holder = Machine::Fork(image);
+  const std::unique_ptr<Machine> naive_holder = Machine::Fork(image);
+  CheckTwinsAgree(*holder, *naive_holder, "fccd");
+  for (Machine* m : {holder.get(), naive_holder.get()}) {
+    CrashAndRecover(*m, intensity);
+    m->os().DisarmChaos();
+    FccdWarmAlternateUnits(m->os(), m->os().default_pid());
+    m->os().ArmChaos(FaultPlan::Interference(intensity));
+  }
+  return MeasureFccd(*holder, *naive_holder, hardened);
 }
 
 // ---- MAC: scratch-buffer rounds vs a memory-oblivious competitor ----
@@ -222,11 +274,10 @@ double MacNaiveRate(const MachineImage& image) {
   return cached;
 }
 
-Cell RunMacCell(const MachineImage& image, double intensity, bool hardened) {
-  const std::unique_ptr<Machine> holder = Machine::Fork(image);
-  Os& os = holder->os();
-  os.ArmChaos(FaultPlan::Interference(intensity));
-
+// Measures one MAC cell on an already-armed (or crashed-and-recovered)
+// machine; `image` only feeds the cached quiet-twin naive rate.
+Cell MeasureMac(Machine& holder, const MachineImage& image, bool hardened) {
+  Os& os = holder.os();
   Cell cell;
   std::uint64_t passes = 0;
   std::uint64_t pass_bytes = 0;
@@ -266,6 +317,21 @@ Cell RunMacCell(const MachineImage& image, double intensity, bool hardened) {
   cell.accuracy = static_cast<double>(pass_bytes) / passes / kMacMaxBytes;
   cell.probe_s = gbench::ToSec(probe_time);
   return cell;
+}
+
+Cell RunMacCell(const MachineImage& image, double intensity, bool hardened) {
+  const std::unique_ptr<Machine> holder = Machine::Fork(image);
+  holder->os().ArmChaos(FaultPlan::Interference(intensity));
+  return MeasureMac(*holder, image, hardened);
+}
+
+// Crash column: the allocator's machine restarts mid-run and a fresh MAC
+// instance must re-probe memory and recover its admission rate on the
+// recovered (and still interfered-with) machine.
+Cell CrashMacCell(const MachineImage& image, double intensity, bool hardened) {
+  const std::unique_ptr<Machine> holder = Machine::Fork(image);
+  CrashAndRecover(*holder, intensity);
+  return MeasureMac(*holder, image, hardened);
 }
 
 // ---- FLDC: order an aged directory of files under stat faults ----
@@ -357,18 +423,18 @@ FldcSetup MakeFldcSetup() {
   return setup;
 }
 
-Cell RunFldcCell(const FldcSetup& setup, double intensity, bool hardened) {
+// Measures one FLDC cell on already-armed (or crashed-and-recovered)
+// guided/naive twins. Unlike FCCD, the inference target — the on-disk
+// layout order — survives a crash (metadata is fsck-repaired, not lost), so
+// the crash column needs no re-warm: the detector re-stats the recovered
+// filesystem directly.
+Cell MeasureFldc(Machine& holder, Machine& naive_holder, const FldcSetup& setup,
+                 bool hardened) {
   Cell cell;
   const std::vector<std::uint64_t>& true_inum = setup.true_inum;
   std::vector<std::string> ordered_paths;
 
-  const std::unique_ptr<Machine> holder = Machine::Fork(setup.image);
-  const std::unique_ptr<Machine> naive_holder = Machine::Fork(setup.image);
-  CheckTwinsAgree(*holder, *naive_holder, "fldc");
-  holder->os().ArmChaos(FaultPlan::Interference(intensity));
-  naive_holder->os().ArmChaos(FaultPlan::Interference(intensity));
-
-  Os& os = holder->os();
+  Os& os = holder.os();
   const Pid pid = os.default_pid();
   gray::SimSys sys(&os, pid);
   gray::FldcOptions options;
@@ -414,10 +480,30 @@ Cell RunFldcCell(const FldcSetup& setup, double intensity, bool hardened) {
   }
   const Nanos guided = probe + FldcReadAll(os, pid, ordered_paths);
   // ...vs the naive name-order read on the forked twin.
-  Os& naive_os = naive_holder->os();
+  Os& naive_os = naive_holder.os();
   const Nanos naive = FldcReadAll(naive_os, naive_os.default_pid(), paths);
   cell.win = guided > 0 ? static_cast<double>(naive) / static_cast<double>(guided) : 1.0;
   return cell;
+}
+
+Cell RunFldcCell(const FldcSetup& setup, double intensity, bool hardened) {
+  const std::unique_ptr<Machine> holder = Machine::Fork(setup.image);
+  const std::unique_ptr<Machine> naive_holder = Machine::Fork(setup.image);
+  CheckTwinsAgree(*holder, *naive_holder, "fldc");
+  holder->os().ArmChaos(FaultPlan::Interference(intensity));
+  naive_holder->os().ArmChaos(FaultPlan::Interference(intensity));
+  return MeasureFldc(*holder, *naive_holder, setup, hardened);
+}
+
+// Crash column: both twins restart mid-run and the detector re-orders the
+// recovered filesystem under the re-armed interference.
+Cell CrashFldcCell(const FldcSetup& setup, double intensity, bool hardened) {
+  const std::unique_ptr<Machine> holder = Machine::Fork(setup.image);
+  const std::unique_ptr<Machine> naive_holder = Machine::Fork(setup.image);
+  CheckTwinsAgree(*holder, *naive_holder, "fldc");
+  CrashAndRecover(*holder, intensity);
+  CrashAndRecover(*naive_holder, intensity);
+  return MeasureFldc(*holder, *naive_holder, setup, hardened);
 }
 
 // ---- the matrix ----
@@ -425,6 +511,9 @@ Cell RunFldcCell(const FldcSetup& setup, double intensity, bool hardened) {
 struct Row {
   const char* icl;
   std::function<Cell(double, bool)> run;
+  // The crash column: same cell, but the machine(s) suffer a crash-stop
+  // restart (CrashAndRecover) before the measurement.
+  std::function<Cell(double, bool)> crash;
 };
 
 }  // namespace
@@ -446,9 +535,12 @@ int main(int argc, char** argv) {
   const FldcSetup fldc_setup = MakeFldcSetup();
 
   const std::vector<Row> rows = {
-      {"fccd", [&](double i, bool h) { return RunFccdCell(fccd_image, i, h); }},
-      {"mac", [&](double i, bool h) { return RunMacCell(mac_image, i, h); }},
-      {"fldc", [&](double i, bool h) { return RunFldcCell(fldc_setup, i, h); }},
+      {"fccd", [&](double i, bool h) { return RunFccdCell(fccd_image, i, h); },
+       [&](double i, bool h) { return CrashFccdCell(fccd_image, i, h); }},
+      {"mac", [&](double i, bool h) { return RunMacCell(mac_image, i, h); },
+       [&](double i, bool h) { return CrashMacCell(mac_image, i, h); }},
+      {"fldc", [&](double i, bool h) { return RunFldcCell(fldc_setup, i, h); },
+       [&](double i, bool h) { return CrashFldcCell(fldc_setup, i, h); }},
   };
 
   gbench::PrintHeader(
@@ -501,6 +593,19 @@ int main(int argc, char** argv) {
         "legacy keeps %.0f%% / %.0f%%\n",
         row.icl, kMidIntensity, 100.0 * hardened_win_kept, 100.0 * hardened_acc_kept,
         100.0 * legacy_win_kept, 100.0 * legacy_acc_kept);
+
+    // Crash column: the hardened ICL's machine dies mid-run (crash-stop),
+    // recovers, and the ICL must re-detect and win again under the same
+    // interference. Gated (unit "retained") like the interference ratios:
+    // a PR that makes an ICL unable to recover its win after a machine
+    // restart fails the perf-smoke job.
+    const Cell crash_cell = row.crash(kMidIntensity, /*hardened=*/true);
+    const double crash_retained = ratio(crash_cell.win, mid_hardened.win);
+    json.Add(std::string(row.icl) + "_crash_retained", crash_retained, "retained");
+    std::printf(
+        "  -> %s after a crash-stop restart at intensity %.2f: win %.3f "
+        "(%.0f%% of the no-crash win)\n",
+        row.icl, kMidIntensity, crash_cell.win, 100.0 * crash_retained);
   }
 
   // Absolute host seconds for the sweep, gated by check_perf with a tight

@@ -23,6 +23,13 @@
 //                  cross-check and the parallel-efficiency denominator
 //                  (default 4; --quick verifies the whole fleet)
 //   --seed=S       fleet seed (machine i runs Machine(profile, cfg, i, S))
+//   --supervised=S machines driven by the checkpoint/crash supervisor
+//                  (default 4; --quick: 2). Each supervised machine runs
+//                  twice — checkpointing on without a crash, then with a
+//                  crash-stop injected and a restart from the last durable
+//                  image — and both runs must end bit-identical to the
+//                  plain fleet run of the same machine.
+//   --ckpt_waves=C checkpoint every C wave boundaries (default 2)
 //   --quick        CI tier: small fleet, full verification
 
 #include <atomic>
@@ -30,6 +37,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +45,7 @@
 #include "bench/bench_util.h"
 #include "src/obs/metrics.h"
 #include "src/os/machine.h"
+#include "src/os/machine_image_io.h"
 #include "src/os/os.h"
 #include "src/workloads/aging.h"
 #include "src/workloads/fastsort.h"
@@ -96,62 +105,182 @@ void SetupMachine(Machine& m, std::vector<std::string>* grep_paths) {
   os.FlushFileCache();
 }
 
+// One wave of process bodies, starting at global process index `done`.
+// Pure function of (machine identity, done, batch): the supervised restart
+// path rebuilds the exact bodies a crashed machine was running, so a resumed
+// run replays the original wave sequence bit-identically.
+std::vector<std::function<void(Pid)>> WaveBodies(Machine& m,
+                                                 const std::vector<std::string>& grep_paths,
+                                                 int done, int batch) {
+  Os& os = m.os();
+  std::vector<std::function<void(Pid)>> bodies;
+  bodies.reserve(batch);
+  for (int k = 0; k < batch; ++k) {
+    const int j = done + k;
+    switch (j % 3) {
+      case 0:
+        bodies.push_back([&os](Pid pid) {
+          graywork::FastsortOptions opt;
+          opt.input = "/d0/sort_in";
+          opt.record_bytes = 128;
+          opt.write_runs = false;  // read phase only; no run files to age the FS
+          (void)graywork::Fastsort(&os, pid).Run(opt);
+        });
+        break;
+      case 1:
+        bodies.push_back([&os, &grep_paths](Pid pid) {
+          (void)graywork::Grep(&os, pid).Run(grep_paths);
+        });
+        break;
+      default:
+        bodies.push_back([&os, &m, j](Pid pid) {
+          graywork::DirectoryAger ager(&os, pid, "/d0/age", 32 * 1024,
+                                       m.DeriveSeed(1000 + static_cast<std::uint64_t>(j)));
+          ager.RunEpoch(2);
+        });
+        break;
+    }
+  }
+  return bodies;
+}
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+MachineDigest DigestOf(Machine& m) {
+  Os& os = m.os();
+  MachineDigest digest;
+  digest.virtual_time = os.Now();
+  digest.stats = os.stats();
+  digest.mem = os.mem_stats();
+  digest.events_scheduled = os.events_scheduled();
+  digest.cache_pages = os.FileCachePages();
+  for (int d = 0; d < os.num_disks(); ++d) {
+    digest.queue_totals.push_back(os.disk_queue(d).total_requests());
+  }
+  return digest;
+}
+
 MachineResult RunMachine(const PlatformProfile& profile, std::uint32_t id,
                          std::uint64_t seed, int procs) {
   Machine m(profile, FleetConfig(), id, seed);
   std::vector<std::string> grep_paths;
   SetupMachine(m, &grep_paths);
 
-  Os& os = m.os();
   for (int done = 0; done < procs; done += kWave) {
     const int batch = std::min(kWave, procs - done);
-    std::vector<std::function<void(Pid)>> bodies;
-    bodies.reserve(batch);
-    for (int k = 0; k < batch; ++k) {
-      const int j = done + k;
-      switch (j % 3) {
-        case 0:
-          bodies.push_back([&os](Pid pid) {
-            graywork::FastsortOptions opt;
-            opt.input = "/d0/sort_in";
-            opt.record_bytes = 128;
-            opt.write_runs = false;  // read phase only; no run files to age the FS
-            (void)graywork::Fastsort(&os, pid).Run(opt);
-          });
-          break;
-        case 1:
-          bodies.push_back([&os, &grep_paths](Pid pid) {
-            (void)graywork::Grep(&os, pid).Run(grep_paths);
-          });
-          break;
-        default:
-          bodies.push_back([&os, &m, j](Pid pid) {
-            graywork::DirectoryAger ager(&os, pid, "/d0/age", 32 * 1024,
-                                         m.DeriveSeed(1000 + static_cast<std::uint64_t>(j)));
-            ager.RunEpoch(2);
-          });
-          break;
-      }
-    }
-    m.RunProcesses(bodies);
+    m.RunProcesses(WaveBodies(m, grep_paths, done, batch));
   }
 
   MachineResult result;
-  result.digest.virtual_time = os.Now();
-  result.digest.stats = os.stats();
-  result.digest.mem = os.mem_stats();
-  result.digest.events_scheduled = os.events_scheduled();
-  result.digest.cache_pages = os.FileCachePages();
-  for (int d = 0; d < os.num_disks(); ++d) {
-    result.digest.queue_totals.push_back(os.disk_queue(d).total_requests());
-  }
+  result.digest = DigestOf(m);
   result.metrics = m.SnapshotMetrics();
   return result;
 }
 
-double Seconds(std::chrono::steady_clock::time_point from,
-               std::chrono::steady_clock::time_point to) {
-  return std::chrono::duration<double>(to - from).count();
+// ---- supervisor mode -----------------------------------------------------
+//
+// A supervised machine is driven wave by wave with a durable checkpoint
+// (Machine::Snapshot -> SaveMachineImage) written every `ckpt_waves` wave
+// boundaries. With `inject_crash`, the supervisor arms a crash-stop fault
+// partway through; when the machine dies mid-wave the supervisor discards
+// the carcass, reloads the last durable image from disk, forks it, and
+// re-drives the remaining waves. The forked continuation replays the lost
+// waves bit-identically, so the final digest must equal the plain
+// (never-checkpointed, never-crashed) run of the same machine — the
+// bench's strongest end-to-end claim: checkpointing perturbs nothing, and
+// a crash costs exactly the work since the last checkpoint.
+
+struct SuperviseOutcome {
+  MachineDigest digest;
+  int checkpoints = 0;
+  double checkpoint_s = 0.0;       // host seconds spent in Snapshot+Save
+  std::uint64_t checkpoint_bytes = 0;  // size of the last image on disk
+  double run_s = 0.0;              // host seconds for the whole supervised run
+  int crashes = 0;
+  double recovery_s = 0.0;         // host seconds in Load+Fork restarts
+  int lost_waves = 0;              // waves re-run because of crashes
+  bool ok = true;
+};
+
+std::uint64_t FileBytes(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<std::uint64_t>(st.st_size) : 0;
+}
+
+SuperviseOutcome SuperviseMachine(const PlatformProfile& profile, std::uint32_t id,
+                                  std::uint64_t seed, int procs, int ckpt_waves,
+                                  bool inject_crash, const std::string& ckpt_path) {
+  SuperviseOutcome out;
+  const auto run_start = std::chrono::steady_clock::now();
+
+  auto machine = std::make_unique<Machine>(profile, FleetConfig(), id, seed);
+  std::vector<std::string> grep_paths;
+  SetupMachine(*machine, &grep_paths);
+
+  const int waves = (procs + kWave - 1) / kWave;
+  // Crash late enough that at least one checkpoint-to-crash gap exists.
+  const int crash_wave = inject_crash ? std::max(1, (waves * 3) / 4) : -1;
+  int ckpt_wave = -1;  // wave the last durable checkpoint resumes at
+  bool crashed_once = false;
+
+  int wave = 0;
+  while (wave < waves) {
+    Os& os = machine->os();
+    if (wave % ckpt_waves == 0) {
+      const auto c0 = std::chrono::steady_clock::now();
+      std::string error;
+      if (!SaveMachineImage(machine->Snapshot(), ckpt_path, &error)) {
+        std::fprintf(stderr, "FAIL: checkpoint of machine %u at wave %d: %s\n", id,
+                     wave, error.c_str());
+        out.ok = false;
+        return out;
+      }
+      out.checkpoint_s += Seconds(c0, std::chrono::steady_clock::now());
+      ++out.checkpoints;
+      ckpt_wave = wave;
+      out.checkpoint_bytes = FileBytes(ckpt_path);
+    }
+    if (wave == crash_wave && !crashed_once) {
+      graysim::FaultPlan plan;
+      plan.enabled = true;
+      plan.crash_at = os.Now() + graysim::Millis(5.0);
+      os.ArmChaos(plan);
+    }
+    const int done = wave * kWave;
+    machine->RunProcesses(WaveBodies(*machine, grep_paths, done,
+                                     std::min(kWave, procs - done)));
+    if (wave == crash_wave && !crashed_once && !os.crashed()) {
+      // The wave outran crash_at; park the machine until the fault fires so
+      // the injected crash is guaranteed, not workload-timing dependent.
+      machine->RunProcesses(
+          {[&os](Pid pid) { os.Sleep(pid, graysim::Seconds(1.0)); }});
+    }
+    if (os.crashed()) {
+      ++out.crashes;
+      out.lost_waves += wave - ckpt_wave + 1;
+      const auto r0 = std::chrono::steady_clock::now();
+      graysim::MachineImage image;
+      std::string error;
+      if (!LoadMachineImage(ckpt_path, &image, &error)) {
+        std::fprintf(stderr, "FAIL: restore of machine %u: %s\n", id, error.c_str());
+        out.ok = false;
+        return out;
+      }
+      machine = Machine::Fork(image);
+      out.recovery_s += Seconds(r0, std::chrono::steady_clock::now());
+      crashed_once = true;
+      wave = ckpt_wave;  // re-run the lost waves from the durable image
+      continue;
+    }
+    ++wave;
+  }
+
+  out.digest = DigestOf(*machine);
+  out.run_s = Seconds(run_start, std::chrono::steady_clock::now());
+  return out;
 }
 
 int Run(int argc, char** argv) {
@@ -226,6 +355,67 @@ int Run(int argc, char** argv) {
   }
   const double seq_s = Seconds(seq_start, std::chrono::steady_clock::now());
 
+  // ---- supervisor phase: durable checkpoints + crash-stop restarts ----
+  //
+  // Two supervised variants per machine, both required to end bit-identical
+  // to the plain parallel run recorded in digests[]:
+  //  * checkpointing on, no crash  -> checkpoints perturb nothing;
+  //  * checkpointing on, crash injected mid-run, restart from the last
+  //    durable image -> a crash costs only the work since that checkpoint.
+  const int supervised =
+      std::min(machines, gbench::FlagInt(argc, argv, "supervised", quick ? 2 : 4));
+  const int ckpt_waves = std::max(1, gbench::FlagInt(argc, argv, "ckpt_waves", 2));
+  int supervise_mismatches = 0;
+  int supervise_crashes = 0;
+  int supervise_checkpoints = 0;
+  int supervise_lost_waves = 0;
+  double supervise_ckpt_s = 0.0;
+  double supervise_run_s = 0.0;
+  double supervise_recovery_s = 0.0;
+  std::uint64_t ckpt_bytes = 0;
+  ::mkdir("results", 0755);  // checkpoint images ship as bench artifacts
+  for (int id = 0; id < supervised; ++id) {
+    const std::string ckpt_path =
+        "results/ckpt_machine" + std::to_string(id) + ".gsim";
+    const SuperviseOutcome clean =
+        SuperviseMachine(profile, static_cast<std::uint32_t>(id), seed, procs,
+                         ckpt_waves, /*inject_crash=*/false, ckpt_path);
+    if (!clean.ok || !(clean.digest == digests[id])) {
+      std::fprintf(stderr,
+                   "FAIL: machine %d with checkpointing on diverged from the "
+                   "checkpoint-free run\n",
+                   id);
+      ++supervise_mismatches;
+    }
+    const SuperviseOutcome crashed =
+        SuperviseMachine(profile, static_cast<std::uint32_t>(id), seed, procs,
+                         ckpt_waves, /*inject_crash=*/true, ckpt_path);
+    if (!crashed.ok || !(crashed.digest == digests[id])) {
+      std::fprintf(stderr,
+                   "FAIL: machine %d restarted from a durable checkpoint "
+                   "diverged from the crash-free run\n",
+                   id);
+      ++supervise_mismatches;
+    }
+    supervise_crashes += crashed.crashes;
+    supervise_checkpoints += clean.checkpoints + crashed.checkpoints;
+    supervise_lost_waves += crashed.lost_waves;
+    supervise_ckpt_s += clean.checkpoint_s;
+    supervise_run_s += clean.run_s;
+    supervise_recovery_s += crashed.recovery_s;
+    ckpt_bytes = std::max(ckpt_bytes, crashed.checkpoint_bytes);
+  }
+  if (supervised > 0) {
+    std::printf(
+        "supervisor: %d machines, %d checkpoints (last image %.1f MB), %d "
+        "crash restarts, %d waves re-run, recovery %.3fs, checkpoint overhead "
+        "%.1f%%\n",
+        supervised, supervise_checkpoints,
+        static_cast<double>(ckpt_bytes) / (1024.0 * 1024.0), supervise_crashes,
+        supervise_lost_waves, supervise_recovery_s,
+        supervise_run_s > 0.0 ? 100.0 * supervise_ckpt_s / supervise_run_s : 0.0);
+  }
+
   // ---- throughput + scaling ----
   const double total_procs = static_cast<double>(machines) * procs;
   const double par_rate = machines / par_s;
@@ -254,6 +444,24 @@ int Run(int argc, char** argv) {
   results.Add("machines_per_host_s", par_rate, "ops/s");
   results.Add("procs_per_host_s", total_procs / par_s, "ops/s");
   results.Add("parallel_efficiency", efficiency, "efficiency");
+  if (supervised > 0) {
+    results.Add("supervise.machines", supervised);
+    results.Add("supervise.checkpoints", supervise_checkpoints);
+    results.Add("supervise.checkpoint_mb",
+                static_cast<double>(ckpt_bytes) / (1024.0 * 1024.0), "mb");
+    results.Add("supervise.checkpoint_overhead",
+                supervise_run_s > 0.0 ? supervise_ckpt_s / supervise_run_s : 0.0,
+                "overhead");
+    results.Add("supervise.crash_restarts", supervise_crashes);
+    results.Add("supervise.recovery_latency_s",
+                supervise_crashes > 0 ? supervise_recovery_s / supervise_crashes : 0.0,
+                "recovery_s");
+    results.Add("supervise.lost_waves_per_crash",
+                supervise_crashes > 0
+                    ? static_cast<double>(supervise_lost_waves) / supervise_crashes
+                    : 0.0);
+    results.Add("supervise.identical", supervise_mismatches == 0 ? 1.0 : 0.0);
+  }
   const gbench::AllocCounts allocs = gbench::AllocSnapshot();
   results.Add("allocs_per_proc", static_cast<double>(allocs.allocs) / total_procs);
   // The merged fleet story: kernel counters summed across machines, disk
@@ -263,7 +471,7 @@ int Run(int argc, char** argv) {
   }
   results.Write();
 
-  if (mismatches > 0) {
+  if (mismatches > 0 || supervise_mismatches > 0) {
     return 1;
   }
   return 0;

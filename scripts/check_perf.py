@@ -4,6 +4,7 @@
 Usage: check_perf.py <fresh_results_dir> <baseline_dir> [--factor=5]
                      [--retained-slack=0.15] [--efficiency-slack=0.25]
                      [--ratio-slack=0.10] [--host-slack=0.75]
+                     [--overhead-slack=0.15] [--recovery-slack=0.5]
 
 For every BENCH_*.json present in BOTH directories, every metric with unit
 "ops/s" must be no more than `factor` times slower than the committed
@@ -34,6 +35,15 @@ gated additively, with a wider slack: scaling on a shared CI runner is
 noisy, but a reintroduced cross-machine global (a contended atomic, a lock
 in the hot path) collapses efficiency far below any plausible noise floor,
 which is exactly the regression this gate exists to catch.
+
+Metrics with unit "overhead" (scale_fleet's checkpoint-overhead fraction:
+host seconds spent in Snapshot+Save over the supervised run's total) and
+unit "recovery_s" (host seconds to restore a crashed machine from its
+durable image) are ceiling-gated additively: fresh must be at most
+baseline + slack. Both are small host-time quantities on a shared runner,
+so the slack is generous; the regressions they exist to catch — a
+checkpoint serializer that starts deep-copying something huge, a loader
+that re-parses per section — blow through any plausible noise.
 
 Metrics with unit "host_s" (an explicit absolute wall-time metric a bench
 opts into, e.g. the robustness matrix's sweep_host_s) are ceiling-gated:
@@ -82,6 +92,8 @@ def main() -> int:
     parser.add_argument("--efficiency-slack", type=float, default=0.25)
     parser.add_argument("--ratio-slack", type=float, default=0.10)
     parser.add_argument("--host-slack", type=float, default=0.75)
+    parser.add_argument("--overhead-slack", type=float, default=0.15)
+    parser.add_argument("--recovery-slack", type=float, default=0.5)
     args = parser.parse_args()
 
     failures = []
@@ -117,6 +129,20 @@ def main() -> int:
                       f"{fresh_add[name]:.3f} {unit} vs baseline "
                       f"{base_add[name]:.3f} (floor {floor:.3f})")
                 if fresh_add[name] < floor:
+                    failures.append(f"{base_path.name}:{name}")
+
+        for unit, slack in (("overhead", args.overhead_slack),
+                            ("recovery_s", args.recovery_slack)):
+            base_ceil = unit_metrics(base, unit)
+            fresh_ceil = unit_metrics(fresh, unit)
+            for name in sorted(base_ceil.keys() & fresh_ceil.keys()):
+                compared += 1
+                ceiling = base_ceil[name] + slack
+                status = "ok" if fresh_ceil[name] <= ceiling else "FAIL"
+                print(f"{status:4} {base_path.name}:{name}: "
+                      f"{fresh_ceil[name]:.3f} {unit} vs baseline "
+                      f"{base_ceil[name]:.3f} (ceiling {ceiling:.3f})")
+                if fresh_ceil[name] > ceiling:
                     failures.append(f"{base_path.name}:{name}")
 
         base_abs = unit_metrics(base, "host_s")

@@ -71,6 +71,27 @@ class PageCache {
   // All dirty pages of one file, marked clean (fsync).
   [[nodiscard]] std::vector<std::uint64_t> TakeDirtyOfFile(Inum inum);
 
+  // All dirty pages whose (disk-tagged) inum satisfies `pred`, marked clean
+  // (syncfs). Returned in dirtying order so writeback submission preserves
+  // the write-order model.
+  template <typename Pred>
+  [[nodiscard]] std::vector<std::pair<Inum, std::uint64_t>> TakeDirtyMatching(Pred&& pred) {
+    std::vector<std::pair<Inum, std::uint64_t>> out;
+    const FrameTable& frames = mem_->frames();
+    FrameId f = dirty_order_.front();
+    while (f != kNoFrame) {
+      const FrameId next = DirtyList::Next(frames, f);
+      const Page page = frames.PageOf(f);
+      const Inum inum = static_cast<Inum>(page.key1);
+      if (pred(inum)) {
+        out.emplace_back(inum, page.key2);
+        ClearDirty(f);
+      }
+      f = next;
+    }
+    return out;
+  }
+
   // Marks clean (and returns the count of) the resident dirty pages
   // immediately following (inum, page) — i.e. pages page+1..page+n while
   // consecutive, resident, and dirty, up to max_pages. Used to cluster
@@ -97,6 +118,16 @@ class PageCache {
   [[nodiscard]] std::uint64_t ApproxBytes() const {
     return sizeof(PageCache) + pages_.capacity_bytes() + per_file_count_.capacity_bytes();
   }
+
+  // --- checkpoint surface (machine_image_io) ------------------------------
+  [[nodiscard]] const FlatMap<FrameId>& pages_map() const { return pages_; }
+  [[nodiscard]] FlatMap<FrameId>& pages_map_mutable() { return pages_; }
+  [[nodiscard]] const FlatMap<std::uint64_t>& per_file_counts() const {
+    return per_file_count_;
+  }
+  [[nodiscard]] FlatMap<std::uint64_t>& per_file_counts_mutable() { return per_file_count_; }
+  [[nodiscard]] const DirtyList& dirty_list() const { return dirty_order_; }
+  void RestoreDirtyList(const DirtyList& list) { dirty_order_ = list; }
 
  private:
   // Key packing: the full 32-bit (disk-tagged) inum in the high bits and a

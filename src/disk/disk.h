@@ -72,6 +72,17 @@ class Disk {
   [[nodiscard]] Nanos RotationalLatency() const;  // average: half a revolution
   [[nodiscard]] Nanos TransferTime(std::uint64_t bytes) const;
 
+  // --- checkpoint surface (machine_image_io) ------------------------------
+  // Head position is mechanical state: the next request's seek cost depends
+  // on it, so a restore that forgot it would diverge timing immediately.
+  [[nodiscard]] std::uint64_t head_pos() const { return head_pos_; }
+  [[nodiscard]] bool head_valid() const { return head_valid_; }
+  void RestoreState(std::uint64_t head_pos, bool head_valid, const DiskStats& stats) {
+    head_pos_ = head_pos;
+    head_valid_ = head_valid;
+    stats_ = stats;
+  }
+
  private:
   DiskGeometry geometry_;
   int disk_id_;

@@ -19,8 +19,10 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "src/sim/byte_io.h"
 #include "src/sim/clock.h"
 
 namespace graysim {
@@ -45,6 +47,10 @@ enum class FsErr : int {
   // Blocking deadline expired (ETIMEDOUT): NetRecv with no arrival in time.
   // Like kIo, appended last to keep earlier values wire-frozen.
   kTimedOut,
+  // Peer endpoint died under the receiver (ECONNRESET): the machine crashed
+  // and tore down its endpoints while a fiber was blocked in NetRecv.
+  // Appended last to keep earlier values wire-frozen.
+  kConnReset,
 };
 
 [[nodiscard]] std::string_view FsErrName(FsErr err);
@@ -128,6 +134,21 @@ class Ffs {
   [[nodiscard]] std::uint64_t creation_seq_of(Inum inum) const;
 
   void set_clock_hint(Nanos now) { now_hint_ = now; }
+
+  // --- crash recovery (Os::Recover) ---
+  // Number of cylinder groups, and the metadata block range
+  // [first_block, data_start) of group `g` — superblock copy plus inode
+  // table, the blocks a post-crash consistency scan must read.
+  [[nodiscard]] std::size_t GroupCount() const { return groups_.size(); }
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> GroupMetaRange(std::size_t g) const {
+    return {groups_[g].first_block, groups_[g].data_start};
+  }
+
+  // Durable checkpoint serialization (machine_image_io). Writes the complete
+  // metadata state — geometry params, group bitmaps, inode table including
+  // directory payloads — in deterministic (index / sorted-map) order.
+  void SerializeTo(ByteWriter& w) const;
+  [[nodiscard]] bool DeserializeFrom(ByteReader& r);
 
   // Rough heap footprint in bytes (snapshot-size accounting; directory
   // payload strings are counted structurally, not byte-exactly).

@@ -43,6 +43,7 @@ class SimSys final : public SysApi {
   }
   [[nodiscard]] int Creat(const std::string& path) override { return os_->Creat(pid_, path); }
   int Fsync(int fd) override { return os_->Fsync(pid_, fd); }
+  int Syncfs(int disk) override { return os_->Syncfs(pid_, disk); }
   int Stat(const std::string& path, FileInfo* out) override {
     graysim::InodeAttr attr;
     const int rc = os_->Stat(pid_, path, &attr);

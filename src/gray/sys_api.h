@@ -110,6 +110,14 @@ class SysApi {
   virtual std::int64_t Pwrite(int fd, std::uint64_t len, std::uint64_t offset) = 0;
   [[nodiscard]] virtual int Creat(const std::string& path) = 0;
   virtual int Fsync(int fd) = 0;
+  // syncfs(2)-style whole-filesystem durability barrier for the filesystem
+  // holding `disk` (simulated machines name disks directly). Not broadly
+  // available — default says unsupported, like Mincore on profiles that
+  // lack it; callers needing portability fall back to per-fd Fsync.
+  virtual int Syncfs(int disk) {
+    (void)disk;
+    return -22;  // EINVAL-style "not supported here"
+  }
   virtual int Stat(const std::string& path, FileInfo* out) = 0;
   virtual int ReadDir(const std::string& path, std::vector<DirEntry>* out) = 0;
   virtual int Unlink(const std::string& path) = 0;

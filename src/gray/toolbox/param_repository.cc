@@ -1,5 +1,9 @@
 #include "src/gray/toolbox/param_repository.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -68,24 +72,43 @@ bool ParamRepository::Deserialize(const std::string& text) {
 }
 
 bool ParamRepository::SaveToFile(const std::string& path) const {
-  // Write-then-rename: readers either see the old complete file or the new
-  // complete file, never a truncated mix.
+  // Write + fsync + rename + directory fsync: readers either see the old
+  // complete file or the new complete file, never a truncated mix — and
+  // after a host crash the rename itself is durable, not just queued in the
+  // directory's dirty buffers. POSIX fds instead of ofstream because only
+  // fsync(2) gives the durability barrier (flush() stops at libc).
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      return false;
-    }
-    out << Serialize();
-    out.flush();
-    if (!out) {
+  const std::string body = Serialize();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
       (void)std::remove(tmp.c_str());
       return false;
     }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    (void)std::remove(tmp.c_str());
+    return false;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     (void)std::remove(tmp.c_str());
     return false;
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  if (const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY); dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
   }
   return true;
 }

@@ -59,8 +59,10 @@ class ParamRepository {
 
   // Host-file persistence (the simulated machine has no host filesystem; the
   // repository lives beside the experiment like the paper's advertised file).
-  // SaveToFile writes "<path>.tmp" and renames it into place, so a crash
-  // mid-save never leaves a half-written repository at `path`. LoadFromFile
+  // SaveToFile writes "<path>.tmp", fsyncs it, renames it into place, and
+  // fsyncs the directory, so a crash mid-save never leaves a half-written
+  // repository at `path` — and a completed save survives power loss (the
+  // same write-order discipline machine_image_io uses). LoadFromFile
   // is strict: it requires the end trailer with a matching entry count, and
   // returns false on truncated or corrupt files without touching the current
   // values — the caller keeps its defaults.

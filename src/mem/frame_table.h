@@ -21,6 +21,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace graysim {
@@ -152,6 +153,29 @@ class FrameTable {
     free_ = other.free_;
   }
 
+  // --- checkpoint surface -------------------------------------------------
+  // The raw slab arrays, exposed verbatim for durable checkpoints. The free
+  // list's LIFO *order* is part of machine state: Allocate pops the back, so
+  // a reordered free list hands out different FrameIds after restore and
+  // diverges a bit-identical replay.
+  [[nodiscard]] const std::vector<FrameHot>& hot_array() const { return hot_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& touch_array() const { return touch_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& flags_array() const { return flags_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& key1_array() const { return key1_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& key2_array() const { return key2_; }
+  [[nodiscard]] const std::vector<FrameId>& free_list() const { return free_; }
+
+  void RestoreArrays(std::vector<FrameHot> hot, std::vector<std::uint64_t> touch,
+                     std::vector<std::uint8_t> flags, std::vector<std::uint64_t> key1,
+                     std::vector<std::uint64_t> key2, std::vector<FrameId> free_frames) {
+    hot_ = std::move(hot);
+    touch_ = std::move(touch);
+    flags_ = std::move(flags);
+    key1_ = std::move(key1);
+    key2_ = std::move(key2);
+    free_ = std::move(free_frames);
+  }
+
  private:
   static constexpr std::uint8_t kKindAnon = 1u << 0;
   static constexpr std::uint8_t kDirty = 1u << 1;
@@ -224,6 +248,14 @@ class IntrusiveFrameList {
   void Clear() {
     head_ = tail_ = kNoFrame;
     size_ = 0;
+  }
+
+  // Checkpoint restore: the links themselves live in the slab arrays and
+  // are restored with them; only the head/tail/size triple is list-local.
+  void RestoreRaw(FrameId head, FrameId tail, std::uint64_t size) {
+    head_ = head;
+    tail_ = tail;
+    size_ = size;
   }
 
  private:

@@ -137,6 +137,23 @@ class MemSystem {
     stats_ = other.stats_;
   }
 
+  // --- checkpoint surface (machine_image_io) ------------------------------
+  [[nodiscard]] const LruList& file_lru() const { return file_lru_; }
+  [[nodiscard]] const LruList& anon_lru() const { return anon_lru_; }
+  [[nodiscard]] std::uint64_t touch_seq() const { return touch_seq_; }
+
+  void RestoreLists(const LruList& file, const LruList& anon) {
+    file_lru_ = file;
+    anon_lru_ = anon;
+  }
+  void RestoreCounters(std::uint64_t file_pages, std::uint64_t anon_pages,
+                       std::uint64_t touch_seq, const MemStats& stats) {
+    file_pages_ = file_pages;
+    anon_pages_ = anon_pages;
+    touch_seq_ = touch_seq;
+    stats_ = stats;
+  }
+
  private:
   // Evicts one page to make room for a page of `incoming` kind. Returns
   // false if nothing can be evicted (admission must be denied).

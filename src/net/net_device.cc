@@ -160,6 +160,15 @@ void NetDevice::RestoreState(const State& s) {
   reordered_ = s.reordered;
 }
 
+void NetDevice::CrashReset(Nanos now) {
+  for (Endpoint& ep : endpoints_) {
+    ep.inbox.clear();
+    ep.in_flight.clear();
+    ep.closed = true;
+  }
+  link_.CrashReset(now);
+}
+
 Nanos NetDevice::EarliestArrival(int endpoint) const {
   const Endpoint& ep = endpoints_[static_cast<std::size_t>(endpoint)];
   Nanos earliest = EventQueue::kNever;

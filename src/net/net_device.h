@@ -52,6 +52,10 @@ class NetDevice : private SimDevice::ServiceModel {
   struct Endpoint {
     std::deque<NetMessage> inbox;
     std::vector<Nanos> in_flight;  // scheduled arrival times, unsorted
+    // Set by CrashReset: the endpoint died with the machine. A receiver
+    // blocked on (or later handed) a closed endpoint fails ECONNRESET-style
+    // instead of waiting for traffic that can never arrive.
+    bool closed = false;
   };
 
   NetDevice(const NetSchedule& schedule, SimClock* clock, EventQueue* events);
@@ -70,6 +74,17 @@ class NetDevice : private SimDevice::ServiceModel {
 
   // Pops the oldest delivered message; false when the inbox is empty.
   bool Recv(int endpoint, NetMessage* out);
+
+  [[nodiscard]] bool Closed(int endpoint) const {
+    return endpoints_[static_cast<std::size_t>(endpoint)].closed;
+  }
+
+  // Crash-stop teardown: every endpoint's volatile state dies — queued
+  // inbox messages, in-flight arrival bookkeeping (the delivery events
+  // themselves were discarded wholesale) — and the endpoint is marked
+  // closed. The link device's queue collapses alongside. Counters survive:
+  // they are observability, and a restarted run keeps accumulating.
+  void CrashReset(Nanos now);
 
   // Delivered-and-unread messages waiting at `endpoint`.
   [[nodiscard]] std::uint64_t Pending(int endpoint) const {

@@ -61,6 +61,20 @@ class Histogram {
 
   void Merge(const Histogram& other);
 
+  // Checkpoint restore: overwrite with raw captured state. `min` is the
+  // value min() reported at capture; an empty histogram re-derives the
+  // all-ones sentinel so a later Record() still tracks the true minimum.
+  void RestoreRaw(const std::uint64_t buckets[kBuckets], std::uint64_t count,
+                  std::uint64_t sum, std::uint64_t min, std::uint64_t max) {
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[i] = buckets[i];
+    }
+    count_ = count;
+    sum_ = sum;
+    min_ = count == 0 ? ~std::uint64_t{0} : min;
+    max_ = max;
+  }
+
  private:
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;

@@ -124,6 +124,8 @@ void Os::BindMetrics(obs::MetricsRegistry* registry) const {
   r.AddCounter("os.queued_disk_requests", &os_stats_.queued_disk_requests);
   r.AddCounter("os.net_sends", &os_stats_.net_sends);
   r.AddCounter("os.net_recvs", &os_stats_.net_recvs);
+  r.AddCounter("os.fsyncs", &os_stats_.fsyncs);
+  r.AddCounter("os.syncfs_calls", &os_stats_.syncfs_calls);
   r.AddGauge("os.events_scheduled", "", [this] {
     return static_cast<double>(events_.scheduled_total());
   });
@@ -236,6 +238,14 @@ void Os::ArmChaos(const FaultPlan& plan) {
                        [this, epoch] { ShockTick(epoch); },
                        Desc(EventKind::kShockTick, 0, {epoch}));
   }
+  // Crash-stop: a plain scheduled event, not a draw, so a crash-only plan
+  // perturbs nothing before the instant. Guarded `> now` so re-arming after
+  // recovery (crash_at now in the past) cannot re-fire it.
+  if (plan.crash_at > clock_.now()) {
+    events_.ScheduleAt(plan.crash_at, EventQueue::Band::kCompletion,
+                       [this, epoch] { CrashNow(epoch); },
+                       Desc(EventKind::kCrash, 0, {epoch}));
+  }
 }
 
 void Os::DisarmChaos() {
@@ -252,6 +262,105 @@ void Os::DisarmChaos() {
   cache_.DropFile(Tag(disk, kAntagonistLocalInum));
   cache_.DropFile(Tag(0, kShockLocalInum));
   chaos_.reset();
+}
+
+// ---- crash-stop & recovery ----
+
+void Os::CrashNow(std::uint64_t epoch) {
+  if (chaos_ == nullptr || epoch != chaos_epoch_ || crashed_) {
+    return;  // stale event from a disarmed/re-armed plan, or already down
+  }
+  // Runs inside EventQueue dispatch: throwing here would corrupt the queue
+  // mid-batch, so only mark the machine dead and ready every sleeper. Each
+  // fiber unwinds at its own next charge/wake boundary — the same place a
+  // real interrupt would find it.
+  crashed_ = true;
+  crash_instant_ = clock_.now();
+  scheduler_.WakeAll();
+}
+
+void Os::ThrowIfCrashed() {
+  // Only fiber contexts unwind; standalone callers (benches driving pid 0
+  // outside RunProcesses) observe the crash via crashed() instead — there
+  // is no fiber stack to kill.
+  if (crashed_ && scheduler_.active()) {
+    throw CrashUnwind{};
+  }
+}
+
+RecoveryStats Os::Recover() {
+  assert(!in_scheduler_run_ && "recovery runs at quiescence");
+  assert(crashed_ && "Recover without a crash");
+  ++recovery_stats_.crashes;
+  const Nanos start = clock_.now();
+
+  // Volatile state dies. First the pending event population: every disk
+  // WRITE whose completion has not fired is torn — the write-order model
+  // says a write is durable exactly when its completion event runs. Reads
+  // (kDeviceCompletion with arg[0]==0, kReadFillCompletion) lose nothing,
+  // and dev == -1 is the net link, whose loss is not disk damage.
+  for (const EventQueue::RawEvent& ev : events_.ExportPending()) {
+    if (ev.desc.kind == static_cast<std::uint32_t>(EventKind::kDeviceCompletion) &&
+        ev.desc.dev >= 0 && ev.desc.arg[0] == 1) {
+      ++recovery_stats_.torn_writes;
+    }
+  }
+  events_.DiscardPending();
+
+  // The page cache is RAM: every page goes, and the dirty ones — writes
+  // the kernel accepted but never made durable — are the lost work. Dirty
+  // metadata blocks are tracked separately; fsck rewrites those below.
+  std::vector<std::pair<Inum, std::uint64_t>> dirty;
+  cache_.DropAll(&dirty);
+  std::vector<std::pair<int, std::uint64_t>> meta_repairs;
+  for (const auto& [inum, page] : dirty) {
+    ++recovery_stats_.lost_dirty_pages;
+    if (IsMetaInum(inum)) {
+      ++recovery_stats_.repaired_meta_blocks;
+      meta_repairs.emplace_back(DiskOfInum(inum), page);  // page IS the block
+    }
+  }
+  inflight_reads_.Clear();
+  fd_tables_.clear();
+  fd_tables_.resize(1);  // default pid 0, as at construction
+  flush_daemon_scheduled_ = false;
+  page_daemon_scheduled_ = false;
+  direct_reclaim_wait_ = 0;
+  in_background_ = false;
+  net_->CrashReset(clock_.now());
+  for (auto& q : disk_queues_) {
+    q->device().CrashReset(clock_.now());
+  }
+  crashed_ = false;
+
+  // fsck: re-read every cylinder group's metadata range (superblock copy +
+  // inode table) on every disk, then rewrite the metadata blocks that were
+  // dirty in RAM at the crash — their on-disk copies are stale or torn.
+  // All real, charged I/O on the restarted machine's timeline: recovery
+  // latency is a measured output, not a constant.
+  Nanos last = 0;
+  for (int d = 0; d < num_disks(); ++d) {
+    const Ffs& f = *filesystems_[d];
+    for (std::size_t g = 0; g < f.GroupCount(); ++g) {
+      const auto [first_block, data_start] = f.GroupMetaRange(g);
+      last = std::max(last, SubmitDiskIo(d, first_block, data_start - first_block,
+                                         /*is_write=*/false, nullptr));
+    }
+  }
+  for (const auto& [d, block] : meta_repairs) {
+    last = std::max(last, SubmitDiskIo(d, block, 1, /*is_write=*/true, nullptr));
+  }
+  WaitUntil(default_pid(), last);
+  recovery_stats_.recovery_time = clock_.now() - start;
+
+  // The interference environment reboots with the machine: re-arm the same
+  // plan from scratch (fresh chaos RNG, fresh antagonist/shock ticks). The
+  // guard in ArmChaos keeps the now-past crash_at from re-firing.
+  if (chaos_ != nullptr) {
+    const FaultPlan plan = chaos_->plan();
+    ArmChaos(plan);
+  }
+  return recovery_stats_;
 }
 
 void Os::AntagonistTick(std::uint64_t epoch) {
@@ -436,9 +545,15 @@ Nanos Os::Jittered(Nanos cost) {
 }
 
 void Os::Charge(Pid pid, Nanos cost) {
+  // Crash boundary, checked before the jitter draw so a dead machine stops
+  // consuming the RNG stream, and again after the scheduler charge — the
+  // crash event fires mid-advance, and the fiber must die on return rather
+  // than run on past the instant.
+  ThrowIfCrashed();
   cost = Jittered(cost);
   if (in_scheduler_run_ && pid < sched_slots_.size() && sched_slots_[pid] >= 0) {
     scheduler_.Charge(sched_slots_[pid], cost);
+    ThrowIfCrashed();
     return;
   }
   clock_.Advance(cost);
@@ -451,6 +566,9 @@ void Os::WaitUntil(Pid pid, Nanos deadline) {
   if (in_scheduler_run_ && pid < sched_slots_.size() && sched_slots_[pid] >= 0) {
     // Blocking releases the CPU: other processes run until the deadline.
     scheduler_.SleepUntil(sched_slots_[pid], deadline);
+    // A crash readies every sleeper early (WakeAll); the woken fiber dies
+    // here instead of resuming its syscall against a dead machine.
+    ThrowIfCrashed();
     return;
   }
   if (deadline > clock_.now()) {
@@ -657,7 +775,13 @@ void Os::RunProcesses(const std::vector<std::function<void(Pid)>>& bodies) {
   wrapped.reserve(bodies.size());
   for (std::size_t i = 0; i < bodies.size(); ++i) {
     wrapped.push_back([this, &bodies, &pids, i](int) {
-      bodies[i](pids[i]);
+      try {
+        bodies[i](pids[i]);
+      } catch (const CrashUnwind&) {
+        // Crash-stop: this fiber's stack dies here. Destructors already ran
+        // during the unwind; fall through to release so the host-side
+        // process bookkeeping (anon memory, fds) dies with it.
+      }
       // Process exit: release anonymous memory and fd table.
       vm_.ReleaseProcess(pids[i]);
       fd_tables_[pids[i]].clear();
@@ -704,6 +828,13 @@ std::int64_t Os::NetRecv(Pid pid, int endpoint, Nanos timeout, NetMessage* out) 
                              ? EventQueue::kNever
                              : clock_.now() + timeout;
   while (true) {
+    // A crashed peer machine (or this machine's own past crash) closes the
+    // endpoint via NetDevice::CrashReset. Fail fast, ECONNRESET-style: the
+    // in-flight messages were wiped with the endpoint, so blocking on
+    // EarliestArrival would otherwise sleep forever on kNever.
+    if (net_->Closed(endpoint)) {
+      return ToErr(FsErr::kConnReset);
+    }
     if (net_->Recv(endpoint, out)) {
       Charge(pid, config_.costs.CopyCost(out->bytes));
       return static_cast<std::int64_t>(out->bytes);
@@ -1043,6 +1174,7 @@ std::int64_t Os::Lseek(Pid pid, int fd, std::uint64_t offset) {
 
 int Os::Fsync(Pid pid, int fd) {
   ++os_stats_.syscalls;
+  ++os_stats_.fsyncs;
   Charge(pid, config_.costs.syscall_overhead);
   FdEntry* e = GetFd(pid, fd);
   if (e == nullptr) {
@@ -1057,6 +1189,23 @@ int Os::Fsync(Pid pid, int fd) {
   // fsync also covers writes the flusher already has in flight for this
   // file; FCFS queues mean waiting for the device drain is sufficient.
   done = std::max(done, disk_queues_[e->disk]->busy_until());
+  WaitUntil(pid, done);
+  return 0;
+}
+
+int Os::Syncfs(Pid pid, int disk) {
+  ++os_stats_.syscalls;
+  ++os_stats_.syncfs_calls;
+  Charge(pid, config_.costs.syscall_overhead);
+  if (disk < 0 || disk >= num_disks()) {
+    return ToErr(FsErr::kInvalid);
+  }
+  // Everything dirty on this disk — file data AND metadata (fsync skips
+  // the latter; a checkpoint barrier cannot). Dirtying order is preserved
+  // by TakeDirtyMatching, so submission respects the write-order model.
+  Nanos done = SubmitWritebackRuns(cache_.TakeDirtyMatching(
+      [disk](Inum inum) { return DiskOfInum(inum) == disk; }));
+  done = std::max(done, disk_queues_[disk]->busy_until());
   WaitUntil(pid, done);
   return 0;
 }
@@ -1554,6 +1703,7 @@ double Os::ResidentFraction(std::string_view path) const {
 Os::Image Os::CaptureImage() const {
   assert(!in_scheduler_run_ && "snapshot requires quiescence (no live fiber stacks)");
   assert(direct_reclaim_wait_ == 0 && !in_background_);
+  assert(!crashed_ && "checkpoint after Recover(), not mid-crash");
   Image img;
   img.profile = profile_;
   img.config = config_;
@@ -1680,6 +1830,10 @@ EventFn Os::MaterializeEvent(const EventDesc& d) {
     case EventKind::kShockTick: {
       const std::uint64_t epoch = d.arg[0];
       return EventFn([this, epoch] { ShockTick(epoch); });
+    }
+    case EventKind::kCrash: {
+      const std::uint64_t epoch = d.arg[0];
+      return EventFn([this, epoch] { CrashNow(epoch); });
     }
     case EventKind::kShockRelease: {
       const std::uint64_t epoch = d.arg[0];

@@ -64,8 +64,32 @@ struct OsStats {
   std::uint64_t queued_disk_requests = 0;  // requests submitted to device queues
   std::uint64_t net_sends = 0;
   std::uint64_t net_recvs = 0;  // NetRecv syscalls (including timeouts)
+  std::uint64_t fsyncs = 0;
+  std::uint64_t syncfs_calls = 0;
 
   friend bool operator==(const OsStats&, const OsStats&) = default;
+};
+
+// What a crash cost, reported by Os::Recover. Counters are cumulative over
+// the machine's lifetime (a supervisor summing shards wants totals, and a
+// replay pin wants one value to compare); recovery_time is the virtual time
+// the LAST recovery's consistency scan consumed.
+struct RecoveryStats {
+  std::uint64_t crashes = 0;
+  // Dirty page-cache pages (data + metadata) lost at the crash instant —
+  // writes the kernel had accepted but not yet made durable.
+  std::uint64_t lost_dirty_pages = 0;
+  // Disk WRITE requests that were queued or in flight when the machine
+  // died: under the write-order model their completion event never fired,
+  // so their sectors hold torn state the scan must repair.
+  std::uint64_t torn_writes = 0;
+  // Metadata blocks among the lost dirty pages (inode table / directory /
+  // bitmap blocks) — the blocks fsck re-reads and rewrites.
+  std::uint64_t repaired_meta_blocks = 0;
+  // Virtual time the last Recover() spent scanning cylinder-group metadata.
+  Nanos recovery_time = 0;
+
+  friend bool operator==(const RecoveryStats&, const RecoveryStats&) = default;
 };
 
 // One operation of a batched syscall (see Os::PreadBatch etc.). The batch
@@ -128,6 +152,10 @@ class Os : private EvictionHandler {
   static constexpr std::uint64_t kSeekEnd = ~0ULL;
   std::int64_t Lseek(Pid pid, int fd, std::uint64_t offset);
   int Fsync(Pid pid, int fd);
+  // syncfs(2): flushes EVERY dirty page living on `disk` — file data and
+  // metadata — and waits for the device to drain. The heavyweight durability
+  // barrier checkpointing code reaches for when it cannot enumerate fds.
+  int Syncfs(Pid pid, int disk);
   int Ftruncate(Pid pid, int fd, std::uint64_t size);
 
   // mincore(2): residency bitmap for a byte range of an open file. Returns
@@ -211,6 +239,23 @@ class Os : private EvictionHandler {
   [[nodiscard]] ChaosStats chaos_stats() const {
     return chaos_ != nullptr ? chaos_->stats() : ChaosStats{};
   }
+
+  // ---- crash-stop & recovery ----
+  // True between the FaultPlan::crash_at instant taking effect and the next
+  // Recover() call. While crashed, every syscall a still-running fiber
+  // attempts unwinds that fiber (its "stack died with the machine"); the
+  // owner must not start new work until Recover() has run.
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  // Post-crash restart: discards volatile state (dirty page-cache pages,
+  // in-flight disk and net requests, fd tables, pending events), then runs
+  // a deterministic FFS consistency scan that re-reads every cylinder
+  // group's metadata range and rewrites the blocks torn writes touched,
+  // charging the scan's virtual time. Returns the cumulative RecoveryStats
+  // (also available via recovery_stats()). Chaos stays armed with the same
+  // plan — its crash_at is in the past, so it cannot re-fire. Must be
+  // called at quiescence (between RunProcesses calls).
+  RecoveryStats Recover();
+  [[nodiscard]] const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
   // ---- observability (tests & benches only; never part of the gray-box
   // interface — an ICL that read the trace would be an X-ray, not a gray
@@ -412,6 +457,21 @@ class Os : private EvictionHandler {
   void AntagonistTick(std::uint64_t epoch);
   void ShockTick(std::uint64_t epoch);
 
+  // Thrown through a fiber body when the machine crash-stops: RunProcesses
+  // catches it per process, so each still-running fiber unwinds cleanly
+  // (destructors run — the fiber's host-side stack must not leak even
+  // though the simulated stack "died"). Internal: never escapes Os.
+  struct CrashUnwind {};
+
+  // The kCrash event body. Only sets flags and readies sleepers — it runs
+  // inside EventQueue dispatch, where throwing would corrupt the queue; the
+  // actual unwind happens at each fiber's next charge/wake boundary.
+  void CrashNow(std::uint64_t epoch);
+  // Throws CrashUnwind out of the calling fiber when the machine has
+  // crashed and a fiber context is live (standalone callers — benches
+  // driving pid 0 outside RunProcesses — see the flag via crashed()).
+  void ThrowIfCrashed();
+
   // ---- snapshot internals ----
   // Rebuilds the closure for one captured event descriptor, bound to this
   // Os's own subsystems (the EventKind registry names every pendable event).
@@ -465,6 +525,10 @@ class Os : private EvictionHandler {
   std::uint64_t chaos_epoch_ = 0;
   std::uint64_t antagonist_reader_pos_ = 0;
   std::uint64_t antagonist_dirty_pos_ = 0;
+  // Crash-stop state: set by CrashNow, cleared by Recover.
+  bool crashed_ = false;
+  Nanos crash_instant_ = 0;
+  RecoveryStats recovery_stats_;
 
  public:
   // ---- snapshot / fork ----

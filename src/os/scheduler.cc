@@ -231,10 +231,27 @@ void Scheduler::SleepUntil(int proc, Nanos deadline) {
   }
   Fiber& f = *fibers_[proc];
   f.state = State::kSleeping;
+  // The closure re-checks the fiber before waking it: after a crash-stop,
+  // WakeAll readies every sleeper and the unwound fibers are gone, but this
+  // wake event may still be pending (Recover discards the queue, yet the
+  // crash event itself dispatches from the same due-batch as its
+  // neighbors). A stale wake must not index a cleared fiber table or
+  // re-ready a fiber that already progressed.
   events_->ScheduleAt(deadline, EventQueue::Band::kWake, [this, proc] {
-    fibers_[proc]->state = State::kReady;
+    if (static_cast<std::size_t>(proc) < fibers_.size() &&
+        fibers_[proc]->state == State::kSleeping) {
+      fibers_[proc]->state = State::kReady;
+    }
   });
   SwitchToMain(/*dying=*/false);
+}
+
+void Scheduler::WakeAll() {
+  for (auto& f : fibers_) {
+    if (f->state == State::kSleeping) {
+      f->state = State::kReady;
+    }
+  }
 }
 
 void Scheduler::Sleep(int proc, Nanos duration) {

@@ -61,6 +61,13 @@ class Scheduler {
   // Voluntarily gives up the remainder of the slice.
   void Yield(int proc);
 
+  // Crash-stop support: marks every sleeping fiber ready so the dispatch
+  // loop runs each one once more. The owner (Os) makes the next charge or
+  // wake throw through the fiber body, unwinding its stack — the mechanism
+  // by which "every fiber's stack dies" without the dispatch loop
+  // deadlocking on wake events that will never fire.
+  void WakeAll();
+
   [[nodiscard]] Nanos slice() const { return slice_; }
 
   // Optional trace sink: each fiber gets its own "fiber/N" track carrying

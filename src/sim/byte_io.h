@@ -1,0 +1,182 @@
+// Little-endian byte serialization for durable machine checkpoints.
+//
+// ByteWriter appends fixed-width scalars to a growable buffer; ByteReader
+// consumes them with a sticky failure flag instead of per-call error
+// returns. The checkpoint loader verifies a per-section CRC32 before it
+// parses, so a reader only fails on content from a different format
+// version — callers check ok() once per section and reject the whole file,
+// never a partial restore.
+//
+// Encodings are explicit shifts, not memcpy of host structs: the file must
+// mean the same bytes on any host, and no padding or struct layout may
+// leak into the format.
+#ifndef SRC_SIM_BYTE_IO_H_
+#define SRC_SIM_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace graysim {
+
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(v); }
+
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  void F64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+
+  void Str(const std::string& s) {
+    U64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void Bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : p_(data), end_(data + size) {}
+
+  [[nodiscard]] std::uint8_t U8() {
+    if (!Need(1)) {
+      return 0;
+    }
+    return *p_++;
+  }
+
+  [[nodiscard]] std::uint32_t U32() {
+    if (!Need(4)) {
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(*p_++) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t U64() {
+    if (!Need(8)) {
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(*p_++) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  [[nodiscard]] bool Bool() { return U8() != 0; }
+
+  [[nodiscard]] double F64() {
+    const std::uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  [[nodiscard]] std::string Str() {
+    const std::uint64_t n = Count(1);
+    std::string s;
+    if (failed_) {
+      return s;
+    }
+    s.assign(reinterpret_cast<const char*>(p_), static_cast<std::size_t>(n));
+    p_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool Bytes(void* out, std::size_t n) {
+    if (!Need(n)) {
+      return false;
+    }
+    std::memcpy(out, p_, n);
+    p_ += n;
+    return true;
+  }
+
+  // Reads an element count whose elements occupy at least `min_elem_bytes`
+  // each; fails (rather than letting a caller resize a vector to a bogus
+  // size) when the remaining input cannot possibly hold that many.
+  [[nodiscard]] std::uint64_t Count(std::size_t min_elem_bytes) {
+    const std::uint64_t n = U64();
+    if (failed_) {
+      return 0;
+    }
+    const std::uint64_t avail = static_cast<std::uint64_t>(end_ - p_);
+    if (min_elem_bytes != 0 && n > avail / min_elem_bytes) {
+      failed_ = true;
+      return 0;
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  // A fully-consumed, error-free read: the shape of a successful section.
+  [[nodiscard]] bool Done() const { return !failed_ && p_ == end_; }
+
+ private:
+  [[nodiscard]] bool Need(std::size_t n) {
+    if (failed_ || static_cast<std::size_t>(end_ - p_) < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  bool failed_ = false;
+};
+
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), bytewise table-free.
+// Used as the per-section checksum in checkpoint files; speed is irrelevant
+// next to the disk write, and having no table keeps the header dependency
+// free for tests that corrupt sections deliberately.
+[[nodiscard]] inline std::uint32_t Crc32(const std::uint8_t* data, std::size_t size,
+                                         std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+}  // namespace graysim
+
+#endif  // SRC_SIM_BYTE_IO_H_

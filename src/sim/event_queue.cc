@@ -266,4 +266,28 @@ std::vector<EventQueue::RawEvent> EventQueue::ExportPending() const {
   return out;
 }
 
+void EventQueue::DiscardPending() {
+  due_.clear();
+  head_ = 0;
+  for (auto& level : wheel_) {
+    for (auto& bucket : level) {
+      bucket.clear();
+    }
+  }
+  for (auto& level : slot_min_) {
+    level.fill(kNever);
+  }
+  for (auto& level : occupied_) {
+    level.fill(0);
+  }
+  overflow_.clear();
+  batch_.clear();
+  fns_.clear();
+  descs_.clear();
+  free_fn_slots_.clear();
+  count_ = 0;
+  next_cache_ = kNever;
+  next_dirty_ = false;
+}
+
 }  // namespace graysim

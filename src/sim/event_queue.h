@@ -58,6 +58,7 @@ enum class EventKind : std::uint32_t {
   kShockRelease,         // chaos shock-window page release
   kFlushDaemon,          // dirty-page flush daemon run
   kPageDaemon,           // page daemon run
+  kCrash,                // chaos crash-stop instant; arg[0] = chaos epoch
 };
 
 struct EventDesc {
@@ -162,6 +163,13 @@ class EventQueue {
   // its (when, band, tie, id) key verbatim: no tie draw, no id allocation,
   // no scheduled_total bump (RestoreKernelState carries the counters).
   void ImportPending(const RawEvent& ev, EventFn fn);
+
+  // Crash-stop surface: drops every pending event — closures, descriptors,
+  // wheel and overflow contents — without running anything. The tie RNG, id
+  // counter, and scheduled_total survive (they are kernel identity, and the
+  // post-crash kernel must keep drawing the same tie stream); the wheel
+  // cursor keeps its position so the clock cannot move backwards.
+  void DiscardPending();
 
   [[nodiscard]] KernelState SnapshotKernelState() const {
     return KernelState{tie_rng_.state(), next_id_, scheduled_total_};

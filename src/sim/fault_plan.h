@@ -77,6 +77,16 @@ struct FaultPlan {
   double net_delay_duty = 0.0;
   double net_delay_scale = 1.0;
 
+  // --- crash-stop schedule ---
+  // Absolute virtual time at which the machine crash-stops (0 = never).
+  // At that instant volatile state dies — dirty page-cache pages, in-flight
+  // disk/net requests, every fiber's stack — while durable disk state
+  // survives under the write-order model (a write is durable once its
+  // completion event has fired). The owner must call Os::Recover() before
+  // using the machine again. Scheduled as a plain event, not a draw, so a
+  // crash-only plan perturbs nothing before the crash instant.
+  Nanos crash_at = 0;
+
   // --- memory-pressure shocks ---
   Nanos shock_period = 0;      // 0 disables shocks
   Nanos shock_duration = 0;    // grabbed memory is released after this long

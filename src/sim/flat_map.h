@@ -160,6 +160,33 @@ class FlatMap {
     size_ = 0;
   }
 
+  // --- checkpoint surface -------------------------------------------------
+  // A durable checkpoint stores the raw slot array, not a logical set of
+  // entries: ForEach order is layout order, layout depends on insertion
+  // history, and a map rebuilt by reinsertion could legally iterate in a
+  // different order — enough to diverge a bit-identical replay.
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  [[nodiscard]] std::uint64_t slot_key(std::size_t i) const { return slots_[i].key; }
+  [[nodiscard]] const V& slot_value(std::size_t i) const { return slots_[i].value; }
+
+  // Resets to an empty table of exactly `capacity` slots (0, or a power of
+  // two >= kMinCapacity); follow with RestoreRawSlot for each live slot.
+  void RestoreRawLayout(std::size_t capacity) {
+    assert(capacity == 0 ||
+           (capacity >= kMinCapacity && (capacity & (capacity - 1)) == 0));
+    slots_.assign(capacity, Slot{});
+    mask_ = capacity == 0 ? 0 : capacity - 1;
+    size_ = 0;
+  }
+
+  void RestoreRawSlot(std::size_t i, std::uint64_t key, V value) {
+    slots_[i].key = key;
+    slots_[i].value = std::move(value);
+    if (key != kEmptyKey) {
+      ++size_;
+    }
+  }
+
  private:
   struct Slot {
     std::uint64_t key = kEmptyKey;

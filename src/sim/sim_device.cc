@@ -10,6 +10,9 @@ Nanos SimDevice::Submit(std::uint64_t offset, std::uint64_t bytes, bool is_write
   EventDesc desc;
   desc.kind = static_cast<std::uint32_t>(EventKind::kDeviceCompletion);
   desc.dev = snapshot_dev_;
+  // Direction matters to the crash write-order model: a pending write
+  // completion at the crash instant is a torn write; a pending read is not.
+  desc.arg[0] = is_write ? 1 : 0;
   return Submit(offset, bytes, is_write, on_complete, desc);
 }
 

@@ -144,6 +144,18 @@ class SimDevice {
   // or -1 for the net link). Set once at machine assembly.
   void set_snapshot_dev(std::int32_t dev) { snapshot_dev_ = dev; }
 
+  // Crash-stop teardown: in-flight requests die with the machine (their
+  // completion events have already been discarded wholesale), so the queue
+  // empties and the busy timeline collapses to `now`. Cumulative counters
+  // and the service histogram survive — they are observability, not device
+  // state, and a restarted run keeps accumulating into them.
+  void CrashReset(Nanos now) {
+    depth_ = 0;
+    busy_until_ = now;
+    tail_end_offset_ = 0;
+    tail_is_write_ = false;
+  }
+
   // The completion-event closure Submit schedules, exposed so a restoring
   // Os can rebuild a captured in-flight completion bound to this device.
   [[nodiscard]] EventFn MakeCompletionEvent(CompletionFn cb) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/mem/mem_system.h"
+#include "src/sim/byte_io.h"
 #include "src/sim/clock.h"
 
 namespace graysim {
@@ -92,6 +93,13 @@ class Vm {
     return bytes;
   }
 
+  // Durable checkpoint serialization (machine_image_io). PTEs are written as
+  // their raw packed 64-bit form; the frame ids inside refer into the
+  // MemSystem slab serialized alongside. The mru_area hint is derived state
+  // and is not written.
+  void SerializeTo(ByteWriter& w) const;
+  [[nodiscard]] bool DeserializeFrom(ByteReader& r);
+
  private:
   enum class PteState : std::uint8_t { kUnmapped, kResident, kSwapped };
 
@@ -114,6 +122,10 @@ class Vm {
       assert(slot <= kSlotMask);
       bits_ = (static_cast<std::uint64_t>(PteState::kSwapped) << 62) | (slot << 32);
     }
+
+    // Checkpoint form: the packed word itself (state/slot/frame in one).
+    [[nodiscard]] std::uint64_t raw() const { return bits_; }
+    void set_raw(std::uint64_t bits) { bits_ = bits; }
 
    private:
     static constexpr std::uint64_t kSlotMask = (1ULL << 30) - 1;

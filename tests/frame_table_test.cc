@@ -420,17 +420,17 @@ struct GoldenCase {
 // event closures). Bit-identical equality here is the refactor's contract.
 const GoldenCase kGoldenCases[] = {
     {"Linux22", &PlatformProfile::Linux22, 3763731016ULL,
-     {285, 0, 0, 5080, 132, 68, 14, 0, 0, 0, 17412, 3, 82},
+     {285, 0, 0, 5080, 132, 68, 14, 0, 0, 0, 17412, 3, 82, 0, 0, 5},
      {0, 0, 0, 0},
      {4, 3, 0, 0, 0},
      {42, 40, 0, 0, 0}},
     {"NetBsd15", &PlatformProfile::NetBsd15, 3575018310ULL,
-     {285, 0, 0, 5080, 132, 68, 22, 0, 0, 0, 17413, 10, 90},
+     {285, 0, 0, 5080, 132, 68, 22, 0, 0, 0, 17413, 10, 90, 0, 0, 5},
      {0, 0, 0, 0},
      {5, 5, 0, 0, 0},
      {46, 44, 0, 0, 0}},
     {"Solaris7", &PlatformProfile::Solaris7, 3763731016ULL,
-     {285, 0, 0, 5080, 132, 68, 14, 0, 0, 0, 17412, 3, 82},
+     {285, 0, 0, 5080, 132, 68, 14, 0, 0, 0, 17412, 3, 82, 0, 0, 5},
      {0, 0, 0, 0},
      {4, 3, 0, 0, 0},
      {42, 40, 0, 0, 0}},
@@ -466,7 +466,7 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, GoldenWorkloadTest, ::testing::ValuesIn(kG
 TEST(GoldenWorkloadTest, Linux22ThirtyTwoProcessPagingSnapshot) {
   const WorkloadObservation obs = RunDeterminismWorkload(PlatformProfile::Linux22(), 32);
   EXPECT_EQ(obs.now, 7879393643ULL);
-  const OsStats expected_os = {1286, 0, 0, 38406, 294, 172, 52, 0, 0, 0, 43019, 298, 224};
+  const OsStats expected_os = {1286, 0, 0, 38406, 294, 172, 52, 0, 0, 0, 43019, 298, 224, 0, 0, 18};
   EXPECT_EQ(obs.os, expected_os);
   EXPECT_EQ(obs.mem.evictions, 11778u);
   EXPECT_EQ(obs.mem.file_evictions, 11778u);

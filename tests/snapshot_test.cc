@@ -10,12 +10,14 @@
 // round trips. Labeled `snapshot`: CI runs this suite under ASan+UBSan.
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "src/obs/trace.h"
 #include "src/os/machine.h"
+#include "src/os/machine_image_io.h"
 #include "src/workloads/filegen.h"
 
 namespace graysim {
@@ -211,6 +213,40 @@ TEST(SnapshotTest, SnapshotOfForkRoundTrips) {
   RunContinuation(*fork);
   RunContinuation(*grandchild);
   EXPECT_EQ(FingerprintOf(*grandchild), FingerprintOf(*fork));
+}
+
+TEST(SnapshotTest, ResumedFromDiskReplaysBitIdenticallyOnAllProfilesWithChaos) {
+  // The durable variant of the fork pin: Snapshot → SaveMachineImage →
+  // LoadMachineImage → Fork must replay exactly like the in-memory
+  // original, on every platform profile, with chaos armed at the
+  // checkpoint instant.
+  const PlatformProfile profiles[] = {PlatformProfile::Linux22(),
+                                      PlatformProfile::NetBsd15(),
+                                      PlatformProfile::Solaris7()};
+  int index = 0;
+  for (const PlatformProfile& profile : profiles) {
+    SCOPED_TRACE(profile.name);
+    std::unique_ptr<Machine> original = WarmChaoticMachine(profile);
+    const MachineImage image = original->Snapshot();
+
+    const std::string path =
+        ::testing::TempDir() + "/resume_" + std::to_string(index++) + ".gsim";
+    std::string error;
+    ASSERT_TRUE(SaveMachineImage(image, path, &error)) << error;
+    MachineImage loaded;
+    ASSERT_TRUE(LoadMachineImage(path, &loaded, &error)) << error;
+
+    const std::unique_ptr<Machine> resumed = Machine::Fork(loaded);
+    ASSERT_EQ(resumed->Now(), original->Now());
+    ASSERT_TRUE(resumed->os().stats() == original->os().stats());
+
+    original->os().trace().Enable();
+    resumed->os().trace().Enable();
+    RunContinuation(*original);
+    RunContinuation(*resumed);
+    EXPECT_EQ(FingerprintOf(*resumed), FingerprintOf(*original));
+    EXPECT_NE(TraceDigest(resumed->os().trace()), 0u);
+  }
 }
 
 TEST(SnapshotTest, ForkPreservesIdentityAndSeedDerivation) {
