@@ -5,6 +5,8 @@ Usage: check_perf.py <fresh_results_dir> <baseline_dir> [--factor=5]
                      [--retained-slack=0.15] [--efficiency-slack=0.25]
                      [--ratio-slack=0.10] [--host-slack=0.75]
                      [--overhead-slack=0.15] [--recovery-slack=0.5]
+                     [--latency-slack=0.10] [--goodput-slack=0.10]
+                     [--only=bench1,bench2]
 
 For every BENCH_*.json present in BOTH directories, every metric with unit
 "ops/s" must be no more than `factor` times slower than the committed
@@ -53,6 +55,22 @@ seconds, so runner noise is a small fraction, and the regression this
 catches (a reintroduced per-cell machine warm instead of a snapshot fork)
 multiplies the time rather than nudging it.
 
+Metrics with unit "latency_ns" (graysimd's fleet-merged request-latency
+percentiles from bench/load_replay) are ceiling-gated multiplicatively:
+fresh must be at most baseline * (1 + latency_slack). Latency comes from
+the deterministic simulator's virtual clock, so it is bit-stable across
+hosts — the slack absorbs deliberate re-tunings of the builtin scenario,
+not noise. Unit "goodput" (requests that finished clean and under the
+scenario timeout, per virtual second) is the matching multiplicative
+floor: fresh must be at least baseline * (1 - goodput_slack).
+
+A baseline whose fresh BENCH_*.json is MISSING is a hard failure: a bench
+that crashed (or was dropped from the build) before writing its JSON must
+not pass the gate by silence. Use --only=name1,name2 to restrict the
+comparison to specific benches (nightly gates only the benches it runs);
+baselines outside the list are ignored entirely, and a missing fresh file
+is still a failure for benches inside it.
+
 Exit status: 0 when every common metric passes, 1 otherwise.
 """
 
@@ -83,7 +101,7 @@ def unit_metrics(doc: dict, unit: str) -> dict:
     }
 
 
-def main() -> int:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("fresh", type=pathlib.Path)
     parser.add_argument("baseline", type=pathlib.Path)
@@ -94,14 +112,26 @@ def main() -> int:
     parser.add_argument("--host-slack", type=float, default=0.75)
     parser.add_argument("--overhead-slack", type=float, default=0.15)
     parser.add_argument("--recovery-slack", type=float, default=0.5)
-    args = parser.parse_args()
+    parser.add_argument("--latency-slack", type=float, default=0.10)
+    parser.add_argument("--goodput-slack", type=float, default=0.10)
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated bench names; gate just these")
+    args = parser.parse_args(argv)
+    only = {name.strip() for name in args.only.split(",") if name.strip()}
 
     failures = []
     compared = 0
     for base_path in sorted(args.baseline.glob("BENCH_*.json")):
+        bench_name = base_path.name[len("BENCH_"):-len(".json")]
+        if only and bench_name not in only:
+            continue
         fresh_path = args.fresh / base_path.name
         if not fresh_path.exists():
-            print(f"note: {base_path.name} has no fresh result; skipping")
+            # A bench that crashed before writing its JSON must not pass the
+            # gate by silence.
+            print(f"FAIL {base_path.name}: baseline exists but no fresh result "
+                  f"was produced (bench crashed or was not run?)")
+            failures.append(f"{base_path.name}:missing-fresh")
             continue
         base, fresh = load(base_path), load(fresh_path)
 
@@ -157,6 +187,30 @@ def main() -> int:
             if fresh_abs[name] > ceiling:
                 failures.append(f"{base_path.name}:{name}")
 
+        base_lat = unit_metrics(base, "latency_ns")
+        fresh_lat = unit_metrics(fresh, "latency_ns")
+        for name in sorted(base_lat.keys() & fresh_lat.keys()):
+            compared += 1
+            ceiling = base_lat[name] * (1.0 + args.latency_slack)
+            status = "ok" if fresh_lat[name] <= ceiling else "FAIL"
+            print(f"{status:4} {base_path.name}:{name}: "
+                  f"{fresh_lat[name]:.4g} ns vs baseline {base_lat[name]:.4g} "
+                  f"(ceiling {ceiling:.4g})")
+            if fresh_lat[name] > ceiling:
+                failures.append(f"{base_path.name}:{name}")
+
+        base_good = unit_metrics(base, "goodput")
+        fresh_good = unit_metrics(fresh, "goodput")
+        for name in sorted(base_good.keys() & fresh_good.keys()):
+            compared += 1
+            floor = base_good[name] * (1.0 - args.goodput_slack)
+            status = "ok" if fresh_good[name] >= floor else "FAIL"
+            print(f"{status:4} {base_path.name}:{name}: "
+                  f"{fresh_good[name]:.4g} req/s vs baseline {base_good[name]:.4g} "
+                  f"(floor {floor:.4g})")
+            if fresh_good[name] < floor:
+                failures.append(f"{base_path.name}:{name}")
+
         base_host = base.get("host_time_s", 0.0)
         fresh_host = fresh.get("host_time_s", 0.0)
         if base_host >= 0.2:
@@ -169,12 +223,12 @@ def main() -> int:
             if fresh_host > ceiling:
                 failures.append(f"{base_path.name}:host_time_s")
 
-    if compared == 0:
-        print("error: no common metrics to compare", file=sys.stderr)
-        return 1
     if failures:
         print(f"\nperf smoke FAILED ({len(failures)}): " + ", ".join(failures),
               file=sys.stderr)
+        return 1
+    if compared == 0:
+        print("error: no common metrics to compare", file=sys.stderr)
         return 1
     print(f"\nperf smoke passed: {compared} metrics within bounds "
           f"(factor {args.factor}x, retained slack {args.retained_slack}, "

@@ -1,0 +1,24 @@
+#!/bin/sh
+# ctest_label_guard.sh LABEL [BUILD_DIR] — fail when a ctest label selects
+# zero tests.
+#
+# `ctest -L <label>` exits 0 having run nothing when the label matches no
+# tests, which turns a "run the <label> suite" CI step into a silent no-op
+# the moment a label is renamed or a gb_test() entry loses its LABELS
+# clause. Every labeled CI step calls this guard first: it counts the
+# selection with `ctest -N` and fails on an empty net.
+#
+# BUILD_DIR defaults to the current directory (useful with
+# `working-directory:` in a workflow step).
+set -eu
+
+label=${1:?usage: ctest_label_guard.sh LABEL [BUILD_DIR]}
+build_dir=${2:-.}
+
+count=$(ctest --test-dir "$build_dir" -L "$label" -N | awk '/Total Tests:/ {print $3}')
+count=${count:-0}
+echo "${label}-labeled tests selected in ${build_dir}: ${count}"
+if [ "$count" -le 0 ]; then
+    echo "error: label '${label}' selects no tests — renamed label or lost LABELS clause?" >&2
+    exit 1
+fi

@@ -1,0 +1,91 @@
+// Open-loop arrival processes for graysimd client streams.
+//
+// An ArrivalProcess turns (scenario, one stream seed) into a monotone
+// sequence of virtual arrival offsets. The sequence is a pure function of
+// its inputs: it consumes only its own Rng stream and never looks at the
+// clock or at request completions, which is what makes the replay open-loop
+// (a slow server sees requests pile up, not back off) and bit-identical
+// across reruns and thread counts. Per *The Computer System Trail*, this is
+// the property a serving-system benchmark must not lose: a closed loop
+// self-throttles and hides exactly the tail the p99 is supposed to expose.
+#ifndef SRC_SERVICE_ARRIVAL_H_
+#define SRC_SERVICE_ARRIVAL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/service/scenario.h"
+#include "src/sim/clock.h"
+#include "src/sim/rng.h"
+
+namespace grayservice {
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const LoadScenario& scenario, std::uint64_t stream_seed)
+      : kind_(scenario.arrival),
+        period_ns_(PeriodNs(scenario.rate_hz)),
+        burst_size_(scenario.burst_size),
+        rng_(stream_seed) {
+    if (kind_ == ArrivalKind::kBurst) {
+      // Each stream's burst train starts at a seed-drawn phase inside one
+      // full burst interval. Without the phase every client in the fleet
+      // would slam the identical instants — a synchronized thundering herd
+      // that collapses any queue regardless of the configured mean rate.
+      // Fixed-rate deliberately stays lockstep (the synchronized worst
+      // case is sometimes exactly what an experiment wants).
+      next_ = static_cast<graysim::Nanos>(rng_.Below(
+          static_cast<std::uint64_t>(period_ns_) *
+          static_cast<std::uint64_t>(burst_size_)));
+    }
+  }
+
+  // Next arrival offset from the window start. Non-decreasing; successive
+  // calls walk the stream's whole schedule (the caller stops at the
+  // scenario's duration). Burst arrivals share one instant — burst_size
+  // requests land together every burst_size * period (from the stream's
+  // phase), preserving the configured mean rate.
+  graysim::Nanos Next() {
+    switch (kind_) {
+      case ArrivalKind::kFixedRate:
+        next_ += period_ns_;
+        return next_;
+      case ArrivalKind::kPoisson: {
+        // Exponential gap with mean `period`: -ln(1 - U), U uniform in
+        // [0, 1) so the argument stays in (0, 1]. Clamped to >= 1 ns so the
+        // sequence is strictly increasing (equal-instant arrivals are the
+        // burst process's job, not noise in this one).
+        const double u = rng_.NextDouble();
+        const double gap = -std::log(1.0 - u) * static_cast<double>(period_ns_);
+        next_ += gap < 1.0 ? 1 : static_cast<graysim::Nanos>(gap);
+        return next_;
+      }
+      case ArrivalKind::kBurst: {
+        const graysim::Nanos at = next_;
+        if (++burst_pos_ == burst_size_) {
+          burst_pos_ = 0;
+          next_ += period_ns_ * static_cast<graysim::Nanos>(burst_size_);
+        }
+        return at;
+      }
+    }
+    return next_;
+  }
+
+ private:
+  [[nodiscard]] static graysim::Nanos PeriodNs(double rate_hz) {
+    const double p = 1e9 / rate_hz;
+    return p < 1.0 ? 1 : static_cast<graysim::Nanos>(p);
+  }
+
+  ArrivalKind kind_;
+  graysim::Nanos period_ns_;
+  int burst_size_;
+  graysim::Rng rng_;
+  graysim::Nanos next_ = 0;
+  int burst_pos_ = 0;
+};
+
+}  // namespace grayservice
+
+#endif  // SRC_SERVICE_ARRIVAL_H_

@@ -1,0 +1,103 @@
+// graysimd: the trace-replay load service over the machine fleet.
+//
+// This is the "millions of users" front-end the ROADMAP asks for: a
+// LoadScenario (pure data, see scenario.h) is replayed as machines * clients
+// concurrent open-loop request streams. Each client is a fiber on its
+// machine's deterministic kernel: it draws arrival instants from its own
+// seeded ArrivalProcess, sleeps in virtual time until each arrival, runs one
+// bounded workload unit (fastsort read pass / grep scan / aging epoch /
+// scratch-file rewrite), and records the request's latency — measured from
+// the SCHEDULED arrival, so queueing delay from a backed-up stream counts,
+// exactly as a web user experiences it — into the machine's MetricsRegistry
+// histogram. Machines shard across host threads (the PR 6 fleet model);
+// per-machine snapshots bucket-merge into fleet-wide p50/p99/p999, never
+// averaged percentiles.
+//
+// Everything here is deterministic end to end: the same scenario file
+// yields bit-identical per-machine latency digests whether the fleet runs
+// threaded or sequentially, traced or untraced (tracing stays passive).
+// Requests whose latency reaches scenario.slow_ms emit a Complete span on
+// the per-machine "svc/slow" TraceSink track, so a reviewer can export and
+// open exactly the slow tail in Perfetto.
+#ifndef SRC_SERVICE_LOAD_SERVICE_H_
+#define SRC_SERVICE_LOAD_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/service/scenario.h"
+#include "src/sim/clock.h"
+
+namespace grayservice {
+
+// Request-outcome tallies for one machine (or, summed, the fleet).
+struct LoadCounts {
+  std::uint64_t requests = 0;  // completed requests
+  std::uint64_t ok = 0;        // no injected I/O error and under the timeout
+  std::uint64_t errors = 0;    // >= 1 failed syscall inside the request
+  std::uint64_t timeouts = 0;  // latency above scenario.timeout_ms
+  std::uint64_t slow = 0;      // latency at/above scenario.slow_ms
+  std::uint64_t late_starts = 0;  // arrivals that found the stream still busy
+
+  friend bool operator==(const LoadCounts&, const LoadCounts&) = default;
+};
+
+// One machine's replay result: counts, the end-of-run virtual clock, the
+// latency digest (FNV-1a over the merged histogram's raw buckets plus the
+// counts — the bit-identity unit the tests and the bench's sequential
+// verify pin), the full metrics snapshot, and the slow-request spans
+// captured from the machine's trace ring (empty when tracing was off).
+struct MachineLoadResult {
+  LoadCounts counts;
+  graysim::Nanos virtual_time = 0;
+  std::uint64_t digest = 0;
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceEvent> slow_spans;
+};
+
+// Fleet-wide roll-up. `metrics` merges the per-machine snapshots in machine
+// id order (merge is commutative, but a fixed order keeps even the
+// first-seen name ordering identical between threaded and sequential runs),
+// so its svc.request_latency_ns histogram is the genuine fleet-wide bucket
+// merge the percentiles come from. `digest` combines the per-machine
+// digests in id order.
+struct FleetLoadReport {
+  LoadCounts counts;
+  obs::MetricsSnapshot metrics;
+  std::vector<std::uint64_t> machine_digests;
+  std::uint64_t digest = 0;
+  graysim::Nanos fleet_virtual = 0;  // sum of per-machine end clocks
+  // (machine id, slow spans) for machines that emitted any.
+  std::vector<std::pair<std::uint32_t, std::vector<obs::TraceEvent>>> slow;
+};
+
+// Latency digest: FNV-1a 64 over the histogram's raw state and the counts.
+[[nodiscard]] std::uint64_t LatencyDigest(const obs::Histogram& latency,
+                                          const LoadCounts& counts);
+
+// Replays `scenario`'s per-machine share on machine `machine_id`.
+// trace_capacity > 0 enables the machine's TraceSink (ring of that many
+// events) so slow-request spans are captured; 0 runs untraced. Tracing is
+// passive, so the digest is identical either way.
+[[nodiscard]] MachineLoadResult RunLoadMachine(const LoadScenario& scenario,
+                                               std::uint32_t machine_id,
+                                               std::size_t trace_capacity = 0);
+
+// Replays the whole scenario, spreading machines across `threads` host
+// threads (1 = sequential; machines share nothing, so any thread count
+// computes bit-identical per-machine results).
+[[nodiscard]] FleetLoadReport RunLoadFleet(const LoadScenario& scenario, int threads,
+                                           std::size_t trace_capacity = 0);
+
+// Writes the fleet's slow-request spans as Chrome trace_event JSON (one
+// "process" per machine), loadable in Perfetto. Returns false on I/O error
+// or when no spans were captured.
+[[nodiscard]] bool WriteSlowTrace(const FleetLoadReport& report, const std::string& path);
+
+}  // namespace grayservice
+
+#endif  // SRC_SERVICE_LOAD_SERVICE_H_

@@ -1,0 +1,330 @@
+#include "src/service/scenario.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace grayservice {
+
+namespace {
+
+// Strips leading/trailing spaces and tabs.
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseDouble(std::string_view value, double* out) {
+  const std::string buf(value);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size() || buf.empty()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseInt(std::string_view value, int* out) {
+  const std::string buf(value);
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size() || buf.empty() ||
+      v < static_cast<long>(INT_MIN) || v > static_cast<long>(INT_MAX)) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+// Base 0: accepts decimal and 0x-prefixed hex (seeds read naturally either
+// way, and FormatLoadScenario emits hex).
+bool ParseU64(std::string_view value, std::uint64_t* out) {
+  const std::string buf(value);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 0);
+  if (errno != 0 || end != buf.c_str() + buf.size() || buf.empty()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseArrival(std::string_view value, ArrivalKind* out) {
+  if (value == "fixed") {
+    *out = ArrivalKind::kFixedRate;
+  } else if (value == "poisson") {
+    *out = ArrivalKind::kPoisson;
+  } else if (value == "burst") {
+    *out = ArrivalKind::kBurst;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// "fastsort:1 grep:4 aging:2 filegen:1" — any subset, unlisted kinds get
+// weight 0. Every token must be <kind>:<non-negative int>.
+bool ParseMix(std::string_view value, int (*mix)[kNumRequestKinds],
+              std::string* why) {
+  int parsed[kNumRequestKinds] = {};
+  std::size_t pos = 0;
+  bool any = false;
+  while (pos < value.size()) {
+    while (pos < value.size() && (value[pos] == ' ' || value[pos] == '\t')) {
+      ++pos;
+    }
+    if (pos >= value.size()) {
+      break;
+    }
+    std::size_t end = pos;
+    while (end < value.size() && value[end] != ' ' && value[end] != '\t') {
+      ++end;
+    }
+    const std::string_view token = value.substr(pos, end - pos);
+    pos = end;
+    const std::size_t colon = token.find(':');
+    if (colon == std::string_view::npos) {
+      *why = "mix token '" + std::string(token) + "' is not <kind>:<weight>";
+      return false;
+    }
+    const std::string_view kind = token.substr(0, colon);
+    int weight = 0;
+    if (!ParseInt(token.substr(colon + 1), &weight) || weight < 0) {
+      *why = "mix weight in '" + std::string(token) + "' is not a non-negative integer";
+      return false;
+    }
+    int index = -1;
+    for (int k = 0; k < kNumRequestKinds; ++k) {
+      if (kind == RequestKindName(static_cast<RequestKind>(k))) {
+        index = k;
+      }
+    }
+    if (index < 0) {
+      *why = "unknown request kind '" + std::string(kind) + "'";
+      return false;
+    }
+    parsed[index] = weight;
+    any = true;
+  }
+  if (!any) {
+    *why = "mix is empty";
+    return false;
+  }
+  for (int k = 0; k < kNumRequestKinds; ++k) {
+    (*mix)[k] = parsed[k];
+  }
+  return true;
+}
+
+// Post-parse sanity: rejects shapes that cannot run rather than letting a
+// typo'd scenario execute as a different experiment.
+bool Validate(const LoadScenario& s, std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    *error = "scenario: " + why;
+    return false;
+  };
+  if (s.machines <= 0) {
+    return fail("machines must be positive");
+  }
+  if (s.clients <= 0) {
+    return fail("clients must be positive");
+  }
+  if (!(s.rate_hz > 0.0)) {
+    return fail("rate_hz must be positive");
+  }
+  if (s.burst_size <= 0) {
+    return fail("burst_size must be positive");
+  }
+  if (!(s.duration_s > 0.0)) {
+    return fail("duration_s must be positive");
+  }
+  if (s.chaos < 0.0 || s.chaos > 1.0) {
+    return fail("chaos must be in [0, 1]");
+  }
+  if (!(s.slow_ms > 0.0)) {
+    return fail("slow_ms must be positive");
+  }
+  if (!(s.timeout_ms > 0.0)) {
+    return fail("timeout_ms must be positive");
+  }
+  int mix_total = 0;
+  for (const int w : s.mix) {
+    mix_total += w;
+  }
+  if (mix_total <= 0) {
+    return fail("mix weights sum to zero");
+  }
+  if (s.profile != "linux2.2" && s.profile != "netbsd1.5" && s.profile != "solaris7") {
+    return fail("unknown profile '" + s.profile + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kFixedRate:
+      return "fixed";
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kFastsort:
+      return "fastsort";
+    case RequestKind::kGrep:
+      return "grep";
+    case RequestKind::kAging:
+      return "aging";
+    case RequestKind::kFilegen:
+      return "filegen";
+  }
+  return "?";
+}
+
+bool ParseLoadScenario(std::string_view text, LoadScenario* out, std::string* error) {
+  LoadScenario s;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const auto fail = [&](const std::string& why) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+      return false;
+    };
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("expected key = value");
+    }
+    const std::string_view key = Trim(line.substr(0, eq));
+    const std::string_view value = Trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return fail("expected key = value");
+    }
+    const auto bad_value = [&] {
+      return fail("bad value '" + std::string(value) + "' for key '" + std::string(key) +
+                  "'");
+    };
+    if (key == "name") {
+      s.name = std::string(value);
+    } else if (key == "machines") {
+      if (!ParseInt(value, &s.machines)) {
+        return bad_value();
+      }
+    } else if (key == "clients") {
+      if (!ParseInt(value, &s.clients)) {
+        return bad_value();
+      }
+    } else if (key == "arrival") {
+      if (!ParseArrival(value, &s.arrival)) {
+        return bad_value();
+      }
+    } else if (key == "rate_hz") {
+      if (!ParseDouble(value, &s.rate_hz)) {
+        return bad_value();
+      }
+    } else if (key == "burst_size") {
+      if (!ParseInt(value, &s.burst_size)) {
+        return bad_value();
+      }
+    } else if (key == "duration_s") {
+      if (!ParseDouble(value, &s.duration_s)) {
+        return bad_value();
+      }
+    } else if (key == "mix") {
+      std::string why;
+      if (!ParseMix(value, &s.mix, &why)) {
+        return fail(why);
+      }
+    } else if (key == "chaos") {
+      if (!ParseDouble(value, &s.chaos)) {
+        return bad_value();
+      }
+    } else if (key == "slow_ms") {
+      if (!ParseDouble(value, &s.slow_ms)) {
+        return bad_value();
+      }
+    } else if (key == "timeout_ms") {
+      if (!ParseDouble(value, &s.timeout_ms)) {
+        return bad_value();
+      }
+    } else if (key == "seed") {
+      if (!ParseU64(value, &s.seed)) {
+        return bad_value();
+      }
+    } else if (key == "profile") {
+      s.profile = std::string(value);
+    } else {
+      return fail("unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (!Validate(s, error)) {
+    return false;
+  }
+  *out = std::move(s);
+  return true;
+}
+
+std::string FormatLoadScenario(const LoadScenario& s) {
+  char buf[256];
+  std::string out;
+  out += "# graysimd load scenario (see src/service/scenario.h)\n";
+  out += "name = " + s.name + "\n";
+  out += "machines = " + std::to_string(s.machines) + "\n";
+  out += "clients = " + std::to_string(s.clients) + "\n";
+  out += std::string("arrival = ") + ArrivalKindName(s.arrival) + "\n";
+  // %.17g survives a text round-trip bit-exactly for any double.
+  std::snprintf(buf, sizeof(buf), "rate_hz = %.17g\n", s.rate_hz);
+  out += buf;
+  out += "burst_size = " + std::to_string(s.burst_size) + "\n";
+  std::snprintf(buf, sizeof(buf), "duration_s = %.17g\n", s.duration_s);
+  out += buf;
+  out += "mix =";
+  for (int k = 0; k < kNumRequestKinds; ++k) {
+    out += std::string(" ") + RequestKindName(static_cast<RequestKind>(k)) + ":" +
+           std::to_string(s.mix[k]);
+  }
+  out += "\n";
+  std::snprintf(buf, sizeof(buf), "chaos = %.17g\n", s.chaos);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "slow_ms = %.17g\n", s.slow_ms);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "timeout_ms = %.17g\n", s.timeout_ms);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "seed = 0x%llx\n",
+                static_cast<unsigned long long>(s.seed));
+  out += buf;
+  out += "profile = " + s.profile + "\n";
+  return out;
+}
+
+}  // namespace grayservice

@@ -1,0 +1,94 @@
+// The graysimd load-scenario DSL: pure data describing an open-loop replay.
+//
+// A LoadScenario is to the trace-replay service what a FaultPlan is to the
+// chaos layer: a plain struct of numbers plus one seed, parseable from a
+// small text format (see examples/*.scn), from which every random decision
+// — arrival gaps, request-mix draws, chaos injections — derives
+// deterministically. The same scenario file therefore yields a bit-identical
+// latency digest on every host, on every rerun, and whether the fleet runs
+// on one thread or sixteen (pinned by the `load`-labeled tests).
+//
+// The text format is line-based `key = value`, with `#` comments and blank
+// lines ignored. The parser is strict: unknown keys, malformed numbers, and
+// out-of-range values are rejected with a line-numbered error rather than
+// silently defaulted — a scenario that drives a ten-minute nightly run must
+// not typo its way into a different experiment.
+#ifndef SRC_SERVICE_SCENARIO_H_
+#define SRC_SERVICE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace grayservice {
+
+// How request arrival instants are generated for one client stream. All
+// three are open-loop: arrival times are drawn up front from the stream's
+// seed and never depend on when earlier requests completed, so a slow
+// server accumulates queueing delay instead of throttling its offered load.
+enum class ArrivalKind : std::uint8_t {
+  kFixedRate,  // evenly spaced: one arrival every 1/rate_hz seconds
+  kPoisson,    // exponential gaps with mean 1/rate_hz, drawn from the seed
+  kBurst,      // burst_size back-to-back arrivals every burst_size/rate_hz
+};
+
+// The request types a scenario mixes, each an existing workload bounded to
+// one per-request unit (see load_service.cc::RunRequest).
+enum class RequestKind : std::uint8_t {
+  kFastsort,  // read phase of a small fastsort (sequential read + CPU)
+  kGrep,      // full scan of the machine's grep file set
+  kAging,     // one delete/create epoch in the client's aging directory
+  kFilegen,   // rewrite + fsync of the client's scratch file
+};
+inline constexpr int kNumRequestKinds = 4;
+
+struct LoadScenario {
+  std::string name = "unnamed";
+  // Fleet shape: total streams = machines * clients. Machines are standard
+  // fleet-mode graysim::Machines (id 0..machines-1, root seed below), so a
+  // scenario names a reproducible fleet the same way scale_fleet does.
+  int machines = 8;
+  int clients = 16;  // concurrent client streams (fibers) per machine
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double rate_hz = 50.0;  // per-client mean arrival rate, in virtual time
+  int burst_size = 4;     // kBurst only: arrivals per burst instant
+  double duration_s = 1.0;  // virtual window during which arrivals occur
+  // Relative request-mix weights, indexed by RequestKind. Zero disables a
+  // kind; the sum must be positive.
+  int mix[kNumRequestKinds] = {1, 4, 2, 1};
+  // Chaos intensity in [0, 1], applied as FaultPlan::Interference per
+  // machine (each machine derives its own decorrelated chaos seed).
+  double chaos = 0.0;
+  // Requests whose latency reaches this threshold emit a trace span on the
+  // svc/slow track (when tracing is enabled) and count in LoadCounts::slow.
+  double slow_ms = 50.0;
+  // Requests slower than this count as timeouts and are excluded from
+  // goodput (the request still runs to completion; an open-loop client
+  // cannot cancel work the kernel already accepted).
+  double timeout_ms = 500.0;
+  std::uint64_t seed = 0x10AD;
+  std::string profile = "linux2.2";  // linux2.2 | netbsd1.5 | solaris7
+
+  [[nodiscard]] int total_streams() const { return machines * clients; }
+
+  friend bool operator==(const LoadScenario&, const LoadScenario&) = default;
+};
+
+// Parses the scenario DSL. On success fills *out (fields not mentioned in
+// the text keep their defaults) and returns true. On failure returns false
+// with a "line N: ..." message in *error and *out untouched.
+[[nodiscard]] bool ParseLoadScenario(std::string_view text, LoadScenario* out,
+                                     std::string* error);
+
+// Inverse of ParseLoadScenario: emits every field, in a fixed order, such
+// that parsing the result reproduces `scenario` exactly (round-trip pinned
+// by tests/load_test.cc).
+[[nodiscard]] std::string FormatLoadScenario(const LoadScenario& scenario);
+
+// Human-readable names used by the DSL and reports.
+[[nodiscard]] const char* ArrivalKindName(ArrivalKind kind);
+[[nodiscard]] const char* RequestKindName(RequestKind kind);
+
+}  // namespace grayservice
+
+#endif  // SRC_SERVICE_SCENARIO_H_

@@ -4,17 +4,23 @@
 
 namespace graywork {
 
-void DirectoryAger::RunEpoch(int files_per_epoch) {
+int DirectoryAger::RunEpoch(int files_per_epoch) {
+  int errors = 0;
   std::vector<std::string> files = Files();
   for (int i = 0; i < files_per_epoch && !files.empty(); ++i) {
     const std::size_t victim = rng_.Below(files.size());
-    (void)os_->Unlink(pid_, files[victim]);
+    if (os_->Unlink(pid_, files[victim]) < 0) {
+      ++errors;
+    }
     files.erase(files.begin() + static_cast<std::ptrdiff_t>(victim));
   }
   for (int i = 0; i < files_per_epoch; ++i) {
     const std::string path = dir_ + "/aged" + std::to_string(next_name_++);
-    (void)MakeFile(*os_, pid_, path, file_bytes_);
+    if (!MakeFile(*os_, pid_, path, file_bytes_)) {
+      ++errors;
+    }
   }
+  return errors;
 }
 
 std::vector<std::string> DirectoryAger::Files() const {

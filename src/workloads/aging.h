@@ -20,8 +20,10 @@ class DirectoryAger {
                 std::uint64_t file_bytes, std::uint64_t seed)
       : os_(os), pid_(pid), dir_(std::move(dir)), file_bytes_(file_bytes), rng_(seed) {}
 
-  // Runs one delete-5/create-5 epoch (counts configurable).
-  void RunEpoch(int files_per_epoch = 5);
+  // Runs one delete-5/create-5 epoch (counts configurable). Returns the
+  // number of operations that failed (unlinks or file creations) — 0 on a
+  // clean epoch; callers that don't care can ignore it.
+  int RunEpoch(int files_per_epoch = 5);
 
   // Current file paths in the directory.
   [[nodiscard]] std::vector<std::string> Files() const;

@@ -113,7 +113,11 @@ std::deque<gray::Extent> BuildReadStream(Os* os, Pid pid, const FastsortOptions&
 FastsortReport Fastsort::Run(const FastsortOptions& options) {
   FastsortReport report;
   graysim::InodeAttr attr;
-  if (os_->Stat(pid_, options.input, &attr) < 0 || attr.size == 0) {
+  if (os_->Stat(pid_, options.input, &attr) < 0) {
+    ++report.io_errors;
+    return report;
+  }
+  if (attr.size == 0) {
     return report;
   }
   const std::uint64_t input_size = attr.size / options.record_bytes * options.record_bytes;
@@ -127,6 +131,7 @@ FastsortReport Fastsort::Run(const FastsortOptions& options) {
 
   const int fd = os_->Open(pid_, options.input);
   if (fd < 0) {
+    ++report.io_errors;
     return report;
   }
   if (options.write_runs) {
@@ -177,7 +182,9 @@ FastsortReport Fastsort::Run(const FastsortOptions& options) {
     while (filled < pass && !stream.empty()) {
       gray::Extent& e = stream.front();
       const std::uint64_t n = std::min({kChunk, e.length, pass - filled});
-      (void)os_->Pread(pid_, fd, {}, n, e.offset);
+      if (os_->Pread(pid_, fd, {}, n, e.offset) < 0) {
+        ++report.io_errors;
+      }
       if (options.read_order == ReadOrder::kGbpPipe) {
         // The pipe costs one extra copy of the data through the OS.
         os_->Compute(pid_, os_->costs().CopyCost(n));
@@ -214,9 +221,13 @@ FastsortReport Fastsort::Run(const FastsortOptions& options) {
           for (std::uint64_t p = off / ps; p <= (off + n - 1) / ps; ++p) {
             buffer.Touch(os_, pid_, p, /*write=*/false);
           }
-          (void)os_->Pwrite(pid_, run_fd, n, off);
+          if (os_->Pwrite(pid_, run_fd, n, off) < 0) {
+            ++report.io_errors;
+          }
         }
         (void)os_->Close(pid_, run_fd);
+      } else {
+        ++report.io_errors;
       }
       report.write += os_->Now() - t0;
     }

@@ -46,6 +46,7 @@ struct FastsortReport {
   graysim::Nanos probe_overhead = 0;  // time inside MAC probing
   graysim::Nanos wait_overhead = 0;   // time waiting for admission
   int passes = 0;
+  int io_errors = 0;  // failed stat/open/pread/creat/pwrite calls
   std::uint64_t bytes_sorted = 0;
   double avg_pass_mb = 0.0;
 };

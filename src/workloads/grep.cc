@@ -9,13 +9,18 @@ namespace graywork {
 
 using graysim::Nanos;
 
-std::uint64_t Grep::ScanFile(const std::string& path) {
+std::uint64_t Grep::ScanFile(const std::string& path, int* io_errors) {
   graysim::InodeAttr attr;
-  if (os_->Stat(pid_, path, &attr) < 0 || attr.is_dir) {
+  if (os_->Stat(pid_, path, &attr) < 0) {
+    ++*io_errors;
+    return 0;
+  }
+  if (attr.is_dir) {
     return 0;
   }
   const int fd = os_->Open(pid_, path);
   if (fd < 0) {
+    ++*io_errors;
     return 0;
   }
   constexpr std::uint64_t kChunk = 64 * 1024;
@@ -23,6 +28,7 @@ std::uint64_t Grep::ScanFile(const std::string& path) {
   for (std::uint64_t off = 0; off < attr.size; off += kChunk) {
     const std::uint64_t n = std::min(kChunk, attr.size - off);
     if (os_->Pread(pid_, fd, {}, n, off) < 0) {
+      ++*io_errors;
       break;
     }
     os_->Compute(pid_, os_->costs().ScanCost(n));
@@ -36,7 +42,7 @@ GrepResult Grep::Run(std::span<const std::string> paths) {
   GrepResult result;
   const Nanos t0 = os_->Now();
   for (const std::string& path : paths) {
-    result.bytes_scanned += ScanFile(path);
+    result.bytes_scanned += ScanFile(path, &result.io_errors);
     ++result.files_scanned;
   }
   result.elapsed = os_->Now() - t0;
@@ -50,7 +56,7 @@ GrepResult Grep::RunGrayBox(std::span<const std::string> paths) {
   gray::Fccd fccd(&sys);
   const std::vector<gray::RankedFile> ranked = fccd.OrderFiles(paths);
   for (const gray::RankedFile& rf : ranked) {
-    result.bytes_scanned += ScanFile(rf.path);
+    result.bytes_scanned += ScanFile(rf.path, &result.io_errors);
     ++result.files_scanned;
   }
   result.elapsed = os_->Now() - t0;
@@ -69,7 +75,7 @@ GrepResult Grep::RunWithGbp(std::span<const std::string> paths, gray::GbpMode mo
   // The unmodified application re-opens every file itself (the "redundant
   // file opens and closes" the paper calls out).
   for (const std::string& path : order.order) {
-    result.bytes_scanned += ScanFile(path);
+    result.bytes_scanned += ScanFile(path, &result.io_errors);
     ++result.files_scanned;
   }
   result.elapsed = os_->Now() - t0;
@@ -90,7 +96,7 @@ GrepResult Grep::RunSearch(std::span<const std::string> paths, const std::string
     }
   }
   for (const std::string& path : order) {
-    result.bytes_scanned += ScanFile(path);
+    result.bytes_scanned += ScanFile(path, &result.io_errors);
     ++result.files_scanned;
     if (path == match_path) {
       result.found = true;

@@ -26,6 +26,7 @@ struct GrepResult {
   graysim::Nanos elapsed = 0;
   std::uint64_t bytes_scanned = 0;
   int files_scanned = 0;
+  int io_errors = 0;  // failed stat/open/pread calls (chaos EIO, missing files)
   bool found = false;
 };
 
@@ -49,8 +50,9 @@ class Grep {
                        bool gray_order);
 
  private:
-  // Scans one file completely; returns bytes read.
-  std::uint64_t ScanFile(const std::string& path);
+  // Scans one file completely; returns bytes read and counts failed
+  // syscalls into *io_errors.
+  std::uint64_t ScanFile(const std::string& path, int* io_errors);
 
   graysim::Os* os_;
   graysim::Pid pid_;
